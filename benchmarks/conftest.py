@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper table/figure via the experiment
+runners in :mod:`repro.eval.experiments`, printing the same rows/series
+the paper reports and asserting the qualitative *shape* (who wins, the
+direction of trends), not absolute numbers — our substrate is a
+synthetic corpus on one CPU, not the authors' hospital data on a
+40-thread server.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Expect the full
+suite to take tens of minutes: it trains dozens of COM-AID models.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark.
+
+    Experiments train neural networks for minutes; statistical
+    repetition is meaningless at that cost, so rounds=iterations=1.
+    """
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(function, *args, **kwargs):
+        return run_once(benchmark, function, *args, **kwargs)
+
+    return runner

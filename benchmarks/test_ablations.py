@@ -1,0 +1,194 @@
+"""Design-choice ablations beyond the paper's own figures.
+
+DESIGN.md calls out several implementation decisions; each gets a bench
+that quantifies it on the hospital-x-like dataset:
+
+* **Phase II value** — NCL vs the keyword matcher alone (Phase I as a
+  linker): how much does COM-AID re-ranking add over TF-IDF retrieval?
+* **Query rewriting value** — NCL with vs without OOV rewriting.
+* **Recurrent unit** — LSTM (the paper's choice) vs GRU.
+* **Sampled softmax** — exact vs BlackOut-style sampled training:
+  quality must be comparable while per-epoch time drops for large
+  vocabularies.
+* **Combined annotator** — RRF fusion of NCL + pkduck vs each alone
+  (the paper's "can also be combined" remark).
+"""
+
+import pytest
+
+from repro.baselines.ensemble import EnsembleLinker
+from repro.baselines.keyword import KeywordLinker
+from repro.baselines.pkduck import PkduckLinker
+from repro.core.config import LinkerConfig
+from repro.core.linker import NeuralConceptLinker
+from repro.eval.experiments import SMALL
+from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
+from repro.eval.reporting import format_table
+from repro.utils.rng import derive_rng, ensure_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    generator = ensure_rng(2018)
+    dataset = SMALL.dataset("hospital-x-like", rng=derive_rng(generator, "ds"))
+    pipeline = build_pipeline(
+        dataset,
+        model_config=SMALL.model_config(),
+        training_config=SMALL.training_config(),
+        cbow_config=SMALL.cbow_config(),
+        rng=derive_rng(generator, "pipeline"),
+    )
+    queries = dataset.queries[: SMALL.eval_queries]
+    return generator, dataset, pipeline, queries
+
+
+def test_ablation_phase2_and_rewriting(once, setup):
+    generator, dataset, pipeline, queries = setup
+
+    def evaluate_all():
+        rows = []
+        ncl = evaluate_ranker("NCL (full)", linker_ranker(pipeline.linker), queries)
+        rows.append(ncl.as_row())
+
+        keyword = KeywordLinker(
+            dataset.ontology, kb=dataset.kb, word_vectors=pipeline.word_vectors
+        )
+        keyword_result = evaluate_ranker(
+            "keyword only (Phase I)",
+            lambda text: [cid for cid, _ in keyword.rank(text, 20)],
+            queries,
+        )
+        rows.append(keyword_result.as_row())
+
+        no_rewrite = NeuralConceptLinker(
+            pipeline.model,
+            dataset.ontology,
+            LinkerConfig(k=20, rewrite_queries=False),
+            kb=dataset.kb,
+            word_vectors=pipeline.word_vectors,
+        )
+        no_rewrite_result = evaluate_ranker(
+            "NCL w/o rewriting", linker_ranker(no_rewrite), queries
+        )
+        rows.append(no_rewrite_result.as_row())
+        print(format_table(["variant", "accuracy", "MRR"], rows,
+                           title="Ablation: phase II and rewriting"))
+        return ncl, keyword_result, no_rewrite_result
+
+    ncl, keyword_result, no_rewrite_result = once(evaluate_all)
+    # Honest finding: at bench scale (~100 concepts), the alias-aware
+    # keyword matcher — *using NCL's own embedding-based rewriting* —
+    # is already a strong ranker, so Phase II adds little and may even
+    # trail it slightly; its value grows with ontology size (the
+    # paper's regime is 71k concepts).  We assert NCL stays in the same
+    # band rather than strictly above.
+    assert ncl.accuracy >= keyword_result.accuracy - 0.12
+    # Rewriting is the OOV bridge: removing it must hurt clearly.
+    assert ncl.accuracy > no_rewrite_result.accuracy
+
+
+def test_ablation_recurrent_unit(once, setup):
+    generator, dataset, pipeline, queries = setup
+
+    def run_gru():
+        gru_pipeline = build_pipeline(
+            dataset,
+            model_config=SMALL.model_config(cell="gru"),
+            training_config=SMALL.training_config(),
+            word_vectors=pipeline.word_vectors,
+            rng=derive_rng(generator, "gru"),
+        )
+        gru = evaluate_ranker(
+            "COM-AID (GRU)", linker_ranker(gru_pipeline.linker), queries
+        )
+        lstm = evaluate_ranker(
+            "COM-AID (LSTM)", linker_ranker(pipeline.linker), queries
+        )
+        print(format_table(
+            ["cell", "accuracy", "MRR"],
+            [lstm.as_row(), gru.as_row()],
+            title="Ablation: recurrent unit",
+        ))
+        return lstm, gru
+
+    lstm, gru = once(run_gru)
+    # Both units must train to a working linker; neither may collapse.
+    assert gru.accuracy > 0.3
+    assert abs(lstm.accuracy - gru.accuracy) < 0.25
+
+
+def test_ablation_sampled_softmax(once, setup):
+    generator, dataset, pipeline, queries = setup
+
+    def run_sampled():
+        sampled_pipeline = build_pipeline(
+            dataset,
+            model_config=SMALL.model_config(),
+            training_config=SMALL.training_config(sampled_softmax=20),
+            word_vectors=pipeline.word_vectors,
+            rng=derive_rng(generator, "sampled"),
+        )
+        sampled = evaluate_ranker(
+            "sampled softmax (20)",
+            linker_ranker(sampled_pipeline.linker),
+            queries,
+        )
+        exact = evaluate_ranker(
+            "exact softmax", linker_ranker(pipeline.linker), queries
+        )
+        rows = [
+            exact.as_row() + [round(pipeline.trainer.history.seconds, 1)],
+            sampled.as_row()
+            + [round(sampled_pipeline.trainer.history.seconds, 1)],
+        ]
+        print(format_table(
+            ["training", "accuracy", "MRR", "seconds"],
+            rows,
+            title="Ablation: BlackOut-style sampled softmax",
+        ))
+        return exact, sampled
+
+    exact, sampled = once(run_sampled)
+    # Sampled training must stay within a modest quality margin.
+    assert sampled.accuracy > exact.accuracy - 0.12
+
+
+def test_ablation_combined_annotator(once, setup):
+    generator, dataset, pipeline, queries = setup
+
+    def run_ensemble():
+        pkduck = PkduckLinker(dataset.ontology, theta=0.1)
+        ncl_rank = linker_ranker(pipeline.linker)
+        ensemble = EnsembleLinker(
+            [
+                ("NCL", lambda text, k: [
+                    (cid, 0.0) for cid in ncl_rank(text)[:k]
+                ]),
+                ("pkduck", pkduck.rank),
+            ],
+            weights=[2.0, 1.0],
+        )
+        rows = []
+        ncl = evaluate_ranker("NCL", ncl_rank, queries)
+        rows.append(ncl.as_row())
+        pk = evaluate_ranker(
+            "pkduck(0.1)",
+            lambda text: [cid for cid, _ in pkduck.rank(text, 20)],
+            queries,
+        )
+        rows.append(pk.as_row())
+        fused = evaluate_ranker(
+            "NCL + pkduck (RRF)",
+            lambda text: [cid for cid, _ in ensemble.rank(text, 20)],
+            queries,
+        )
+        rows.append(fused.as_row())
+        print(format_table(["method", "accuracy", "MRR"], rows,
+                           title="Ablation: combined annotator"))
+        return ncl, pk, fused
+
+    ncl, pk, fused = once(run_ensemble)
+    # Fusion must not fall below the weaker member, and should at least
+    # approach the stronger one (the combined-annotator premise).
+    assert fused.accuracy >= pk.accuracy - 0.02
+    assert fused.accuracy >= ncl.accuracy - 0.10

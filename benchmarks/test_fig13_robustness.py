@@ -1,0 +1,36 @@
+"""Figure 13 (Appendix C) — robustness to training-data variation.
+
+Paper shapes: 13(a) accuracy decreases only mildly as the concept count
+grows (fewer concepts -> fewer interfering concepts -> higher
+accuracy); 13(b) accuracy drops as the unlabeled corpus shrinks but
+stays usable (paper: >0.6 at 25%).
+"""
+
+import pytest
+
+from repro.eval.experiments import SMALL
+from repro.eval.experiments.fig13_robustness import (
+    run_vary_concepts,
+    run_vary_unlabeled,
+)
+
+
+def test_fig13a_vary_concepts(once):
+    results = once(run_vary_concepts, scale=SMALL, seed=2018, fractions=(0.25, 0.5, 1.0))
+    for name, series in results.items():
+        acc = series["acc"]
+        # Fewer concepts never hurts much: the 25% point is at least as
+        # good as the 100% point (within noise).
+        assert acc[0] >= acc[-1] - 0.08, f"{name}: {acc}"
+        # Overall the curve is not a cliff (robustness claim).
+        assert max(acc) - min(acc) < 0.35, f"{name}: {acc}"
+
+
+def test_fig13b_vary_unlabeled(once):
+    results = once(run_vary_unlabeled, scale=SMALL, seed=2018, fractions=(0.25, 0.5, 1.0))
+    for name, series in results.items():
+        acc = series["acc"]
+        # Full corpus is at least as good as the 25% corpus.
+        assert acc[-1] >= acc[0] - 0.05, f"{name}: {acc}"
+        # Accuracy stays usable even at 25% unlabeled data.
+        assert acc[0] > 0.35, f"{name}: {acc}"

@@ -1,0 +1,70 @@
+"""Figure 7 — overall linking quality comparison.
+
+Paper shapes: NCL has the highest accuracy and MRR on both datasets by
+a clear margin; pkduck improves as θ decreases and is the strongest
+classical string method; NC and Doc2Vec trail badly.
+"""
+
+import pytest
+
+from repro.eval.experiments import DEFAULT
+from repro.eval.experiments.fig7_overall import run
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run(scale=DEFAULT, seed=2018, theta_grid=(0.1, 0.3, 0.5))
+
+
+def by_method(rows):
+    return {row.method: row for row in rows}
+
+
+def test_fig7_reports_both_datasets(once, results):
+    summary = once(lambda: sorted(results))
+    assert summary == ["hospital-x-like", "mimic-iii-like"]
+
+
+def test_fig7_ncl_wins_accuracy_and_mrr(once, results):
+    # Register with pytest-benchmark so --benchmark-only
+    # does not skip this shape assertion.
+    once(lambda: None)
+    for name, rows in results.items():
+        methods = by_method(rows)
+        ncl = methods["NCL"]
+        for method, row in methods.items():
+            if method == "NCL":
+                continue
+            assert ncl.accuracy >= row.accuracy - 0.02, (
+                f"{name}: NCL {ncl.accuracy:.3f} vs {method} {row.accuracy:.3f}"
+            )
+        assert ncl.mrr == max(row.mrr for row in rows) or (
+            ncl.mrr >= max(row.mrr for row in rows) - 0.02
+        )
+
+
+def test_fig7_pkduck_improves_as_theta_drops(once, results):
+    # Register with pytest-benchmark so --benchmark-only
+    # does not skip this shape assertion.
+    once(lambda: None)
+    for name, rows in results.items():
+        thetas = sorted(
+            (row for row in rows if row.method.startswith("pkduck")),
+            key=lambda row: float(row.method.split("=")[1].rstrip(")")),
+        )
+        assert thetas[0].accuracy >= thetas[-1].accuracy, name
+
+
+def test_fig7_nc_and_doc2vec_trail(once, results):
+    # Register with pytest-benchmark so --benchmark-only
+    # does not skip this shape assertion.
+    once(lambda: None)
+    for name, rows in results.items():
+        methods = by_method(rows)
+        ncl_accuracy = methods["NCL"].accuracy
+        nc = methods["NC"].accuracy
+        doc2vec = next(
+            row for method, row in methods.items() if method.startswith("Doc2Vec")
+        ).accuracy
+        assert nc < ncl_accuracy * 0.5, f"{name}: NC {nc} vs NCL {ncl_accuracy}"
+        assert doc2vec < ncl_accuracy, name

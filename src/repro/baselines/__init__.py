@@ -1,0 +1,44 @@
+"""Competitor methods from the paper's Section 6.4 comparison.
+
+Every baseline implements :class:`BaselineLinker` — ``rank(query, k)``
+returning ordered ``(cid, score)`` — so the evaluation harness treats
+NCL and the baselines uniformly.
+
+* :class:`NobleCoderLinker` — dictionary-based annotator in the style
+  of NOBLECoder [42]: word-to-term and term-to-concept hash tables with
+  greedy best-match lookup.
+* :class:`PkduckLinker` — abbreviation-aware approximate string join in
+  the style of pkduck [44], with a join similarity threshold θ.
+* :class:`WmdLinker` — Word Mover's Distance [25] over pre-trained
+  word embeddings (exact optimal transport via scipy).
+* :class:`Doc2VecLinker` — PV-DBOW paragraph vectors [26] trained from
+  scratch; concepts ranked by document-vector cosine.
+* :class:`LrPlusLinker` — the extended logistic regression LR⁺ [43]:
+  the original's hand-crafted textual features plus the paper's added
+  structural features.
+"""
+
+from repro.baselines.base import BaselineLinker, RankedList
+from repro.baselines.doc2vec import Doc2VecConfig, Doc2VecLinker
+from repro.baselines.ensemble import EnsembleLinker
+from repro.baselines.keyword import KeywordLinker
+from repro.baselines.lr_plus import LrPlusConfig, LrPlusLinker
+from repro.baselines.noblecoder import NobleCoderLinker
+from repro.baselines.pkduck import PkduckLinker, pkduck_similarity
+from repro.baselines.wmd import WmdLinker, word_movers_distance
+
+__all__ = [
+    "BaselineLinker",
+    "Doc2VecConfig",
+    "Doc2VecLinker",
+    "EnsembleLinker",
+    "KeywordLinker",
+    "LrPlusConfig",
+    "LrPlusLinker",
+    "NobleCoderLinker",
+    "PkduckLinker",
+    "RankedList",
+    "WmdLinker",
+    "pkduck_similarity",
+    "word_movers_distance",
+]

@@ -1,0 +1,29 @@
+"""Common interface for baseline linkers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+RankedList = List[Tuple[str, float]]
+
+
+class BaselineLinker(ABC):
+    """A concept linker ranking fine-grained concepts for a text query.
+
+    ``rank`` returns up to ``k`` ``(cid, score)`` pairs in descending
+    score order; an empty list means the method abstains (dictionary
+    methods legitimately find nothing for heavily distorted queries —
+    the paper's NOBLECoder analysis hinges on exactly that).
+    """
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def rank(self, query: str, k: int = 10) -> RankedList:
+        """Rank fine-grained concepts for ``query``."""
+
+    def link(self, query: str, k: int = 10) -> str:
+        """Convenience: the top-1 cid, or ``""`` when abstaining."""
+        ranked = self.rank(query, k=k)
+        return ranked[0][0] if ranked else ""

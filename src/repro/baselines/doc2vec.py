@@ -1,0 +1,195 @@
+"""Paragraph vectors (Doc2Vec, PV-DBOW variant) [26] from scratch.
+
+Each fine-grained concept is one document (its canonical description
+plus aliases).  Training follows the distributed-bag-of-words
+objective: the document vector predicts each of its words through a
+negative-sampling softmax.  A query is linked by *inferring* a vector
+for it — gradient steps on a fresh document vector with the word
+(output) matrix frozen — and ranking concepts by cosine similarity.
+
+The paper tunes d and reports Doc2Vec peaking below 0.12 accuracy: the
+document-level similarity cannot separate fine-grained siblings that
+share most of their words.  That failure mode is architectural and
+reproduces here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineLinker, RankedList
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.ontology import Ontology
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+from repro.utils.errors import ConfigurationError, NotFittedError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Doc2VecConfig:
+    """PV-DBOW hyper-parameters."""
+
+    dim: int = 32
+    epochs: int = 20
+    negatives: int = 5
+    learning_rate: float = 0.05
+    infer_steps: int = 30
+    power: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {self.dim}")
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.negatives < 1:
+            raise ConfigurationError(
+                f"negatives must be >= 1, got {self.negatives}"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if self.infer_steps < 1:
+            raise ConfigurationError(
+                f"infer_steps must be >= 1, got {self.infer_steps}"
+            )
+
+
+class Doc2VecLinker(BaselineLinker):
+    """PV-DBOW document vectors per concept, cosine ranking."""
+
+    name = "Doc2Vec"
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        kb: Optional[KnowledgeBase] = None,
+        config: Optional[Doc2VecConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.config = config if config is not None else Doc2VecConfig()
+        self._rng = ensure_rng(rng)
+        self._cids: List[str] = []
+        documents: List[List[str]] = []
+        for leaf in ontology.fine_grained():
+            words = list(leaf.words)
+            if kb is not None:
+                for alias in kb.aliases_of(leaf.cid):
+                    words.extend(tokenize(alias))
+            self._cids.append(leaf.cid)
+            documents.append(words)
+        self._vocab = Vocabulary.from_corpus(documents, include_specials=False)
+        self._encoded = [
+            [self._vocab.id_of(word) for word in words if word in self._vocab]
+            for words in documents
+        ]
+        self._doc_vectors = np.zeros((0, self.config.dim))
+        self._word_vectors = np.zeros((0, self.config.dim))
+        self._noise_cdf = np.zeros(0)
+        self._fitted = False
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self) -> "Doc2VecLinker":
+        """Train document and word vectors with PV-DBOW negative sampling."""
+        dim = self.config.dim
+        bound = 0.5 / dim
+        self._doc_vectors = self._rng.uniform(
+            -bound, bound, size=(len(self._encoded), dim)
+        )
+        self._word_vectors = np.zeros((len(self._vocab), dim))
+        counts = np.array(
+            [self._vocab.count_of(word) for word in self._vocab.words],
+            dtype=np.float64,
+        )
+        weights = np.power(np.maximum(counts, 1.0), self.config.power)
+        self._noise_cdf = np.cumsum(weights / weights.sum())
+        lr = self.config.learning_rate
+        for _ in range(self.config.epochs):
+            order = self._rng.permutation(len(self._encoded))
+            for doc_index in order:
+                self._train_document(int(doc_index), lr)
+        self._fitted = True
+        return self
+
+    def _train_document(self, doc_index: int, lr: float) -> None:
+        word_ids = self._encoded[doc_index]
+        if not word_ids:
+            return
+        doc_vector = self._doc_vectors[doc_index]
+        for word_id in word_ids:
+            self._negative_sampling_step(
+                doc_vector, word_id, lr, update_words=True
+            )
+
+    def _negative_sampling_step(
+        self,
+        vector: np.ndarray,
+        target_id: int,
+        lr: float,
+        update_words: bool,
+    ) -> None:
+        negatives = self.config.negatives
+        targets = np.empty(negatives + 1, dtype=np.intp)
+        targets[0] = target_id
+        targets[1:] = np.searchsorted(
+            self._noise_cdf, self._rng.random(negatives)
+        )
+        labels = np.zeros(negatives + 1)
+        labels[0] = 1.0
+        rows = self._word_vectors[targets]
+        scores = rows @ vector
+        probabilities = np.where(
+            scores >= 0,
+            1.0 / (1.0 + np.exp(-scores)),
+            np.exp(scores) / (1.0 + np.exp(scores)),
+        )
+        error = probabilities - labels
+        grad_vector = error @ rows
+        if update_words:
+            self._word_vectors[targets] -= lr * np.outer(error, vector)
+        vector -= lr * grad_vector
+
+    # -- inference ----------------------------------------------------------------
+
+    def infer(self, tokens: Sequence[str]) -> np.ndarray:
+        """Infer a paragraph vector for unseen text (word matrix frozen)."""
+        if not self._fitted:
+            raise NotFittedError("Doc2VecLinker.infer called before fit")
+        word_ids = [
+            self._vocab.id_of(token) for token in tokens if token in self._vocab
+        ]
+        dim = self.config.dim
+        vector = self._rng.uniform(-0.5 / dim, 0.5 / dim, size=dim)
+        if not word_ids:
+            return vector
+        lr = self.config.learning_rate
+        for _ in range(self.config.infer_steps):
+            for word_id in word_ids:
+                self._negative_sampling_step(
+                    vector, word_id, lr, update_words=False
+                )
+        return vector
+
+    def rank(self, query: str, k: int = 10) -> RankedList:
+        if not self._fitted:
+            raise NotFittedError("Doc2VecLinker.rank called before fit")
+        tokens = tokenize(query)
+        if not tokens:
+            return []
+        vector = self.infer(tokens)
+        norm = np.linalg.norm(vector)
+        if norm == 0.0:
+            return []
+        doc_norms = np.linalg.norm(self._doc_vectors, axis=1)
+        doc_norms[doc_norms == 0.0] = 1.0
+        scores = (self._doc_vectors @ vector) / (doc_norms * norm)
+        order = np.argsort(-scores)
+        return [
+            (self._cids[int(index)], float(scores[int(index)]))
+            for index in order[:k]
+        ]

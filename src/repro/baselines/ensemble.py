@@ -1,0 +1,99 @@
+"""Combined annotator: rank-fusion over multiple linkers.
+
+The paper's related work (Section 2.2) distinguishes a third category —
+*combined annotators* [24, 27] that aggregate multiple methods — and
+notes that "as a concept linking method, our proposed NCL can also be
+combined with the other annotators".  This module provides that
+combination via reciprocal-rank fusion (RRF), a robust, score-scale-free
+aggregator:
+
+    RRF(c) = Σ_m  w_m / (k + rank_m(c))
+
+where ``rank_m(c)`` is concept ``c``'s rank under method ``m`` (absent
+concepts contribute nothing) and ``k`` dampens the head of each list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineLinker, RankedList
+from repro.utils.errors import ConfigurationError
+
+#: Any ``(query, k) -> RankedList`` callable can join an ensemble.
+RankFn = Callable[[str, int], RankedList]
+
+
+class EnsembleLinker(BaselineLinker):
+    """Reciprocal-rank fusion of several linkers.
+
+    Parameters
+    ----------
+    members:
+        ``(name, rank_fn)`` pairs; :class:`BaselineLinker` instances
+        can be passed directly via :meth:`from_linkers`.
+    weights:
+        Optional per-member positive weights (default: all 1.0).
+    dampening:
+        The RRF ``k`` constant (default 60, the literature standard).
+    pool_k:
+        How many candidates to request from each member per query.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        members: Sequence[Tuple[str, RankFn]],
+        weights: Optional[Sequence[float]] = None,
+        dampening: float = 60.0,
+        pool_k: int = 20,
+    ) -> None:
+        if not members:
+            raise ConfigurationError("ensemble needs at least one member")
+        if dampening <= 0:
+            raise ConfigurationError(
+                f"dampening must be positive, got {dampening}"
+            )
+        if pool_k < 1:
+            raise ConfigurationError(f"pool_k must be >= 1, got {pool_k}")
+        member_weights = (
+            list(weights) if weights is not None else [1.0] * len(members)
+        )
+        if len(member_weights) != len(members):
+            raise ConfigurationError(
+                f"{len(member_weights)} weights for {len(members)} members"
+            )
+        if any(weight <= 0 for weight in member_weights):
+            raise ConfigurationError("ensemble weights must be positive")
+        self._members = list(members)
+        self._weights = member_weights
+        self._dampening = dampening
+        self._pool_k = pool_k
+
+    @classmethod
+    def from_linkers(
+        cls,
+        linkers: Sequence[BaselineLinker],
+        weights: Optional[Sequence[float]] = None,
+        **kwargs,
+    ) -> "EnsembleLinker":
+        members = [
+            (linker.name, linker.rank) for linker in linkers
+        ]
+        return cls(members, weights=weights, **kwargs)
+
+    @property
+    def member_names(self) -> List[str]:
+        return [name for name, _ in self._members]
+
+    def rank(self, query: str, k: int = 10) -> RankedList:
+        scores: Dict[str, float] = {}
+        for (name, rank_fn), weight in zip(self._members, self._weights):
+            ranked = rank_fn(query, self._pool_k)
+            for position, (cid, _) in enumerate(ranked, start=1):
+                scores[cid] = scores.get(cid, 0.0) + weight / (
+                    self._dampening + position
+                )
+        fused = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return fused[:k]

@@ -1,0 +1,51 @@
+"""Keyword-matcher-only linker (NCL Phase I without Phase II).
+
+Not a paper baseline, but the natural internal ablation: ranking by the
+TF-IDF cosine of NCL's own candidate generator — optionally after NCL's
+query rewriting — isolates how much of NCL's quality comes from the
+COM-AID re-ranking versus plain keyword retrieval.  The ablation bench
+(``benchmarks/test_ablations.py``) reports both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import BaselineLinker, RankedList
+from repro.core.candidates import CandidateGenerator
+from repro.core.rewriter import QueryRewriter
+from repro.embeddings.similarity import WordVectors
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.ontology import Ontology
+from repro.text.tokenize import tokenize
+
+
+class KeywordLinker(BaselineLinker):
+    """Rank fine-grained concepts by Phase-I TF-IDF cosine alone."""
+
+    name = "keyword"
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        kb: Optional[KnowledgeBase] = None,
+        word_vectors: Optional[WordVectors] = None,
+        rewrite_queries: bool = True,
+        index_aliases: bool = True,
+    ) -> None:
+        self._candidates = CandidateGenerator(
+            ontology, kb=kb, index_aliases=index_aliases
+        )
+        self._rewriter: Optional[QueryRewriter] = None
+        if rewrite_queries:
+            self._rewriter = QueryRewriter(
+                self._candidates.omega, word_vectors=word_vectors
+            )
+
+    def rank(self, query: str, k: int = 10) -> RankedList:
+        tokens = tokenize(query)
+        if not tokens:
+            return []
+        if self._rewriter is not None:
+            tokens, _ = self._rewriter.rewrite(tokens)
+        return self._candidates.generate(tokens, k=k)

@@ -1,0 +1,125 @@
+"""Dictionary-based annotator in the style of NOBLECoder [42].
+
+NOBLECoder links text by greedy lookup through two hash tables: a
+*word-to-term* table (which dictionary terms contain a given word) and
+a *term-to-concept* table.  A term matches when (enough of) its words
+appear in the query; matched terms vote for their concepts.
+
+The paper's analysis of this method (Section 6.4) hinges on two
+behaviours this implementation reproduces faithfully:
+
+* an out-of-dictionary core word (``ckd``) leaves the query unlinked or
+  mislinked — the dictionary cannot cover evolving shorthand;
+* a query whose words straddle two concepts' terms gets linked to both
+  (its ``exacerbation of eczema`` example), so :meth:`rank` can return
+  several concepts with equal scores.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.base import BaselineLinker, RankedList
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.ontology import Ontology
+from repro.text.tokenize import tokenize
+from repro.utils.errors import ConfigurationError
+
+
+class NobleCoderLinker(BaselineLinker):
+    """Greedy dictionary matcher over concept terms.
+
+    Parameters
+    ----------
+    ontology / kb:
+        Terms are the canonical descriptions of fine-grained concepts
+        plus (optionally) their knowledge-base aliases — the dictionary
+        a NOBLECoder deployment would extract from UMLS.
+    partial_threshold:
+        Minimum fraction of a term's words that must appear in the
+        query for the term to match ("best match" mode).  1.0 requires
+        complete terms ("precise match" mode).
+    """
+
+    name = "NC"
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        kb: Optional[KnowledgeBase] = None,
+        include_aliases: bool = True,
+        partial_threshold: float = 1.0,
+    ) -> None:
+        if not 0.0 < partial_threshold <= 1.0:
+            raise ConfigurationError(
+                f"partial_threshold must be in (0, 1], got {partial_threshold}"
+            )
+        self.partial_threshold = partial_threshold
+        self._terms: List[Tuple[str, ...]] = []  # term id -> words
+        self._term_concepts: List[str] = []  # term id -> cid
+        self._word_to_terms: Dict[str, List[int]] = defaultdict(list)
+        for leaf in ontology.fine_grained():
+            self._add_term(leaf.words, leaf.cid)
+            if kb is not None and include_aliases:
+                for alias in kb.aliases_of(leaf.cid):
+                    self._add_term(tuple(tokenize(alias)), leaf.cid)
+
+    def _add_term(self, words: Tuple[str, ...], cid: str) -> None:
+        if not words:
+            return
+        term_id = len(self._terms)
+        self._terms.append(words)
+        self._term_concepts.append(cid)
+        for word in set(words):
+            self._word_to_terms[word].append(term_id)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def matched_terms(
+        self, query_words: Sequence[str]
+    ) -> List[Tuple[int, float]]:
+        """Terms whose match fraction clears the threshold.
+
+        Match fraction = |term words ∩ query words| / |term words|.
+        Only terms sharing at least one word with the query are
+        examined (the word-to-term table's job).
+        """
+        query_set: Set[str] = set(query_words)
+        candidate_ids: Set[int] = set()
+        for word in query_set:
+            candidate_ids.update(self._word_to_terms.get(word, ()))
+        results: List[Tuple[int, float]] = []
+        for term_id in candidate_ids:
+            words = self._terms[term_id]
+            matched = sum(1 for word in set(words) if word in query_set)
+            fraction = matched / len(set(words))
+            if fraction >= self.partial_threshold:
+                results.append((term_id, fraction))
+        return results
+
+    def rank(self, query: str, k: int = 10) -> RankedList:
+        query_words = tokenize(query)
+        if not query_words:
+            return []
+        matches = self.matched_terms(query_words)
+        if not matches:
+            return []
+        # A concept's score is its best term's (fraction, term length):
+        # longer exact matches are more specific, NOBLE's tie-break.
+        best: Dict[str, Tuple[float, int]] = {}
+        for term_id, fraction in matches:
+            cid = self._term_concepts[term_id]
+            key = (fraction, len(self._terms[term_id]))
+            if cid not in best or key > best[cid]:
+                best[cid] = key
+        ranked = sorted(
+            best.items(), key=lambda item: (-item[1][0], -item[1][1], item[0])
+        )
+        return [
+            (cid, fraction) for cid, (fraction, _) in ranked[:k]
+        ]
+
+    @property
+    def term_count(self) -> int:
+        return len(self._terms)

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the deployment lifecycle:
+
+* ``generate`` — synthesise a dataset bundle to a directory
+  (ontology.json, kb.json, queries.jsonl);
+* ``train`` — pre-train embeddings + train COM-AID on a generated
+  dataset, saving a complete pipeline directory;
+* ``link`` — load a saved pipeline and link one or more queries;
+* ``evaluate`` — load a saved pipeline and score it against a
+  generated dataset's ground-truth queries.
+
+Example session::
+
+    python -m repro generate --dataset hospital-x-like --out data/ --seed 7
+    python -m repro train --data data/ --out model/ --dim 24 --epochs 8
+    python -m repro link --model model/ "ckd 5" "fe def anemia"
+    python -m repro evaluate --model model/ --data data/ --limit 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.trainer import ComAidTrainer
+from repro.datasets.generator import LinkedQuery
+from repro.datasets.registry import get_dataset_builder
+from repro.embeddings.cbow import CbowConfig
+from repro.embeddings.pretrain import pretrain_word_vectors
+from repro.eval.metrics import mean_reciprocal_rank, top1_accuracy
+from repro.kb.corpus import SnippetCorpus
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.loaders import load_ontology_json, save_ontology_json
+from repro.utils.errors import ReproError
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    builder = get_dataset_builder(args.dataset)
+    bundle = builder(rng=args.seed, query_count=args.queries)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_ontology_json(bundle.ontology, out / "ontology.json")
+    bundle.kb.save_json(out / "kb.json")
+    with open(out / "queries.jsonl", "w", encoding="utf-8") as handle:
+        for query in bundle.queries:
+            handle.write(
+                json.dumps(
+                    {"text": query.text, "cid": query.cid,
+                     "channels": list(query.channels)}
+                )
+                + "\n"
+            )
+    with open(out / "corpus.jsonl", "w", encoding="utf-8") as handle:
+        for snippet in bundle.corpus:
+            handle.write(
+                json.dumps({"text": snippet.text, "cid": snippet.cid}) + "\n"
+            )
+    print(f"wrote dataset to {out}: {bundle.summary()}")
+    return 0
+
+
+def _load_dataset_dir(path: Path):
+    ontology = load_ontology_json(path / "ontology.json")
+    kb = KnowledgeBase.load_json(ontology, path / "kb.json")
+    corpus = SnippetCorpus()
+    corpus_file = path / "corpus.jsonl"
+    if corpus_file.exists():
+        with open(corpus_file, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                corpus.add(record["text"], cid=record.get("cid"))
+    queries: List[LinkedQuery] = []
+    queries_file = path / "queries.jsonl"
+    if queries_file.exists():
+        with open(queries_file, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                queries.append(
+                    LinkedQuery(
+                        text=record["text"],
+                        cid=record["cid"],
+                        channels=tuple(record.get("channels", ())),
+                    )
+                )
+    return ontology, kb, corpus, queries
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    data = Path(args.data)
+    ontology, kb, corpus, _ = _load_dataset_dir(data)
+    vectors = None
+    if not args.no_pretrain:
+        if len(corpus) == 0:
+            print("warning: no corpus.jsonl found; skipping pre-training")
+        else:
+            vectors = pretrain_word_vectors(
+                corpus,
+                CbowConfig(
+                    dim=args.dim, window=4, epochs=args.cbow_epochs,
+                    negatives=10, subsample=3e-3,
+                ),
+                rng=args.seed,
+            )
+    trainer = ComAidTrainer(
+        ComAidConfig(dim=args.dim, beta=args.beta),
+        TrainingConfig(
+            epochs=args.epochs, batch_size=args.batch_size,
+            optimizer="adagrad", learning_rate=args.learning_rate,
+            sampled_softmax=args.sampled_softmax,
+        ),
+        rng=args.seed,
+    )
+    model = trainer.fit(kb, word_vectors=vectors)
+    out = save_pipeline(args.out, model, ontology, kb=kb, word_vectors=vectors)
+    print(
+        f"trained on {trainer.history.examples} pairs "
+        f"(final loss {trainer.history.final_loss():.3f}, "
+        f"{trainer.history.seconds:.0f}s); saved pipeline to {out}"
+    )
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    _, ontology, _, _, linker = load_pipeline(
+        args.model, LinkerConfig(k=args.k)
+    )
+    for query in args.queries:
+        result = linker.link(query)
+        print(f"query: {query!r}")
+        if result.rewrites:
+            rewrites = ", ".join(
+                f"{r.original}->{r.replacement}" for r in result.rewrites
+            )
+            print(f"  rewrites: {rewrites}")
+        if not result.ranked:
+            print("  (no candidates)")
+            continue
+        for candidate in result.ranked[: args.top]:
+            description = ontology.get(candidate.cid).description
+            print(
+                f"  {candidate.cid:<10} logp={candidate.log_prob:8.2f}  "
+                f"{description}"
+            )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _, _, _, _, linker = load_pipeline(args.model, LinkerConfig(k=args.k))
+    _, _, _, queries = _load_dataset_dir(Path(args.data))
+    if not queries:
+        print("no queries.jsonl in the dataset directory", file=sys.stderr)
+        return 1
+    if args.limit:
+        queries = queries[: args.limit]
+    ranked_lists = [
+        [c.cid for c in linker.link(query.text).ranked] for query in queries
+    ]
+    gold = [query.cid for query in queries]
+    accuracy = top1_accuracy(ranked_lists, gold)
+    mrr = mean_reciprocal_rank(ranked_lists, gold)
+    print(f"queries={len(queries)} accuracy={accuracy:.4f} mrr={mrr:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NCL / COM-AID command-line interface"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesise a dataset bundle into a directory"
+    )
+    generate.add_argument(
+        "--dataset", default="hospital-x-like",
+        help="dataset preset (hospital-x-like | mimic-iii-like)",
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=2018)
+    generate.add_argument("--queries", type=int, default=400)
+    generate.set_defaults(func=_cmd_generate)
+
+    train = commands.add_parser(
+        "train", help="pre-train + train COM-AID on a generated dataset"
+    )
+    train.add_argument("--data", required=True, help="generated dataset dir")
+    train.add_argument("--out", required=True, help="pipeline output dir")
+    train.add_argument("--dim", type=int, default=24)
+    train.add_argument("--beta", type=int, default=2)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--cbow-epochs", type=int, default=15)
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--learning-rate", type=float, default=0.1)
+    train.add_argument("--sampled-softmax", type=int, default=0)
+    train.add_argument("--no-pretrain", action="store_true")
+    train.add_argument("--seed", type=int, default=5)
+    train.set_defaults(func=_cmd_train)
+
+    link = commands.add_parser("link", help="link queries with a saved pipeline")
+    link.add_argument("--model", required=True, help="saved pipeline dir")
+    link.add_argument("--k", type=int, default=20)
+    link.add_argument("--top", type=int, default=3)
+    link.add_argument("queries", nargs="+", help="query text(s)")
+    link.set_defaults(func=_cmd_link)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score a saved pipeline on a dataset's queries"
+    )
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--k", type=int, default=20)
+    evaluate.add_argument("--limit", type=int, default=0)
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: COM-AID and the NCL pipeline.
+
+* :class:`ComAid` — the COMposite AttentIonal encode-Decode network
+  (paper Section 4): concept encoder, text-structure duet decoder, and
+  the ablation switches for COM-AID⁻c / COM-AID⁻w / COM-AID⁻wc.
+* :class:`ComAidTrainer` — MLE training on ⟨canonical, alias⟩ pairs
+  (Section 4.2) with optional CBOW pre-training hand-off.
+* :class:`NeuralConceptLinker` — the two-phase online linker
+  (Section 5): TF-IDF candidate generation with query rewriting, then
+  COM-AID re-ranking.
+* :class:`FeedbackController` — uncertainty pooling and incremental
+  retraining (Appendix A).
+"""
+
+from repro.core.comaid import ComAid
+from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig, PAPER_DEFAULTS
+from repro.core.candidates import CandidateGenerator
+from repro.core.feedback import FeedbackController, FeedbackItem
+from repro.core.linker import LinkResult, NeuralConceptLinker
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.rewriter import QueryRewriter
+from repro.core.timon import parse_review_csv, render_review_page
+from repro.core.trainer import ComAidTrainer
+
+__all__ = [
+    "CandidateGenerator",
+    "ComAid",
+    "ComAidConfig",
+    "ComAidTrainer",
+    "FeedbackController",
+    "FeedbackItem",
+    "LinkResult",
+    "LinkerConfig",
+    "NeuralConceptLinker",
+    "load_pipeline",
+    "save_pipeline",
+    "PAPER_DEFAULTS",
+    "QueryRewriter",
+    "parse_review_csv",
+    "render_review_page",
+    "TrainingConfig",
+]

@@ -1,0 +1,68 @@
+"""Phase-I candidate generation (paper Section 5).
+
+A lightweight TF-IDF keyword matcher over the fine-grained concepts:
+each concept's document is its canonical description (optionally
+extended with its knowledge-base aliases), and a query retrieves the
+top-``k`` cosine-similar concepts.  The matcher also exposes the
+ontology word vocabulary Ω that query rewriting replaces OOV words
+into.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.ontology import Ontology
+from repro.text.tfidf import TfIdfIndex
+from repro.text.tokenize import tokenize
+from repro.utils.errors import ConfigurationError
+
+
+class CandidateGenerator:
+    """Top-k fine-grained concept retrieval by TF-IDF cosine."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        kb: Optional[KnowledgeBase] = None,
+        index_aliases: bool = True,
+        restrict_to: Optional[Sequence[str]] = None,
+    ) -> None:
+        leaves = ontology.fine_grained()
+        if restrict_to is not None:
+            wanted = set(restrict_to)
+            leaves = tuple(leaf for leaf in leaves if leaf.cid in wanted)
+        if not leaves:
+            raise ConfigurationError("no fine-grained concepts to index")
+        self._ontology = ontology
+        self._omega: Set[str] = set()
+        documents: List[Tuple[str, List[str]]] = []
+        for leaf in leaves:
+            tokens = list(leaf.words)
+            self._omega.update(leaf.words)
+            if kb is not None and index_aliases:
+                for alias in kb.aliases_of(leaf.cid):
+                    tokens.extend(tokenize(alias))
+            documents.append((leaf.cid, tokens))
+        self._index = TfIdfIndex().fit(documents)
+        self._leaf_cids = tuple(leaf.cid for leaf in leaves)
+
+    @property
+    def omega(self) -> Set[str]:
+        """The ontology description vocabulary Ω (rewrite targets)."""
+        return set(self._omega)
+
+    @property
+    def indexed_cids(self) -> Tuple[str, ...]:
+        return self._leaf_cids
+
+    def generate(self, tokens: Sequence[str], k: int) -> List[Tuple[str, float]]:
+        """Top-``k`` candidate cids with their keyword-match scores."""
+        return [
+            (match.key, match.score) for match in self._index.search(tokens, k=k)
+        ]
+
+    def postings_examined(self, tokens: Sequence[str]) -> int:
+        """Inverted-index work for this query (Figure 11 CR analysis)."""
+        return self._index.postings_examined(tokens)

@@ -1,0 +1,208 @@
+"""Feedback controller (paper Appendix A — the "Timon" workflow).
+
+The controller inspects each link result's loss profile and pools the
+*uncertain* ones for expert review.  Two uncertainty signals (A.1):
+
+* the top candidate's ``Loss = -log p(q|c;Θ)`` is high (the model
+  cannot decode the query well from any candidate), or
+* the standard deviation of the top-k losses is low (the candidates
+  are indistinguishable).
+
+Experts resolve pooled queries to concepts; resolved feedback becomes
+new labeled training data, and once enough accumulates the controller
+triggers incremental retraining — after which representations shift as
+the Figure 10 snapshots show.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.linker import LinkResult
+from repro.kb.knowledge_base import KnowledgeBase, TrainingPair
+from repro.text.tokenize import normalize_text
+from repro.utils.errors import ConfigurationError, DataError
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.feedback")
+
+RetrainHook = Callable[[Sequence[TrainingPair]], None]
+
+
+@dataclass(frozen=True)
+class FeedbackItem:
+    """A pooled uncertain query awaiting expert resolution."""
+
+    query: str
+    candidate_cids: Tuple[str, ...]
+    losses: Tuple[float, ...]
+
+
+@dataclass
+class UncertaintyAssessment:
+    """Why a link result was (or was not) pooled."""
+
+    top_loss: float
+    loss_std: float
+    uncertain: bool
+    reason: str
+
+
+class FeedbackController:
+    """Pool uncertain linkages, collect expert labels, trigger retraining.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base feedback is appended to (as new aliases).
+    loss_threshold:
+        Pool when the best candidate's loss exceeds this.
+    std_threshold:
+        Pool when the loss standard deviation across candidates falls
+        below this (candidates indistinguishable).
+    retrain_after:
+        Number of resolved feedback items that triggers the retrain
+        hook (paper: "if the number of newly appended labeled training
+        data entries exceeds a threshold, COM-AID will be re-trained").
+    retrain_hook:
+        Called with the accumulated :class:`TrainingPair` list; wire it
+        to ``ComAidTrainer.continue_training``.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        loss_threshold: float = 10.0,
+        std_threshold: float = 0.5,
+        retrain_after: int = 10,
+        retrain_hook: Optional[RetrainHook] = None,
+        pool_limit: int = 1000,
+    ) -> None:
+        if loss_threshold <= 0:
+            raise ConfigurationError(
+                f"loss_threshold must be positive, got {loss_threshold}"
+            )
+        if std_threshold < 0:
+            raise ConfigurationError(
+                f"std_threshold must be >= 0, got {std_threshold}"
+            )
+        if retrain_after < 1:
+            raise ConfigurationError(
+                f"retrain_after must be >= 1, got {retrain_after}"
+            )
+        if pool_limit < 1:
+            raise ConfigurationError(f"pool_limit must be >= 1, got {pool_limit}")
+        self.kb = kb
+        self.loss_threshold = loss_threshold
+        self.std_threshold = std_threshold
+        self.retrain_after = retrain_after
+        self.retrain_hook = retrain_hook
+        self.pool_limit = pool_limit
+        self._pool: List[FeedbackItem] = []
+        self._pending_pairs: List[TrainingPair] = []
+        self._retrain_count = 0
+
+    # -- uncertainty ----------------------------------------------------------
+
+    def assess(self, result: LinkResult) -> UncertaintyAssessment:
+        """Evaluate the two uncertainty signals for one link result."""
+        if not result.ranked:
+            return UncertaintyAssessment(
+                top_loss=float("inf"),
+                loss_std=0.0,
+                uncertain=True,
+                reason="no candidates retrieved",
+            )
+        losses = [candidate.loss for candidate in result.ranked]
+        top_loss = losses[0]
+        loss_std = statistics.pstdev(losses) if len(losses) > 1 else 0.0
+        if top_loss > self.loss_threshold:
+            return UncertaintyAssessment(
+                top_loss, loss_std, True,
+                f"top loss {top_loss:.2f} > threshold {self.loss_threshold}",
+            )
+        if len(losses) > 1 and loss_std < self.std_threshold:
+            return UncertaintyAssessment(
+                top_loss, loss_std, True,
+                f"loss std {loss_std:.3f} < threshold {self.std_threshold}",
+            )
+        return UncertaintyAssessment(top_loss, loss_std, False, "confident")
+
+    def submit(self, result: LinkResult) -> bool:
+        """Pool ``result`` when uncertain; returns True if pooled."""
+        assessment = self.assess(result)
+        if not assessment.uncertain:
+            return False
+        if len(self._pool) >= self.pool_limit:
+            logger.warning("feedback pool full; dropping query %r", result.query)
+            return False
+        self._pool.append(
+            FeedbackItem(
+                query=result.query,
+                candidate_cids=tuple(c.cid for c in result.ranked),
+                losses=tuple(c.loss for c in result.ranked),
+            )
+        )
+        return True
+
+    # -- expert resolution -------------------------------------------------------
+
+    @property
+    def pool(self) -> Tuple[FeedbackItem, ...]:
+        return tuple(self._pool)
+
+    @property
+    def pending_pairs(self) -> Tuple[TrainingPair, ...]:
+        return tuple(self._pending_pairs)
+
+    @property
+    def retrain_count(self) -> int:
+        return self._retrain_count
+
+    def resolve(self, query: str, cid: str) -> TrainingPair:
+        """Record an expert's linking of a pooled query to ``cid``.
+
+        The feedback is appended to the knowledge base as a new alias
+        (Figure 9(c): a new entry appended to the concept descriptions)
+        and staged for retraining.  The expert may type a concept not in
+        the candidate list; it must exist in the ontology.
+        """
+        concept = self.kb.ontology.get(cid)
+        normalized = normalize_text(query)
+        if not normalized:
+            raise DataError("feedback query normalised to an empty string")
+        self.kb.add_alias(cid, normalized)
+        pair = TrainingPair(
+            cid=cid,
+            canonical=normalize_text(concept.description),
+            alias=normalized,
+        )
+        self._pending_pairs.append(pair)
+        self._pool = [item for item in self._pool if item.query != query]
+        if len(self._pending_pairs) >= self.retrain_after:
+            self._trigger_retrain()
+        return pair
+
+    def _trigger_retrain(self) -> None:
+        pairs = list(self._pending_pairs)
+        self._pending_pairs.clear()
+        self._retrain_count += 1
+        logger.info(
+            "feedback retrain #%d triggered with %d pairs",
+            self._retrain_count,
+            len(pairs),
+        )
+        if self.retrain_hook is not None:
+            self.retrain_hook(pairs)
+
+    def flush(self) -> int:
+        """Force retraining on whatever feedback is pending.
+
+        Returns the number of pairs handed to the hook (0 if none).
+        """
+        count = len(self._pending_pairs)
+        if count:
+            self._trigger_retrain()
+        return count

@@ -1,0 +1,269 @@
+"""The two-phase online concept linker (paper Section 5).
+
+Phase I — generate candidates: rewrite OOV query words (OR), then
+retrieve the top-``k`` fine-grained concepts from the TF-IDF keyword
+index (CR).
+
+Phase II — re-rank with COM-AID: for each candidate, compute
+``log p(q|c; Θ)`` with the trained model (ED), after temporarily
+removing the words the query shares with the candidate's canonical
+description; rank by score (RT).
+
+Timing of the four parts (OR/CR/ED/RT) is recorded per query, which is
+exactly the decomposition the paper's Figure 11 reports.  Concept
+encodings are cached, mirroring the paper's observation that the
+encode-decode forward passes dominate online cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.candidates import CandidateGenerator
+from repro.core.comaid import ComAid, ConceptEncoding
+from repro.core.config import LinkerConfig
+from repro.core.rewriter import QueryRewriter, Rewrite
+from repro.embeddings.similarity import WordVectors
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import structural_context
+from repro.text.tokenize import tokenize
+from repro.utils.errors import ConfigurationError
+from repro.utils.timing import PhaseTimer, TimingBreakdown
+
+
+@dataclass(frozen=True)
+class RankedConcept:
+    """One re-ranked candidate: cid, COM-AID log-prob, keyword score."""
+
+    cid: str
+    log_prob: float
+    keyword_score: float
+
+    @property
+    def loss(self) -> float:
+        """The paper's ``Loss = -log p(q|c;Θ)`` (Appendix A)."""
+        return -self.log_prob
+
+
+@dataclass
+class LinkResult:
+    """Outcome of linking one query."""
+
+    query: str
+    tokens: Tuple[str, ...]
+    rewritten_tokens: Tuple[str, ...]
+    rewrites: Tuple[Rewrite, ...]
+    ranked: Tuple[RankedConcept, ...]
+    timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    @property
+    def top(self) -> Optional[RankedConcept]:
+        return self.ranked[0] if self.ranked else None
+
+    def rank_of(self, cid: str) -> Optional[int]:
+        """1-based rank of ``cid`` in the result, or None if absent."""
+        for position, candidate in enumerate(self.ranked, start=1):
+            if candidate.cid == cid:
+                return position
+        return None
+
+
+class NeuralConceptLinker:
+    """NCL online linking: Phase I retrieval + Phase II COM-AID re-ranking."""
+
+    def __init__(
+        self,
+        model: ComAid,
+        ontology: Ontology,
+        config: Optional[LinkerConfig] = None,
+        kb: Optional[KnowledgeBase] = None,
+        word_vectors: Optional[WordVectors] = None,
+        restrict_to: Optional[Sequence[str]] = None,
+        priors: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Two-phase linker.
+
+        ``priors`` enables the MAP variant the paper offers in Section
+        5 (Eq. 11): a non-uniform prior ``p(c)`` over fine-grained
+        concepts (e.g. historical coding frequencies).  Candidates are
+        then ranked by ``log p(q|c) + log p(c)``; omitted, the prior is
+        uniform and ranking reduces to MLE (Eq. 12).  Priors must be
+        positive; they are normalised internally, and every supplied
+        cid must exist in the ontology.
+        """
+        self.model = model
+        self.ontology = ontology
+        self.config = config if config is not None else LinkerConfig()
+        self._log_priors: Optional[Dict[str, float]] = None
+        if priors is not None:
+            if not priors:
+                raise ConfigurationError("priors mapping is empty")
+            total = 0.0
+            for cid, mass in priors.items():
+                ontology.get(cid)  # raises for unknown cids
+                if mass <= 0:
+                    raise ConfigurationError(
+                        f"prior for {cid!r} must be positive, got {mass}"
+                    )
+                total += mass
+            self._log_priors = {
+                cid: math.log(mass / total) for cid, mass in priors.items()
+            }
+        self.candidates = CandidateGenerator(
+            ontology,
+            kb=kb,
+            index_aliases=self.config.index_aliases,
+            restrict_to=restrict_to,
+        )
+        self.rewriter: Optional[QueryRewriter] = None
+        if self.config.rewrite_queries:
+            self.rewriter = QueryRewriter(
+                self.candidates.omega,
+                word_vectors=word_vectors,
+                edit_distance_max=self.config.edit_distance_max,
+                min_similarity=self.config.rewrite_min_similarity,
+            )
+        # Scoring vocabulary: Ω plus alias words — exactly the words the
+        # decoder saw as training targets, i.e. the words whose decode
+        # probabilities carry learned signal.
+        self._omega = self.candidates.omega
+        self._scoring_vocabulary = set(self._omega)
+        if kb is not None:
+            for _, alias in kb.labeled_snippets():
+                self._scoring_vocabulary.update(tokenize(alias))
+        self._encoding_cache: Dict[str, ConceptEncoding] = {}
+        self._ancestor_cache: Dict[str, List[ConceptEncoding]] = {}
+
+    # -- encoding cache -----------------------------------------------------
+
+    def _concept_encoding(self, cid: str) -> ConceptEncoding:
+        encoding = self._encoding_cache.get(cid)
+        if encoding is None:
+            concept = self.ontology.get(cid)
+            ids = self.model.words_to_ids(list(concept.words))
+            encoding = self.model.encode_concept(ids, keep_caches=False)
+            self._encoding_cache[cid] = encoding
+        return encoding
+
+    def _ancestor_encodings(self, cid: str) -> List[ConceptEncoding]:
+        if not self.model.config.use_structure_attention:
+            return []
+        ancestors = self._ancestor_cache.get(cid)
+        if ancestors is None:
+            path = structural_context(self.ontology, cid, self.model.config.beta)
+            ancestors = []
+            for concept in path[1:]:
+                ids = self.model.words_to_ids(list(concept.words))
+                ancestors.append(self.model.encode_concept(ids, keep_caches=False))
+            self._ancestor_cache[cid] = ancestors
+        return ancestors
+
+    def invalidate_cache(self) -> None:
+        """Drop cached encodings (call after the model is retrained)."""
+        self._encoding_cache.clear()
+        self._ancestor_cache.clear()
+
+    def warm_cache(self, cids: Optional[Sequence[str]] = None) -> int:
+        """Pre-encode concepts (all indexed leaves by default)."""
+        targets = cids if cids is not None else self.candidates.indexed_cids
+        for cid in targets:
+            self._concept_encoding(cid)
+            self._ancestor_encodings(cid)
+        return len(self._encoding_cache)
+
+    # -- linking -----------------------------------------------------------------
+
+    def link(self, query: str, k: Optional[int] = None) -> LinkResult:
+        """Link ``query`` to its top fine-grained concepts."""
+        top_k = k if k is not None else self.config.k
+        if top_k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {top_k}")
+        timer = PhaseTimer()
+        tokens = tuple(tokenize(query))
+        rewrites: Tuple[Rewrite, ...] = ()
+        rewritten = tokens
+        with timer.phase("OR"):
+            if self.rewriter is not None and tokens:
+                rewritten_list, applied = self.rewriter.rewrite(tokens)
+                rewritten = tuple(rewritten_list)
+                rewrites = tuple(applied)
+        with timer.phase("CR"):
+            keyword_hits = (
+                self.candidates.generate(rewritten, k=top_k) if rewritten else []
+            )
+        scored: List[RankedConcept] = []
+        with timer.phase("ED"):
+            for cid, keyword_score in keyword_hits:
+                log_prob = self._score_candidate(cid, rewritten)
+                scored.append(
+                    RankedConcept(
+                        cid=cid, log_prob=log_prob, keyword_score=keyword_score
+                    )
+                )
+        with timer.phase("RT"):
+            if self._log_priors is not None:
+                log_priors = self._log_priors
+                floor = min(log_priors.values())
+                scored.sort(
+                    key=lambda item: (
+                        -(item.log_prob + log_priors.get(item.cid, floor)),
+                        -item.keyword_score,
+                    )
+                )
+            else:
+                scored.sort(
+                    key=lambda item: (-item.log_prob, -item.keyword_score)
+                )
+        return LinkResult(
+            query=query,
+            tokens=tokens,
+            rewritten_tokens=rewritten,
+            rewrites=rewrites,
+            ranked=tuple(scored),
+            timing=timer.breakdown,
+        )
+
+    def _score_candidate(self, cid: str, query_tokens: Sequence[str]) -> float:
+        """``log p(q|c)`` for one candidate.
+
+        Per Section 5 Phase II, words appearing in both the canonical
+        description and the query are temporarily removed before the
+        probability is computed — shared words are trivially decodable,
+        so scoring concentrates on the discrepant words.  (Removed words
+        contribute log-probability 0, i.e. probability 1.)  A query
+        fully covered by the description scores 0, the maximum.
+
+        With ``score_omega_only`` (default), words outside the scoring
+        vocabulary (Ω plus knowledge-base alias words — the decoder's
+        training targets) are excluded: after rewriting, a surviving
+        word outside that set is one with no semantic counterpart among
+        the concepts (a clinical decoration), and its decode probability
+        is untrained noise that differs arbitrarily across candidates.
+        Numeric tokens are always kept — stage/type numbers are
+        load-bearing.
+        """
+        concept = self.ontology.get(cid)
+        effective = list(query_tokens)
+        if self.config.score_omega_only:
+            vocabulary = self._scoring_vocabulary
+            effective = [
+                token
+                for token in effective
+                if token in vocabulary or any(char.isdigit() for char in token)
+            ]
+            if not effective:
+                effective = list(query_tokens)
+        if self.config.remove_shared_words:
+            description_words = set(concept.words)
+            effective = [
+                token for token in effective if token not in description_words
+            ]
+            if not effective:
+                return 0.0
+        query_ids = self.model.words_to_ids(effective)
+        encoding = self._concept_encoding(cid)
+        ancestors = self._ancestor_encodings(cid)
+        return self.model.score_with_encodings(encoding, ancestors, query_ids)

@@ -1,0 +1,251 @@
+"""COM-AID training (paper Section 4.2, refinement phase).
+
+Builds the model vocabulary, optionally seeds the embedding table from
+CBOW pre-training, constructs the ⟨canonical, alias⟩ example set from
+the knowledge base, and minimises the negative log-likelihood (Eq. 10)
+with mini-batch gradient descent and global-norm clipping.
+
+The trainer also supports *incremental* training on newly collected
+feedback pairs (Appendix A): :meth:`continue_training` runs additional
+epochs over extra examples without re-initialising parameters, which is
+what the feedback controller triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.comaid import ComAid
+from repro.core.config import ComAidConfig, TrainingConfig
+from repro.kb.knowledge_base import KnowledgeBase, TrainingPair
+from repro.nn.clip import clip_global_norm
+from repro.nn.optim import make_optimizer
+from repro.embeddings.similarity import WordVectors
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import structural_context
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+from repro.utils.errors import DataError, NotFittedError
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+
+logger = get_logger("core.trainer")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch mean losses and wall-clock timings."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+    examples: int = 0
+
+    def final_loss(self) -> float:
+        """Mean token loss of the last recorded epoch."""
+        if not self.epoch_losses:
+            raise NotFittedError("no training epochs recorded")
+        return self.epoch_losses[-1]
+
+
+@dataclass
+class _Example:
+    """A fully id-encoded training pair."""
+
+    concept_ids: List[int]
+    ancestor_ids: List[List[int]]
+    query_ids: List[int]
+
+
+class ComAidTrainer:
+    """Train :class:`ComAid` from a knowledge base.
+
+    Usage::
+
+        trainer = ComAidTrainer(ComAidConfig(dim=24), TrainingConfig(), rng=7)
+        model = trainer.fit(kb, word_vectors=vectors)
+    """
+
+    def __init__(
+        self,
+        model_config: ComAidConfig,
+        training_config: Optional[TrainingConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.model_config = model_config
+        self.training_config = (
+            training_config if training_config is not None else TrainingConfig()
+        )
+        self._rng = ensure_rng(rng)
+        self.model: Optional[ComAid] = None
+        self.history = TrainingHistory()
+        self._ontology: Optional[Ontology] = None
+        self._ancestor_ids: Dict[str, List[List[int]]] = {}
+
+    # -- vocabulary -----------------------------------------------------------
+
+    def build_vocabulary(
+        self,
+        kb: KnowledgeBase,
+        word_vectors: Optional[WordVectors] = None,
+    ) -> Vocabulary:
+        """Model vocabulary Ω′: concept words, alias words, and (when
+        pre-trained vectors are supplied) every pre-training word, so
+        unlabeled-corpus-only words like ``dm`` keep their embeddings.
+        """
+        sequences: List[Tuple[str, ...]] = []
+        for concept in kb.ontology:
+            sequences.append(concept.words)
+        for _, alias in kb.labeled_snippets():
+            sequences.append(tuple(tokenize(alias)))
+        if word_vectors is not None:
+            tags = word_vectors.tag_words
+            sequences.extend(
+                (word,) for word in word_vectors.words if word not in tags
+            )
+        return Vocabulary.from_corpus(sequences)
+
+    # -- example construction ----------------------------------------------------
+
+    def _ancestors_for(self, model: ComAid, ontology: Ontology, cid: str) -> List[List[int]]:
+        """Encoded ancestor descriptions along the β-path (Def. 4.1)."""
+        if not self.model_config.use_structure_attention:
+            return []
+        cached = self._ancestor_ids.get(cid)
+        if cached is not None:
+            return cached
+        path = structural_context(ontology, cid, self.model_config.beta)
+        ancestor_ids = [
+            model.words_to_ids(list(concept.words)) for concept in path[1:]
+        ]
+        self._ancestor_ids[cid] = ancestor_ids
+        return ancestor_ids
+
+    def _encode_pairs(
+        self, model: ComAid, ontology: Ontology, pairs: Sequence[TrainingPair]
+    ) -> List[_Example]:
+        examples: List[_Example] = []
+        for pair in pairs:
+            concept_ids = model.words_to_ids(tokenize(pair.canonical))
+            query_ids = model.words_to_ids(tokenize(pair.alias))
+            if not concept_ids or not query_ids:
+                continue
+            examples.append(
+                _Example(
+                    concept_ids=concept_ids,
+                    ancestor_ids=self._ancestors_for(model, ontology, pair.cid),
+                    query_ids=query_ids,
+                )
+            )
+        if not examples:
+            raise DataError("no usable training pairs after encoding")
+        return examples
+
+    # -- training --------------------------------------------------------------
+
+    def fit(
+        self,
+        kb: KnowledgeBase,
+        word_vectors: Optional[WordVectors] = None,
+        pairs: Optional[Sequence[TrainingPair]] = None,
+    ) -> ComAid:
+        """Train a fresh model on the knowledge base's alias pairs.
+
+        ``word_vectors`` seeds the embedding table (the pre-training
+        hand-off); omit it to reproduce the COM-AID⁻o1 ablation.
+        ``pairs`` overrides the training set (robustness studies).
+        """
+        vocab = self.build_vocabulary(kb, word_vectors)
+        model = ComAid(
+            self.model_config, vocab, rng=derive_rng(self._rng, "model-init")
+        )
+        if word_vectors is not None:
+            self._seed_embeddings(model, word_vectors)
+        self.model = model
+        self._ontology = kb.ontology
+        self._ancestor_ids = {}
+        training_pairs = list(pairs) if pairs is not None else kb.training_pairs()
+        if not training_pairs:
+            raise DataError("knowledge base has no training pairs")
+        examples = self._encode_pairs(model, kb.ontology, training_pairs)
+        self.history = TrainingHistory(examples=len(examples))
+        self._run_epochs(examples, self.training_config.epochs)
+        return model
+
+    def continue_training(
+        self, extra_pairs: Sequence[TrainingPair], epochs: int = 1
+    ) -> None:
+        """Incrementally train the fitted model on ``extra_pairs``.
+
+        This is the feedback-controller retraining hook (Appendix A):
+        parameters are *not* re-initialised, so representation shifts
+        can be observed between snapshots (Figure 10).
+        """
+        if self.model is None or self._ontology is None:
+            raise NotFittedError("continue_training requires a fitted model")
+        examples = self._encode_pairs(self.model, self._ontology, extra_pairs)
+        self._run_epochs(examples, epochs)
+
+    def _seed_embeddings(self, model: ComAid, vectors: WordVectors) -> None:
+        words = [word for word in model.vocab.words if word in vectors]
+        if not words:
+            logger.warning("no vocabulary overlap with pre-trained vectors")
+            return
+        matrix = vectors.as_matrix(words)
+        if matrix.shape[1] != model.config.dim:
+            raise DataError(
+                f"pre-trained vectors have dim {matrix.shape[1]}, model "
+                f"expects {model.config.dim}"
+            )
+        ids = [model.vocab.id_of(word) for word in words]
+        model.embedding.load_pretrained(matrix, ids)
+        logger.info("seeded %d/%d embeddings from pre-training", len(ids), len(model.vocab))
+
+    def _run_epochs(self, examples: List[_Example], epochs: int) -> None:
+        assert self.model is not None
+        model = self.model
+        settings = self.training_config
+        optimizer = make_optimizer(
+            settings.optimizer,
+            model.parameters().values(),
+            lr=settings.learning_rate,
+        )
+        if settings.sampled_softmax > 0:
+            model.set_output_sampler(
+                settings.sampled_softmax,
+                rng=derive_rng(self._rng, "output-sampler"),
+            )
+        watch = Stopwatch().start()
+        order = np.arange(len(examples))
+        for epoch in range(epochs):
+            if settings.shuffle:
+                self._rng.shuffle(order)
+            epoch_loss = 0.0
+            token_count = 0
+            for start in range(0, len(order), settings.batch_size):
+                batch = order[start : start + settings.batch_size]
+                model.zero_grad()
+                scale = 1.0 / len(batch)
+                for index in batch:
+                    example = examples[int(index)]
+                    cache = model.forward(
+                        example.concept_ids,
+                        example.ancestor_ids,
+                        example.query_ids,
+                    )
+                    model.backward(cache, scale=scale)
+                    epoch_loss += cache.loss
+                    token_count += len(example.query_ids) + 1
+                clip_global_norm(model.parameters().values(), settings.clip_norm)
+                optimizer.step()
+            mean_loss = epoch_loss / max(token_count, 1)
+            self.history.epoch_losses.append(mean_loss)
+            logger.info(
+                "epoch %d/%d mean token loss %.4f", epoch + 1, epochs, mean_loss
+            )
+        self.history.seconds += watch.stop()
+        if settings.sampled_softmax > 0:
+            model.clear_output_sampler()

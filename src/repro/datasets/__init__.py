@@ -1,0 +1,55 @@
+"""Synthetic clinical datasets (hospital-x / MIMIC-III stand-ins).
+
+The paper's evaluation corpora are proprietary (NUH hospital-x) or
+credential-gated (MIMIC-III).  This package generates corpora with the
+same statistical character: queries are derived from ontology concepts
+through explicit, parameterised noise channels — abbreviation, acronym,
+synonym substitution, simplification (word dropping), typos, and
+numeric-style changes — exactly the phenomena ("various writing styles
+or standards ... synonyms, acronyms, abbreviations, and simplifications
+are prevalent") the paper's introduction motivates.
+"""
+
+from repro.datasets.generator import (
+    DatasetBundle,
+    LinkedQuery,
+    generate_dataset,
+    hospital_x_like,
+    mimic_iii_like,
+)
+from repro.datasets.noise import (
+    AbbreviationChannel,
+    AcronymChannel,
+    DanglingChannel,
+    NoiseChannel,
+    NoiseModel,
+    NumericStyleChannel,
+    ReorderChannel,
+    SimplificationChannel,
+    SynonymChannel,
+    TypoChannel,
+)
+from repro.datasets.registry import DATASET_REGISTRY, get_dataset_builder
+from repro.datasets.splits import QueryGroup, make_query_groups
+
+__all__ = [
+    "AbbreviationChannel",
+    "AcronymChannel",
+    "DATASET_REGISTRY",
+    "DanglingChannel",
+    "DatasetBundle",
+    "LinkedQuery",
+    "NoiseChannel",
+    "NoiseModel",
+    "NumericStyleChannel",
+    "QueryGroup",
+    "ReorderChannel",
+    "SimplificationChannel",
+    "SynonymChannel",
+    "TypoChannel",
+    "generate_dataset",
+    "get_dataset_builder",
+    "hospital_x_like",
+    "make_query_groups",
+    "mimic_iii_like",
+]

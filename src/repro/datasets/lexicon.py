@@ -1,0 +1,284 @@
+"""Clinical lexicon: abbreviations, acronyms, and synonyms.
+
+These tables drive both alias synthesis (mild channels, standing in for
+UMLS alternative descriptions) and query synthesis (aggressive channels,
+standing in for clinician shorthand).  The entries are real clinical
+shorthand conventions — ``ckd`` for chronic kidney disease, ``fe`` for
+iron, ``2'`` for secondary — several of which appear verbatim in the
+paper's running examples (Figures 1 and 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Single-word abbreviations: word -> shorthand forms.
+WORD_ABBREVIATIONS: Dict[str, Tuple[str, ...]] = {
+    "chronic": ("chr",),
+    "acute": ("ac",),
+    "disease": ("dis", "dz"),
+    "disorder": ("do",),
+    "deficiency": ("def", "def."),
+    "secondary": ("2'", "sec"),
+    "fracture": ("fx",),
+    "history": ("hx",),
+    "diagnosis": ("dx",),
+    "treatment": ("tx",),
+    "symptoms": ("sx",),
+    "bilateral": ("bilat", "b/l"),
+    "left": ("lt",),
+    "right": ("rt",),
+    "severe": ("sev",),
+    "moderate": ("mod",),
+    "infection": ("infxn",),
+    "abdominal": ("abd",),
+    "abdomen": ("abd",),
+    "respiratory": ("resp",),
+    "failure": ("fail",),
+    "syndrome": ("synd",),
+    "hemorrhage": ("hem", "bleed"),
+    "carcinoma": ("ca",),
+    "neoplasm": ("ca", "tumour"),
+    "unspecified": ("unspec", "nos"),
+    "without": ("w/o",),
+    "with": ("w",),
+    "exacerbation": ("exac",),
+    "insufficiency": ("insuff",),
+    "obstruction": ("obstr",),
+    "vitamin": ("vit",),
+    "pulmonary": ("pulm",),
+    "cardiac": ("card",),
+    "cerebral": ("cereb",),
+    "depressive": ("depr",),
+    "recurrent": ("recur",),
+    "anterior": ("ant",),
+    "posterior": ("post",),
+    "lateral": ("lat",),
+    "medial": ("med",),
+}
+
+# Multi-word phrase -> acronym (the famous clinical acronyms).
+PHRASE_ACRONYMS: Dict[str, str] = {
+    "chronic kidney disease": "ckd",
+    "diabetes mellitus": "dm",
+    "type 1 diabetes mellitus": "t1dm",
+    "type 2 diabetes mellitus": "t2dm",
+    "essential hypertension": "htn",
+    "pulmonary hypertension": "phtn",
+    "acute myocardial infarction": "ami",
+    "myocardial infarction": "mi",
+    "atrial fibrillation": "af",
+    "heart failure": "hf",
+    "congestive heart failure": "chf",
+    "end stage renal disease": "esrd",
+    "chronic obstructive pulmonary disease": "copd",
+    "urinary tract infection": "uti",
+    "deep vein thrombosis": "dvt",
+    "pulmonary embolism": "pe",
+    "rheumatoid arthritis": "ra",
+    "multiple sclerosis": "ms",
+    "major depressive disorder": "mdd",
+    "generalized anxiety disorder": "gad",
+    "post traumatic stress disorder": "ptsd",
+    "systemic lupus erythematosus": "sle",
+    "irritable bowel syndrome": "ibs",
+    "gastric ulcer": "gu",
+    "duodenal ulcer": "du",
+    "carpal tunnel syndrome": "cts",
+    "obstructive sleep apnea": "osa",
+    "low back pain": "lbp",
+    "iron deficiency anemia": "ida",
+    "cerebral infarction": "cva",
+    "acute kidney failure": "aki",
+    "nephrotic syndrome": "ns",
+}
+
+# --- Synonym registers -------------------------------------------------
+#
+# UMLS alternative descriptions and clinician shorthand live in
+# different lexical *registers*: a UMLS alias says "renal" where the
+# description says "kidney"; a clinician writes "gallstones" where both
+# say "cholelithiasis".  We therefore keep two synonym dictionaries:
+#
+# * FORMAL_WORD_SYNONYMS drive alias synthesis (the labeled training
+#   data — the medical-register paraphrases a knowledge base records);
+# * COLLOQUIAL_WORD_SYNONYMS drive query synthesis (the ward-register
+#   substitutions the paper's intro calls "various writing styles").
+#
+# The colloquial words never appear in concept descriptions or aliases,
+# so surface-string methods cannot match them; NCL bridges them through
+# embedding-based query rewriting (its words appear in the unlabeled
+# notes corpus) — the paper's central mechanism.
+
+FORMAL_WORD_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "kidney": ("renal",),
+    "renal": ("kidney",),
+    "heart": ("cardiac",),
+    "liver": ("hepatic",),
+    "stomach": ("gastric",),
+    "lung": ("pulmonary",),
+    "brain": ("cerebral",),
+    "skin": ("cutaneous",),
+    "failure": ("insufficiency",),
+    "calculus": ("stone",),
+    "neoplasm": ("tumor",),
+    "hemorrhage": ("haemorrhage",),
+    "unspecified": ("nos",),
+    "disease": ("disorder",),
+    "anemia": ("anaemia",),
+    "fever": ("pyrexia",),
+    "swelling": ("edema",),
+    "end": ("terminal",),
+    "acute": ("sudden onset",),
+    "obstruction": ("occlusion",),
+    "infarction": ("necrosis",),
+}
+
+# Note the deliberate polysemy: ward shorthand is ambiguous ("attack"
+# may mean an infarction, a seizure, or a panic episode; "blockage" any
+# kind of obstruction; "growth" any neoplasm or polyp).  One-to-many and
+# many-to-one mappings are what word-alignment methods (WMD) cannot
+# resolve and a trained conditional decoder can.
+COLLOQUIAL_WORD_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "iron": ("fe",),
+    "hemorrhage": ("bleeding", "bleed"),
+    "pain": ("ache", "discomfort"),
+    "infarction": ("attack",),
+    "angina": ("attack", "chest tightness"),
+    "seizure": ("attack", "episode"),
+    "panic": ("attack", "episode"),
+    "epilepsy": ("fits", "attacks"),
+    "stenosis": ("blockage", "narrowing"),
+    "occlusion": ("blockage",),
+    "polyp": ("growth",),
+    "ulcer": ("sore",),
+    "ulceration": ("sore",),
+    "effusion": ("fluid",),
+    "edema": ("fluid",),
+    "gangrene": ("dead tissue",),
+    "intractable": ("refractory",),
+    "recurrent": ("repeated",),
+    "tremor": ("shaking", "episode"),
+    "severe": ("serious", "bad"),
+    "fatigue": ("tiredness",),
+    "dizziness": ("giddy",),
+    "obesity": ("overweight",),
+    "malignant": ("cancerous",),
+    "neoplasm": ("growth", "mass"),
+    "dermatitis": ("eczema",),
+    "urticaria": ("hives",),
+    "pneumonia": ("chest infection",),
+    "asthma": ("wheezing",),
+    "cellulitis": ("skin infection",),
+    "myalgia": ("muscle ache",),
+    "migraine": ("bad headache",),
+    "hypothyroidism": ("underactive thyroid",),
+    "hyperthyroidism": ("overactive thyroid",),
+    "hypoglycemia": ("low sugar",),
+    "cholelithiasis": ("gallstones",),
+    "dysuria": ("painful urination",),
+    "syncope": ("fainting", "blackout"),
+    "nausea": ("queasy",),
+    "insomnia": ("sleeplessness",),
+    "dementia": ("memory loss",),
+    "obstruction": ("blockage",),
+    "perforation": ("rupture",),
+    "exacerbation": ("flare",),
+    "thrombocytopenia": ("low platelets",),
+    "neutropenia": ("low neutrophils",),
+    "osteoporosis": ("thin bones",),
+    "influenza": ("flu",),
+    "tonsillitis": ("throat infection",),
+    "acne": ("pimples",),
+    "alopecia": ("hair loss",),
+    "lymphoma": ("lymph cancer",),
+    "leukemia": ("blood cancer",),
+    "melanoma": ("skin cancer",),
+    "hypertension": ("high bp",),
+    "fibrillation": ("irregular rhythm",),
+    "deficiency": ("lack",),
+    "chronic": ("longterm",),
+}
+
+# Backwards-compatible combined view (both registers).
+WORD_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    **COLLOQUIAL_WORD_SYNONYMS,
+    **{
+        word: FORMAL_WORD_SYNONYMS.get(word, ())
+        + COLLOQUIAL_WORD_SYNONYMS.get(word, ())
+        for word in FORMAL_WORD_SYNONYMS
+    },
+}
+
+# Low-information decorations clinicians append to diagnosis snippets
+# ("breast lump for investigation" in the paper's Appendix A example).
+# They dilute token-overlap similarity without changing the concept.
+DANGLING_PHRASES: Tuple[str, ...] = (
+    "for investigation",
+    "on follow up",
+    "newly diagnosed",
+    "known case",
+    "for review",
+    "seen in clinic",
+    "stable",
+    "symptomatic",
+    "on treatment",
+    "longstanding",
+)
+
+# Phrase-level synonyms, split by register like the word synonyms.
+FORMAL_PHRASE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "iron deficiency anemia secondary to blood loss": (
+        "anemia chronic blood loss",
+        "hemorrhagic anemia",
+    ),
+    "scorbutic anemia": ("vitamin c deficiency anemia",),
+    "protein deficiency anemia": ("amino acid deficiency anemia",),
+    "acute abdomen": ("acute abdominal syndrome", "pain abdomen"),
+    "vitamin b12 deficiency anemia": ("pernicious anemia",),
+    "malignant neoplasm": ("carcinoma",),
+    "end stage": ("terminal stage",),
+}
+
+COLLOQUIAL_PHRASE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "iron deficiency anemia": ("fe def anemia", "iron def anemia"),
+    "chronic kidney disease, stage 5": ("ckd 5", "ckd stage 5"),
+    "end stage": ("stage 5",),
+    "malignant neoplasm": ("cancer", "adenocarcinoma"),
+    "essential hypertension": ("high blood pressure",),
+    "abdominal and pelvic pain": ("abdomen pain", "abdo pain"),
+    "myocardial infarction": ("heart attack",),
+    "cerebral infarction": ("stroke",),
+    "nausea and vomiting": ("n and v",),
+    "dizziness and giddiness": ("dizzy spells",),
+    "malaise and fatigue": ("tired all the time",),
+}
+
+# Backwards-compatible combined view.
+PHRASE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    **FORMAL_PHRASE_SYNONYMS,
+    **{
+        phrase: FORMAL_PHRASE_SYNONYMS.get(phrase, ())
+        + COLLOQUIAL_PHRASE_SYNONYMS.get(phrase, ())
+        for phrase in COLLOQUIAL_PHRASE_SYNONYMS
+    },
+}
+
+# Words a clinician is likely to drop when simplifying ("chronic kidney
+# failure, stage 5" -> "ckd 5" drops nothing but connectives; "iron
+# deficiency anemia unspecified" -> "iron def anemia").
+DROPPABLE_WORDS: Tuple[str, ...] = (
+    "unspecified", "other", "and", "of", "the", "with", "without",
+    "nos", "side", "features", "cause", "elements",
+)
+
+# Stage/number style rewrites: "stage 5" -> "5", "type 2" -> "2".
+NUMERIC_HEAD_WORDS: Tuple[str, ...] = ("stage", "type", "grade", "level")
+
+
+def invert_acronyms() -> Dict[str, str]:
+    """Acronym -> expanded phrase (first wins on collisions)."""
+    inverted: Dict[str, str] = {}
+    for phrase, acronym in PHRASE_ACRONYMS.items():
+        inverted.setdefault(acronym, phrase)
+    return inverted

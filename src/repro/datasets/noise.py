@@ -1,0 +1,441 @@
+"""Noise channels that turn canonical descriptions into realistic
+clinician-written snippets.
+
+Each channel is a small, independently testable transformation on a
+token sequence; :class:`NoiseModel` composes channels with per-channel
+application probabilities and records which channels actually fired, so
+the purposive query selection (paper Section 6.1: "84 purposely selected
+queries ... to cover different cases (e.g., abbreviation, synonym,
+acronym, and simplification)") can stratify by phenomenon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import lexicon
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class NoiseChannel:
+    """Base class: a named, seeded token-sequence transformation.
+
+    Subclasses implement :meth:`apply`, returning the transformed tokens
+    or ``None`` when the channel does not apply to this input (e.g. no
+    abbreviatable word present).  Channels never mutate their input.
+    """
+
+    name: str = "noise"
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        """Transform ``tokens``, or return ``None`` when not applicable."""
+        raise NotImplementedError
+
+
+class AbbreviationChannel(NoiseChannel):
+    """Replace known words with clinical shorthand (``chronic -> chr``)."""
+
+    name = "abbreviation"
+
+    def __init__(self, max_replacements: int = 2) -> None:
+        if max_replacements < 1:
+            raise ConfigurationError(
+                f"max_replacements must be >= 1, got {max_replacements}"
+            )
+        self.max_replacements = max_replacements
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        candidates = [
+            index
+            for index, token in enumerate(tokens)
+            if token in lexicon.WORD_ABBREVIATIONS
+        ]
+        if not candidates:
+            return None
+        count = min(self.max_replacements, len(candidates))
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        result = list(tokens)
+        for pick in chosen:
+            index = candidates[int(pick)]
+            options = lexicon.WORD_ABBREVIATIONS[tokens[index]]
+            result[index] = options[int(rng.integers(len(options)))]
+        return result
+
+
+class AcronymChannel(NoiseChannel):
+    """Collapse a known phrase into its acronym (``... -> ckd``)."""
+
+    name = "acronym"
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        text = " ".join(tokens)
+        # Longest matching phrase first so "type 2 diabetes mellitus"
+        # beats "diabetes mellitus".
+        phrases = sorted(lexicon.PHRASE_ACRONYMS, key=len, reverse=True)
+        for phrase in phrases:
+            if phrase in text:
+                replaced = text.replace(phrase, lexicon.PHRASE_ACRONYMS[phrase], 1)
+                return replaced.split()
+        return None
+
+
+class SynonymChannel(NoiseChannel):
+    """Swap words or phrases for synonyms (``kidney -> renal``).
+
+    Synonym replacement is the noise abbreviation-rule string joins
+    cannot undo; ``max_replacements`` word-level swaps are applied after
+    at most one phrase-level rewrite.
+    """
+
+    name = "synonym"
+
+    def __init__(
+        self,
+        phrase_first: bool = True,
+        max_replacements: int = 1,
+        word_synonyms: Optional[Dict[str, Tuple[str, ...]]] = None,
+        phrase_synonyms: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ) -> None:
+        if max_replacements < 1:
+            raise ConfigurationError(
+                f"max_replacements must be >= 1, got {max_replacements}"
+            )
+        self.phrase_first = phrase_first
+        self.max_replacements = max_replacements
+        self.word_synonyms = (
+            word_synonyms if word_synonyms is not None else lexicon.WORD_SYNONYMS
+        )
+        self.phrase_synonyms = (
+            phrase_synonyms
+            if phrase_synonyms is not None
+            else lexicon.PHRASE_SYNONYMS
+        )
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        current: Optional[List[str]] = None
+        if self.phrase_first:
+            current = self._apply_phrase(tokens, rng)
+        base = current if current is not None else list(tokens)
+        for _ in range(self.max_replacements):
+            replaced = self._apply_word(base, rng)
+            if replaced is None:
+                break
+            base = replaced
+            current = replaced
+        return current
+
+    def _apply_phrase(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        text = " ".join(tokens)
+        matching = [
+            phrase
+            for phrase in sorted(self.phrase_synonyms, key=len, reverse=True)
+            if phrase in text
+        ]
+        if not matching:
+            return None
+        phrase = matching[0]
+        options = self.phrase_synonyms[phrase]
+        if not options:
+            return None
+        replacement = options[int(rng.integers(len(options)))]
+        return text.replace(phrase, replacement, 1).split()
+
+    def _apply_word(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        candidates = [
+            index
+            for index, token in enumerate(tokens)
+            if self.word_synonyms.get(token)
+        ]
+        if not candidates:
+            return None
+        index = candidates[int(rng.integers(len(candidates)))]
+        options = self.word_synonyms[tokens[index]]
+        replacement = options[int(rng.integers(len(options)))]
+        result = list(tokens)
+        # Multi-word synonyms ("chest infection") splice in as tokens.
+        result[index : index + 1] = replacement.split()
+        return result
+
+
+class SimplificationChannel(NoiseChannel):
+    """Drop low-content words, clinician style (``..., unspecified`` -> gone)."""
+
+    name = "simplification"
+
+    def __init__(self, max_drops: int = 2, min_remaining: int = 1) -> None:
+        if min_remaining < 1:
+            raise ConfigurationError(
+                f"min_remaining must be >= 1, got {min_remaining}"
+            )
+        self.max_drops = max_drops
+        self.min_remaining = min_remaining
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        droppable = [
+            index
+            for index, token in enumerate(tokens)
+            if token in lexicon.DROPPABLE_WORDS
+        ]
+        if not droppable:
+            return None
+        budget = min(self.max_drops, len(tokens) - self.min_remaining)
+        if budget < 1:
+            return None
+        count = min(budget, len(droppable))
+        chosen = set(
+            droppable[int(i)]
+            for i in rng.choice(len(droppable), size=count, replace=False)
+        )
+        return [token for index, token in enumerate(tokens) if index not in chosen]
+
+
+class TypoChannel(NoiseChannel):
+    """Introduce one character-level typo into a sufficiently long word.
+
+    Edit kinds: deletion, adjacent transposition, or substitution with a
+    nearby letter — the classes Damerau-Levenshtein rewriting repairs.
+    """
+
+    name = "typo"
+
+    def __init__(self, min_word_length: int = 5) -> None:
+        self.min_word_length = min_word_length
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        candidates = [
+            index
+            for index, token in enumerate(tokens)
+            if len(token) >= self.min_word_length and token.isalpha()
+        ]
+        if not candidates:
+            return None
+        index = candidates[int(rng.integers(len(candidates)))]
+        word = tokens[index]
+        kind = int(rng.integers(3))
+        position = int(rng.integers(1, len(word) - 1))
+        if kind == 0:  # deletion
+            mutated = word[:position] + word[position + 1 :]
+        elif kind == 1:  # adjacent transposition
+            mutated = (
+                word[:position]
+                + word[position + 1]
+                + word[position]
+                + word[position + 2 :]
+            )
+        else:  # substitution
+            alphabet = "abcdefghijklmnopqrstuvwxyz"
+            replacement = alphabet[int(rng.integers(len(alphabet)))]
+            mutated = word[:position] + replacement + word[position + 1 :]
+        if mutated == word:
+            mutated = word[:position] + word[position + 1 :]
+        result = list(tokens)
+        result[index] = mutated
+        return result
+
+
+class NumericStyleChannel(NoiseChannel):
+    """Rewrite ``stage 5`` as bare ``5`` (and type/grade/level likewise)."""
+
+    name = "numeric_style"
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        for index in range(len(tokens) - 1):
+            if (
+                tokens[index] in lexicon.NUMERIC_HEAD_WORDS
+                and tokens[index + 1].isdigit()
+            ):
+                return list(tokens[:index]) + list(tokens[index + 1 :])
+        return None
+
+
+class DanglingChannel(NoiseChannel):
+    """Append a low-information clinical decoration.
+
+    Reproduces the paper's "dangling words" observation: snippets like
+    "breast lump *for investigation*" share fewer of their tokens with
+    the canonical description, degrading overlap-based similarity.
+    """
+
+    name = "dangling"
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        phrase = lexicon.DANGLING_PHRASES[
+            int(rng.integers(len(lexicon.DANGLING_PHRASES)))
+        ]
+        if rng.random() < 0.5:
+            return list(tokens) + phrase.split()
+        return phrase.split() + list(tokens)
+
+
+class ReorderChannel(NoiseChannel):
+    """Move a trailing qualifier to the front (``anemia, scorbutic`` style)."""
+
+    name = "reorder"
+
+    def __init__(self, min_length: int = 3) -> None:
+        self.min_length = min_length
+
+    def apply(
+        self, tokens: Sequence[str], rng: np.random.Generator
+    ) -> Optional[List[str]]:
+        if len(tokens) < self.min_length:
+            return None
+        split = int(rng.integers(1, len(tokens)))
+        reordered = list(tokens[split:]) + list(tokens[:split])
+        if reordered == list(tokens):
+            return None
+        return reordered
+
+
+@dataclass(frozen=True)
+class NoisyResult:
+    """Transformed tokens plus the names of the channels that fired."""
+
+    tokens: Tuple[str, ...]
+    channels: Tuple[str, ...]
+
+
+class NoiseModel:
+    """Compose channels with per-channel firing probabilities.
+
+    Channels are attempted in order; each fires with its configured
+    probability (and only if it is applicable to the current tokens).
+    ``min_channels`` forces at least that many channels to fire when
+    possible, so every generated query is actually noisy.
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[Tuple[NoiseChannel, float]],
+        min_channels: int = 0,
+    ) -> None:
+        for channel, probability in channels:
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigurationError(
+                    f"channel {channel.name!r} probability {probability} "
+                    "outside [0, 1]"
+                )
+        if min_channels < 0:
+            raise ConfigurationError(
+                f"min_channels must be >= 0, got {min_channels}"
+            )
+        self._channels = list(channels)
+        self._min_channels = min_channels
+
+    @property
+    def channel_names(self) -> Tuple[str, ...]:
+        return tuple(channel.name for channel, _ in self._channels)
+
+    def corrupt(self, tokens: Sequence[str], rng: RngLike = None) -> NoisyResult:
+        """Apply the channel stack to ``tokens``."""
+        generator = ensure_rng(rng)
+        current = list(tokens)
+        fired: List[str] = []
+        for channel, probability in self._channels:
+            if generator.random() >= probability:
+                continue
+            transformed = channel.apply(current, generator)
+            if transformed is not None and transformed != current:
+                current = transformed
+                fired.append(channel.name)
+        if len(fired) < self._min_channels:
+            # Second pass: force-apply applicable channels until quota.
+            for channel, _ in self._channels:
+                if len(fired) >= self._min_channels:
+                    break
+                if channel.name in fired:
+                    continue
+                transformed = channel.apply(current, generator)
+                if transformed is not None and transformed != current:
+                    current = transformed
+                    fired.append(channel.name)
+        return NoisyResult(tokens=tuple(current), channels=tuple(fired))
+
+
+def alias_noise_model() -> NoiseModel:
+    """Mild, formal-register channels: UMLS-style alternative descriptions."""
+    return NoiseModel(
+        [
+            (
+                SynonymChannel(
+                    word_synonyms=lexicon.FORMAL_WORD_SYNONYMS,
+                    phrase_synonyms=lexicon.FORMAL_PHRASE_SYNONYMS,
+                ),
+                0.7,
+            ),
+            # min_length=2 so even two-word descriptions ("scorbutic
+            # anemia") admit a reordered alias — every concept must end
+            # up with at least one labeled training pair.
+            (ReorderChannel(min_length=2), 0.35),
+            (SimplificationChannel(max_drops=1), 0.4),
+        ],
+        min_channels=1,
+    )
+
+
+def query_noise_model() -> NoiseModel:
+    """Aggressive channels: synthesises clinician-written queries.
+
+    Synonyms fire most often (the paper identifies synonym substitution
+    and dangling words as the noise surface-string methods cannot
+    absorb), followed by abbreviations, simplification, and the rarer
+    acronym/typo/numeric shifts.
+    """
+    return NoiseModel(
+        [
+            (
+                SynonymChannel(
+                    max_replacements=2,
+                    word_synonyms=lexicon.COLLOQUIAL_WORD_SYNONYMS,
+                    phrase_synonyms=lexicon.COLLOQUIAL_PHRASE_SYNONYMS,
+                ),
+                0.8,
+            ),
+            (AcronymChannel(), 0.35),
+            (AbbreviationChannel(), 0.5),
+            (SimplificationChannel(max_drops=2), 0.55),
+            (DanglingChannel(), 0.4),
+            (NumericStyleChannel(), 0.3),
+            (TypoChannel(), 0.12),
+        ],
+        min_channels=1,
+    )
+
+
+def channel_catalogue() -> Dict[str, NoiseChannel]:
+    """One instance of every channel, keyed by name (for tests/docs)."""
+    channels = [
+        AbbreviationChannel(),
+        AcronymChannel(),
+        SynonymChannel(),
+        SimplificationChannel(),
+        DanglingChannel(),
+        TypoChannel(),
+        NumericStyleChannel(),
+        ReorderChannel(),
+    ]
+    return {channel.name: channel for channel in channels}

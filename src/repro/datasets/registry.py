@@ -1,0 +1,30 @@
+"""Named dataset registry.
+
+Benchmarks and examples refer to datasets by name so that every
+experiment script shares one construction path (and one seed policy).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.generator import DatasetBundle, hospital_x_like, mimic_iii_like
+from repro.utils.errors import ConfigurationError
+
+DatasetBuilder = Callable[..., DatasetBundle]
+
+DATASET_REGISTRY: Dict[str, DatasetBuilder] = {
+    "hospital-x-like": hospital_x_like,
+    "mimic-iii-like": mimic_iii_like,
+}
+
+
+def get_dataset_builder(name: str) -> DatasetBuilder:
+    """Look up a dataset builder by name (raises with the known names)."""
+    try:
+        return DATASET_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_REGISTRY))
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; known datasets: {known}"
+        ) from None

@@ -1,0 +1,156 @@
+"""Query grouping for evaluation.
+
+Paper Section 6.1 (Queries): *"484 queries are packed into a group, and
+the average accuracy/MRR values computed from 10 groups are reported.
+84 purposely selected queries are contained in every group to cover
+different cases (e.g., abbreviation, synonym, acronym, and
+simplification); the rest are randomly chosen."*
+
+:func:`make_query_groups` reproduces that protocol at any scale: the
+purposive portion is stratified over noise channels (so every group
+exercises every phenomenon), the remainder is sampled at random, and
+groups share the purposive core while differing in their random tail —
+exactly how the paper's groups are constructed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.generator import LinkedQuery
+from repro.utils.errors import ConfigurationError, DataError
+from repro.utils.rng import RngLike, ensure_rng
+
+# The phenomena the paper names for purposive coverage.
+PURPOSIVE_PHENOMENA: Tuple[str, ...] = (
+    "abbreviation",
+    "synonym",
+    "acronym",
+    "simplification",
+)
+
+
+@dataclass(frozen=True)
+class QueryGroup:
+    """One evaluation group: a purposive core plus a random tail."""
+
+    index: int
+    queries: Tuple[LinkedQuery, ...]
+    purposive_count: int
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def select_purposive(
+    queries: Sequence[LinkedQuery],
+    count: int,
+    rng: RngLike = None,
+    phenomena: Sequence[str] = PURPOSIVE_PHENOMENA,
+) -> List[LinkedQuery]:
+    """Pick ``count`` queries stratified across noise phenomena.
+
+    Queries are bucketed by the channels that produced them; buckets are
+    drained round-robin so each phenomenon contributes ~count/len(buckets)
+    queries.  Falls back to arbitrary queries when a phenomenon has too
+    few exemplars.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if count > len(queries):
+        raise DataError(
+            f"cannot select {count} purposive queries from {len(queries)}"
+        )
+    generator = ensure_rng(rng)
+    buckets: Dict[str, List[LinkedQuery]] = defaultdict(list)
+    for query in queries:
+        for channel in query.channels:
+            if channel in phenomena:
+                buckets[channel].append(query)
+    for bucket in buckets.values():
+        generator.shuffle(bucket)  # type: ignore[arg-type]
+
+    selected: List[LinkedQuery] = []
+    seen_ids: set = set()
+    bucket_order = [name for name in phenomena if buckets.get(name)]
+    position = 0
+    while len(selected) < count and bucket_order:
+        name = bucket_order[position % len(bucket_order)]
+        bucket = buckets[name]
+        while bucket:
+            candidate = bucket.pop()
+            if id(candidate) not in seen_ids:
+                selected.append(candidate)
+                seen_ids.add(id(candidate))
+                break
+        if not bucket:
+            bucket_order.remove(name)
+        else:
+            position += 1
+    if len(selected) < count:
+        # Top up with arbitrary not-yet-selected queries.
+        for query in queries:
+            if len(selected) >= count:
+                break
+            if id(query) not in seen_ids:
+                selected.append(query)
+                seen_ids.add(id(query))
+    return selected
+
+
+def make_query_groups(
+    queries: Sequence[LinkedQuery],
+    n_groups: int = 10,
+    group_size: int = 484,
+    purposive_size: int = 84,
+    rng: RngLike = None,
+) -> List[QueryGroup]:
+    """Build the paper's evaluation groups at any scale.
+
+    Each group contains the *same* ``purposive_size`` stratified queries
+    plus ``group_size - purposive_size`` random ones (sampled without
+    replacement within a group, with replacement across groups).
+    """
+    if n_groups < 1:
+        raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+    if purposive_size > group_size:
+        raise ConfigurationError(
+            f"purposive_size {purposive_size} exceeds group_size {group_size}"
+        )
+    if group_size > len(queries):
+        raise DataError(
+            f"group_size {group_size} exceeds available queries {len(queries)}"
+        )
+    generator = ensure_rng(rng)
+    purposive = select_purposive(queries, purposive_size, rng=generator)
+    purposive_ids = {id(query) for query in purposive}
+    remainder_pool = [query for query in queries if id(query) not in purposive_ids]
+    tail_size = group_size - purposive_size
+    if tail_size > len(remainder_pool):
+        raise DataError(
+            f"random tail of {tail_size} exceeds remaining pool "
+            f"{len(remainder_pool)}"
+        )
+    groups: List[QueryGroup] = []
+    for index in range(n_groups):
+        chosen = generator.choice(len(remainder_pool), size=tail_size, replace=False)
+        tail = [remainder_pool[int(i)] for i in chosen]
+        groups.append(
+            QueryGroup(
+                index=index,
+                queries=tuple(purposive) + tuple(tail),
+                purposive_count=len(purposive),
+            )
+        )
+    return groups
+
+
+def channel_histogram(queries: Sequence[LinkedQuery]) -> Dict[str, int]:
+    """How many queries each noise channel produced (diagnostics)."""
+    histogram: Dict[str, int] = defaultdict(int)
+    for query in queries:
+        for channel in query.channels:
+            histogram[channel] += 1
+    return dict(histogram)

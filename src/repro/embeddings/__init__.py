@@ -1,0 +1,24 @@
+"""Word-representation pre-training (paper Section 4.2, phase one).
+
+The paper pre-trains CBOW word embeddings over unlabeled snippets that
+have been *altered by concept-id injection*: interleaving each labeled
+snippet's concept identifier between its words, so that words that
+co-occur under different concepts ("protein", "folate", "iron" in the
+anemia example) stop sharing contexts and drift apart — avoiding the
+side effect of the distributional hypothesis on very short concept
+mentions.
+"""
+
+from repro.embeddings.cbow import CbowConfig, CbowTrainer
+from repro.embeddings.injection import inject_cid, injected_sequences
+from repro.embeddings.pretrain import pretrain_word_vectors
+from repro.embeddings.similarity import WordVectors
+
+__all__ = [
+    "CbowConfig",
+    "CbowTrainer",
+    "WordVectors",
+    "inject_cid",
+    "injected_sequences",
+    "pretrain_word_vectors",
+]

@@ -1,0 +1,58 @@
+"""Concept-id injection into labeled snippets (paper Section 4.2).
+
+From the paper's example, ``"protein deficiency anemia"`` labeled with
+``D53.0`` becomes ``"D53.0 protein D53.0 deficiency D53.0 anemia"`` —
+the concept identifier is interleaved *before every word*, so the word
+context of each snippet word now contains the cid and no longer matches
+the contexts of sibling concepts' snippets.  Genuinely unlabeled
+snippets remain unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.kb.corpus import SnippetCorpus
+
+
+def cid_token(cid: str) -> str:
+    """Normalise a concept id into a single vocabulary token.
+
+    Lowercased with spaces removed so the tokeniser never splits it
+    (``"D50-D89"`` -> ``"d50-d89"`` would split on '-'; we substitute
+    '_' for safety).
+    """
+    return cid.lower().replace(" ", "").replace("-", "_")
+
+
+def inject_cid(words: Sequence[str], cid: str) -> List[str]:
+    """Interleave ``cid`` before each word of the snippet."""
+    if not words:
+        raise ValueError("cannot inject a cid into an empty snippet")
+    token = cid_token(cid)
+    injected: List[str] = []
+    for word in words:
+        injected.append(token)
+        injected.append(word)
+    return injected
+
+
+def injected_sequences(
+    corpus: SnippetCorpus,
+) -> Tuple[List[List[str]], Set[str]]:
+    """The pre-training corpus view: injected where tagged, raw otherwise.
+
+    Returns ``(sequences, cid_tokens)`` where ``cid_tokens`` is the set
+    of injected identifier tokens — consumers (e.g. nearest-word search
+    for query rewriting) must not treat them as ordinary words.
+    """
+    sequences: List[List[str]] = []
+    cid_tokens: Set[str] = set()
+    for snippet in corpus:
+        words = list(snippet.words)
+        if snippet.cid is None:
+            sequences.append(words)
+        else:
+            sequences.append(inject_cid(words, snippet.cid))
+            cid_tokens.add(cid_token(snippet.cid))
+    return sequences, cid_tokens

@@ -1,0 +1,33 @@
+"""Evaluation harness: metrics, experiment runners, and reporting.
+
+The experiment runners under :mod:`repro.eval.experiments` regenerate
+every table and figure of the paper's evaluation (see DESIGN.md's
+experiment index); :mod:`repro.eval.harness` provides the shared
+pipeline-building and group-evaluation machinery they use.
+"""
+
+from repro.eval.harness import (
+    EvaluationResult,
+    NclPipeline,
+    build_pipeline,
+    evaluate_groups,
+    evaluate_ranker,
+    linker_ranker,
+)
+from repro.eval.metrics import coverage, mean_reciprocal_rank, top1_accuracy
+from repro.eval.reporting import format_series, format_table, render_markdown_table
+
+__all__ = [
+    "EvaluationResult",
+    "NclPipeline",
+    "build_pipeline",
+    "coverage",
+    "evaluate_groups",
+    "evaluate_ranker",
+    "format_series",
+    "format_table",
+    "linker_ranker",
+    "mean_reciprocal_rank",
+    "render_markdown_table",
+    "top1_accuracy",
+]

@@ -1,0 +1,18 @@
+"""Experiment runners, one module per paper table/figure.
+
+Every module exposes ``run(scale=..., seed=..., verbose=...) -> dict``
+returning the figure's series/rows; the benchmarks under
+``benchmarks/`` are thin wrappers that call these and assert the
+paper's qualitative shape.
+
+Scales: the paper's experiments train for hours on a 40-thread C++
+server; ours run on one CPU, so each experiment takes an
+:class:`ExperimentScale` selecting ontology size, query count, and
+training effort.  ``SMALL`` keeps multi-training experiments (the
+ablation grids) in CPU-minutes; ``DEFAULT`` is used where one training
+suffices.
+"""
+
+from repro.eval.experiments.scale import DEFAULT, SMALL, TINY, ExperimentScale
+
+__all__ = ["DEFAULT", "ExperimentScale", "SMALL", "TINY"]

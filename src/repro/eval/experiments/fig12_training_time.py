@@ -1,0 +1,102 @@
+"""Figure 12 (Appendix B.2) — offline training time analysis.
+
+12(a): word-embedding pre-training seconds as the unlabeled corpus
+grows; 12(b): COM-AID refinement seconds as the labeled pair count
+grows.  Expected shapes: pre-training is much cheaper than refinement;
+both grow roughly linearly in their data size; hospital-x costs more
+than MIMIC at equal fractions (more data, longer descriptions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.trainer import ComAidTrainer
+from repro.embeddings.pretrain import pretrain_word_vectors
+from repro.eval.experiments.scale import SMALL, ExperimentScale
+from repro.eval.reporting import format_series
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+DATASETS = ("hospital-x-like", "mimic-iii-like")
+
+
+def run_pretraining_time(
+    scale: ExperimentScale = SMALL,
+    seed: int = 2018,
+    fractions: Sequence[float] = FRACTIONS,
+    datasets: Sequence[str] = DATASETS,
+    verbose: bool = True,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 12(a): CBOW seconds vs unlabeled-corpus fraction."""
+    generator = ensure_rng(seed)
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for name in datasets:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        seconds: List[float] = []
+        sizes: List[int] = []
+        for fraction in fractions:
+            corpus = dataset.corpus.subsample(
+                fraction, rng=derive_rng(generator, name, str(fraction))
+            )
+            watch = Stopwatch().start()
+            pretrain_word_vectors(
+                corpus,
+                scale.cbow_config(),
+                rng=derive_rng(generator, name, "cbow", str(fraction)),
+            )
+            seconds.append(watch.stop())
+            sizes.append(len(corpus))
+        results[name] = {
+            "fraction": list(fractions),
+            "snippets": sizes,
+            "seconds": seconds,
+        }
+        if verbose:
+            print(
+                format_series(
+                    f"Fig12a {name} pretrain-seconds", fractions, seconds, "frac"
+                )
+            )
+    return results
+
+
+def run_refinement_time(
+    scale: ExperimentScale = SMALL,
+    seed: int = 2018,
+    fractions: Sequence[float] = FRACTIONS,
+    datasets: Sequence[str] = DATASETS,
+    verbose: bool = True,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 12(b): COM-AID training seconds vs labeled-pair fraction."""
+    generator = ensure_rng(seed)
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for name in datasets:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        all_pairs = dataset.kb.training_pairs()
+        seconds: List[float] = []
+        counts: List[int] = []
+        for fraction in fractions:
+            count = max(1, round(fraction * len(all_pairs)))
+            pairs = all_pairs[:count]
+            trainer = ComAidTrainer(
+                scale.model_config(),
+                scale.training_config(),
+                rng=derive_rng(generator, name, "trainer", str(fraction)),
+            )
+            trainer.fit(dataset.kb, pairs=pairs)
+            seconds.append(trainer.history.seconds)
+            counts.append(count)
+        results[name] = {
+            "fraction": list(fractions),
+            "pairs": counts,
+            "seconds": seconds,
+        }
+        if verbose:
+            print(
+                format_series(
+                    f"Fig12b {name} refine-seconds", fractions, seconds, "frac"
+                )
+            )
+    return results

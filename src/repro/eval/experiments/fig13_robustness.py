@@ -1,0 +1,136 @@
+"""Figure 13 (Appendix C) — robustness to training-data variation.
+
+13(a): vary the considered concept fraction from 25% to 100% (labeled
+data shrinks accordingly; evaluation queries cover the kept concepts).
+Expected: accuracy decreases mildly as more concepts interfere; overall
+the curve is flat-ish (NCL robust to labeled-data scale).
+
+13(b): keep concepts and labeled data fixed; vary the *unlabeled*
+corpus fraction from 25% to 100%.  Expected: accuracy degrades as the
+pre-training corpus shrinks but stays well above the no-pretraining
+floor (the paper reports >0.6 at 25%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.datasets.generator import generate_queries
+from repro.eval.experiments.scale import SMALL, ExperimentScale
+from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
+from repro.eval.reporting import format_series
+from repro.utils.rng import derive_rng, ensure_rng
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+DATASETS = ("hospital-x-like", "mimic-iii-like")
+
+
+def run_vary_concepts(
+    scale: ExperimentScale = SMALL,
+    seed: int = 2018,
+    fractions: Sequence[float] = FRACTIONS,
+    datasets: Sequence[str] = DATASETS,
+    queries_per_point: int = 0,
+    verbose: bool = True,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 13(a): accuracy vs considered-concept fraction."""
+    generator = ensure_rng(seed)
+    query_count = queries_per_point or scale.eval_queries
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for name in datasets:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        leaves = [leaf.cid for leaf in dataset.ontology.fine_grained()]
+        from repro.embeddings.pretrain import pretrain_word_vectors
+
+        vectors = pretrain_word_vectors(
+            dataset.corpus,
+            scale.cbow_config(),
+            rng=derive_rng(generator, name, "cbow"),
+        )
+        accuracies: List[float] = []
+        for fraction in fractions:
+            keep_count = max(2, round(fraction * len(leaves)))
+            kept = leaves[:keep_count]
+            restricted = dataset.ontology.restricted_to(kept)
+            pairs = dataset.kb.training_pairs(cids=kept)
+            # Train on the restricted pair set and restrict the linker
+            # to the kept concepts.
+            from repro.core.linker import NeuralConceptLinker
+            from repro.core.trainer import ComAidTrainer
+
+            trainer = ComAidTrainer(
+                scale.model_config(),
+                scale.training_config(),
+                rng=derive_rng(generator, name, "trainer", str(fraction)),
+            )
+            model = trainer.fit(dataset.kb, word_vectors=vectors, pairs=pairs)
+            linker = NeuralConceptLinker(
+                model,
+                restricted,
+                scale.linker_config(),
+                kb=dataset.kb,
+                word_vectors=vectors,
+            )
+            eval_queries = generate_queries(
+                restricted,
+                query_count,
+                rng=derive_rng(generator, name, "queries", str(fraction)),
+            )
+            outcome = evaluate_ranker(
+                f"NCL({fraction:.0%} concepts)",
+                linker_ranker(linker),
+                eval_queries,
+            )
+            accuracies.append(outcome.accuracy)
+        results[name] = {"fraction": list(fractions), "acc": accuracies}
+        if verbose:
+            print(
+                format_series(f"Fig13a {name}", fractions, accuracies, "frac")
+            )
+    return results
+
+
+def run_vary_unlabeled(
+    scale: ExperimentScale = SMALL,
+    seed: int = 2018,
+    fractions: Sequence[float] = FRACTIONS,
+    datasets: Sequence[str] = DATASETS,
+    verbose: bool = True,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 13(b): accuracy vs unlabeled-corpus fraction."""
+    generator = ensure_rng(seed)
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for name in datasets:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        accuracies: List[float] = []
+        for fraction in fractions:
+            reduced = dataset.corpus.subsample(
+                fraction, rng=derive_rng(generator, name, "sub", str(fraction))
+            )
+            trimmed = type(dataset)(
+                name=dataset.name,
+                ontology=dataset.ontology,
+                kb=dataset.kb,
+                corpus=reduced,
+                queries=dataset.queries,
+                metadata=dict(dataset.metadata),
+            )
+            pipeline = build_pipeline(
+                trimmed,
+                model_config=scale.model_config(),
+                training_config=scale.training_config(),
+                cbow_config=scale.cbow_config(),
+                rng=derive_rng(generator, name, "pipeline", str(fraction)),
+            )
+            outcome = evaluate_ranker(
+                f"NCL({fraction:.0%} unlabeled)",
+                linker_ranker(pipeline.linker),
+                dataset.queries[: scale.eval_queries],
+            )
+            accuracies.append(outcome.accuracy)
+        results[name] = {"fraction": list(fractions), "acc": accuracies}
+        if verbose:
+            print(
+                format_series(f"Fig13b {name}", fractions, accuracies, "frac")
+            )
+    return results

@@ -1,0 +1,105 @@
+"""Figure 5 — parameter tuning: k (5a) and β (5b).
+
+5(a): vary the Phase-I candidate count k; report average coverage
+('Cov') and accuracy ('Acc') over both datasets.  Expected shape: Cov
+grows monotonically with k; Acc peaks around the default k and then
+slightly drops as extra irrelevant candidates leak into Phase II.
+
+5(b): vary the structural-context path length β; accuracy peaks at
+β = 2 and declines beyond, because ICD ontologies are shallow and
+padding duplicates top-level concepts without adding information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.experiments.scale import DEFAULT, ExperimentScale
+from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
+from repro.eval.metrics import coverage, top1_accuracy
+from repro.eval.reporting import format_series
+from repro.utils.rng import derive_rng, ensure_rng
+
+K_GRID = (10, 20, 30, 40, 50)
+BETA_GRID = (1, 2, 3, 4)
+DATASETS = ("hospital-x-like", "mimic-iii-like")
+
+
+def run_vary_k(
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 2018,
+    k_grid: Sequence[int] = K_GRID,
+    verbose: bool = True,
+) -> Dict[str, List[float]]:
+    """Figure 5(a): average Cov and Acc across both datasets per k."""
+    generator = ensure_rng(seed)
+    coverage_per_k = {k: [] for k in k_grid}
+    accuracy_per_k = {k: [] for k in k_grid}
+    for name in DATASETS:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        pipeline = build_pipeline(
+            dataset,
+            model_config=scale.model_config(),
+            training_config=scale.training_config(),
+            cbow_config=scale.cbow_config(),
+            rng=derive_rng(generator, name, "pipeline"),
+        )
+        queries = dataset.queries[: scale.eval_queries]
+        gold = [query.cid for query in queries]
+        for k in k_grid:
+            ranked_lists = [
+                [c.cid for c in pipeline.linker.link(query.text, k=k).ranked]
+                for query in queries
+            ]
+            coverage_per_k[k].append(coverage(ranked_lists, gold))
+            accuracy_per_k[k].append(top1_accuracy(ranked_lists, gold))
+    results = {
+        "k": list(k_grid),
+        "cov": [sum(values) / len(values) for values in coverage_per_k.values()],
+        "acc": [sum(values) / len(values) for values in accuracy_per_k.values()],
+    }
+    if verbose:
+        print(format_series("Fig5a Cov", results["k"], results["cov"], "k"))
+        print(format_series("Fig5a Acc", results["k"], results["acc"], "k"))
+    return results
+
+
+def run_vary_beta(
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 2018,
+    beta_grid: Sequence[int] = BETA_GRID,
+    datasets: Sequence[str] = DATASETS,
+    verbose: bool = True,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 5(b): accuracy per β, per dataset (one training per β)."""
+    generator = ensure_rng(seed)
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for name in datasets:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        # Pre-training does not depend on β; reuse one vector set.
+        from repro.embeddings.pretrain import pretrain_word_vectors
+
+        vectors = pretrain_word_vectors(
+            dataset.corpus,
+            scale.cbow_config(),
+            rng=derive_rng(generator, name, "cbow"),
+        )
+        accuracies: List[float] = []
+        for beta in beta_grid:
+            pipeline = build_pipeline(
+                dataset,
+                model_config=scale.model_config(beta=beta),
+                training_config=scale.training_config(),
+                word_vectors=vectors,
+                rng=derive_rng(generator, name, "pipeline"),
+            )
+            outcome = evaluate_ranker(
+                f"NCL(beta={beta})",
+                linker_ranker(pipeline.linker),
+                dataset.queries[: scale.eval_queries],
+            )
+            accuracies.append(outcome.accuracy)
+        results[name] = {"beta": list(beta_grid), "acc": accuracies}
+        if verbose:
+            print(format_series(f"Fig5b {name}", beta_grid, accuracies, "beta"))
+    return results

@@ -1,0 +1,143 @@
+"""Figure 7 — overall linking quality: NCL vs the five competitors.
+
+Per dataset, evaluates (accuracy and MRR, group-averaged per the
+paper's protocol):
+
+* NCL (the full pipeline),
+* pkduck at θ ∈ {0.1 .. 0.5},
+* NOBLECoder (NC),
+* LR⁺ (extended logistic regression over Phase-I candidates),
+* WMD (best over a small d sweep, like the paper's tuning),
+* Doc2Vec (best over a small d sweep).
+
+Expected shape: NCL highest on both metrics and both datasets; pkduck
+second, improving as θ decreases; NC, LR⁺, WMD and Doc2Vec behind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import BaselineLinker
+from repro.baselines.doc2vec import Doc2VecConfig, Doc2VecLinker
+from repro.baselines.lr_plus import LrPlusLinker
+from repro.baselines.noblecoder import NobleCoderLinker
+from repro.baselines.pkduck import PkduckLinker
+from repro.baselines.wmd import WmdLinker
+from repro.datasets.splits import make_query_groups
+from repro.embeddings.pretrain import pretrain_word_vectors
+from repro.eval.experiments.scale import DEFAULT, ExperimentScale
+from repro.eval.harness import (
+    EvaluationResult,
+    Ranker,
+    build_pipeline,
+    evaluate_groups,
+    linker_ranker,
+)
+from repro.eval.reporting import format_table
+from repro.utils.rng import derive_rng, ensure_rng
+
+THETA_GRID = (0.1, 0.2, 0.3, 0.4, 0.5)
+DATASETS = ("hospital-x-like", "mimic-iii-like")
+
+
+def baseline_ranker(baseline: BaselineLinker, k: int = 20) -> Ranker:
+    """Adapt a :class:`BaselineLinker` to the harness ranker interface."""
+    def rank(query: str) -> List[str]:
+        return [cid for cid, _ in baseline.rank(query, k=k)]
+
+    return rank
+
+
+def run(
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 2018,
+    datasets: Sequence[str] = DATASETS,
+    theta_grid: Sequence[float] = THETA_GRID,
+    wmd_dims: Sequence[int] = (),
+    verbose: bool = True,
+) -> Dict[str, List[EvaluationResult]]:
+    """Returns ``{dataset: [EvaluationResult per method]}``."""
+    generator = ensure_rng(seed)
+    wmd_dim_grid = list(wmd_dims) if wmd_dims else [scale.dim]
+    results: Dict[str, List[EvaluationResult]] = {}
+    for name in datasets:
+        dataset = scale.dataset(name, rng=derive_rng(generator, name))
+        groups = make_query_groups(
+            dataset.queries,
+            n_groups=scale.n_groups,
+            group_size=scale.group_size,
+            purposive_size=scale.purposive_size,
+            rng=derive_rng(generator, name, "groups"),
+        )
+        rows: List[EvaluationResult] = []
+
+        pipeline = build_pipeline(
+            dataset,
+            model_config=scale.model_config(),
+            training_config=scale.training_config(),
+            cbow_config=scale.cbow_config(),
+            rng=derive_rng(generator, name, "pipeline"),
+        )
+        rows.append(
+            evaluate_groups("NCL", linker_ranker(pipeline.linker), groups)
+        )
+
+        for theta in theta_grid:
+            pkduck = PkduckLinker(dataset.ontology, theta=theta)
+            rows.append(
+                evaluate_groups(
+                    f"pkduck(theta={theta})", baseline_ranker(pkduck), groups
+                )
+            )
+
+        noble = NobleCoderLinker(dataset.ontology, kb=dataset.kb)
+        rows.append(evaluate_groups("NC", baseline_ranker(noble), groups))
+
+        lr_plus = LrPlusLinker(
+            dataset.ontology,
+            dataset.kb,
+            rng=derive_rng(generator, name, "lr+"),
+        ).fit()
+        rows.append(evaluate_groups("LR+", baseline_ranker(lr_plus), groups))
+
+        # WMD over plain (non-injected) word2vec vectors, best over the
+        # d sweep — mirroring the paper's per-method tuning.
+        best_wmd: Optional[EvaluationResult] = None
+        for dim in wmd_dim_grid:
+            vectors = pretrain_word_vectors(
+                dataset.corpus,
+                scale.cbow_config(dim=dim),
+                rng=derive_rng(generator, name, "wmd", str(dim)),
+                inject=False,
+            )
+            wmd = WmdLinker(dataset.ontology, vectors, prune_to=20)
+            outcome = evaluate_groups(
+                f"WMD(d={dim})", baseline_ranker(wmd), groups
+            )
+            if best_wmd is None or outcome.accuracy > best_wmd.accuracy:
+                best_wmd = outcome
+        assert best_wmd is not None
+        rows.append(best_wmd)
+
+        doc2vec = Doc2VecLinker(
+            dataset.ontology,
+            config=Doc2VecConfig(dim=scale.dim),
+            rng=derive_rng(generator, name, "doc2vec"),
+        ).fit()
+        rows.append(
+            evaluate_groups(
+                f"Doc2Vec(d={scale.dim})", baseline_ranker(doc2vec), groups
+            )
+        )
+
+        results[name] = rows
+        if verbose:
+            print(
+                format_table(
+                    ["method", "accuracy", "MRR"],
+                    [row.as_row() for row in rows],
+                    title=f"Fig7 {name}",
+                )
+            )
+    return results

@@ -1,0 +1,137 @@
+"""Experiment scale presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.datasets.generator import (
+    DatasetBundle,
+    hospital_x_like,
+    mimic_iii_like,
+)
+from repro.embeddings.cbow import CbowConfig
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiments at one scale.
+
+    ``dim`` is the bench-scale analogue of the paper's d=150 default;
+    ``dim_grid`` is the analogue of Table 1's d ∈ {50, 100, 150, 200}.
+    """
+
+    name: str
+    categories_per_family: int
+    leaves_per_category: int
+    query_count: int
+    dim: int
+    dim_grid: tuple
+    cbow_epochs: int
+    train_epochs: int
+    eval_queries: int
+    n_groups: int
+    group_size: int
+    purposive_size: int
+
+    def dataset(self, name: str, rng: RngLike = 2018) -> DatasetBundle:
+        """Build the named dataset at this scale."""
+        builders = {
+            "hospital-x-like": hospital_x_like,
+            "mimic-iii-like": mimic_iii_like,
+        }
+        try:
+            builder = builders[name]
+        except KeyError:
+            known = ", ".join(sorted(builders))
+            raise ValueError(f"unknown dataset {name!r}; known: {known}") from None
+        return builder(
+            rng=rng,
+            categories_per_family=self.categories_per_family,
+            leaves_per_category=self.leaves_per_category,
+            query_count=self.query_count,
+        )
+
+    def cbow_config(self, dim: int = 0) -> CbowConfig:
+        """CBOW configuration at this scale (``dim`` overrides)."""
+        return CbowConfig(
+            dim=dim or self.dim,
+            window=4,
+            epochs=self.cbow_epochs,
+            negatives=10,
+            learning_rate=0.05,
+            subsample=3e-3,
+        )
+
+    def model_config(self, dim: int = 0, **overrides) -> ComAidConfig:
+        """COM-AID configuration at this scale (``dim``/flag overrides)."""
+        return ComAidConfig(dim=dim or self.dim, **overrides)
+
+    def training_config(self, **overrides) -> TrainingConfig:
+        """Refinement training configuration at this scale."""
+        base = TrainingConfig(
+            epochs=self.train_epochs,
+            batch_size=8,
+            optimizer="adagrad",
+            learning_rate=0.1,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    def linker_config(self, **overrides) -> LinkerConfig:
+        """Online-linker configuration at this scale."""
+        return LinkerConfig(**overrides) if overrides else LinkerConfig()
+
+
+#: Grid/ablation experiments: many trainings, small ontology (~100 leaves).
+SMALL = ExperimentScale(
+    name="small",
+    categories_per_family=3,
+    leaves_per_category=3,
+    query_count=260,
+    dim=24,
+    dim_grid=(12, 24, 36),
+    cbow_epochs=15,
+    train_epochs=8,
+    eval_queries=120,
+    n_groups=5,
+    group_size=80,
+    purposive_size=16,
+)
+
+#: Headline experiments: one training, ~360-leaf ontology.
+DEFAULT = ExperimentScale(
+    name="default",
+    categories_per_family=6,
+    leaves_per_category=5,
+    query_count=400,
+    dim=24,
+    dim_grid=(12, 24, 36),
+    cbow_epochs=20,
+    train_epochs=10,
+    eval_queries=150,
+    n_groups=10,
+    group_size=120,
+    purposive_size=24,
+)
+
+#: Smoke tests only.
+TINY = ExperimentScale(
+    name="tiny",
+    categories_per_family=2,
+    leaves_per_category=2,
+    query_count=80,
+    dim=12,
+    dim_grid=(8, 12),
+    cbow_epochs=6,
+    train_epochs=4,
+    eval_queries=40,
+    n_groups=2,
+    group_size=30,
+    purposive_size=8,
+)
+
+PRESETS: Dict[str, ExperimentScale] = {
+    scale.name: scale for scale in (SMALL, DEFAULT, TINY)
+}

@@ -1,0 +1,191 @@
+"""Shared experiment machinery.
+
+:func:`build_pipeline` assembles the full NCL stack (pre-training →
+COM-AID training → linker) from a dataset bundle with one call, using
+the bench-scale defaults every experiment shares; the experiment
+modules override exactly the knob they study.
+
+:func:`evaluate_groups` applies the paper's group protocol (Section
+6.1): metrics are computed per query group and averaged across groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.comaid import ComAid
+from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.core.linker import NeuralConceptLinker
+from repro.core.trainer import ComAidTrainer
+from repro.datasets.generator import DatasetBundle, LinkedQuery
+from repro.datasets.splits import QueryGroup
+from repro.embeddings.cbow import CbowConfig
+from repro.embeddings.pretrain import pretrain_word_vectors
+from repro.embeddings.similarity import WordVectors
+from repro.eval.metrics import mean_reciprocal_rank, top1_accuracy
+from repro.utils.rng import RngLike, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+
+#: ``ranker(query_text) -> ordered cids`` — the uniform interface the
+#: harness evaluates (NCL and every baseline adapt to it).
+Ranker = Callable[[str], List[str]]
+
+#: Bench-scale defaults shared by the experiment modules.  The paper's
+#: Table 1 defaults (k=20, β=2, d=150) are in ``core.config
+#: .PAPER_DEFAULTS``; d is scaled down for CPU-only runs.
+BENCH_DIM = 24
+BENCH_CBOW = CbowConfig(
+    dim=BENCH_DIM,
+    window=4,
+    epochs=20,
+    negatives=10,
+    learning_rate=0.05,
+    subsample=3e-3,
+)
+BENCH_TRAINING = TrainingConfig(
+    epochs=10, batch_size=8, optimizer="adagrad", learning_rate=0.1
+)
+
+
+@dataclass
+class NclPipeline:
+    """A fully assembled NCL stack over one dataset."""
+
+    dataset: DatasetBundle
+    word_vectors: Optional[WordVectors]
+    trainer: ComAidTrainer
+    model: ComAid
+    linker: NeuralConceptLinker
+    pretrain_seconds: float = 0.0
+
+    def ranker(self) -> Ranker:
+        """This pipeline's linker as a ``query -> ordered cids`` callable."""
+        return linker_ranker(self.linker)
+
+
+def build_pipeline(
+    dataset: DatasetBundle,
+    model_config: Optional[ComAidConfig] = None,
+    training_config: Optional[TrainingConfig] = None,
+    linker_config: Optional[LinkerConfig] = None,
+    cbow_config: Optional[CbowConfig] = None,
+    rng: RngLike = 5,
+    pretrain: bool = True,
+    inject: bool = True,
+    word_vectors: Optional[WordVectors] = None,
+) -> NclPipeline:
+    """Pre-train, train, and wire up a linker for ``dataset``.
+
+    ``pretrain=False`` reproduces COM-AID⁻o1 (random embedding
+    initialisation *and* no embedding-based rewriting); ``inject=False``
+    pre-trains without concept-id injection (plain CBOW control).
+    Passing ``word_vectors`` skips pre-training and reuses the given
+    vectors — grid experiments that only vary the refinement stage use
+    this to avoid redundant CBOW runs.
+    """
+    generator = ensure_rng(rng)
+    # Derive both child streams up front so the trainer stream is the
+    # same whether pre-training runs or cached vectors are supplied.
+    pretrain_rng = derive_rng(generator, "pretrain")
+    trainer_rng = derive_rng(generator, "trainer")
+    watch = Stopwatch().start()
+    vectors: Optional[WordVectors] = word_vectors
+    if pretrain and vectors is None:
+        vectors = pretrain_word_vectors(
+            dataset.corpus,
+            cbow_config if cbow_config is not None else BENCH_CBOW,
+            rng=pretrain_rng,
+            inject=inject,
+        )
+    pretrain_seconds = watch.stop()
+    trainer = ComAidTrainer(
+        model_config if model_config is not None else ComAidConfig(dim=BENCH_DIM),
+        training_config if training_config is not None else BENCH_TRAINING,
+        rng=trainer_rng,
+    )
+    model = trainer.fit(dataset.kb, word_vectors=vectors)
+    linker = NeuralConceptLinker(
+        model,
+        dataset.ontology,
+        linker_config if linker_config is not None else LinkerConfig(),
+        kb=dataset.kb,
+        word_vectors=vectors,
+    )
+    return NclPipeline(
+        dataset=dataset,
+        word_vectors=vectors,
+        trainer=trainer,
+        model=model,
+        linker=linker,
+        pretrain_seconds=pretrain_seconds,
+    )
+
+
+def linker_ranker(linker: NeuralConceptLinker, k: Optional[int] = None) -> Ranker:
+    """Adapt a :class:`NeuralConceptLinker` to the ranker interface."""
+
+    def rank(query: str) -> List[str]:
+        return [candidate.cid for candidate in linker.link(query, k=k).ranked]
+
+    return rank
+
+
+@dataclass
+class EvaluationResult:
+    """Accuracy/MRR of one method on one query set (or group average)."""
+
+    method: str
+    accuracy: float
+    mrr: float
+    per_group: List[Dict[str, float]] = field(default_factory=list)
+
+    def as_row(self) -> List[object]:
+        """``[method, accuracy, MRR]`` row for table rendering."""
+        return [self.method, round(self.accuracy, 4), round(self.mrr, 4)]
+
+
+def evaluate_ranker(
+    method: str, ranker: Ranker, queries: Sequence[LinkedQuery]
+) -> EvaluationResult:
+    """Accuracy and MRR of ``ranker`` over ``queries``."""
+    ranked_lists = [ranker(query.text) for query in queries]
+    gold = [query.cid for query in queries]
+    return EvaluationResult(
+        method=method,
+        accuracy=top1_accuracy(ranked_lists, gold),
+        mrr=mean_reciprocal_rank(ranked_lists, gold),
+    )
+
+
+def evaluate_groups(
+    method: str, ranker: Ranker, groups: Sequence[QueryGroup]
+) -> EvaluationResult:
+    """Group-averaged accuracy/MRR (the paper's reporting protocol).
+
+    Rankings are computed once per distinct query text and reused
+    across groups (groups share their purposive core by construction).
+    """
+    cache: Dict[str, List[str]] = {}
+    per_group: List[Dict[str, float]] = []
+    for group in groups:
+        ranked_lists = []
+        gold = []
+        for query in group.queries:
+            if query.text not in cache:
+                cache[query.text] = ranker(query.text)
+            ranked_lists.append(cache[query.text])
+            gold.append(query.cid)
+        per_group.append(
+            {
+                "accuracy": top1_accuracy(ranked_lists, gold),
+                "mrr": mean_reciprocal_rank(ranked_lists, gold),
+            }
+        )
+    if not per_group:
+        raise ValueError("evaluate_groups needs at least one group")
+    accuracy = sum(entry["accuracy"] for entry in per_group) / len(per_group)
+    mrr = sum(entry["mrr"] for entry in per_group) / len(per_group)
+    return EvaluationResult(
+        method=method, accuracy=accuracy, mrr=mrr, per_group=per_group
+    )

@@ -1,0 +1,87 @@
+"""Quality metrics (paper Section 6.1).
+
+* **top-1 accuracy** — fraction of queries whose referred concept is
+  ranked first;
+* **MRR** — mean reciprocal rank; per the paper, queries whose referred
+  concept is absent from the returned list contribute 0 (their
+  ``1/rank_i`` term is "ignored" but the query still counts in |Q|);
+* **coverage** — fraction of queries whose referred concept appears
+  anywhere in the Phase-I candidate list (the 'Cov' series of
+  Figure 5(a)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _rank_of(ranked_cids: Sequence[str], gold: str) -> Optional[int]:
+    for position, cid in enumerate(ranked_cids, start=1):
+        if cid == gold:
+            return position
+    return None
+
+
+def top1_accuracy(
+    ranked_lists: Sequence[Sequence[str]], gold_cids: Sequence[str]
+) -> float:
+    """Fraction of queries with the gold concept in first place."""
+    if len(ranked_lists) != len(gold_cids):
+        raise ValueError(
+            f"{len(ranked_lists)} rankings vs {len(gold_cids)} gold labels"
+        )
+    if not gold_cids:
+        raise ValueError("cannot compute accuracy over zero queries")
+    hits = sum(
+        1
+        for ranked, gold in zip(ranked_lists, gold_cids)
+        if ranked and ranked[0] == gold
+    )
+    return hits / len(gold_cids)
+
+
+def mean_reciprocal_rank(
+    ranked_lists: Sequence[Sequence[str]], gold_cids: Sequence[str]
+) -> float:
+    """MRR with absent-gold queries contributing zero."""
+    if len(ranked_lists) != len(gold_cids):
+        raise ValueError(
+            f"{len(ranked_lists)} rankings vs {len(gold_cids)} gold labels"
+        )
+    if not gold_cids:
+        raise ValueError("cannot compute MRR over zero queries")
+    total = 0.0
+    for ranked, gold in zip(ranked_lists, gold_cids):
+        rank = _rank_of(ranked, gold)
+        if rank is not None:
+            total += 1.0 / rank
+    return total / len(gold_cids)
+
+
+def coverage(
+    candidate_lists: Sequence[Sequence[str]], gold_cids: Sequence[str]
+) -> float:
+    """Fraction of queries whose gold concept was retrieved at all."""
+    if len(candidate_lists) != len(gold_cids):
+        raise ValueError(
+            f"{len(candidate_lists)} candidate lists vs {len(gold_cids)} gold"
+        )
+    if not gold_cids:
+        raise ValueError("cannot compute coverage over zero queries")
+    hits = sum(
+        1
+        for candidates, gold in zip(candidate_lists, gold_cids)
+        if gold in candidates
+    )
+    return hits / len(gold_cids)
+
+
+def reciprocal_ranks(
+    ranked_lists: Sequence[Sequence[str]], gold_cids: Sequence[str]
+) -> List[float]:
+    """Per-query reciprocal ranks (0 when absent), for variance analysis."""
+    ranks = []
+    for ranked, gold in zip(ranked_lists, gold_cids):
+        rank = _rank_of(ranked, gold)
+        ranks.append(1.0 / rank if rank is not None else 0.0)
+    return ranks

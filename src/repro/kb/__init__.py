@@ -1,0 +1,18 @@
+"""Knowledge-base substrate (UMLS stand-in).
+
+Stores, per concept, the canonical description plus alternative
+descriptions (aliases) in the role UMLS plays in the paper: aliases are
+the labeled ⟨canonical, alias⟩ training pairs for COM-AID (Section 4.2),
+and together with real-world snippets they form the unlabeled
+pre-training corpus.
+"""
+
+from repro.kb.corpus import SnippetCorpus, TaggedSnippet
+from repro.kb.knowledge_base import KnowledgeBase, TrainingPair
+
+__all__ = [
+    "KnowledgeBase",
+    "SnippetCorpus",
+    "TaggedSnippet",
+    "TrainingPair",
+]

@@ -1,0 +1,113 @@
+"""Unlabeled snippet corpus for embedding pre-training.
+
+Paper Section 3 and 4.2: unlabeled data come from two sources —
+real-world queries (e.g. accumulated physician notes) and the labeled
+snippets with their concept information incorporated.  A
+:class:`TaggedSnippet` carries the optional ``cid`` so that the
+concept-injection alteration (Section 4.2) can interleave it into the
+word context; genuinely unlabeled snippets have ``cid=None`` and "remain
+unchanged".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.text.tokenize import tokenize
+from repro.utils.errors import DataError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TaggedSnippet:
+    """A text snippet with an optional concept tag.
+
+    ``words`` is the tokenised snippet; snippets that tokenise to
+    nothing are rejected at construction.
+    """
+
+    text: str
+    cid: Optional[str] = None
+
+    @property
+    def words(self) -> Tuple[str, ...]:
+        return tuple(tokenize(self.text))
+
+    def __post_init__(self) -> None:
+        if not tokenize(self.text):
+            raise DataError(f"snippet {self.text!r} tokenised to nothing")
+
+
+class SnippetCorpus:
+    """A deduplicated collection of :class:`TaggedSnippet`.
+
+    Duplicates are detected on (normalised word sequence, cid) so the
+    same surface string can legitimately appear both untagged (a hospital
+    query) and tagged (a KB alias), mirroring footnote 8 of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._snippets: List[TaggedSnippet] = []
+        self._seen: set = set()
+
+    def add(self, text: str, cid: Optional[str] = None) -> bool:
+        """Add one snippet; returns False when it was a duplicate."""
+        snippet = TaggedSnippet(text=text, cid=cid)
+        key = (snippet.words, cid)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._snippets.append(snippet)
+        return True
+
+    def add_all(self, texts: Iterable[str], cid: Optional[str] = None) -> int:
+        """Add many snippets under one tag; returns how many stored."""
+        return sum(int(self.add(text, cid)) for text in texts)
+
+    def extend(self, other: "SnippetCorpus") -> int:
+        """Merge another corpus in; returns how many were new."""
+        return sum(
+            int(self.add(snippet.text, snippet.cid)) for snippet in other
+        )
+
+    def __len__(self) -> int:
+        return len(self._snippets)
+
+    def __iter__(self) -> Iterator[TaggedSnippet]:
+        return iter(self._snippets)
+
+    def __getitem__(self, index: int) -> TaggedSnippet:
+        return self._snippets[index]
+
+    def tagged(self) -> List[TaggedSnippet]:
+        """Snippets carrying a concept tag (KB-derived)."""
+        return [snippet for snippet in self._snippets if snippet.cid is not None]
+
+    def untagged(self) -> List[TaggedSnippet]:
+        """Snippets without a concept tag (query-like notes)."""
+        return [snippet for snippet in self._snippets if snippet.cid is None]
+
+    def token_sequences(self) -> List[Tuple[str, ...]]:
+        """All snippets as token tuples (CBOW input view)."""
+        return [snippet.words for snippet in self._snippets]
+
+    def subsample(self, fraction: float, rng: RngLike = None) -> "SnippetCorpus":
+        """A random fraction of the corpus (robustness study, Fig 13b)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        generator = ensure_rng(rng)
+        count = max(1, round(fraction * len(self._snippets)))
+        indices = generator.choice(len(self._snippets), size=count, replace=False)
+        sampled = SnippetCorpus()
+        for index in sorted(int(i) for i in indices):
+            snippet = self._snippets[index]
+            sampled.add(snippet.text, snippet.cid)
+        return sampled
+
+    def vocabulary_words(self) -> List[str]:
+        """All distinct words in the corpus, sorted."""
+        words = set()
+        for snippet in self._snippets:
+            words.update(snippet.words)
+        return sorted(words)

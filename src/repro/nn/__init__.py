@@ -1,0 +1,65 @@
+"""From-scratch neural-network substrate on NumPy.
+
+The paper implements its networks in C++; no deep-learning framework is
+available offline here, so this package provides exactly the pieces
+COM-AID and the neural baselines need, each with hand-derived forward
+and backward passes:
+
+* :class:`Parameter` / :class:`Module` containers;
+* :class:`Embedding`, :class:`Linear`, :class:`LSTMCell` (full BPTT),
+  dot-product :class:`Attention` (paper Eq. 5-7);
+* softmax cross-entropy losses;
+* SGD (with momentum), Adagrad and Adam optimisers, global-norm
+  gradient clipping;
+* ``.npz`` parameter (de)serialisation.
+
+Gradient correctness is enforced by finite-difference checks in the
+test suite (``tests/nn/test_gradcheck.py``).
+"""
+
+from repro.nn.attention import Attention
+from repro.nn.clip import clip_global_norm, global_norm
+from repro.nn.embedding import Embedding
+from repro.nn.gru import GRUCell, GRUEncoder
+from repro.nn.functional import (
+    log_softmax,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+    tanh,
+)
+from repro.nn.initializers import glorot_uniform, orthogonal, uniform, zeros
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell, LSTMEncoder
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adagrad, Adam, Optimizer
+from repro.nn.serialization import load_module, save_module
+
+__all__ = [
+    "Adagrad",
+    "Adam",
+    "Attention",
+    "Embedding",
+    "GRUCell",
+    "GRUEncoder",
+    "LSTMCell",
+    "LSTMEncoder",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "clip_global_norm",
+    "glorot_uniform",
+    "global_norm",
+    "load_module",
+    "log_softmax",
+    "orthogonal",
+    "save_module",
+    "sigmoid",
+    "softmax",
+    "softmax_cross_entropy",
+    "tanh",
+    "uniform",
+    "zeros",
+]

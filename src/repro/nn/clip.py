@@ -1,0 +1,33 @@
+"""Global-norm gradient clipping (standard for LSTM training)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.nn.module import Parameter
+
+
+def global_norm(parameters: Iterable[Parameter]) -> float:
+    """L2 norm of all gradients concatenated."""
+    total = 0.0
+    for parameter in parameters:
+        grad = parameter.grad
+        total += float((grad * grad).sum())
+    return math.sqrt(total)
+
+
+def clip_global_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Rescale all gradients so the global norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    parameter_list = list(parameters)
+    norm = global_norm(parameter_list)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for parameter in parameter_list:
+            parameter.grad *= scale
+    return norm

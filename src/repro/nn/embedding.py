@@ -1,0 +1,64 @@
+"""Embedding table with sparse gradient accumulation.
+
+Both encoder and decoder consume word embeddings ``w_t`` (paper Section
+4.1.1); the table may be initialised randomly or from the CBOW
+pre-training phase (Section 4.2), and is itself updated during COM-AID
+back-propagation ("the word embeddings ... are also updated").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.initializers import uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike
+
+
+class Embedding(Module):
+    """A ``(vocab_size, dim)`` lookup table."""
+
+    def __init__(
+        self, vocab_size: int, dim: int, scale: float = 0.08, rng: RngLike = None
+    ) -> None:
+        if vocab_size < 1:
+            raise ValueError(f"vocab_size must be >= 1, got {vocab_size}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(uniform((vocab_size, dim), scale=scale, rng=rng))
+
+    def forward(self, ids: Sequence[int]) -> np.ndarray:
+        """Rows for ``ids`` as a ``(len(ids), dim)`` matrix (a copy)."""
+        index = np.asarray(ids, dtype=np.intp)
+        if index.size and (index.min() < 0 or index.max() >= self.vocab_size):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.vocab_size}): "
+                f"{index.min()}..{index.max()}"
+            )
+        return self.weight.value[index].copy()
+
+    def backward(self, ids: Sequence[int], grad_out: np.ndarray) -> None:
+        """Scatter-add ``grad_out`` rows into the table gradient."""
+        index = np.asarray(ids, dtype=np.intp)
+        grad = np.asarray(grad_out, dtype=np.float64)
+        if grad.shape != (index.size, self.dim):
+            raise ValueError(
+                f"grad_out shape {grad.shape} != ({index.size}, {self.dim})"
+            )
+        np.add.at(self.weight.grad, index, grad)
+
+    def load_pretrained(
+        self, vectors: np.ndarray, ids: Sequence[int]
+    ) -> None:
+        """Overwrite rows ``ids`` with ``vectors`` (pre-training hand-off)."""
+        index = np.asarray(ids, dtype=np.intp)
+        values = np.asarray(vectors, dtype=np.float64)
+        if values.shape != (index.size, self.dim):
+            raise ValueError(
+                f"vectors shape {values.shape} != ({index.size}, {self.dim})"
+            )
+        self.weight.value[index] = values

@@ -1,0 +1,75 @@
+"""Numerically stable activation and loss primitives."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise logistic sigmoid, stable for large |x|."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """d sigmoid / dx expressed in terms of the output ``y``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise hyperbolic tangent (thin numpy wrapper for symmetry)."""
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray) -> np.ndarray:
+    """d tanh / dx expressed in terms of the output ``y``."""
+    return 1.0 - y * y
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, target: int
+) -> Tuple[float, np.ndarray]:
+    """Cross-entropy of a single categorical ``target`` under ``logits``.
+
+    Returns ``(loss, dlogits)`` where ``dlogits = softmax(logits) -
+    onehot(target)`` — the gradient of the loss w.r.t. the logits.
+    """
+    if logits.ndim != 1:
+        raise ValueError(f"logits must be 1-D, got shape {logits.shape}")
+    if not 0 <= target < logits.shape[0]:
+        raise IndexError(
+            f"target {target} out of range for {logits.shape[0]} classes"
+        )
+    log_probs = log_softmax(logits)
+    loss = -float(log_probs[target])
+    dlogits = np.exp(log_probs)
+    dlogits[target] -= 1.0
+    return loss, dlogits
+
+
+def one_hot(index: int, size: int) -> np.ndarray:
+    """A 1-D one-hot vector (validation included)."""
+    if not 0 <= index < size:
+        raise IndexError(f"index {index} out of range for size {size}")
+    vector = np.zeros(size, dtype=np.float64)
+    vector[index] = 1.0
+    return vector

@@ -1,0 +1,48 @@
+"""Weight initialisers (all take an explicit Generator)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """An all-zeros array of ``shape``."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(
+    shape: Tuple[int, ...], scale: float = 0.08, rng: RngLike = None
+) -> np.ndarray:
+    """Uniform in [-scale, scale] — the classic seq2seq initialisation."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    generator = ensure_rng(rng)
+    return generator.uniform(-scale, scale, size=shape).astype(np.float64)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform: scale by fan-in + fan-out."""
+    if len(shape) < 1:
+        raise ValueError("glorot_uniform needs at least a 1-D shape")
+    fan_in = shape[-1] if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    generator = ensure_rng(rng)
+    return generator.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def orthogonal(shape: Tuple[int, int], rng: RngLike = None) -> np.ndarray:
+    """Orthogonal initialisation (recurrent matrices benefit from it)."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal requires a 2-D shape, got {shape}")
+    generator = ensure_rng(rng)
+    rows, cols = shape
+    raw = generator.normal(size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(raw)
+    if rows < cols:
+        q = q.T
+    return np.ascontiguousarray(q[:rows, :cols], dtype=np.float64)

@@ -1,0 +1,93 @@
+"""Parameter and Module containers.
+
+A :class:`Parameter` couples a value array with a gradient accumulator;
+a :class:`Module` is a named tree of parameters and sub-modules.  There
+is no autograd: layers compute gradients explicitly in their
+``backward`` methods and accumulate them into ``Parameter.grad``; the
+optimiser then walks ``module.parameters()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient(s) to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances
+    as attributes; :meth:`parameters` flattens the tree into
+    ``{"path.to.param": Parameter}``.
+    """
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(flattened_name, Parameter)`` over the module tree."""
+        for name, attribute in vars(self).items():
+            if isinstance(attribute, Parameter):
+                yield name, attribute
+            elif isinstance(attribute, Module):
+                for child_name, parameter in attribute.named_parameters():
+                    yield f"{name}.{child_name}", parameter
+
+    def parameters(self) -> Dict[str, Parameter]:
+        """``{flattened_name: Parameter}`` over the module tree."""
+        return dict(self.named_parameters())
+
+    def zero_grad(self) -> None:
+        """Reset every parameter's gradient in the module tree."""
+        for _, parameter in self.named_parameters():
+            parameter.zero_grad()
+
+    def parameter_count(self) -> int:
+        """Total number of scalar weights in the module tree."""
+        return sum(parameter.value.size for _, parameter in self.named_parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter value, keyed by flattened name."""
+        return {
+            name: parameter.value.copy()
+            for name, parameter in self.named_parameters()
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values saved by :meth:`state_dict` (strict shape check)."""
+        parameters = self.parameters()
+        missing = set(parameters) - set(state)
+        unexpected = set(state) - set(parameters)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in parameters.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.value.shape:
+                raise ValueError(
+                    f"parameter {name!r}: shape {value.shape} does not match "
+                    f"{parameter.value.shape}"
+                )
+            parameter.value = value.copy()
+            parameter.grad = np.zeros_like(parameter.value)

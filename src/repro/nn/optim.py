@@ -1,0 +1,148 @@
+"""First-order optimisers over :class:`Parameter` collections.
+
+The paper trains COM-AID with mini-batch SGD (Section 4.2) and the CBOW
+pre-training with a fixed learning rate (Appendix B.2); Adam and Adagrad
+are provided because they converge much faster at the small scales the
+offline benches run at, without changing the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser: owns a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one parameter update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset every owned parameter's gradient to zero."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Optional[List[np.ndarray]] = None
+        if momentum > 0.0:
+            self._velocity = [
+                np.zeros_like(parameter.value) for parameter in self.parameters
+            ]
+
+    def step(self) -> None:
+        if self._velocity is None:
+            for parameter in self.parameters:
+                parameter.value -= self.lr * parameter.grad
+            return
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            velocity *= self.momentum
+            velocity += parameter.grad
+            parameter.value -= self.lr * velocity
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-coordinate learning rates (good for embeddings)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.epsilon = epsilon
+        self._accumulator = [
+            np.zeros_like(parameter.value) for parameter in self.parameters
+        ]
+
+    def step(self) -> None:
+        for parameter, accumulator in zip(self.parameters, self._accumulator):
+            accumulator += parameter.grad * parameter.grad
+            parameter.value -= (
+                self.lr * parameter.grad / (np.sqrt(accumulator) + self.epsilon)
+            )
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(
+                f"betas must be in [0, 1), got beta1={beta1}, beta2={beta2}"
+            )
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._first_moment = [
+            np.zeros_like(parameter.value) for parameter in self.parameters
+        ]
+        self._second_moment = [
+            np.zeros_like(parameter.value) for parameter in self.parameters
+        ]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, first, second in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            grad = parameter.grad
+            first *= self.beta1
+            first += (1.0 - self.beta1) * grad
+            second *= self.beta2
+            second += (1.0 - self.beta2) * grad * grad
+            first_hat = first / correction1
+            second_hat = second / correction2
+            parameter.value -= (
+                self.lr * first_hat / (np.sqrt(second_hat) + self.epsilon)
+            )
+
+
+def make_optimizer(
+    name: str, parameters: Iterable[Parameter], lr: float, **kwargs
+) -> Optimizer:
+    """Factory: ``"sgd"``, ``"adagrad"``, or ``"adam"``."""
+    registry: Dict[str, type] = {"sgd": SGD, "adagrad": Adagrad, "adam": Adam}
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown optimizer {name!r}; known: {known}") from None
+    return cls(parameters, lr=lr, **kwargs)

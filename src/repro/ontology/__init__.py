@@ -1,0 +1,25 @@
+"""Ontology substrate: concepts, the tree-structured ontology with
+sub-concept edges, structural-context paths (paper Definition 4.1), and
+synthetic ICD-9-CM / ICD-10-CM style ontology builders.
+"""
+
+from repro.ontology.concept import Concept
+from repro.ontology.icd import (
+    SyntheticIcdSpec,
+    build_icd10_like_ontology,
+    build_icd9_like_ontology,
+)
+from repro.ontology.loaders import load_ontology_json, save_ontology_json
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import structural_context
+
+__all__ = [
+    "Concept",
+    "Ontology",
+    "SyntheticIcdSpec",
+    "build_icd10_like_ontology",
+    "build_icd9_like_ontology",
+    "load_ontology_json",
+    "save_ontology_json",
+    "structural_context",
+]

@@ -1,0 +1,51 @@
+"""The concept data type.
+
+Paper Section 2.1: *"A concept c = {cid, d^c}, where cid is the unique
+identifier for c in KB, and d^c is a text snippet describing c"* — the
+canonical description, modelled as a word sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.text.tokenize import tokenize
+from repro.utils.errors import DataError
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A knowledge-base concept: identifier plus canonical description.
+
+    Attributes
+    ----------
+    cid:
+        Unique identifier, e.g. the ICD-10-CM code ``"N18.5"``.
+    description:
+        Canonical description text, e.g.
+        ``"chronic kidney disease, stage 5"``.
+    words:
+        The tokenised canonical description (derived; cached at
+        construction so encoders never re-tokenise).
+    """
+
+    cid: str
+    description: str
+    words: Tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.cid:
+            raise DataError("concept cid must be non-empty")
+        if not self.description or not self.description.strip():
+            raise DataError(f"concept {self.cid!r} has an empty description")
+        if not self.words:
+            object.__setattr__(self, "words", tuple(tokenize(self.description)))
+        if not self.words:
+            raise DataError(
+                f"concept {self.cid!r} description {self.description!r} "
+                "tokenised to nothing"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.cid}: {self.description}"

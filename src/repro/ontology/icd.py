@@ -1,0 +1,451 @@
+"""Synthetic ICD-9-CM / ICD-10-CM style ontology builders.
+
+The paper evaluates on the real ICD-9-CM (17,418 concepts) and
+ICD-10-CM (93,830 concepts) ontologies distributed with UMLS, which are
+licensed artifacts we cannot ship.  These builders generate ontologies
+with the same *shape*:
+
+* ICD-10-CM-like: alphanumeric codes ``X12``, ``X12.3``, ``X12.34``
+  (up to three levels below the chapter), longer canonical
+  descriptions, many fine-grained leaves per category;
+* ICD-9-CM-like: numeric codes ``123``, ``123.4`` (shallower), shorter
+  canonical descriptions and fewer leaves — the paper attributes the
+  hospital-x vs MIMIC timing gap exactly to this description-length
+  difference (Appendix B.1).
+
+Descriptions are composed from a clinical lexicon of disease families,
+anatomical sites, and severity/etiology qualifiers, so that sibling
+leaves exhibit the *fine-grained meaning overlap* the paper targets
+(e.g. several anemia variants differing only in their qualifier), and
+different families provide the vocabulary spread the keyword matcher
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class DiseaseFamily:
+    """One chapter-like family of related conditions.
+
+    ``conditions`` are category-level noun phrases; ``sites`` optionally
+    extend them ("gastritis" -> "gastritis of stomach" is clinically
+    redundant, so sites are only attached where ``attach_sites``).
+    """
+
+    letter: str
+    name: str
+    conditions: Tuple[str, ...]
+    sites: Tuple[str, ...] = ()
+    causes: Tuple[str, ...] = ()
+    attach_sites: bool = False
+
+
+# Qualifier pools for fine-grained leaves.  These phrases are the
+# source of the paper's "minor concept meaning differences": siblings
+# share the category description and differ only in one of these.
+SEVERITY_QUALIFIERS: Tuple[str, ...] = (
+    "unspecified", "mild", "moderate", "severe", "acute", "chronic",
+    "recurrent", "intractable", "in remission",
+)
+STAGE_QUALIFIERS: Tuple[str, ...] = (
+    "stage 1", "stage 2", "stage 3", "stage 4", "stage 5", "end stage",
+)
+COMPLICATION_QUALIFIERS: Tuple[str, ...] = (
+    "with hemorrhage", "without hemorrhage", "with perforation",
+    "with obstruction", "without complication", "with exacerbation",
+    "with infection", "with ulceration", "with gangrene",
+)
+LATERALITY_QUALIFIERS: Tuple[str, ...] = (
+    "right", "left", "bilateral", "unspecified side",
+)
+
+# Etiology/type modifiers prepended to long-style (ICD-10) category
+# descriptions — real ICD-10-CM strings are long precisely because of
+# these ("hypertensive chronic kidney disease", "alcoholic hepatitis
+# with ascites").  Longer descriptions are what make the text-attention
+# mechanism matter: a single final LSTM state cannot retain a 12-word
+# description.
+ETIOLOGY_MODIFIERS: Tuple[str, ...] = (
+    "hypertensive", "diabetic", "alcoholic", "post traumatic",
+    "congenital", "idiopathic", "drug induced", "radiation related",
+    "postoperative", "hereditary",
+)
+
+DEFAULT_FAMILIES: Tuple[DiseaseFamily, ...] = (
+    DiseaseFamily(
+        letter="D", name="blood",
+        conditions=(
+            "iron deficiency anemia", "folate deficiency anemia",
+            "vitamin b12 deficiency anemia", "protein deficiency anemia",
+            "scorbutic anemia", "aplastic anemia", "hemolytic anemia",
+            "sickle cell disorder", "thrombocytopenia", "neutropenia",
+        ),
+        causes=(
+            "secondary to blood loss", "due to dietary causes",
+            "due to enzyme deficiency", "due to drugs",
+            "secondary to chronic disease",
+        ),
+    ),
+    DiseaseFamily(
+        letter="N", name="genitourinary",
+        conditions=(
+            "chronic kidney disease", "acute kidney failure",
+            "nephrotic syndrome", "tubulo interstitial nephritis",
+            "calculus of kidney", "cystitis", "urethral stricture",
+            "benign mammary dysplasia", "disorder of breast",
+            "glomerular disease",
+        ),
+        causes=(
+            "due to hypertension", "due to diabetes",
+            "with tubular necrosis", "due to infection",
+        ),
+    ),
+    DiseaseFamily(
+        letter="R", name="symptoms",
+        conditions=(
+            "abdominal and pelvic pain", "headache", "fever",
+            "nausea and vomiting", "dizziness and giddiness", "dysuria",
+            "malaise and fatigue", "syncope and collapse",
+            "abnormal weight loss", "localized swelling",
+        ),
+        sites=("abdomen", "chest", "pelvis", "flank", "epigastrium"),
+        attach_sites=True,
+    ),
+    DiseaseFamily(
+        letter="I", name="circulatory",
+        conditions=(
+            "essential hypertension", "pulmonary hypertension",
+            "acute myocardial infarction", "atrial fibrillation",
+            "heart failure", "cerebral infarction", "angina pectoris",
+            "cardiomyopathy", "atherosclerosis", "phlebitis and thrombophlebitis",
+        ),
+        causes=(
+            "with congestive features", "due to ischemia",
+            "with reduced ejection fraction", "with preserved ejection fraction",
+        ),
+    ),
+    DiseaseFamily(
+        letter="E", name="endocrine",
+        conditions=(
+            "type 1 diabetes mellitus", "type 2 diabetes mellitus",
+            "hypothyroidism", "hyperthyroidism", "obesity",
+            "disorder of lipoprotein metabolism", "vitamin d deficiency",
+            "deficiency of other nutrient elements", "hypoglycemia",
+            "electrolyte imbalance",
+        ),
+        causes=(
+            "with neuropathy", "with nephropathy", "with retinopathy",
+            "with ketoacidosis", "with hyperosmolarity",
+        ),
+    ),
+    DiseaseFamily(
+        letter="J", name="respiratory",
+        conditions=(
+            "acute bronchitis", "pneumonia", "asthma",
+            "chronic obstructive pulmonary disease", "acute sinusitis",
+            "pleural effusion", "bronchiectasis", "influenza",
+            "acute tonsillitis", "respiratory failure",
+        ),
+        causes=(
+            "due to bacterial infection", "due to viral infection",
+            "with acute exacerbation",
+        ),
+    ),
+    DiseaseFamily(
+        letter="K", name="digestive",
+        conditions=(
+            "gastric ulcer", "duodenal ulcer", "gastritis",
+            "polyp of colon", "malignant neoplasm of colon",
+            "cholelithiasis", "acute pancreatitis", "alcoholic hepatitis",
+            "irritable bowel syndrome", "diverticular disease",
+        ),
+    ),
+    DiseaseFamily(
+        letter="L", name="skin",
+        conditions=(
+            "atopic dermatitis", "contact dermatitis", "psoriasis",
+            "cellulitis", "pressure ulcer", "urticaria",
+            "dermatitis unspecified cause", "seborrheic dermatitis",
+            "acne", "alopecia",
+        ),
+        sites=("face", "scalp", "trunk", "hand", "foot", "lower limb"),
+        attach_sites=True,
+    ),
+    DiseaseFamily(
+        letter="M", name="musculoskeletal",
+        conditions=(
+            "rheumatoid arthritis", "osteoarthritis", "gout",
+            "low back pain", "osteoporosis", "myalgia",
+            "spinal stenosis", "rotator cuff syndrome",
+            "plantar fasciitis", "systemic lupus erythematosus",
+        ),
+        sites=("knee", "hip", "shoulder", "wrist", "ankle", "spine"),
+        attach_sites=True,
+    ),
+    DiseaseFamily(
+        letter="G", name="nervous",
+        conditions=(
+            "migraine", "epilepsy", "parkinson disease",
+            "multiple sclerosis", "carpal tunnel syndrome",
+            "peripheral neuropathy", "trigeminal neuralgia",
+            "sleep apnea", "essential tremor", "bell palsy",
+        ),
+    ),
+    DiseaseFamily(
+        letter="C", name="neoplasms",
+        conditions=(
+            "malignant neoplasm of breast", "malignant neoplasm of lung",
+            "malignant neoplasm of prostate", "malignant neoplasm of stomach",
+            "benign neoplasm of skin", "benign neoplasm of testis",
+            "carcinoma in situ of cervix", "lymphoma",
+            "leukemia", "melanoma of skin",
+        ),
+        causes=("with metastasis", "without metastasis"),
+    ),
+    DiseaseFamily(
+        letter="F", name="mental",
+        conditions=(
+            "major depressive disorder", "generalized anxiety disorder",
+            "bipolar disorder", "schizophrenia", "panic disorder",
+            "post traumatic stress disorder", "alcohol dependence",
+            "opioid dependence", "insomnia disorder", "dementia",
+        ),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SyntheticIcdSpec:
+    """Parameters for synthetic ontology generation.
+
+    Attributes
+    ----------
+    families:
+        Disease families to draw categories from.
+    categories_per_family:
+        How many category (level-2) concepts each family contributes;
+        capped by the family's condition count.
+    leaves_per_category:
+        Fine-grained sub-concepts per category.
+    deep_fraction:
+        Fraction of categories that gain an intermediate level (depth-4
+        codes like ``L20.84``), ICD-10 style.
+    numeric_codes:
+        ICD-9 style numeric codes (``585.6``) instead of alphanumeric.
+    description_style:
+        ``"long"`` (ICD-10-like: qualifiers spliced into full phrases)
+        or ``"short"`` (ICD-9-like: terser descriptions).
+    """
+
+    families: Tuple[DiseaseFamily, ...] = DEFAULT_FAMILIES
+    categories_per_family: int = 6
+    leaves_per_category: int = 5
+    deep_fraction: float = 0.25
+    numeric_codes: bool = False
+    description_style: str = "long"
+
+    def __post_init__(self) -> None:
+        if self.categories_per_family < 1:
+            raise ConfigurationError(
+                f"categories_per_family must be >= 1, got "
+                f"{self.categories_per_family}"
+            )
+        if self.leaves_per_category < 1:
+            raise ConfigurationError(
+                f"leaves_per_category must be >= 1, got {self.leaves_per_category}"
+            )
+        if not 0.0 <= self.deep_fraction <= 1.0:
+            raise ConfigurationError(
+                f"deep_fraction must be in [0, 1], got {self.deep_fraction}"
+            )
+        if self.description_style not in ("long", "short"):
+            raise ConfigurationError(
+                f"description_style must be 'long' or 'short', got "
+                f"{self.description_style!r}"
+            )
+        if not self.families:
+            raise ConfigurationError("at least one disease family is required")
+
+
+def _qualifier_pool(
+    family: DiseaseFamily, rng, condition: str
+) -> List[str]:
+    """Assemble the qualifier phrases available for one category."""
+    pool: List[str] = list(SEVERITY_QUALIFIERS)
+    if "kidney" in condition or "disease" in condition:
+        pool.extend(STAGE_QUALIFIERS)
+    pool.extend(COMPLICATION_QUALIFIERS)
+    pool.extend(family.causes)
+    if family.sites and not family.attach_sites:
+        pool.extend(f"of {site}" for site in family.sites)
+    # Deterministic shuffle so sibling leaves differ per category.
+    indices = rng.permutation(len(pool))
+    return [pool[i] for i in indices]
+
+
+def _leaf_description(base: str, qualifier: str, style: str) -> str:
+    if style == "short":
+        # ICD-9-like terseness: "anemia iron deficiency" style inversion
+        # is overkill; just append the qualifier without connectives.
+        return f"{base} {qualifier}"
+    if qualifier.startswith(("with", "without", "due", "secondary", "in ", "of ")):
+        return f"{base} {qualifier}"
+    return f"{base}, {qualifier}"
+
+
+def _compose_qualifiers(first: str, second: str) -> str:
+    """Join two qualifiers the way ICD-10-CM strings do.
+
+    "stage 5" + "with hemorrhage" -> "stage 5 with hemorrhage";
+    "acute" + "recurrent" -> "acute, recurrent".
+    """
+    if second.startswith(("with", "without", "due", "secondary", "in ", "of ")):
+        return f"{first} {second}"
+    return f"{first}, {second}"
+
+
+def build_synthetic_icd(
+    spec: SyntheticIcdSpec, rng: RngLike = None
+) -> Ontology:
+    """Generate a synthetic ICD-style ontology from ``spec``.
+
+    Level 1 holds one block concept per family (e.g. ``D50-D89`` style
+    ranges in real ICD; here the family name), level 2 the categories,
+    level 3 (and occasionally 4) the fine-grained leaves.
+    """
+    generator = ensure_rng(rng)
+    ontology = Ontology()
+    for family_index, family in enumerate(spec.families):
+        n_categories = min(spec.categories_per_family, len(family.conditions))
+        block_cid = _format_block_cid(family, family_index, spec.numeric_codes)
+        ontology.add(
+            Concept(cid=block_cid, description=f"diseases of the {family.name}")
+        )
+        condition_order = generator.permutation(len(family.conditions))
+        for slot in range(n_categories):
+            condition = family.conditions[int(condition_order[slot])]
+            base = condition
+            if family.attach_sites and family.sites:
+                site = family.sites[int(generator.integers(len(family.sites)))]
+                base = f"{condition} of {site}"
+            if spec.description_style == "long" and generator.random() < 0.45:
+                modifier = ETIOLOGY_MODIFIERS[
+                    int(generator.integers(len(ETIOLOGY_MODIFIERS)))
+                ]
+                base = f"{modifier} {base}"
+            category_cid = _format_category_cid(
+                family, family_index, slot, spec.numeric_codes
+            )
+            ontology.add(
+                Concept(cid=category_cid, description=base), parent_cid=block_cid
+            )
+            qualifiers = _qualifier_pool(family, generator, condition)
+            deep = generator.random() < spec.deep_fraction
+            parent_for_leaves = category_cid
+            leaf_budget = spec.leaves_per_category
+            if deep and leaf_budget >= 2:
+                # Intermediate node consumes one qualifier; its leaves
+                # get two-part qualifiers (ICD-10 5th character style).
+                mid_qualifier = qualifiers[0]
+                qualifiers = qualifiers[1:]
+                mid_cid = f"{category_cid}.8"
+                ontology.add(
+                    Concept(
+                        cid=mid_cid,
+                        description=_leaf_description(
+                            base, mid_qualifier, spec.description_style
+                        ),
+                    ),
+                    parent_cid=category_cid,
+                )
+                parent_for_leaves = mid_cid
+            for leaf_index in range(leaf_budget):
+                qualifier = qualifiers[leaf_index % len(qualifiers)]
+                if (
+                    spec.description_style == "long"
+                    and len(qualifiers) > 1
+                    and generator.random() < 0.4
+                ):
+                    second = qualifiers[(leaf_index + 3) % len(qualifiers)]
+                    if second != qualifier:
+                        qualifier = _compose_qualifiers(qualifier, second)
+                leaf_cid = _format_leaf_cid(
+                    parent_for_leaves, leaf_index, deep, spec.numeric_codes
+                )
+                ontology.add(
+                    Concept(
+                        cid=leaf_cid,
+                        description=_leaf_description(
+                            base, qualifier, spec.description_style
+                        ),
+                    ),
+                    parent_cid=parent_for_leaves,
+                )
+    return ontology
+
+
+def _format_block_cid(family: DiseaseFamily, index: int, numeric: bool) -> str:
+    if numeric:
+        start = 100 + index * 50
+        return f"{start}-{start + 49}"
+    return f"{family.letter}00-{family.letter}99"
+
+
+def _format_category_cid(
+    family: DiseaseFamily, family_index: int, slot: int, numeric: bool
+) -> str:
+    if numeric:
+        return str(100 + family_index * 50 + slot)
+    return f"{family.letter}{slot + 10}"
+
+
+def _format_leaf_cid(parent_cid: str, leaf_index: int, deep: bool, numeric: bool) -> str:
+    if deep:
+        # parent is e.g. "L20.8" -> leaves "L20.81", "L20.82", ...
+        return f"{parent_cid}{leaf_index}"
+    return f"{parent_cid}.{leaf_index}"
+
+
+def build_icd10_like_ontology(
+    rng: RngLike = None,
+    categories_per_family: int = 6,
+    leaves_per_category: int = 5,
+    families: Optional[Sequence[DiseaseFamily]] = None,
+) -> Ontology:
+    """ICD-10-CM-shaped ontology: alphanumeric codes, long descriptions."""
+    spec = SyntheticIcdSpec(
+        families=tuple(families) if families is not None else DEFAULT_FAMILIES,
+        categories_per_family=categories_per_family,
+        leaves_per_category=leaves_per_category,
+        deep_fraction=0.25,
+        numeric_codes=False,
+        description_style="long",
+    )
+    return build_synthetic_icd(spec, rng)
+
+
+def build_icd9_like_ontology(
+    rng: RngLike = None,
+    categories_per_family: int = 5,
+    leaves_per_category: int = 4,
+    families: Optional[Sequence[DiseaseFamily]] = None,
+) -> Ontology:
+    """ICD-9-CM-shaped ontology: numeric codes, shorter descriptions."""
+    spec = SyntheticIcdSpec(
+        families=tuple(families) if families is not None else DEFAULT_FAMILIES,
+        categories_per_family=categories_per_family,
+        leaves_per_category=leaves_per_category,
+        deep_fraction=0.0,
+        numeric_codes=True,
+        description_style="short",
+    )
+    return build_synthetic_icd(spec, rng)

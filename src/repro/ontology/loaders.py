@@ -1,0 +1,69 @@
+"""Ontology persistence (JSON interchange format).
+
+The on-disk format is intentionally simple so that a user with a real
+ICD-10-CM / UMLS licence can export their ontology into it and run the
+full pipeline on real data:
+
+.. code-block:: json
+
+    {
+      "concepts": [{"cid": "N18", "description": "chronic kidney disease"},
+                   {"cid": "N18.5", "description": "... stage 5"}],
+      "edges": [["N18", "N18.5"]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import validate_tree
+from repro.utils.errors import DataError
+
+PathLike = Union[str, Path]
+
+
+def save_ontology_json(ontology: Ontology, path: PathLike) -> None:
+    """Write ``ontology`` to ``path`` as JSON."""
+    concepts = [
+        {"cid": concept.cid, "description": concept.description}
+        for concept in ontology
+    ]
+    edges = []
+    for concept in ontology:
+        parent = ontology.parent_of(concept.cid)
+        if parent is not None:
+            edges.append([parent.cid, concept.cid])
+    payload = {"concepts": concepts, "edges": edges}
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_ontology_json(path: PathLike) -> Ontology:
+    """Load an ontology from JSON written by :func:`save_ontology_json`.
+
+    The loaded tree is validated (depths, acyclicity) before being
+    returned; malformed files raise :class:`DataError`.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"ontology file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise DataError(f"ontology file {path} must contain a JSON object")
+    try:
+        raw_concepts = payload["concepts"]
+        raw_edges = payload["edges"]
+    except KeyError as exc:
+        raise DataError(f"ontology file {path} missing key {exc}") from exc
+    concepts = [
+        Concept(cid=str(entry["cid"]), description=str(entry["description"]))
+        for entry in raw_concepts
+    ]
+    edges = [(str(parent), str(child)) for parent, child in raw_edges]
+    ontology = Ontology.from_edges(concepts, edges)
+    validate_tree(ontology)
+    return ontology

@@ -1,0 +1,215 @@
+"""Tree-structured concept ontology.
+
+Paper Section 2.1: an ontology ``O = <C, E>`` is a tree with concepts as
+nodes and *sub-concept* edges; a **fine-grained concept** is a concept
+without sub-concepts (a leaf).  Queries are only ever linked to
+fine-grained concepts.
+
+The tree is rooted at a virtual root so that forests (e.g. the disjoint
+ICD chapters) form one ontology; the virtual root never appears in
+structural contexts (Definition 4.1 excludes the root from first-level
+duplication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ontology.concept import Concept
+from repro.utils.errors import DataError
+
+ROOT_CID = "<root>"
+
+
+class Ontology:
+    """A rooted tree of :class:`Concept` nodes with sub-concept edges.
+
+    Build with :meth:`add` (parent must exist or be ``None`` for a
+    first-level concept), or in bulk with :meth:`from_edges`.
+    """
+
+    def __init__(self) -> None:
+        self._concepts: Dict[str, Concept] = {}
+        self._parent: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+        self._depth: Dict[str, int] = {}
+
+    # -- construction -------------------------------------------------
+
+    def add(self, concept: Concept, parent_cid: Optional[str] = None) -> None:
+        """Insert ``concept`` as a child of ``parent_cid`` (or top level)."""
+        if concept.cid == ROOT_CID:
+            raise DataError(f"cid {ROOT_CID!r} is reserved for the virtual root")
+        if concept.cid in self._concepts:
+            raise DataError(f"duplicate concept cid {concept.cid!r}")
+        if parent_cid is not None and parent_cid not in self._concepts:
+            raise DataError(
+                f"parent {parent_cid!r} of {concept.cid!r} is not in the ontology"
+            )
+        self._concepts[concept.cid] = concept
+        self._parent[concept.cid] = parent_cid
+        self._children[concept.cid] = []
+        if parent_cid is None:
+            self._depth[concept.cid] = 1
+        else:
+            self._children[parent_cid].append(concept.cid)
+            self._depth[concept.cid] = self._depth[parent_cid] + 1
+
+    @classmethod
+    def from_edges(
+        cls,
+        concepts: Iterable[Concept],
+        edges: Iterable[Tuple[str, str]],
+    ) -> "Ontology":
+        """Build from a concept list and ``(parent, child)`` edges.
+
+        Concepts may arrive in any order; the method topologically
+        inserts them.  Cycles and multi-parent nodes raise
+        :class:`DataError`.
+        """
+        concept_map = {concept.cid: concept for concept in concepts}
+        parent_of: Dict[str, str] = {}
+        for parent, child in edges:
+            if parent not in concept_map:
+                raise DataError(f"edge references unknown parent {parent!r}")
+            if child not in concept_map:
+                raise DataError(f"edge references unknown child {child!r}")
+            if child in parent_of:
+                raise DataError(f"concept {child!r} has multiple parents")
+            parent_of[child] = parent
+
+        ontology = cls()
+        inserted: set = set()
+
+        def insert(cid: str, trail: Tuple[str, ...]) -> None:
+            if cid in inserted:
+                return
+            if cid in trail:
+                cycle = " -> ".join(trail + (cid,))
+                raise DataError(f"ontology edges contain a cycle: {cycle}")
+            parent = parent_of.get(cid)
+            if parent is not None:
+                insert(parent, trail + (cid,))
+            ontology.add(concept_map[cid], parent)
+            inserted.add(cid)
+
+        for cid in concept_map:
+            insert(cid, ())
+        return ontology
+
+    # -- structure queries ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __contains__(self, cid: str) -> bool:
+        return cid in self._concepts
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def get(self, cid: str) -> Concept:
+        """The concept with ``cid`` (KeyError when unknown)."""
+        concept = self._concepts.get(cid)
+        if concept is None:
+            raise KeyError(f"unknown concept {cid!r}")
+        return concept
+
+    def parent_of(self, cid: str) -> Optional[Concept]:
+        """Parent concept, or ``None`` for first-level concepts."""
+        parent_cid = self._parent[self.get(cid).cid]
+        return self._concepts[parent_cid] if parent_cid is not None else None
+
+    def children_of(self, cid: str) -> Tuple[Concept, ...]:
+        """Immediate sub-concepts of ``cid``, in insertion order."""
+        self.get(cid)
+        return tuple(self._concepts[child] for child in self._children[cid])
+
+    def is_fine_grained(self, cid: str) -> bool:
+        """True when ``cid`` has no sub-concepts (paper Section 2.1)."""
+        self.get(cid)
+        return not self._children[cid]
+
+    def fine_grained(self) -> Tuple[Concept, ...]:
+        """All fine-grained (leaf) concepts, in insertion order."""
+        return tuple(
+            concept
+            for cid, concept in self._concepts.items()
+            if not self._children[cid]
+        )
+
+    def depth_of(self, cid: str) -> int:
+        """1-based depth: first-level concepts have depth 1."""
+        self.get(cid)
+        return self._depth[cid]
+
+    def max_depth(self) -> int:
+        """Depth of the deepest concept (0 for an empty ontology)."""
+        return max(self._depth.values(), default=0)
+
+    def ancestors_of(self, cid: str) -> Tuple[Concept, ...]:
+        """Ancestors from the immediate parent up to the first level.
+
+        The virtual root is never included.
+        """
+        self.get(cid)
+        chain: List[Concept] = []
+        current = self._parent[cid]
+        while current is not None:
+            chain.append(self._concepts[current])
+            current = self._parent[current]
+        return tuple(chain)
+
+    def roots(self) -> Tuple[Concept, ...]:
+        """First-level concepts (children of the virtual root)."""
+        return tuple(
+            concept
+            for cid, concept in self._concepts.items()
+            if self._parent[cid] is None
+        )
+
+    def subtree_of(self, cid: str) -> Tuple[Concept, ...]:
+        """``cid`` plus all of its descendants, preorder."""
+        self.get(cid)
+        ordered: List[Concept] = []
+        stack = [cid]
+        while stack:
+            current = stack.pop()
+            ordered.append(self._concepts[current])
+            stack.extend(reversed(self._children[current]))
+        return tuple(ordered)
+
+    def restricted_to(self, cids: Sequence[str]) -> "Ontology":
+        """A new ontology containing ``cids`` and all their ancestors.
+
+        Used by the robustness study (Figure 13a), which varies the
+        considered concept fraction while keeping the tree well-formed.
+        """
+        keep: set = set()
+        for cid in cids:
+            self.get(cid)
+            keep.add(cid)
+            keep.update(ancestor.cid for ancestor in self.ancestors_of(cid))
+        restricted = Ontology()
+
+        def insert(cid: str) -> None:
+            if cid in restricted:
+                return
+            parent = self._parent[cid]
+            if parent is not None:
+                insert(parent)
+            restricted.add(self._concepts[cid], parent)
+
+        for cid in self._concepts:  # preserves insertion order
+            if cid in keep:
+                insert(cid)
+        return restricted
+
+    def describe(self) -> Dict[str, int]:
+        """Summary statistics (used in dataset cards and reports)."""
+        return {
+            "concepts": len(self),
+            "fine_grained": len(self.fine_grained()),
+            "max_depth": self.max_depth(),
+            "roots": len(self.roots()),
+        }

@@ -1,0 +1,93 @@
+"""Structural context paths (paper Definition 4.1).
+
+Given a depth ``β`` and a concept ``c_l``, the structural context of
+``c_l`` is the ancestor path ``<c_l, c_{l-1}, ..., c_{l-β}>``.  When the
+concept sits at a level ``l < β`` (fewer ancestors than requested), the
+first-level concept (excluding the virtual root) is duplicated until the
+path reaches length ``β``.
+
+Example (Figure 1(b)): with ``β = 1`` the structural context of D50.0 is
+``<D50.0, D50>``; with ``β = 3`` it is ``<D50.0, D50, D50, D50>``
+because D50 is already first-level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.utils.errors import ConfigurationError, DataError
+
+
+def structural_context(
+    ontology: Ontology, cid: str, beta: int
+) -> Tuple[Concept, ...]:
+    """The ancestor path ``<c_l, c_{l-1}, ..., c_{l-β}>`` of ``cid``.
+
+    The returned tuple has length ``β + 1`` (the concept itself plus β
+    ancestors), padding by duplicating the first-level ancestor when the
+    concept is too shallow.
+
+    Parameters
+    ----------
+    ontology:
+        The concept tree.
+    cid:
+        The concept whose context is requested (need not be
+        fine-grained, although only fine-grained concepts are linked).
+    beta:
+        Context depth β >= 0.  β = 0 yields just ``(concept,)``.
+    """
+    if beta < 0:
+        raise ConfigurationError(f"beta must be >= 0, got {beta}")
+    concept = ontology.get(cid)
+    ancestors = ontology.ancestors_of(cid)
+    path: List[Concept] = [concept]
+    path.extend(ancestors[:beta])
+    if len(path) < beta + 1:
+        # Duplicate the first-level concept (the last real element of
+        # the chain; the concept itself when it is first-level).
+        filler = path[-1]
+        if ancestors:
+            filler = ancestors[-1]
+        while len(path) < beta + 1:
+            path.append(filler)
+    return tuple(path)
+
+
+def context_cids(ontology: Ontology, cid: str, beta: int) -> Tuple[str, ...]:
+    """Like :func:`structural_context` but returning cids only."""
+    return tuple(concept.cid for concept in structural_context(ontology, cid, beta))
+
+
+def validate_tree(ontology: Ontology) -> None:
+    """Sanity-check structural invariants of an ontology.
+
+    Verifies that every concept's recorded depth equals one plus its
+    parent's depth and that ancestor chains terminate.  Raises
+    :class:`DataError` on violation.  The builders already maintain
+    these invariants; this is a belt-and-braces check for ontologies
+    loaded from external files.
+    """
+    for concept in ontology:
+        parent = ontology.parent_of(concept.cid)
+        depth = ontology.depth_of(concept.cid)
+        if parent is None:
+            if depth != 1:
+                raise DataError(
+                    f"first-level concept {concept.cid!r} has depth {depth}"
+                )
+        else:
+            parent_depth = ontology.depth_of(parent.cid)
+            if depth != parent_depth + 1:
+                raise DataError(
+                    f"concept {concept.cid!r} depth {depth} != parent "
+                    f"{parent.cid!r} depth {parent_depth} + 1"
+                )
+        chain = ontology.ancestors_of(concept.cid)
+        if len(chain) != depth - 1:
+            raise DataError(
+                f"concept {concept.cid!r}: ancestor chain length "
+                f"{len(chain)} inconsistent with depth {depth}"
+            )

@@ -1,0 +1,24 @@
+"""Text processing substrate: tokenisation, vocabularies, string
+distances, n-grams, and the TF-IDF inverted index used by the online
+candidate-retrieval phase (paper Section 5, Phase I).
+"""
+
+from repro.text.edit_distance import damerau_levenshtein, levenshtein, normalized_levenshtein
+from repro.text.ngrams import char_ngrams, word_ngrams
+from repro.text.tfidf import TfIdfIndex, TfIdfMatch
+from repro.text.tokenize import Tokenizer, normalize_text, tokenize
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "TfIdfIndex",
+    "TfIdfMatch",
+    "Tokenizer",
+    "Vocabulary",
+    "char_ngrams",
+    "damerau_levenshtein",
+    "levenshtein",
+    "normalized_levenshtein",
+    "normalize_text",
+    "tokenize",
+    "word_ngrams",
+]

@@ -1,0 +1,76 @@
+"""String edit distances.
+
+Online query rewriting (paper Section 5, Phase I) falls back to a
+*textually similar* in-vocabulary word when an out-of-vocabulary query
+word has no embedding, "e.g. using edit-distance" — fixing typos like
+``neuropaty -> neuropathy``.  Damerau-Levenshtein additionally treats
+adjacent transpositions (a very common typo class) as one edit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def levenshtein(left: str, right: str, max_distance: Optional[int] = None) -> int:
+    """Classic Levenshtein distance with an optional early-exit band.
+
+    When ``max_distance`` is given and the true distance exceeds it,
+    ``max_distance + 1`` is returned (callers only need "too far").
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if max_distance is not None and abs(len(left) - len(right)) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i] + [0] * len(right)
+        row_min = current[0]
+        for j, right_char in enumerate(right, start=1):
+            substitution = previous[j - 1] + (left_char != right_char)
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, substitution)
+            row_min = min(row_min, current[j])
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein(left: str, right: str) -> int:
+    """Optimal-string-alignment distance (adjacent transposition = 1)."""
+    if left == right:
+        return 0
+    rows, cols = len(left) + 1, len(right) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        table[i][0] = i
+    for j in range(cols):
+        table[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = int(left[i - 1] != right[j - 1])
+            table[i][j] = min(
+                table[i - 1][j] + 1,
+                table[i][j - 1] + 1,
+                table[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and left[i - 1] == right[j - 2]
+                and left[i - 2] == right[j - 1]
+            ):
+                table[i][j] = min(table[i][j], table[i - 2][j - 2] + 1)
+    return table[-1][-1]
+
+
+def normalized_levenshtein(left: str, right: str) -> float:
+    """Levenshtein scaled to [0, 1] by the longer string's length."""
+    if not left and not right:
+        return 0.0
+    return levenshtein(left, right) / max(len(left), len(right))

@@ -1,0 +1,51 @@
+"""Character and word n-gram extraction.
+
+The extended logistic-regression baseline (paper Section 6.1) uses
+character-bigram features following Tsuruoka et al. [43]; the pkduck
+baseline uses token-level comparisons.  Both consume these helpers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+
+def char_ngrams(text: str, n: int = 2, pad: bool = True) -> List[str]:
+    """Character n-grams of ``text``.
+
+    With ``pad=True`` the string is wrapped in ``#`` sentinels so that
+    prefixes/suffixes produce distinctive grams (``#c``, ``a#`` for
+    ``"ca"``), mirroring the dictionary-lookup feature design of [43].
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    padded = f"#{text}#" if pad else text
+    if len(padded) < n:
+        return [padded] if padded else []
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+def word_ngrams(tokens: Sequence[str], n: int = 2) -> List[Tuple[str, ...]]:
+    """Word n-grams of a token sequence (empty list if too short)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def ngram_profile(text: str, n: int = 2) -> Counter:
+    """Multiset of character n-grams, for cosine/Jaccard style features."""
+    return Counter(char_ngrams(text, n=n))
+
+
+def ngram_jaccard(left: str, right: str, n: int = 2) -> float:
+    """Jaccard similarity of the two strings' n-gram multisets."""
+    left_profile = ngram_profile(left, n=n)
+    right_profile = ngram_profile(right, n=n)
+    if not left_profile and not right_profile:
+        return 1.0
+    intersection = sum((left_profile & right_profile).values())
+    union = sum((left_profile | right_profile).values())
+    return intersection / union if union else 0.0

@@ -1,0 +1,155 @@
+"""TF-IDF inverted index for Phase-I candidate retrieval.
+
+Paper Section 5, Phase I: *"We generate candidate concepts using keyword
+search.  More specifically, we compute the cosine similarity between
+each concept c and query q with the TF-IDF weighting scheme, and then
+return the top-k concepts with the largest similarity as the
+candidates."*
+
+The index stores one document per concept (its canonical description,
+optionally extended with aliases) and answers top-k cosine queries via
+an inverted list, so query cost scales with posting-list length rather
+than corpus size — this is what the Figure 11 CR-time measurements
+exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import NotFittedError
+
+
+@dataclass(frozen=True)
+class TfIdfMatch:
+    """One retrieval hit: the document key and its cosine score."""
+
+    key: Hashable
+    score: float
+
+
+class TfIdfIndex:
+    """Inverted index with ltc-style TF-IDF weighting.
+
+    Term weight: ``(1 + log tf) * (1 + log((N + 1) / (df + 1)))`` with
+    document-length (L2) normalisation; query weights use the same
+    scheme.  The additive 1 keeps the IDF strictly positive even for a
+    term occurring in every document (df = N), and the smoothed
+    denominator keeps query-only terms harmless instead of raising.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Tuple[int, float]]] = {}
+        self._keys: List[Hashable] = []
+        self._norms: List[float] = []
+        self._doc_count = 0
+        self._df: Counter = Counter()
+        self._fitted = False
+
+    # -- construction -------------------------------------------------
+
+    def fit(self, documents: Iterable[Tuple[Hashable, Sequence[str]]]) -> "TfIdfIndex":
+        """Index ``(key, tokens)`` documents. Replaces any prior state."""
+        staged: List[Tuple[Hashable, Counter]] = []
+        self._df = Counter()
+        for key, tokens in documents:
+            term_freq = Counter(tokens)
+            staged.append((key, term_freq))
+            self._df.update(term_freq.keys())
+        self._doc_count = len(staged)
+        self._keys = []
+        self._norms = []
+        self._postings = {}
+        for doc_id, (key, term_freq) in enumerate(staged):
+            self._keys.append(key)
+            weights = {
+                term: self._tf_weight(count) * self._idf(term)
+                for term, count in term_freq.items()
+            }
+            norm = math.sqrt(sum(weight * weight for weight in weights.values()))
+            self._norms.append(norm if norm > 0 else 1.0)
+            for term, weight in weights.items():
+                self._postings.setdefault(term, []).append((doc_id, weight))
+        self._fitted = True
+        return self
+
+    def _tf_weight(self, count: int) -> float:
+        return 1.0 + math.log(count) if count > 0 else 0.0
+
+    def _idf(self, term: str) -> float:
+        return 1.0 + math.log(
+            (self._doc_count + 1) / (self._df.get(term, 0) + 1)
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def search(self, tokens: Sequence[str], k: int = 10) -> List[TfIdfMatch]:
+        """Top-``k`` documents by cosine similarity to ``tokens``.
+
+        Fewer than ``k`` matches are returned when fewer documents share
+        any term with the query (the paper observes exactly this
+        sub-linear candidate growth for large k in Figure 11).
+        """
+        if not self._fitted:
+            raise NotFittedError("TfIdfIndex.search called before fit")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query_freq = Counter(tokens)
+        query_weights = {
+            term: self._tf_weight(count) * self._idf(term)
+            for term, count in query_freq.items()
+            if term in self._postings
+        }
+        if not query_weights:
+            return []
+        query_norm = math.sqrt(
+            sum(weight * weight for weight in query_weights.values())
+        )
+        scores: Dict[int, float] = {}
+        for term, query_weight in query_weights.items():
+            for doc_id, doc_weight in self._postings[term]:
+                scores[doc_id] = scores.get(doc_id, 0.0) + query_weight * doc_weight
+        ranked = sorted(
+            scores.items(),
+            key=lambda item: (-item[1] / self._norms[item[0]], item[0]),
+        )
+        results = []
+        for doc_id, raw_score in ranked[:k]:
+            cosine = raw_score / (self._norms[doc_id] * query_norm)
+            results.append(TfIdfMatch(key=self._keys[doc_id], score=cosine))
+        return results
+
+    def postings_examined(self, tokens: Sequence[str]) -> int:
+        """Number of postings a query over ``tokens`` would touch.
+
+        Exposed for the efficiency study: Figure 11(c,d) attributes
+        CR-time growth with |q| to "more postings in the inverted index
+        are examined".
+        """
+        if not self._fitted:
+            raise NotFittedError("TfIdfIndex.postings_examined called before fit")
+        return sum(
+            len(self._postings.get(term, ())) for term in set(tokens)
+        )
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._doc_count
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._postings))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of indexed documents containing ``term``."""
+        return self._df.get(term, 0)
+
+    def idf(self, term: str) -> Optional[float]:
+        """Smoothed inverse document frequency of ``term``."""
+        if not self._fitted:
+            raise NotFittedError("TfIdfIndex.idf called before fit")
+        return self._idf(term)

@@ -1,0 +1,119 @@
+"""Tokenisation and normalisation of clinical text snippets.
+
+The paper's preprocessing (Section 6.1, footnote 9) lowercases all
+words, removes special characters such as ``,`` and ``;``, and
+de-duplicates snippets.  :func:`normalize_text` and :func:`tokenize`
+implement exactly that, with a configurable :class:`Tokenizer` for
+callers that need to keep numerics attached (ICD stage numbers like
+``"ckd 5"`` are load-bearing for linking) or strip stopwords.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+# Words that carry almost no linking signal in diagnosis snippets.  Kept
+# deliberately small: clinical modifiers ("acute", "chronic",
+# "unspecified") are *not* stopwords because fine-grained codes hinge on
+# them.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    {"a", "an", "and", "are", "as", "at", "be", "by", "for", "in",
+     "into", "is", "it", "of", "on", "or", "the", "to", "with"}
+)
+
+# A token is a run of alphanumerics; '%' survives because snippets like
+# "ef 75%" use it meaningfully, and '.' inside code-like tokens (n18.5)
+# is preserved by the code-aware pattern below.
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:\.[0-9]+)?%?")
+_WHITESPACE = re.compile(r"\s+")
+# Characters replaced by spaces before tokenisation (the paper removes
+# ',' and ';' explicitly; we generalise to common snippet punctuation).
+_PUNCT_TO_SPACE = re.compile(r"[,;:/\\()\[\]{}\"'`~!?<>=+*|_#@&^$-]")
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase, replace punctuation with spaces, and squeeze spaces."""
+    lowered = text.lower()
+    spaced = _PUNCT_TO_SPACE.sub(" ", lowered)
+    return _WHITESPACE.sub(" ", spaced).strip()
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenise with the default snippet-oriented tokenizer."""
+    return _TOKEN_PATTERN.findall(normalize_text(text))
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable snippet tokenizer.
+
+    Parameters
+    ----------
+    remove_stopwords:
+        Drop :data:`DEFAULT_STOPWORDS` (or ``stopwords`` if provided).
+    keep_numbers:
+        When ``False``, purely numeric tokens are dropped.  The default
+        keeps them — numbers distinguish e.g. CKD stages.
+    min_token_length:
+        Tokens shorter than this are discarded (after stopwording).
+    stopwords:
+        Custom stopword set; ignored unless ``remove_stopwords``.
+    """
+
+    remove_stopwords: bool = False
+    keep_numbers: bool = True
+    min_token_length: int = 1
+    stopwords: FrozenSet[str] = field(default=DEFAULT_STOPWORDS)
+
+    def __post_init__(self) -> None:
+        if self.min_token_length < 1:
+            raise ValueError(
+                f"min_token_length must be >= 1, got {self.min_token_length}"
+            )
+
+    def __call__(self, text: str) -> List[str]:
+        tokens = tokenize(text)
+        if self.remove_stopwords:
+            tokens = [token for token in tokens if token not in self.stopwords]
+        if not self.keep_numbers:
+            tokens = [token for token in tokens if not _is_numeric(token)]
+        if self.min_token_length > 1:
+            tokens = [
+                token for token in tokens if len(token) >= self.min_token_length
+            ]
+        return tokens
+
+    def tokenize_all(self, texts: Iterable[str]) -> List[List[str]]:
+        """Tokenise every text in ``texts``."""
+        return [self(text) for text in texts]
+
+
+def _is_numeric(token: str) -> bool:
+    stripped = token.rstrip("%")
+    if not stripped:
+        return False
+    return all(char.isdigit() or char == "." for char in stripped)
+
+
+def detokenize(tokens: Sequence[str]) -> str:
+    """Join tokens back into a canonical single-spaced snippet."""
+    return " ".join(tokens)
+
+
+def shared_words(left: Sequence[str], right: Sequence[str]) -> Tuple[str, ...]:
+    """Words appearing in both sequences, in ``left``'s order.
+
+    Used by online linking Phase II, which *temporarily removes the
+    words appearing in both the canonical description and the query*
+    before computing the decode probability (paper Section 5).
+    """
+    right_set = set(right)
+    seen = set()
+    shared: List[str] = []
+    for word in left:
+        if word in right_set and word not in seen:
+            shared.append(word)
+            seen.add(word)
+    return tuple(shared)

@@ -1,0 +1,200 @@
+"""Word vocabulary with special tokens for the encoder/decoder.
+
+The COM-AID decoder factorises ``p(q|c)`` as a product of per-word
+softmaxes over the vocabulary (paper Eq. 3 and Eq. 9), so every model
+component shares one :class:`Vocabulary` mapping words to contiguous
+integer ids.  ``<pad>``, ``<bos>``, ``<eos>`` and ``<unk>`` occupy the
+first four ids.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+PAD_TOKEN = "<pad>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+UNK_TOKEN = "<unk>"
+SPECIAL_TOKENS: Tuple[str, ...] = (PAD_TOKEN, BOS_TOKEN, EOS_TOKEN, UNK_TOKEN)
+
+
+class Vocabulary:
+    """Bidirectional word <-> id mapping with frequency bookkeeping.
+
+    Construct either incrementally with :meth:`add` / :meth:`add_all`,
+    or in one shot with :meth:`from_corpus` which supports minimum-count
+    and maximum-size pruning (rarest words dropped first, ties broken
+    alphabetically for determinism).
+    """
+
+    def __init__(self, include_specials: bool = True) -> None:
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = []
+        self._counts: Counter = Counter()
+        self._include_specials = include_specials
+        if include_specials:
+            for token in SPECIAL_TOKENS:
+                self._register(token)
+
+    # -- construction -------------------------------------------------
+
+    def _register(self, word: str) -> int:
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        return word_id
+
+    def add(self, word: str, count: int = 1) -> int:
+        """Add ``word`` (idempotent), bump its count, return its id."""
+        if not word:
+            raise ValueError("cannot add an empty word to the vocabulary")
+        self._counts[word] += count
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        return self._register(word)
+
+    def add_all(self, words: Iterable[str]) -> None:
+        """Add every word in ``words`` (each bumping its count)."""
+        for word in words:
+            self.add(word)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        token_sequences: Iterable[Sequence[str]],
+        min_count: int = 1,
+        max_size: Optional[int] = None,
+        include_specials: bool = True,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenised snippets.
+
+        Words below ``min_count`` are dropped; if ``max_size`` is given
+        (counting special tokens), only the most frequent words are
+        kept.
+        """
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        counts: Counter = Counter()
+        for tokens in token_sequences:
+            counts.update(tokens)
+        vocab = cls(include_specials=include_specials)
+        budget = None
+        if max_size is not None:
+            budget = max_size - len(vocab)
+            if budget < 0:
+                raise ValueError(
+                    f"max_size={max_size} is smaller than the "
+                    f"{len(vocab)} special tokens"
+                )
+        # Most frequent first; alphabetical tie-break keeps ids stable
+        # across runs.
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        for word, count in ranked:
+            if count < min_count:
+                continue
+            if budget is not None and budget <= 0:
+                break
+            vocab.add(word, count=count)
+            if budget is not None:
+                budget -= 1
+        return vocab
+
+    # -- lookups ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def id_of(self, word: str) -> int:
+        """Id of ``word``; unknown words map to ``<unk>``.
+
+        Raises ``KeyError`` for unknown words when the vocabulary was
+        built without special tokens.
+        """
+        word_id = self._word_to_id.get(word)
+        if word_id is not None:
+            return word_id
+        if self._include_specials:
+            return self._word_to_id[UNK_TOKEN]
+        raise KeyError(word)
+
+    def word_of(self, word_id: int) -> str:
+        """The word with id ``word_id`` (IndexError when out of range)."""
+        if not 0 <= word_id < len(self._id_to_word):
+            raise IndexError(f"word id {word_id} out of range [0, {len(self)})")
+        return self._id_to_word[word_id]
+
+    def count_of(self, word: str) -> int:
+        """Accumulated frequency of ``word`` (0 when unknown)."""
+        return self._counts.get(word, 0)
+
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Map tokens to ids (unknowns -> ``<unk>``)."""
+        return [self.id_of(token) for token in tokens]
+
+    def decode(self, ids: Sequence[int], skip_specials: bool = True) -> List[str]:
+        """Map ids back to words, dropping specials by default."""
+        words = [self.word_of(word_id) for word_id in ids]
+        if skip_specials:
+            specials = set(SPECIAL_TOKENS)
+            words = [word for word in words if word not in specials]
+        return words
+
+    @property
+    def words(self) -> Tuple[str, ...]:
+        return tuple(self._id_to_word)
+
+    @property
+    def has_specials(self) -> bool:
+        return self._include_specials
+
+    # -- special ids ---------------------------------------------------
+
+    def _special_id(self, token: str) -> int:
+        if not self._include_specials:
+            raise KeyError(f"vocabulary built without special token {token}")
+        return self._word_to_id[token]
+
+    @property
+    def pad_id(self) -> int:
+        return self._special_id(PAD_TOKEN)
+
+    @property
+    def bos_id(self) -> int:
+        return self._special_id(BOS_TOKEN)
+
+    @property
+    def eos_id(self) -> int:
+        return self._special_id(EOS_TOKEN)
+
+    @property
+    def unk_id(self) -> int:
+        return self._special_id(UNK_TOKEN)
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialisable snapshot (see :meth:`from_dict`)."""
+        return {
+            "words": list(self._id_to_word),
+            "counts": dict(self._counts),
+            "include_specials": self._include_specials,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Vocabulary":
+        vocab = cls(include_specials=False)
+        vocab._include_specials = bool(payload["include_specials"])
+        for word in payload["words"]:  # type: ignore[union-attr]
+            vocab._register(str(word))
+        vocab._counts = Counter(
+            {str(word): int(count) for word, count in payload["counts"].items()}  # type: ignore[union-attr]
+        )
+        return vocab

@@ -1,0 +1,31 @@
+"""Shared utilities: seeded RNG handling, timers, logging, and errors.
+
+Every stochastic component in :mod:`repro` takes an explicit
+``numpy.random.Generator`` (or a seed convertible to one) so that
+experiments are reproducible end to end.  The helpers here centralise
+that convention.
+"""
+
+from repro.utils.errors import (
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+    ReproError,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+from repro.utils.timing import PhaseTimer, Stopwatch, TimingBreakdown
+
+__all__ = [
+    "ConfigurationError",
+    "DataError",
+    "NotFittedError",
+    "PhaseTimer",
+    "ReproError",
+    "Stopwatch",
+    "TimingBreakdown",
+    "derive_rng",
+    "ensure_rng",
+    "get_logger",
+    "spawn_seeds",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one type at an API boundary without swallowing unrelated
+programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (e.g. a negative embedding
+    dimension, or an attention depth of zero) rather than deep inside a
+    training loop.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """Input data violates a structural requirement.
+
+    Examples: an ontology edge referencing an unknown concept, an empty
+    canonical description, or a training pair whose concept is missing
+    from the knowledge base.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring fitted state was called before fitting.
+
+    Mirrors scikit-learn's convention: components that need ``fit`` /
+    ``train`` to be called first raise this from their predict/score
+    paths.
+    """

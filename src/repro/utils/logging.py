@@ -1,0 +1,25 @@
+"""Library logging setup.
+
+Modules obtain loggers through :func:`get_logger` so the whole library
+shares one namespace (``repro.*``) and applications can configure it in
+one place.  The library itself never calls ``basicConfig``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("core.trainer")`` yields the ``repro.core.trainer``
+    logger; ``get_logger()`` yields the library root logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

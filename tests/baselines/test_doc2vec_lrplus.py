@@ -1,0 +1,129 @@
+"""Tests for the Doc2Vec and LR+ baselines."""
+
+import pytest
+
+from repro.baselines.doc2vec import Doc2VecConfig, Doc2VecLinker
+from repro.baselines.lr_plus import (
+    LrPlusConfig,
+    LrPlusLinker,
+    structural_features,
+    textual_features,
+)
+from repro.utils.errors import ConfigurationError, NotFittedError
+
+
+class TestDoc2VecConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dim=0), dict(epochs=0), dict(negatives=0),
+            dict(learning_rate=0.0), dict(infer_steps=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Doc2VecConfig(**kwargs)
+
+
+class TestDoc2VecLinker:
+    def test_requires_fit(self, figure1_ontology):
+        linker = Doc2VecLinker(figure1_ontology, rng=0)
+        with pytest.raises(NotFittedError):
+            linker.rank("anemia")
+        with pytest.raises(NotFittedError):
+            linker.infer(["anemia"])
+
+    def test_self_description_ranks_gold_high(self, figure1_ontology):
+        config = Doc2VecConfig(dim=16, epochs=60, negatives=5, infer_steps=60)
+        linker = Doc2VecLinker(figure1_ontology, config=config, rng=1).fit()
+        ranked = linker.rank("chronic kidney disease stage 5", k=7)
+        position = [cid for cid, _ in ranked].index("N18.5")
+        assert position <= 2  # document similarity is coarse
+
+    def test_empty_query(self, figure1_ontology):
+        linker = Doc2VecLinker(
+            figure1_ontology, config=Doc2VecConfig(dim=8, epochs=2), rng=0
+        ).fit()
+        assert linker.rank("") == []
+
+    def test_scores_are_cosines(self, figure1_ontology):
+        linker = Doc2VecLinker(
+            figure1_ontology, config=Doc2VecConfig(dim=8, epochs=5), rng=0
+        ).fit()
+        for _, score in linker.rank("anemia", k=7):
+            assert -1.0 - 1e-9 <= score <= 1.0 + 1e-9
+
+
+class TestFeatures:
+    def test_textual_features_identical_strings(self):
+        features = textual_features(["iron", "anemia"], ["iron", "anemia"])
+        bigram, prefix, suffix, numbers, acronym, overlap = features
+        assert bigram == 1.0
+        assert prefix == 1.0 and suffix == 1.0
+        assert numbers == 1.0
+        assert overlap == 1.0
+
+    def test_shared_numbers_feature(self):
+        # Paper: the 'sharing number' feature is why LR links 'ckd 5'.
+        with_number = textual_features(["ckd", "5"], ["chronic", "disease", "5"])
+        without = textual_features(["ckd", "5"], ["chronic", "disease", "4"])
+        assert with_number[3] > without[3]
+
+    def test_acronym_feature(self):
+        features = textual_features(["ckd"], ["chronic", "kidney", "disease"])
+        assert features[4] == 1.0
+        features = textual_features(["abc"], ["chronic", "kidney", "disease"])
+        assert features[4] == 0.0
+
+    def test_structural_features_empty_ancestors(self):
+        assert structural_features(["x"], []) == [0.0, 0.0, 0.0]
+
+    def test_structural_overlap(self):
+        features = structural_features(
+            ["kidney", "disease"], ["chronic", "kidney", "disease"]
+        )
+        assert features[1] > 0.5
+
+
+class TestLrPlusLinker:
+    def test_requires_fit(self, figure1_ontology, figure3_kb):
+        linker = LrPlusLinker(figure1_ontology, figure3_kb, rng=0)
+        with pytest.raises(NotFittedError):
+            linker.rank("anemia")
+
+    def test_learns_to_score_aliases_high(self, figure1_ontology, figure3_kb):
+        config = LrPlusConfig(epochs=80, learning_rate=1.0)
+        linker = LrPlusLinker(
+            figure1_ontology, figure3_kb, config=config, rng=1
+        ).fit()
+        # A trained LR+ should score an alias-like string higher against
+        # its own concept than against an unrelated one.
+        own = linker.score(["vitamin", "c", "deficiency", "anemia"], "D53.2")
+        other = linker.score(["vitamin", "c", "deficiency", "anemia"], "R10.0")
+        assert own > other
+
+    def test_rank_restricted_to_candidates(self, figure1_ontology, figure3_kb):
+        linker = LrPlusLinker(
+            figure1_ontology, figure3_kb, candidate_k=3, rng=1
+        ).fit()
+        assert len(linker.rank("anemia deficiency", k=10)) <= 3
+
+    def test_feature_weights_exposed(self, figure1_ontology, figure3_kb):
+        linker = LrPlusLinker(figure1_ontology, figure3_kb, rng=1).fit()
+        weights = linker.feature_weights
+        assert "char_bigram_jaccard" in weights and "bias" in weights
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epochs=0), dict(learning_rate=0.0),
+            dict(l2=-1.0), dict(negatives_per_positive=0),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LrPlusConfig(**kwargs)
+
+    def test_invalid_candidate_k(self, figure1_ontology, figure3_kb):
+        with pytest.raises(ConfigurationError):
+            LrPlusLinker(figure1_ontology, figure3_kb, candidate_k=0)

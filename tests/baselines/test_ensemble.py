@@ -1,0 +1,102 @@
+"""Tests for the combined-annotator rank fusion."""
+
+import pytest
+
+from repro.baselines.ensemble import EnsembleLinker
+from repro.baselines.noblecoder import NobleCoderLinker
+from repro.baselines.pkduck import PkduckLinker
+from repro.utils.errors import ConfigurationError
+
+
+def constant_ranker(ranking):
+    def rank(query, k):
+        return ranking[:k]
+
+    return rank
+
+
+class TestFusion:
+    def test_agreement_wins(self):
+        ensemble = EnsembleLinker(
+            [
+                ("a", constant_ranker([("X", 1.0), ("Y", 0.5)])),
+                ("b", constant_ranker([("X", 0.9), ("Z", 0.5)])),
+            ]
+        )
+        ranked = ensemble.rank("anything", k=3)
+        assert ranked[0][0] == "X"
+
+    def test_weights_break_ties(self):
+        ensemble = EnsembleLinker(
+            [
+                ("a", constant_ranker([("Y", 1.0)])),
+                ("b", constant_ranker([("Z", 1.0)])),
+            ],
+            weights=[1.0, 3.0],
+        )
+        ranked = ensemble.rank("q", k=2)
+        assert ranked[0][0] == "Z"
+
+    def test_score_scale_free(self):
+        """RRF ignores raw scores — only ranks matter."""
+        ensemble = EnsembleLinker(
+            [
+                ("a", constant_ranker([("X", 1e9), ("Y", 1e8)])),
+                ("b", constant_ranker([("Y", 0.002), ("X", 0.001)])),
+            ]
+        )
+        scores = dict(ensemble.rank("q", k=2))
+        assert scores["X"] == pytest.approx(scores["Y"])
+
+    def test_absent_concept_contributes_nothing(self):
+        ensemble = EnsembleLinker(
+            [
+                ("a", constant_ranker([("X", 1.0)])),
+                ("b", constant_ranker([])),
+            ]
+        )
+        ranked = ensemble.rank("q")
+        assert [cid for cid, _ in ranked] == ["X"]
+
+    def test_k_truncates(self):
+        ensemble = EnsembleLinker(
+            [("a", constant_ranker([("A", 3.0), ("B", 2.0), ("C", 1.0)]))]
+        )
+        assert len(ensemble.rank("q", k=2)) == 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(members=[]),
+            dict(members=[("a", constant_ranker([]))], dampening=0.0),
+            dict(members=[("a", constant_ranker([]))], pool_k=0),
+            dict(members=[("a", constant_ranker([]))], weights=[1.0, 2.0]),
+            dict(members=[("a", constant_ranker([]))], weights=[0.0]),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EnsembleLinker(**kwargs)
+
+
+class TestWithRealLinkers:
+    def test_from_linkers(self, figure1_ontology, figure3_kb):
+        noble = NobleCoderLinker(figure1_ontology, kb=figure3_kb)
+        pkduck = PkduckLinker(figure1_ontology, theta=0.2)
+        ensemble = EnsembleLinker.from_linkers([noble, pkduck])
+        assert ensemble.member_names == ["NC", "pkduck"]
+        ranked = ensemble.rank("ckd stage 5", k=3)
+        assert ranked and ranked[0][0] == "N18.5"
+
+    def test_ensemble_at_least_as_robust_as_members(
+        self, figure1_ontology, figure3_kb
+    ):
+        """A query only one member can link is still linked by the
+        fusion — the combined-annotator value proposition."""
+        noble = NobleCoderLinker(figure1_ontology)  # no aliases: misses 'ckd'
+        pkduck = PkduckLinker(figure1_ontology, theta=0.2)  # rules bridge it
+        ensemble = EnsembleLinker.from_linkers([noble, pkduck])
+        assert noble.rank("ckd stage 5") == []
+        assert ensemble.rank("ckd stage 5")[0][0] == "N18.5"

@@ -1,0 +1,30 @@
+"""Tests for the keyword-only (Phase I) linker."""
+
+from repro.baselines.keyword import KeywordLinker
+
+
+class TestKeywordLinker:
+    def test_ranks_by_tfidf(self, figure1_ontology):
+        linker = KeywordLinker(figure1_ontology, rewrite_queries=False)
+        ranked = linker.rank("scorbutic anemia")
+        assert ranked[0][0] == "D53.2"
+
+    def test_aliases_extend_recall(self, figure1_ontology, figure3_kb):
+        bare = KeywordLinker(figure1_ontology, rewrite_queries=False)
+        rich = KeywordLinker(
+            figure1_ontology, kb=figure3_kb, rewrite_queries=False
+        )
+        assert bare.rank("ckd") == []
+        assert rich.rank("ckd")[0][0] == "N18.5"
+
+    def test_rewriting_repairs_typos(self, figure1_ontology):
+        linker = KeywordLinker(figure1_ontology, rewrite_queries=True)
+        ranked = linker.rank("scorbutic anemai")  # transposition typo
+        assert ranked and ranked[0][0] == "D53.2"
+
+    def test_empty_query(self, figure1_ontology):
+        assert KeywordLinker(figure1_ontology).rank("") == []
+
+    def test_k_respected(self, figure1_ontology):
+        linker = KeywordLinker(figure1_ontology, rewrite_queries=False)
+        assert len(linker.rank("anemia", k=2)) <= 2

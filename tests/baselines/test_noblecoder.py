@@ -1,0 +1,69 @@
+"""Tests for the NOBLECoder-style dictionary linker."""
+
+import pytest
+
+from repro.baselines.noblecoder import NobleCoderLinker
+from repro.utils.errors import ConfigurationError
+
+
+class TestDictionary:
+    def test_term_count_includes_aliases(self, figure1_ontology, figure3_kb):
+        bare = NobleCoderLinker(figure1_ontology)
+        rich = NobleCoderLinker(figure1_ontology, kb=figure3_kb)
+        assert rich.term_count > bare.term_count
+
+    def test_invalid_threshold(self, figure1_ontology):
+        with pytest.raises(ConfigurationError):
+            NobleCoderLinker(figure1_ontology, partial_threshold=0.0)
+
+
+class TestLinking:
+    def test_exact_term_links(self, figure1_ontology):
+        linker = NobleCoderLinker(figure1_ontology)
+        ranked = linker.rank("scorbutic anemia")
+        assert ranked[0][0] == "D53.2"
+
+    def test_out_of_dictionary_word_fails(self, figure1_ontology):
+        """The paper's q1 analysis: NOBLECoder cannot link 'ckd 5'
+        because 'ckd' is not in the word-to-term dictionary."""
+        linker = NobleCoderLinker(figure1_ontology)
+        ranked = linker.rank("ckd 5")
+        assert all(cid != "N18.5" for cid, _ in ranked) or not ranked
+
+    def test_alias_in_dictionary_recovers(self, figure1_ontology, figure3_kb):
+        linker = NobleCoderLinker(
+            figure1_ontology, kb=figure3_kb, partial_threshold=1.0
+        )
+        ranked = linker.rank("ckd stage 5")
+        assert ranked and ranked[0][0] == "N18.5"
+
+    def test_full_match_mode_strict(self, figure1_ontology):
+        linker = NobleCoderLinker(figure1_ontology, partial_threshold=1.0)
+        # Only one word of the three-word term present -> no link.
+        assert linker.rank("anemia") == []
+
+    def test_partial_mode_recovers(self, figure1_ontology):
+        linker = NobleCoderLinker(figure1_ontology, partial_threshold=0.4)
+        ranked = linker.rank("anemia")
+        assert ranked  # several anemia concepts match partially
+
+    def test_multiple_concepts_for_straddling_query(self, figure1_ontology):
+        """Paper: q5's words match two different concepts' terms
+        simultaneously; NC returns both."""
+        linker = NobleCoderLinker(figure1_ontology, partial_threshold=0.4)
+        ranked = linker.rank("anemia abdominal pain")
+        cids = {cid for cid, _ in ranked}
+        assert any(cid.startswith("D5") for cid in cids)
+        assert any(cid.startswith("R10") for cid in cids)
+
+    def test_empty_query(self, figure1_ontology):
+        assert NobleCoderLinker(figure1_ontology).rank("") == []
+
+    def test_link_convenience(self, figure1_ontology):
+        linker = NobleCoderLinker(figure1_ontology)
+        assert linker.link("scorbutic anemia") == "D53.2"
+        assert linker.link("zzz") == ""
+
+    def test_k_respected(self, figure1_ontology):
+        linker = NobleCoderLinker(figure1_ontology, partial_threshold=0.2)
+        assert len(linker.rank("anemia pain disease", k=2)) <= 2

@@ -1,0 +1,104 @@
+"""Tests for the pkduck-style approximate string join."""
+
+import pytest
+
+from repro.baselines.pkduck import (
+    PkduckLinker,
+    default_rules,
+    derive_strings,
+    pkduck_similarity,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestDeriveStrings:
+    def test_includes_original(self):
+        closure = derive_strings(["anemia"])
+        assert ("anemia",) in closure
+
+    def test_word_rule_applies(self):
+        closure = derive_strings(["chronic", "pain"])
+        assert ("chr", "pain") in closure
+
+    def test_phrase_rule_applies(self):
+        closure = derive_strings(["chronic", "kidney", "disease"])
+        assert ("ckd",) in closure
+
+    def test_chained_applications(self):
+        closure = derive_strings(
+            ["chronic", "kidney", "disease", "severe"], max_applications=2
+        )
+        assert ("ckd", "sev") in closure
+
+    def test_bounded(self):
+        closure = derive_strings(
+            ["chronic", "acute", "severe", "moderate", "disease", "disorder"],
+            max_derived=10,
+        )
+        assert len(closure) <= 10
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert pkduck_similarity(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_abbreviation_bridged(self):
+        # 'ckd 5' vs 'chronic kidney disease 5': Jaccard without rules
+        # is 1/5; with the acronym rule both derive to {ckd, 5}.
+        similarity = pkduck_similarity(
+            ["ckd", "5"], ["chronic", "kidney", "disease", "5"]
+        )
+        assert similarity == 1.0
+
+    def test_synonyms_not_bridged(self):
+        """pkduck's limitation per the paper: synonym substitution is
+        not an abbreviation rule, so similarity stays low."""
+        similarity = pkduck_similarity(
+            ["gallstones"], ["cholelithiasis"]
+        )
+        assert similarity == 0.0
+
+    def test_symmetric(self):
+        left = ["chronic", "kidney", "disease"]
+        right = ["ckd", "stage"]
+        assert pkduck_similarity(left, right) == pkduck_similarity(right, left)
+
+
+class TestLinker:
+    def test_theta_validation(self, figure1_ontology):
+        with pytest.raises(ConfigurationError):
+            PkduckLinker(figure1_ontology, theta=0.0)
+        with pytest.raises(ConfigurationError):
+            PkduckLinker(figure1_ontology, theta=1.1)
+
+    def test_links_via_abbreviation_rules(self, figure1_ontology):
+        linker = PkduckLinker(figure1_ontology, theta=0.3)
+        ranked = linker.rank("ckd stage 5")
+        assert ranked and ranked[0][0] == "N18.5"
+
+    def test_lower_theta_joins_more(self, figure1_ontology):
+        strict = PkduckLinker(figure1_ontology, theta=0.8)
+        loose = PkduckLinker(figure1_ontology, theta=0.1)
+        query = "deficiency anemia"
+        assert len(loose.rank(query, k=10)) >= len(strict.rank(query, k=10))
+
+    def test_scores_meet_threshold(self, figure1_ontology):
+        linker = PkduckLinker(figure1_ontology, theta=0.4)
+        for _, score in linker.rank("chronic kidney disease stage 5", k=10):
+            assert score >= 0.4
+
+    def test_include_aliases_widens_strings(self, figure1_ontology, figure3_kb):
+        bare = PkduckLinker(figure1_ontology)
+        rich = PkduckLinker(figure1_ontology, kb=figure3_kb, include_aliases=True)
+        assert rich.string_count > bare.string_count
+
+    def test_empty_query(self, figure1_ontology):
+        assert PkduckLinker(figure1_ontology).rank("") == []
+
+    def test_dangling_words_depress_similarity(self, figure1_ontology):
+        """Paper: dangling words make wrong short strings look better;
+        at minimum they depress the true concept's similarity."""
+        linker = PkduckLinker(figure1_ontology, theta=0.1)
+        clean = dict(linker.rank("scorbutic anemia", k=5))
+        noisy = dict(linker.rank("scorbutic anemia for investigation today", k=5))
+        assert noisy.get("D53.2", 0.0) < clean.get("D53.2", 0.0)

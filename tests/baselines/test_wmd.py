@@ -1,0 +1,91 @@
+"""Tests for Word Mover's Distance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wmd import (
+    WmdLinker,
+    relaxed_word_movers_distance,
+    word_movers_distance,
+)
+from repro.embeddings.similarity import WordVectors
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def vectors():
+    words = ["kidney", "renal", "anemia", "iron", "pain", "abdominal",
+             "chronic", "disease", "stage", "5", "scorbutic", "deficiency",
+             "blood", "loss", "secondary", "to", "unspecified", "acute",
+             "abdomen", "and", "pelvic", "other", "nutritional", "anemias",
+             "protein"]
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(len(words), 6))
+    # Make kidney/renal near-identical, anemia/iron close.
+    matrix[1] = matrix[0] + 0.01
+    matrix[3] = matrix[2] + 0.1
+    return WordVectors(words, matrix)
+
+
+class TestDistances:
+    def test_identity_is_zero(self, vectors):
+        assert word_movers_distance(["kidney", "pain"], ["kidney", "pain"], vectors) == pytest.approx(0.0, abs=1e-9)
+
+    def test_synonym_nearly_zero(self, vectors):
+        distance = word_movers_distance(["kidney"], ["renal"], vectors)
+        assert distance < 0.05
+
+    def test_symmetric(self, vectors):
+        a = word_movers_distance(["kidney", "pain"], ["anemia"], vectors)
+        b = word_movers_distance(["anemia"], ["kidney", "pain"], vectors)
+        assert a == pytest.approx(b)
+
+    def test_oov_only_is_infinite(self, vectors):
+        assert word_movers_distance(["zzz"], ["kidney"], vectors) == float("inf")
+
+    def test_relaxed_lower_bounds_exact(self, vectors):
+        rng = np.random.default_rng(1)
+        docs = [
+            ["kidney", "pain", "chronic"],
+            ["anemia", "iron", "deficiency"],
+            ["acute", "abdomen"],
+            ["blood", "loss", "secondary"],
+        ]
+        for _ in range(10):
+            left = docs[rng.integers(len(docs))]
+            right = docs[rng.integers(len(docs))]
+            relaxed = relaxed_word_movers_distance(left, right, vectors)
+            exact = word_movers_distance(left, right, vectors)
+            assert relaxed <= exact + 1e-9
+
+    def test_frequency_weighting(self, vectors):
+        # Repeated words shift mass: duplicating a matched word cannot
+        # increase the distance beyond the single-occurrence case by
+        # much (the duplicate moves along the same route).
+        single = word_movers_distance(["kidney", "pain"], ["renal", "pain"], vectors)
+        repeated = word_movers_distance(
+            ["kidney", "kidney", "pain"], ["renal", "renal", "pain"], vectors
+        )
+        assert repeated == pytest.approx(single, abs=0.05)
+
+
+class TestLinker:
+    def test_ranks_synonym_match_first(self, figure1_ontology, vectors):
+        linker = WmdLinker(figure1_ontology, vectors, prune_to=10)
+        ranked = linker.rank("renal disease chronic stage 5")
+        assert ranked[0][0] in {"N18.5", "N18.9"}
+
+    def test_scores_descend(self, figure1_ontology, vectors):
+        linker = WmdLinker(figure1_ontology, vectors, prune_to=10)
+        scores = [score for _, score in linker.rank("anemia blood loss", k=5)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_query(self, figure1_ontology, vectors):
+        assert WmdLinker(figure1_ontology, vectors).rank("") == []
+
+    def test_all_oov_query(self, figure1_ontology, vectors):
+        assert WmdLinker(figure1_ontology, vectors).rank("zzz qqq") == []
+
+    def test_invalid_prune(self, figure1_ontology, vectors):
+        with pytest.raises(ConfigurationError):
+            WmdLinker(figure1_ontology, vectors, prune_to=0)

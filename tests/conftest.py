@@ -1,0 +1,52 @@
+"""Shared fixtures: a tiny anemia/kidney ontology and derived objects.
+
+The fixture ontology mirrors the paper's Figure 1(b) fragment so tests
+can assert against the paper's own running examples.
+"""
+
+import pytest
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+
+
+@pytest.fixture
+def figure1_ontology():
+    """The paper's Figure 1(b) disease ontology fragment."""
+    ontology = Ontology()
+    ontology.add(Concept("D50", "iron deficiency anemia"))
+    ontology.add(
+        Concept("D50.0", "iron deficiency anemia secondary to blood loss"),
+        parent_cid="D50",
+    )
+    ontology.add(Concept("D53", "other nutritional anemias"))
+    ontology.add(Concept("D53.0", "protein deficiency anemia"), parent_cid="D53")
+    ontology.add(Concept("D53.2", "scorbutic anemia"), parent_cid="D53")
+    ontology.add(Concept("N18", "chronic kidney disease"))
+    ontology.add(
+        Concept("N18.5", "chronic kidney disease, stage 5"), parent_cid="N18"
+    )
+    ontology.add(
+        Concept("N18.9", "chronic kidney disease, unspecified"), parent_cid="N18"
+    )
+    ontology.add(Concept("R10", "abdominal and pelvic pain"))
+    ontology.add(Concept("R10.0", "acute abdomen"), parent_cid="R10")
+    ontology.add(
+        Concept("R10.9", "unspecified abdominal pain"), parent_cid="R10"
+    )
+    return ontology
+
+
+@pytest.fixture
+def figure3_kb(figure1_ontology):
+    """A knowledge base holding the paper's Figure 3(a) labeled snippets."""
+    kb = KnowledgeBase(figure1_ontology)
+    kb.add_alias("D50.0", "anemia, chronic blood loss")
+    kb.add_alias("D53.0", "protein deficiency anemia variant")
+    kb.add_alias("D53.0", "amino acid deficiency anemia")
+    kb.add_alias("D53.2", "vitamin c deficiency anemia")
+    kb.add_alias("N18.5", "ckd stage 5")
+    kb.add_alias("R10.0", "acute abdominal syndrome")
+    kb.add_alias("R10.0", "pain abdomen")
+    return kb

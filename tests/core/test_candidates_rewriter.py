@@ -1,0 +1,127 @@
+"""Tests for Phase-I candidate generation and query rewriting."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+from repro.core.rewriter import QueryRewriter
+from repro.embeddings.similarity import WordVectors
+from repro.utils.errors import ConfigurationError
+
+
+class TestCandidateGenerator:
+    def test_indexes_only_fine_grained(self, figure1_ontology):
+        generator = CandidateGenerator(figure1_ontology)
+        assert set(generator.indexed_cids) == {
+            "D50.0", "D53.0", "D53.2", "N18.5", "N18.9", "R10.0", "R10.9",
+        }
+
+    def test_retrieves_by_description(self, figure1_ontology):
+        generator = CandidateGenerator(figure1_ontology)
+        hits = generator.generate(["scorbutic", "anemia"], k=3)
+        assert hits[0][0] == "D53.2"
+
+    def test_aliases_improve_recall(self, figure1_ontology, figure3_kb):
+        # "ckd" appears only in the N18.5 alias, never in a canonical
+        # description — indexing aliases is what makes it retrievable.
+        without = CandidateGenerator(figure1_ontology)
+        with_aliases = CandidateGenerator(figure1_ontology, kb=figure3_kb)
+        assert without.generate(["ckd"], 5) == []
+        assert any(
+            cid == "N18.5" for cid, _ in with_aliases.generate(["ckd"], 5)
+        )
+
+    def test_restrict_to(self, figure1_ontology):
+        generator = CandidateGenerator(
+            figure1_ontology, restrict_to=["D50.0", "D53.2"]
+        )
+        assert set(generator.indexed_cids) == {"D50.0", "D53.2"}
+
+    def test_omega_is_description_vocabulary(self, figure1_ontology):
+        generator = CandidateGenerator(figure1_ontology)
+        assert "anemia" in generator.omega
+        assert "ckd" not in generator.omega
+
+    def test_empty_restriction_rejected(self, figure1_ontology):
+        with pytest.raises(ConfigurationError):
+            CandidateGenerator(figure1_ontology, restrict_to=[])
+
+    def test_postings_examined_positive(self, figure1_ontology):
+        generator = CandidateGenerator(figure1_ontology)
+        assert generator.postings_examined(["anemia"]) > 0
+
+
+def rewriter_vectors():
+    """Vectors where 'dm' ~ 'diabetes'-ish: here 'ckd' ~ 'chronic'."""
+    words = ["chronic", "kidney", "disease", "anemia", "ckd", "junkword", "n18"]
+    matrix = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [-1.0, 0.0, 0.0],
+            [0.95, 0.1, 0.0],   # ckd ~ chronic
+            [0.1, 0.1, 0.1],    # junkword ~ nothing strongly
+            [0.9, 0.2, 0.0],    # tag word
+        ]
+    )
+    return WordVectors(words, matrix, tag_words=["n18"])
+
+
+class TestQueryRewriter:
+    def omega(self):
+        return {"chronic", "kidney", "disease", "anemia", "stage"}
+
+    def test_in_omega_kept(self):
+        rewriter = QueryRewriter(self.omega(), rewriter_vectors())
+        tokens, applied = rewriter.rewrite(["chronic", "kidney"])
+        assert tokens == ["chronic", "kidney"]
+        assert applied == []
+
+    def test_numeric_kept(self):
+        rewriter = QueryRewriter(self.omega(), rewriter_vectors())
+        tokens, _ = rewriter.rewrite(["5", "75%"])
+        assert tokens == ["5", "75%"]
+
+    def test_embedding_rewrite(self):
+        rewriter = QueryRewriter(self.omega(), rewriter_vectors())
+        tokens, applied = rewriter.rewrite(["ckd"])
+        assert tokens == ["chronic"]
+        assert applied[0].via == "embedding"
+
+    def test_similarity_gate_keeps_junk(self):
+        rewriter = QueryRewriter(
+            self.omega(), rewriter_vectors(), min_similarity=0.6
+        )
+        tokens, applied = rewriter.rewrite(["junkword"])
+        assert tokens == ["junkword"]
+        assert applied == []
+
+    def test_edit_distance_typo_repair(self):
+        # Paper Section 5: "neuropaty" -> "neuropathy" style repair;
+        # here "kidny" -> "kidney" (distance 1, in omega).
+        rewriter = QueryRewriter(self.omega(), rewriter_vectors())
+        tokens, applied = rewriter.rewrite(["kidny"])
+        assert tokens == ["kidney"]
+        assert applied[0].via == "edit+embedding"
+
+    def test_edit_repair_disabled(self):
+        rewriter = QueryRewriter(
+            self.omega(), rewriter_vectors(), edit_distance_max=0
+        )
+        tokens, _ = rewriter.rewrite(["kidny"])
+        assert tokens == ["kidny"]
+
+    def test_works_without_vectors(self):
+        rewriter = QueryRewriter(self.omega(), word_vectors=None)
+        tokens, applied = rewriter.rewrite(["kidny", "unknownword"])
+        assert tokens[0] == "kidney"
+        assert tokens[1] == "unknownword"
+
+    def test_empty_omega_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryRewriter(set())
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ConfigurationError):
+            QueryRewriter(self.omega(), min_similarity=1.5)

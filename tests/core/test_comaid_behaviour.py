@@ -1,0 +1,128 @@
+"""Behavioural tests of the COM-AID model (beyond gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.comaid import ComAid
+from repro.core.config import ComAidConfig
+from repro.nn.serialization import load_module, save_module
+from repro.text.vocab import Vocabulary
+from repro.utils.errors import ConfigurationError, DataError
+
+
+@pytest.fixture
+def vocab():
+    vocabulary = Vocabulary()
+    vocabulary.add_all(
+        ["iron", "deficiency", "anemia", "chronic", "kidney", "disease",
+         "blood", "loss", "stage", "5"]
+    )
+    return vocabulary
+
+
+@pytest.fixture
+def model(vocab):
+    return ComAid(ComAidConfig(dim=8, beta=1), vocab, rng=0)
+
+
+class TestConstruction:
+    def test_requires_specials(self):
+        plain = Vocabulary(include_specials=False)
+        plain.add("word")
+        with pytest.raises(ConfigurationError):
+            ComAid(ComAidConfig(dim=4), plain, rng=0)
+
+    def test_composite_width_tracks_attention_flags(self, vocab):
+        full = ComAid(ComAidConfig(dim=8, beta=1), vocab, rng=0)
+        no_struct = ComAid(
+            ComAidConfig(dim=8, beta=1, use_structure_attention=False), vocab, rng=0
+        )
+        bare = ComAid(
+            ComAidConfig(
+                dim=8, beta=1,
+                use_text_attention=False, use_structure_attention=False,
+            ),
+            vocab, rng=0,
+        )
+        assert full.composite.in_dim == 24
+        assert no_struct.composite.in_dim == 16
+        assert bare.composite.in_dim == 8
+
+    def test_parameter_count_reasonable(self, model, vocab):
+        # embedding (V*d) + 2 LSTMs (2 * (4d*d + 4d*d + 4d)) +
+        # composite (d*3d + d) + output (V*d + V)
+        V, d = len(vocab), 8
+        expected = V * d + 2 * (8 * d * d + 4 * d) + (3 * d * d + d) + (V * d + V)
+        assert model.parameter_count() == expected
+
+
+class TestEncoding:
+    def test_concept_representation_shape(self, model, vocab):
+        ids = vocab.encode(["iron", "deficiency", "anemia"])
+        representation = model.concept_representation(ids)
+        assert representation.shape == (8,)
+
+    def test_empty_concept_rejected(self, model):
+        with pytest.raises(DataError):
+            model.encode_concept([])
+
+    def test_different_concepts_encode_differently(self, model, vocab):
+        a = model.concept_representation(vocab.encode(["iron", "anemia"]))
+        b = model.concept_representation(vocab.encode(["kidney", "disease"]))
+        assert not np.allclose(a, b)
+
+
+class TestScoring:
+    def test_log_prob_is_negative_loss(self, model, vocab):
+        concept = vocab.encode(["iron", "deficiency", "anemia"])
+        ancestors = [vocab.encode(["iron", "anemia"])]
+        query = vocab.encode(["anemia", "blood", "loss"])
+        assert model.log_prob(concept, ancestors, query) == pytest.approx(
+            -model.pair_loss(concept, ancestors, query)
+        )
+
+    def test_empty_query_rejected(self, model, vocab):
+        concept = vocab.encode(["iron", "anemia"])
+        with pytest.raises(DataError):
+            model.forward(concept, [vocab.encode(["iron"])], [])
+
+    def test_wrong_ancestor_count_rejected(self, model, vocab):
+        concept = vocab.encode(["iron", "anemia"])
+        query = vocab.encode(["blood"])
+        with pytest.raises(DataError):
+            model.forward(concept, [], query)  # beta=1 needs 1 ancestor
+
+    def test_score_with_encodings_matches_forward(self, model, vocab):
+        concept_ids = vocab.encode(["iron", "deficiency", "anemia"])
+        ancestor_ids = [vocab.encode(["iron", "anemia"])]
+        query = vocab.encode(["blood", "loss"])
+        direct = model.log_prob(concept_ids, ancestor_ids, query)
+        encoding = model.encode_concept(concept_ids, keep_caches=False)
+        ancestors = [
+            model.encode_concept(ids, keep_caches=False) for ids in ancestor_ids
+        ]
+        cached = model.score_with_encodings(encoding, ancestors, query)
+        assert cached == pytest.approx(direct)
+
+    def test_longer_unlikely_query_scores_lower(self, model, vocab):
+        concept = vocab.encode(["iron", "anemia"])
+        ancestors = [vocab.encode(["iron"])]
+        short = model.log_prob(concept, ancestors, vocab.encode(["blood"]))
+        long = model.log_prob(
+            concept, ancestors, vocab.encode(["blood", "loss", "stage", "5"])
+        )
+        assert long < short  # each extra factor multiplies p < 1
+
+
+class TestPersistence:
+    def test_save_load_preserves_scores(self, model, vocab, tmp_path):
+        concept = vocab.encode(["iron", "deficiency", "anemia"])
+        ancestors = [vocab.encode(["iron", "anemia"])]
+        query = vocab.encode(["blood", "loss"])
+        before = model.log_prob(concept, ancestors, query)
+        path = tmp_path / "comaid.npz"
+        save_module(model, path)
+        clone = ComAid(ComAidConfig(dim=8, beta=1), vocab, rng=123)
+        load_module(clone, path)
+        after = clone.log_prob(concept, ancestors, query)
+        assert after == pytest.approx(before)

@@ -1,0 +1,178 @@
+"""Tests for the paper-suggested extensions: BlackOut-style sampled
+softmax (Appendix B.2), alias generation, and MAP priors (Section 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.comaid import ComAid
+from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.core.linker import NeuralConceptLinker
+from repro.core.trainer import ComAidTrainer
+from repro.text.vocab import Vocabulary
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def vocab():
+    vocabulary = Vocabulary()
+    vocabulary.add_all(
+        ["iron", "deficiency", "anemia", "chronic", "kidney", "disease",
+         "blood", "loss", "stage", "5"]
+    )
+    return vocabulary
+
+
+def example(vocab):
+    concept = vocab.encode(["iron", "deficiency", "anemia"])
+    ancestors = [vocab.encode(["iron", "anemia"])]
+    query = vocab.encode(["anemia", "blood", "loss"])
+    return concept, ancestors, query
+
+
+class TestSampledSoftmax:
+    def test_sampled_gradients_match_finite_differences(self, vocab):
+        """The sampled objective's gradients must be exact for the rows
+        it touches (it is a smaller, but still exact, softmax)."""
+        model = ComAid(ComAidConfig(dim=6, beta=1), vocab, rng=0)
+        model.set_output_sampler(4, rng=7)
+        concept, ancestors, query = example(vocab)
+
+        # Freeze the sampler's draws by re-seeding before each pass.
+        def fresh_loss():
+            model.set_output_sampler(4, rng=7)
+            return model.forward(concept, ancestors, query).loss
+
+        model.set_output_sampler(4, rng=7)
+        cache = model.forward(concept, ancestors, query)
+        model.zero_grad()
+        model.backward(cache)
+
+        epsilon = 1e-5
+        parameter = model.output.weight
+        flat = parameter.value.ravel()
+        analytic = parameter.grad.ravel()
+        rng = np.random.default_rng(0)
+        for index in rng.choice(flat.size, size=10, replace=False):
+            original = flat[index]
+            flat[index] = original + epsilon
+            upper = fresh_loss()
+            flat[index] = original - epsilon
+            lower = fresh_loss()
+            flat[index] = original
+            numeric = (upper - lower) / (2 * epsilon)
+            assert analytic[index] == pytest.approx(numeric, abs=1e-5)
+
+    def test_scoring_uses_exact_softmax_after_clear(self, vocab):
+        model = ComAid(ComAidConfig(dim=6, beta=1), vocab, rng=0)
+        concept, ancestors, query = example(vocab)
+        exact = model.pair_loss(concept, ancestors, query)
+        model.set_output_sampler(3, rng=1)
+        sampled = model.forward(concept, ancestors, query).loss
+        model.clear_output_sampler()
+        assert model.pair_loss(concept, ancestors, query) == pytest.approx(exact)
+        # The sampled loss normalises over fewer words, so it is lower.
+        assert sampled < exact
+
+    def test_trainer_integration(self, figure1_ontology, figure3_kb):
+        trainer = ComAidTrainer(
+            ComAidConfig(dim=8, beta=1),
+            TrainingConfig(epochs=3, batch_size=4, sampled_softmax=3),
+            rng=2,
+        )
+        model = trainer.fit(figure3_kb)
+        # Sampler is cleared after training; losses were recorded.
+        assert model._output_sampler is None
+        assert len(trainer.history.epoch_losses) == 3
+
+    def test_invalid_negatives(self, vocab):
+        model = ComAid(ComAidConfig(dim=4, beta=1), vocab, rng=0)
+        with pytest.raises(ConfigurationError):
+            model.set_output_sampler(0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(sampled_softmax=-1)
+
+
+class TestGeneration:
+    def train_small(self, figure1_ontology, figure3_kb):
+        trainer = ComAidTrainer(
+            ComAidConfig(dim=12, beta=2),
+            TrainingConfig(epochs=25, batch_size=4, optimizer="adagrad",
+                           learning_rate=0.2),
+            rng=7,
+        )
+        return trainer.fit(figure3_kb)
+
+    def test_greedy_generation_produces_words(self, figure1_ontology, figure3_kb):
+        model = self.train_small(figure1_ontology, figure3_kb)
+        concept = figure1_ontology.get("N18.5")
+        from repro.ontology.paths import structural_context
+
+        ancestors = [
+            model.words_to_ids(list(c.words))
+            for c in structural_context(figure1_ontology, "N18.5", 2)[1:]
+        ]
+        words = model.generate(
+            model.words_to_ids(list(concept.words)), ancestors, max_length=8
+        )
+        assert 1 <= len(words) <= 8
+        assert all(isinstance(word, str) for word in words)
+        assert "<unk>" not in words and "<bos>" not in words
+
+    def test_temperature_sampling_deterministic_with_seed(
+        self, figure1_ontology, figure3_kb
+    ):
+        model = self.train_small(figure1_ontology, figure3_kb)
+        concept_ids = model.words_to_ids(["scorbutic", "anemia"])
+        from repro.ontology.paths import structural_context
+
+        ancestors = [
+            model.words_to_ids(list(c.words))
+            for c in structural_context(figure1_ontology, "D53.2", 2)[1:]
+        ]
+        a = model.generate(concept_ids, ancestors, temperature=0.8, rng=5)
+        b = model.generate(concept_ids, ancestors, temperature=0.8, rng=5)
+        assert a == b
+
+    def test_invalid_args(self, vocab):
+        model = ComAid(ComAidConfig(dim=4, beta=1), vocab, rng=0)
+        concept, ancestors, _ = example(vocab)
+        with pytest.raises(ConfigurationError):
+            model.generate(concept, ancestors, max_length=0)
+        with pytest.raises(ConfigurationError):
+            model.generate(concept, ancestors, temperature=-1.0)
+
+
+class TestMapPriors:
+    def build(self, figure1_ontology, figure3_kb, priors):
+        trainer = ComAidTrainer(
+            ComAidConfig(dim=8, beta=1),
+            TrainingConfig(epochs=4, batch_size=4),
+            rng=3,
+        )
+        model = trainer.fit(figure3_kb)
+        return NeuralConceptLinker(
+            model, figure1_ontology, LinkerConfig(k=5),
+            kb=figure3_kb, priors=priors,
+        )
+
+    def test_extreme_prior_dominates_ranking(self, figure1_ontology, figure3_kb):
+        """With an overwhelming prior on one anemia sibling, ambiguous
+        anemia queries must rank it first (Eq. 11 MAP behaviour)."""
+        priors = {"D53.0": 1e9, "D50.0": 1.0, "D53.2": 1.0}
+        linker = self.build(figure1_ontology, figure3_kb, priors)
+        result = linker.link("deficiency anemia")
+        assert result.top is not None
+        assert result.top.cid == "D53.0"
+
+    def test_uniform_is_default(self, figure1_ontology, figure3_kb):
+        linker = self.build(figure1_ontology, figure3_kb, None)
+        assert linker._log_priors is None
+
+    def test_invalid_priors(self, figure1_ontology, figure3_kb):
+        with pytest.raises(ConfigurationError):
+            self.build(figure1_ontology, figure3_kb, {})
+        with pytest.raises(ConfigurationError):
+            self.build(figure1_ontology, figure3_kb, {"D50.0": -1.0})
+        with pytest.raises(KeyError):
+            self.build(figure1_ontology, figure3_kb, {"NOPE": 1.0})

@@ -1,0 +1,97 @@
+"""Tests for the Timon review-page artifact pipeline (Appendix A)."""
+
+import pytest
+
+from repro.core.feedback import FeedbackController, FeedbackItem
+from repro.core.timon import parse_review_csv, render_review_page
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.utils.errors import DataError
+
+
+def pooled_items():
+    return [
+        FeedbackItem(
+            query="breast lump for investigation",
+            candidate_cids=("D50.0", "N18.5", "R10.0"),
+            losses=(14.2, 14.5, 18.0),
+        ),
+        FeedbackItem(
+            query="ckd five",
+            candidate_cids=("N18.5", "N18.9"),
+            losses=(6.1, 6.2),
+        ),
+    ]
+
+
+class TestRenderReviewPage:
+    def test_renders_queries_and_candidates(self, figure1_ontology, tmp_path):
+        path = tmp_path / "timon.html"
+        count = render_review_page(pooled_items(), figure1_ontology, path)
+        page = path.read_text(encoding="utf-8")
+        assert count == 2
+        assert "breast lump for investigation" in page
+        assert "chronic kidney disease, stage 5" in page  # description shown
+        assert 'input type="radio"' in page
+        assert 'input type="text"' in page  # free-text "other concept"
+
+    def test_escapes_html(self, figure1_ontology, tmp_path):
+        items = [
+            FeedbackItem(
+                query="<script>alert(1)</script>",
+                candidate_cids=("D50.0",),
+                losses=(3.0,),
+            )
+        ]
+        path = tmp_path / "timon.html"
+        render_review_page(items, figure1_ontology, path)
+        page = path.read_text(encoding="utf-8")
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_unknown_candidate_skipped(self, figure1_ontology, tmp_path):
+        items = [
+            FeedbackItem(
+                query="query", candidate_cids=("ZZZ", "D50.0"), losses=(1.0, 2.0)
+            )
+        ]
+        path = tmp_path / "timon.html"
+        render_review_page(items, figure1_ontology, path)
+        page = path.read_text(encoding="utf-8")
+        assert "ZZZ" not in page
+        assert "D50.0" in page
+
+    def test_max_candidates_validation(self, figure1_ontology, tmp_path):
+        with pytest.raises(DataError):
+            render_review_page([], figure1_ontology, tmp_path / "x.html", 0)
+
+
+class TestParseReviewCsv:
+    def test_resolves_valid_rows(self, figure1_ontology, tmp_path):
+        kb = KnowledgeBase(figure1_ontology)
+        controller = FeedbackController(kb, retrain_after=100)
+        path = tmp_path / "decisions.csv"
+        path.write_text(
+            "query,cid\n"
+            "breast lump for investigation,N18.5\n"
+            "scurvy like anemia,D53.2\n",
+            encoding="utf-8",
+        )
+        resolved, rejected = parse_review_csv(controller, path)
+        assert len(resolved) == 2
+        assert rejected == []
+        assert "breast lump for investigation" in kb.aliases_of("N18.5")
+
+    def test_rejects_bad_rows_without_losing_good(self, figure1_ontology, tmp_path):
+        kb = KnowledgeBase(figure1_ontology)
+        controller = FeedbackController(kb, retrain_after=100)
+        path = tmp_path / "decisions.csv"
+        path.write_text(
+            "good query,D50.0\n"
+            "missing concept,ZZZ\n"
+            "lonelyfield\n"
+            "\n",
+            encoding="utf-8",
+        )
+        resolved, rejected = parse_review_csv(controller, path)
+        assert len(resolved) == 1
+        assert len(rejected) == 2

@@ -1,0 +1,138 @@
+"""Tests for dataset bundle generation."""
+
+import pytest
+
+from repro.datasets.generator import (
+    build_corpus,
+    generate_dataset,
+    generate_queries,
+    hospital_x_like,
+    mimic_iii_like,
+    populate_aliases,
+)
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.icd import build_icd10_like_ontology
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_ontology():
+    return build_icd10_like_ontology(
+        rng=9, categories_per_family=2, leaves_per_category=2
+    )
+
+
+class TestPopulateAliases:
+    def test_every_leaf_gets_aliases(self, small_ontology):
+        kb = KnowledgeBase(small_ontology)
+        stored = populate_aliases(kb, aliases_per_concept=3, rng=1)
+        assert stored == kb.alias_count()
+        for leaf in small_ontology.fine_grained():
+            assert len(kb.aliases_of(leaf.cid)) >= 1
+
+    def test_parent_blend_included(self, small_ontology):
+        kb = KnowledgeBase(small_ontology)
+        populate_aliases(kb, aliases_per_concept=1, rng=1, include_parent_blend=True)
+        blended_found = False
+        for leaf in small_ontology.fine_grained():
+            parent = small_ontology.parent_of(leaf.cid)
+            for alias in kb.aliases_of(leaf.cid):
+                if alias.startswith(" ".join(parent.words)):
+                    blended_found = True
+        assert blended_found
+
+    def test_invalid_count(self, small_ontology):
+        with pytest.raises(ConfigurationError):
+            populate_aliases(KnowledgeBase(small_ontology), 0)
+
+
+class TestGenerateQueries:
+    def test_count_and_ground_truth(self, small_ontology):
+        queries = generate_queries(small_ontology, 25, rng=2)
+        assert len(queries) == 25
+        leaves = {leaf.cid for leaf in small_ontology.fine_grained()}
+        assert all(query.cid in leaves for query in queries)
+        assert all(query.text for query in queries)
+
+    def test_every_query_is_noisy(self, small_ontology):
+        queries = generate_queries(small_ontology, 25, rng=2)
+        assert all(query.channels for query in queries)
+
+    def test_restricted_cids(self, small_ontology):
+        target = small_ontology.fine_grained()[0].cid
+        queries = generate_queries(small_ontology, 5, rng=2, cids=[target])
+        assert all(query.cid == target for query in queries)
+
+    def test_deterministic(self, small_ontology):
+        a = generate_queries(small_ontology, 10, rng=3)
+        b = generate_queries(small_ontology, 10, rng=3)
+        assert a == b
+
+    def test_invalid_count(self, small_ontology):
+        with pytest.raises(ConfigurationError):
+            generate_queries(small_ontology, -1)
+
+
+class TestBuildCorpus:
+    def test_ingredients_present(self, small_ontology):
+        kb = KnowledgeBase(small_ontology)
+        populate_aliases(kb, 2, rng=1)
+        queries = generate_queries(small_ontology, 10, rng=2)
+        corpus = build_corpus(kb, queries, background_factor=1, mixed_factor=1, rng=3)
+        # Tagged canonical snippets for every concept.
+        tagged_cids = {snippet.cid for snippet in corpus.tagged()}
+        assert {c.cid for c in small_ontology} <= tagged_cids
+        # Untagged side includes the queries.
+        untagged_texts = {snippet.text for snippet in corpus.untagged()}
+        assert any(query.text in untagged_texts for query in queries)
+
+    def test_mixed_factor_creates_long_snippets(self, small_ontology):
+        kb = KnowledgeBase(small_ontology)
+        populate_aliases(kb, 1, rng=1)
+        corpus = build_corpus(kb, [], background_factor=0, mixed_factor=2, rng=3)
+        leaf = small_ontology.fine_grained()[0]
+        long_snippets = [
+            snippet
+            for snippet in corpus.untagged()
+            if len(snippet.words) > len(leaf.words)
+        ]
+        assert long_snippets
+
+
+class TestPresets:
+    def test_hospital_x_summary(self):
+        bundle = hospital_x_like(
+            rng=4, categories_per_family=2, leaves_per_category=2, query_count=30
+        )
+        summary = bundle.summary()
+        assert summary["name"] == "hospital-x-like"
+        assert summary["queries"] == 30
+        assert summary["aliases"] > 0
+        assert summary["unlabeled_snippets"] > summary["aliases"]
+
+    def test_mimic_is_smaller_and_numeric(self):
+        hospital = hospital_x_like(rng=4, query_count=20)
+        mimic = mimic_iii_like(rng=4, query_count=20)
+        assert len(mimic.ontology) < len(hospital.ontology)
+        assert all(
+            leaf.cid.split(".")[0].isdigit()
+            for leaf in mimic.ontology.fine_grained()
+        )
+
+    def test_deterministic_bundles(self):
+        a = hospital_x_like(rng=4, categories_per_family=2, query_count=10)
+        b = hospital_x_like(rng=4, categories_per_family=2, query_count=10)
+        assert [q.text for q in a.queries] == [q.text for q in b.queries]
+        assert a.kb.to_dict() == b.kb.to_dict()
+
+    def test_queries_never_used_as_aliases(self):
+        bundle = hospital_x_like(
+            rng=4, categories_per_family=2, leaves_per_category=2, query_count=30
+        )
+        aliases = {
+            alias for _, alias in bundle.kb.labeled_snippets()
+        }
+        overlap = [q for q in bundle.queries if q.text in aliases]
+        # Training data and evaluation queries come from different noise
+        # registers; coincidental identical strings must be rare.
+        assert len(overlap) <= len(bundle.queries) * 0.05

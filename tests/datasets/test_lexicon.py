@@ -1,0 +1,89 @@
+"""Tests for the clinical lexicon's structural invariants."""
+
+from repro.datasets import lexicon
+
+
+class TestAbbreviations:
+    def test_paper_shorthands_present(self):
+        # The paper's own examples: chr (chronic), def (deficiency),
+        # 2' (secondary) appear in Figures 1 and 3.
+        assert "chr" in lexicon.WORD_ABBREVIATIONS["chronic"]
+        assert "def" in lexicon.WORD_ABBREVIATIONS["deficiency"]
+        assert "2'" in lexicon.WORD_ABBREVIATIONS["secondary"]
+
+    def test_abbreviations_are_shorter(self):
+        for word, shorthands in lexicon.WORD_ABBREVIATIONS.items():
+            for shorthand in shorthands:
+                assert len(shorthand) <= len(word), (word, shorthand)
+
+    def test_values_nonempty(self):
+        for word, shorthands in lexicon.WORD_ABBREVIATIONS.items():
+            assert shorthands, word
+
+
+class TestAcronyms:
+    def test_ckd_and_dm(self):
+        assert lexicon.PHRASE_ACRONYMS["chronic kidney disease"] == "ckd"
+        assert lexicon.PHRASE_ACRONYMS["diabetes mellitus"] == "dm"
+
+    def test_phrases_are_multiword_or_long(self):
+        for phrase in lexicon.PHRASE_ACRONYMS:
+            assert " " in phrase or len(phrase) > 8
+
+    def test_inverse_mapping(self):
+        inverted = lexicon.invert_acronyms()
+        assert inverted["ckd"] == "chronic kidney disease"
+        assert all(acronym for acronym in inverted)
+
+
+class TestSynonymRegisters:
+    def test_registers_mostly_disjoint_values(self):
+        """Colloquial replacements must mostly NOT appear as formal
+        replacements — the register split is what separates alias
+        language from query language."""
+        formal_values = {
+            value
+            for values in lexicon.FORMAL_WORD_SYNONYMS.values()
+            for value in values
+        }
+        colloquial_values = {
+            value
+            for values in lexicon.COLLOQUIAL_WORD_SYNONYMS.values()
+            for value in values
+        }
+        overlap = formal_values & colloquial_values
+        assert len(overlap) <= 2, overlap
+
+    def test_polysemy_exists_in_colloquial_register(self):
+        """Ward shorthand is ambiguous by design ('attack', 'blockage',
+        'growth' each map from several formal words)."""
+        from collections import Counter
+
+        value_counts = Counter(
+            value
+            for values in lexicon.COLLOQUIAL_WORD_SYNONYMS.values()
+            for value in values
+        )
+        polysemous = [value for value, count in value_counts.items() if count > 1]
+        assert len(polysemous) >= 3
+
+    def test_combined_view_contains_both(self):
+        for word in lexicon.FORMAL_WORD_SYNONYMS:
+            assert word in lexicon.WORD_SYNONYMS
+        for word in lexicon.COLLOQUIAL_WORD_SYNONYMS:
+            assert word in lexicon.WORD_SYNONYMS
+
+    def test_no_self_synonyms(self):
+        for table in (
+            lexicon.FORMAL_WORD_SYNONYMS,
+            lexicon.COLLOQUIAL_WORD_SYNONYMS,
+        ):
+            for word, values in table.items():
+                assert word not in values, word
+
+
+class TestDanglingPhrases:
+    def test_nonempty_and_lowercase(self):
+        assert lexicon.DANGLING_PHRASES
+        for phrase in lexicon.DANGLING_PHRASES:
+            assert phrase == phrase.lower()

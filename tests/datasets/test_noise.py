@@ -1,0 +1,209 @@
+"""Tests for the noise channels and noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import lexicon
+from repro.datasets.noise import (
+    AbbreviationChannel,
+    AcronymChannel,
+    DanglingChannel,
+    NoiseModel,
+    NumericStyleChannel,
+    ReorderChannel,
+    SimplificationChannel,
+    SynonymChannel,
+    TypoChannel,
+    alias_noise_model,
+    channel_catalogue,
+    query_noise_model,
+)
+from repro.text.edit_distance import damerau_levenshtein
+from repro.utils.errors import ConfigurationError
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestAbbreviationChannel:
+    def test_known_word_abbreviated(self):
+        result = AbbreviationChannel(max_replacements=1).apply(
+            ["chronic", "pain"], rng()
+        )
+        assert result is not None
+        assert result[0] in lexicon.WORD_ABBREVIATIONS["chronic"]
+        assert result[1] == "pain"
+
+    def test_no_candidates_returns_none(self):
+        assert AbbreviationChannel().apply(["zzz"], rng()) is None
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AbbreviationChannel(max_replacements=0)
+
+
+class TestAcronymChannel:
+    def test_ckd_collapse(self):
+        result = AcronymChannel().apply(
+            ["chronic", "kidney", "disease", "stage", "5"], rng()
+        )
+        assert result == ["ckd", "stage", "5"]
+
+    def test_longest_phrase_wins(self):
+        result = AcronymChannel().apply(
+            ["type", "2", "diabetes", "mellitus"], rng()
+        )
+        assert result == ["t2dm"]
+
+    def test_no_phrase_returns_none(self):
+        assert AcronymChannel().apply(["anemia"], rng()) is None
+
+
+class TestSynonymChannel:
+    def test_formal_register(self):
+        channel = SynonymChannel(
+            word_synonyms=lexicon.FORMAL_WORD_SYNONYMS,
+            phrase_synonyms={},
+        )
+        result = channel.apply(["kidney", "failure"], rng())
+        assert result is not None and result != ["kidney", "failure"]
+
+    def test_multiword_synonym_splices(self):
+        channel = SynonymChannel(
+            word_synonyms={"pneumonia": ("chest infection",)},
+            phrase_synonyms={},
+        )
+        result = channel.apply(["pneumonia", "severe"], rng())
+        assert result == ["chest", "infection", "severe"]
+
+    def test_no_match_returns_none(self):
+        channel = SynonymChannel(word_synonyms={}, phrase_synonyms={})
+        assert channel.apply(["anything"], rng()) is None
+
+    def test_invalid_max_replacements(self):
+        with pytest.raises(ConfigurationError):
+            SynonymChannel(max_replacements=0)
+
+
+class TestSimplificationChannel:
+    def test_drops_droppable(self):
+        result = SimplificationChannel(max_drops=2).apply(
+            ["anemia", "unspecified", "of", "the"], rng()
+        )
+        assert result is not None
+        assert len(result) < 4
+        assert "anemia" in result
+
+    def test_preserves_min_remaining(self):
+        channel = SimplificationChannel(max_drops=5, min_remaining=1)
+        result = channel.apply(["of"], rng())
+        assert result is None  # would drop below min_remaining
+
+    def test_invalid_min_remaining(self):
+        with pytest.raises(ConfigurationError):
+            SimplificationChannel(min_remaining=0)
+
+
+class TestTypoChannel:
+    def test_single_edit(self):
+        channel = TypoChannel(min_word_length=5)
+        for seed in range(10):
+            result = channel.apply(["neuropathy"], rng(seed))
+            assert result is not None
+            assert damerau_levenshtein(result[0], "neuropathy") == 1
+
+    def test_short_words_skipped(self):
+        assert TypoChannel(min_word_length=5).apply(["ckd", "5"], rng()) is None
+
+
+class TestNumericStyleChannel:
+    def test_stage_number(self):
+        result = NumericStyleChannel().apply(["ckd", "stage", "5"], rng())
+        assert result == ["ckd", "5"]
+
+    def test_no_number_returns_none(self):
+        assert NumericStyleChannel().apply(["stage", "five"], rng()) is None
+
+
+class TestDanglingChannel:
+    def test_appends_or_prepends_phrase(self):
+        result = DanglingChannel().apply(["anemia"], rng())
+        assert result is not None
+        assert "anemia" in result
+        assert len(result) > 1
+
+
+class TestReorderChannel:
+    def test_rotation(self):
+        result = ReorderChannel().apply(["a", "b", "c"], rng())
+        assert result is not None
+        assert sorted(result) == ["a", "b", "c"]
+        assert result != ["a", "b", "c"]
+
+    def test_too_short_returns_none(self):
+        assert ReorderChannel(min_length=3).apply(["a", "b"], rng()) is None
+
+
+class TestNoiseModel:
+    def test_records_fired_channels(self):
+        model = NoiseModel([(AcronymChannel(), 1.0)])
+        result = model.corrupt(["chronic", "kidney", "disease"], rng())
+        assert result.channels == ("acronym",)
+
+    def test_zero_probability_never_fires(self):
+        model = NoiseModel([(AcronymChannel(), 0.0)])
+        result = model.corrupt(["chronic", "kidney", "disease"], rng())
+        assert result.channels == ()
+        assert result.tokens == ("chronic", "kidney", "disease")
+
+    def test_min_channels_forces_applicable(self):
+        model = NoiseModel([(AcronymChannel(), 0.0)], min_channels=1)
+        result = model.corrupt(["chronic", "kidney", "disease"], rng())
+        assert result.channels == ("acronym",)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel([(AcronymChannel(), 1.5)])
+
+    def test_invalid_min_channels(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel([], min_channels=-1)
+
+    def test_deterministic_with_seed(self):
+        model = query_noise_model()
+        words = ["iron", "deficiency", "anemia", "secondary", "to", "blood", "loss"]
+        a = model.corrupt(words, rng(5))
+        b = model.corrupt(words, rng(5))
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_query_model_always_yields_tokens(self, seed):
+        model = query_noise_model()
+        result = model.corrupt(
+            ["chronic", "kidney", "disease", "stage", "5"], rng(seed)
+        )
+        assert len(result.tokens) >= 1
+        assert all(token for token in result.tokens)
+
+
+class TestPresets:
+    def test_catalogue_covers_all_channel_names(self):
+        names = set(channel_catalogue())
+        assert names == {
+            "abbreviation", "acronym", "synonym", "simplification",
+            "dangling", "typo", "numeric_style", "reorder",
+        }
+
+    def test_alias_model_is_formal_register(self):
+        # Colloquial-only words must never appear in aliases.
+        model = alias_noise_model()
+        generator = rng(1)
+        for _ in range(50):
+            result = model.corrupt(
+                ["cholelithiasis", "with", "obstruction"], generator
+            )
+            assert "gallstones" not in result.tokens

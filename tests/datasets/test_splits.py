@@ -1,0 +1,123 @@
+"""Tests for the query-group evaluation protocol."""
+
+import pytest
+
+from repro.datasets.generator import LinkedQuery
+from repro.datasets.splits import (
+    channel_histogram,
+    make_query_groups,
+    select_purposive,
+)
+from repro.utils.errors import ConfigurationError, DataError
+
+
+def make_queries():
+    queries = []
+    channels = ["abbreviation", "synonym", "acronym", "simplification"]
+    for index in range(80):
+        queries.append(
+            LinkedQuery(
+                text=f"query {index}",
+                cid=f"C{index % 7}",
+                channels=(channels[index % 4],),
+            )
+        )
+    return queries
+
+
+class TestSelectPurposive:
+    def test_stratified_across_phenomena(self):
+        queries = make_queries()
+        selected = select_purposive(queries, 16, rng=1)
+        histogram = channel_histogram(selected)
+        assert set(histogram) == {
+            "abbreviation", "synonym", "acronym", "simplification",
+        }
+        assert all(count == 4 for count in histogram.values())
+
+    def test_no_duplicates(self):
+        queries = make_queries()
+        selected = select_purposive(queries, 20, rng=2)
+        assert len({id(query) for query in selected}) == 20
+
+    def test_falls_back_when_phenomenon_scarce(self):
+        queries = [
+            LinkedQuery(text=f"q{i}", cid="C", channels=("typo",))
+            for i in range(10)
+        ]
+        selected = select_purposive(queries, 5, rng=0)
+        assert len(selected) == 5
+
+    def test_too_many_requested(self):
+        with pytest.raises(DataError):
+            select_purposive(make_queries()[:3], 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_purposive(make_queries(), -1)
+
+
+class TestMakeQueryGroups:
+    def test_paper_protocol_shape(self):
+        queries = make_queries()
+        groups = make_query_groups(
+            queries, n_groups=5, group_size=30, purposive_size=8, rng=3
+        )
+        assert len(groups) == 5
+        assert all(len(group) == 30 for group in groups)
+        assert all(group.purposive_count == 8 for group in groups)
+
+    def test_purposive_core_shared_across_groups(self):
+        queries = make_queries()
+        groups = make_query_groups(
+            queries, n_groups=3, group_size=20, purposive_size=6, rng=3
+        )
+        cores = [
+            tuple(query.text for query in group.queries[:6]) for group in groups
+        ]
+        assert cores[0] == cores[1] == cores[2]
+
+    def test_random_tails_differ(self):
+        queries = make_queries()
+        groups = make_query_groups(
+            queries, n_groups=3, group_size=40, purposive_size=4, rng=3
+        )
+        tails = [
+            frozenset(query.text for query in group.queries[4:])
+            for group in groups
+        ]
+        assert len(set(tails)) > 1
+
+    def test_no_duplicates_within_group(self):
+        queries = make_queries()
+        for group in make_query_groups(
+            queries, n_groups=4, group_size=30, purposive_size=8, rng=5
+        ):
+            texts = [query.text for query in group.queries]
+            assert len(texts) == len(set(texts))
+
+    def test_group_size_exceeding_pool(self):
+        with pytest.raises(DataError):
+            make_query_groups(make_queries(), n_groups=1, group_size=100)
+
+    def test_purposive_exceeding_group(self):
+        with pytest.raises(ConfigurationError):
+            make_query_groups(
+                make_queries(), n_groups=1, group_size=10, purposive_size=20
+            )
+
+    def test_deterministic(self):
+        queries = make_queries()
+        a = make_query_groups(queries, n_groups=2, group_size=20, purposive_size=4, rng=7)
+        b = make_query_groups(queries, n_groups=2, group_size=20, purposive_size=4, rng=7)
+        assert [
+            [q.text for q in group.queries] for group in a
+        ] == [
+            [q.text for q in group.queries] for group in b
+        ]
+
+
+class TestChannelHistogram:
+    def test_counts(self):
+        histogram = channel_histogram(make_queries())
+        assert sum(histogram.values()) == 80

@@ -1,0 +1,99 @@
+"""Tests for the CBOW trainer."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.cbow import CbowConfig, CbowTrainer
+from repro.utils.errors import ConfigurationError, DataError
+
+
+def toy_sequences():
+    # Two tight topical clusters: (kidney, renal, disease) and
+    # (anemia, iron, deficiency) — words within a cluster co-occur.
+    rng = np.random.default_rng(0)
+    kidney = ["kidney", "renal", "disease", "chronic"]
+    anemia = ["anemia", "iron", "deficiency", "blood"]
+    sequences = []
+    for _ in range(120):
+        cluster = kidney if rng.random() < 0.5 else anemia
+        picks = rng.choice(len(cluster), size=3, replace=False)
+        sequences.append([cluster[int(i)] for i in picks])
+    return sequences
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = CbowConfig()
+        # Appendix B.2: window 10, NCE/negatives 10, lr 0.05.
+        assert config.window == 10
+        assert config.negatives == 10
+        assert config.learning_rate == 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dim=0),
+            dict(window=0),
+            dict(negatives=0),
+            dict(epochs=0),
+            dict(learning_rate=0.0),
+            dict(min_count=0),
+            dict(subsample=-1.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CbowConfig(**kwargs)
+
+
+class TestTraining:
+    def test_clusters_separate(self):
+        config = CbowConfig(
+            dim=16, window=4, negatives=5, epochs=20, learning_rate=0.1,
+            subsample=0.0,
+        )
+        trainer = CbowTrainer(config, rng=1).fit(toy_sequences())
+
+        def cos(a, b):
+            va, vb = trainer.vector_of(a), trainer.vector_of(b)
+            return float(
+                va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-12)
+            )
+
+        within = cos("kidney", "renal")
+        across = cos("kidney", "anemia")
+        assert within > across
+
+    def test_deterministic(self):
+        config = CbowConfig(dim=8, window=3, negatives=3, epochs=2)
+        a = CbowTrainer(config, rng=5).fit(toy_sequences())
+        b = CbowTrainer(config, rng=5).fit(toy_sequences())
+        np.testing.assert_array_equal(a.input_vectors, b.input_vectors)
+
+    def test_min_count_prunes(self):
+        config = CbowConfig(dim=4, window=2, negatives=2, epochs=1, min_count=2)
+        sequences = [["common", "common", "rare"], ["common", "other", "other"]]
+        trainer = CbowTrainer(config, rng=0).fit(sequences)
+        assert "rare" not in trainer.vocab
+
+    def test_empty_corpus_raises(self):
+        config = CbowConfig(dim=4, epochs=1)
+        with pytest.raises(DataError):
+            CbowTrainer(config, rng=0).fit([])
+
+    def test_all_singletons_raises(self):
+        config = CbowConfig(dim=4, epochs=1)
+        with pytest.raises(DataError):
+            CbowTrainer(config, rng=0).fit([["lonely"]])
+
+    def test_vector_of_before_fit_raises(self):
+        config = CbowConfig(dim=4, epochs=1)
+        with pytest.raises(DataError):
+            CbowTrainer(config, rng=0).vector_of("x")
+
+    def test_vector_shapes(self):
+        config = CbowConfig(dim=8, window=3, negatives=3, epochs=1)
+        trainer = CbowTrainer(config, rng=0).fit(toy_sequences())
+        assert trainer.input_vectors.shape == (len(trainer.vocab), 8)
+        assert trainer.vector_of("kidney").shape == (8,)
+        assert np.isfinite(trainer.input_vectors).all()

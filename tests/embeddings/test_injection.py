@@ -1,0 +1,48 @@
+"""Tests for concept-id injection (paper Section 4.2)."""
+
+import pytest
+
+from repro.embeddings.injection import cid_token, inject_cid, injected_sequences
+from repro.kb.corpus import SnippetCorpus
+
+
+class TestInjectCid:
+    def test_paper_example(self):
+        # "protein deficiency anemia" labeled D53.0 becomes
+        # "D53.0 protein D53.0 deficiency D53.0 anemia".
+        result = inject_cid(["protein", "deficiency", "anemia"], "D53.0")
+        assert result == [
+            "d53.0", "protein", "d53.0", "deficiency", "d53.0", "anemia",
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            inject_cid([], "D53.0")
+
+    def test_cid_token_normalisation(self):
+        assert cid_token("D50-D89") == "d50_d89"
+        assert cid_token("N18.5") == "n18.5"
+
+
+class TestInjectedSequences:
+    def test_tagged_injected_untagged_unchanged(self):
+        corpus = SnippetCorpus()
+        corpus.add("protein deficiency anemia", cid="D53.0")
+        corpus.add("vitamin c def anemia")  # genuinely unlabeled
+        sequences, cid_tokens = injected_sequences(corpus)
+        assert ["d53.0", "protein", "d53.0", "deficiency", "d53.0", "anemia"] in sequences
+        assert ["vitamin", "c", "def", "anemia"] in sequences
+        assert cid_tokens == {"d53.0"}
+
+    def test_word_contexts_diverge_after_injection(self):
+        """The point of injection: snippets of different concepts no
+        longer share contexts even when they share words."""
+        corpus = SnippetCorpus()
+        corpus.add("protein deficiency anemia", cid="D53.0")
+        corpus.add("iron deficiency anemia", cid="D50.0")
+        sequences, _ = injected_sequences(corpus)
+        first, second = sequences
+        # Before injection, "deficiency anemia" co-occurs identically;
+        # after, each word's neighbours include its own cid only.
+        assert "d53.0" in first and "d53.0" not in second
+        assert "d50.0" in second and "d50.0" not in first

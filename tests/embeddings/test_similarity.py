@@ -1,0 +1,148 @@
+"""Tests for WordVectors and pre-training orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.pretrain import (
+    pretrain_word_vectors,
+    remove_common_directions,
+)
+from repro.embeddings.similarity import WordVectors
+from repro.embeddings.cbow import CbowConfig
+from repro.kb.corpus import SnippetCorpus
+from repro.utils.errors import DataError
+
+
+def toy_vectors():
+    words = ["kidney", "renal", "anemia", "iron", "d50.0"]
+    matrix = np.array(
+        [
+            [1.0, 0.0],
+            [0.9, 0.1],
+            [0.0, 1.0],
+            [0.1, 0.9],
+            [0.5, 0.5],
+        ]
+    )
+    return WordVectors(words, matrix, tag_words=["d50.0"])
+
+
+class TestWordVectors:
+    def test_lookup(self):
+        vectors = toy_vectors()
+        np.testing.assert_array_equal(vectors.vector_of("kidney"), [1.0, 0.0])
+        assert "kidney" in vectors
+        assert "spleen" not in vectors
+        with pytest.raises(KeyError):
+            vectors.vector_of("spleen")
+
+    def test_nearest_excludes_self_and_tags(self):
+        vectors = toy_vectors()
+        nearest = vectors.nearest("kidney", k=2)
+        names = [name for name, _ in nearest]
+        assert names[0] == "renal"
+        assert "kidney" not in names
+        assert "d50.0" not in names
+
+    def test_nearest_restricted(self):
+        vectors = toy_vectors()
+        nearest = vectors.nearest("kidney", k=1, restrict_to={"anemia", "iron"})
+        assert nearest[0][0] in {"anemia", "iron"}
+
+    def test_cosine_symmetry(self):
+        vectors = toy_vectors()
+        assert vectors.cosine("kidney", "renal") == pytest.approx(
+            vectors.cosine("renal", "kidney")
+        )
+
+    def test_nearest_to_vector_zero_norm(self):
+        vectors = toy_vectors()
+        results = vectors.nearest_to_vector(np.zeros(2), k=1)
+        assert len(results) == 1  # degenerate but defined
+
+    def test_as_matrix_with_zeros(self):
+        vectors = toy_vectors()
+        matrix = vectors.as_matrix(["kidney", "missing"], missing="zeros")
+        np.testing.assert_array_equal(matrix[1], [0.0, 0.0])
+        with pytest.raises(KeyError):
+            vectors.as_matrix(["missing"])
+        with pytest.raises(ValueError):
+            vectors.as_matrix(["kidney"], missing="skip")
+
+    def test_subset(self):
+        vectors = toy_vectors()
+        subset = vectors.subset(["anemia", "iron"])
+        assert len(subset) == 2
+        np.testing.assert_array_equal(
+            subset.vector_of("iron"), vectors.vector_of("iron")
+        )
+
+    def test_duplicate_words_rejected(self):
+        with pytest.raises(DataError):
+            WordVectors(["a", "a"], np.zeros((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            WordVectors(["a"], np.zeros((2, 2)))
+
+
+class TestRemoveCommonDirections:
+    def test_centers_the_matrix(self):
+        matrix = np.random.default_rng(0).normal(size=(20, 5)) + 10.0
+        cleaned = remove_common_directions(matrix, components=0)
+        np.testing.assert_allclose(cleaned.mean(axis=0), np.zeros(5), atol=1e-10)
+
+    def test_removes_top_component(self):
+        rng = np.random.default_rng(0)
+        direction = rng.normal(size=5)
+        direction /= np.linalg.norm(direction)
+        matrix = rng.normal(size=(30, 5)) + 20 * rng.normal(size=(30, 1)) * direction
+        cleaned = remove_common_directions(matrix, components=1)
+        projections = cleaned @ direction
+        assert np.abs(projections).max() < np.abs(matrix @ direction).max() / 5
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            remove_common_directions(np.zeros((2, 2)), components=-1)
+
+
+class TestPretrainOrchestration:
+    def build_corpus(self):
+        corpus = SnippetCorpus()
+        corpus.add("iron deficiency anemia", cid="D50.0")
+        corpus.add("protein deficiency anemia", cid="D53.0")
+        corpus.add("chronic kidney disease", cid="N18")
+        corpus.add("fe def anemia")
+        corpus.add("ckd stage five")
+        corpus.add("renal disease chronic")
+        return corpus
+
+    def test_injected_tags_marked(self):
+        vectors = pretrain_word_vectors(
+            self.build_corpus(),
+            CbowConfig(dim=8, window=3, negatives=3, epochs=2),
+            rng=0,
+        )
+        assert "d50.0" in vectors.tag_words
+        assert "d50.0" in vectors  # has a vector
+        # Tag words never surface in nearest queries.
+        names = [name for name, _ in vectors.nearest("anemia", k=len(vectors))]
+        assert "d50.0" not in names
+
+    def test_no_injection_has_no_tags(self):
+        vectors = pretrain_word_vectors(
+            self.build_corpus(),
+            CbowConfig(dim=8, window=3, negatives=3, epochs=2),
+            rng=0,
+            inject=False,
+        )
+        assert vectors.tag_words == set()
+        assert "d50.0" not in vectors
+
+    def test_deterministic(self):
+        config = CbowConfig(dim=8, window=3, negatives=3, epochs=2)
+        a = pretrain_word_vectors(self.build_corpus(), config, rng=9)
+        b = pretrain_word_vectors(self.build_corpus(), config, rng=9)
+        np.testing.assert_array_equal(
+            a.vector_of("anemia"), b.vector_of("anemia")
+        )

@@ -1,0 +1,99 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.datasets.generator import LinkedQuery
+from repro.datasets.splits import QueryGroup
+from repro.eval.experiments import TINY
+from repro.eval.harness import (
+    build_pipeline,
+    evaluate_groups,
+    evaluate_ranker,
+    linker_ranker,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_pipeline():
+    dataset = TINY.dataset("hospital-x-like", rng=3)
+    return build_pipeline(
+        dataset,
+        model_config=TINY.model_config(),
+        training_config=TINY.training_config(),
+        cbow_config=TINY.cbow_config(),
+        rng=1,
+    )
+
+
+class TestBuildPipeline:
+    def test_components_wired(self, tiny_pipeline):
+        assert tiny_pipeline.model is tiny_pipeline.trainer.model
+        assert tiny_pipeline.word_vectors is not None
+        assert tiny_pipeline.pretrain_seconds > 0
+
+    def test_no_pretrain_variant(self):
+        dataset = TINY.dataset("hospital-x-like", rng=3)
+        pipeline = build_pipeline(
+            dataset,
+            model_config=TINY.model_config(),
+            training_config=TINY.training_config(),
+            rng=1,
+            pretrain=False,
+        )
+        assert pipeline.word_vectors is None
+        assert pipeline.linker.rewriter is not None  # edit-distance only
+
+    def test_vector_reuse_skips_pretraining(self, tiny_pipeline):
+        pipeline = build_pipeline(
+            tiny_pipeline.dataset,
+            model_config=TINY.model_config(),
+            training_config=TINY.training_config(),
+            word_vectors=tiny_pipeline.word_vectors,
+            rng=1,
+        )
+        assert pipeline.word_vectors is tiny_pipeline.word_vectors
+        assert pipeline.pretrain_seconds < tiny_pipeline.pretrain_seconds
+
+    def test_ranker_interface(self, tiny_pipeline):
+        ranker = tiny_pipeline.ranker()
+        query = tiny_pipeline.dataset.queries[0]
+        ranked = ranker(query.text)
+        assert isinstance(ranked, list)
+
+
+class TestEvaluate:
+    def test_evaluate_ranker(self, tiny_pipeline):
+        queries = tiny_pipeline.dataset.queries[:10]
+        outcome = evaluate_ranker("NCL", tiny_pipeline.ranker(), queries)
+        assert 0.0 <= outcome.accuracy <= 1.0
+        assert outcome.accuracy <= outcome.mrr + 1e-12
+
+    def test_evaluate_groups_averages_and_caches(self):
+        calls = []
+
+        def counting_ranker(text):
+            calls.append(text)
+            return ["A"] if text == "alpha" else ["B"]
+
+        queries = [
+            LinkedQuery(text="alpha", cid="A"),
+            LinkedQuery(text="beta", cid="A"),
+        ]
+        groups = [
+            QueryGroup(index=0, queries=tuple(queries), purposive_count=1),
+            QueryGroup(index=1, queries=tuple(queries), purposive_count=1),
+        ]
+        outcome = evaluate_groups("toy", counting_ranker, groups)
+        assert outcome.accuracy == pytest.approx(0.5)
+        assert len(outcome.per_group) == 2
+        # Each distinct text ranked exactly once despite two groups.
+        assert sorted(calls) == ["alpha", "beta"]
+
+    def test_evaluate_groups_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_groups("toy", lambda text: [], [])
+
+    def test_linker_ranker_k_override(self, tiny_pipeline):
+        ranker = linker_ranker(tiny_pipeline.linker, k=2)
+        query = tiny_pipeline.dataset.queries[0]
+        assert len(ranker(query.text)) <= 2

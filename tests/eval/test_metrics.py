@@ -1,0 +1,69 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    coverage,
+    mean_reciprocal_rank,
+    reciprocal_ranks,
+    top1_accuracy,
+)
+
+
+class TestTop1Accuracy:
+    def test_basic(self):
+        ranked = [["a", "b"], ["b", "a"], []]
+        gold = ["a", "a", "a"]
+        assert top1_accuracy(ranked, gold) == pytest.approx(1 / 3)
+
+    def test_perfect(self):
+        assert top1_accuracy([["x"]], ["x"]) == 1.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            top1_accuracy([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            top1_accuracy([["a"]], ["a", "b"])
+
+
+class TestMrr:
+    def test_paper_definition(self):
+        # MRR = (1/|Q|) * sum(1/rank_i); absent gold contributes 0.
+        ranked = [["a", "b", "c"], ["b", "a"], ["x", "y"]]
+        gold = ["a", "a", "a"]
+        assert mean_reciprocal_rank(ranked, gold) == pytest.approx(
+            (1.0 + 0.5 + 0.0) / 3
+        )
+
+    def test_reciprocal_ranks_per_query(self):
+        assert reciprocal_ranks([["a"], ["b", "a"]], ["a", "a"]) == [1.0, 0.5]
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcde"), max_size=5, unique=True),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_mrr_bounded_by_accuracy_relation(self, ranked_lists):
+        gold = ["a"] * len(ranked_lists)
+        accuracy = top1_accuracy(ranked_lists, gold)
+        mrr = mean_reciprocal_rank(ranked_lists, gold)
+        # accuracy <= MRR <= coverage, always.
+        assert accuracy - 1e-12 <= mrr
+        assert mrr <= coverage(ranked_lists, gold) + 1e-12
+
+
+class TestCoverage:
+    def test_basic(self):
+        ranked = [["a", "b"], ["c"], []]
+        gold = ["b", "a", "a"]
+        assert coverage(ranked, gold) == pytest.approx(1 / 3)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            coverage([["a"]], [])

@@ -1,0 +1,49 @@
+"""Tests for experiment reporting helpers."""
+
+import pytest
+
+from repro.eval.reporting import format_series, format_table, render_markdown_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["method", "acc"],
+            [["NCL", 0.75], ["pkduck", 0.34]],
+            title="Fig7",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Fig7"
+        assert "method" in lines[1] and "acc" in lines[1]
+        assert "NCL" in lines[3]
+
+    def test_float_trimming(self):
+        table = format_table(["x"], [[0.5000]])
+        assert "0.5" in table and "0.5000" not in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        markdown = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = markdown.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [[1, 2]])
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        series = format_series("Acc", [10, 20], [0.7, 0.75], "k")
+        assert series == "Acc [k]: 10=0.7, 20=0.75"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])

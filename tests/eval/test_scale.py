@@ -1,0 +1,44 @@
+"""Tests for the experiment scale presets."""
+
+import pytest
+
+from repro.eval.experiments import DEFAULT, SMALL, TINY
+from repro.eval.experiments.scale import PRESETS
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"small", "default", "tiny"}
+
+    def test_ordering(self):
+        assert TINY.query_count < SMALL.query_count < DEFAULT.query_count
+        assert (
+            TINY.categories_per_family
+            < SMALL.categories_per_family
+            <= DEFAULT.categories_per_family
+        )
+
+    def test_dataset_builder(self):
+        dataset = TINY.dataset("hospital-x-like", rng=1)
+        assert dataset.name == "hospital-x-like"
+        assert len(dataset.queries) == TINY.query_count
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            TINY.dataset("nope")
+
+    def test_config_factories(self):
+        assert SMALL.cbow_config().dim == SMALL.dim
+        assert SMALL.cbow_config(dim=8).dim == 8
+        assert SMALL.model_config().dim == SMALL.dim
+        assert SMALL.model_config(use_text_attention=False).variant_name == (
+            "COM-AID-w"
+        )
+        assert SMALL.training_config(epochs=3).epochs == 3
+        assert SMALL.linker_config(k=7).k == 7
+
+    def test_group_protocol_fits_query_budget(self):
+        for scale in (TINY, SMALL, DEFAULT):
+            assert scale.purposive_size < scale.group_size
+            assert scale.group_size <= scale.query_count
+            assert scale.eval_queries <= scale.query_count

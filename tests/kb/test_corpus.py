@@ -1,0 +1,90 @@
+"""Tests for the snippet corpus."""
+
+import pytest
+
+from repro.kb.corpus import SnippetCorpus, TaggedSnippet
+from repro.utils.errors import DataError
+
+
+class TestTaggedSnippet:
+    def test_words(self):
+        snippet = TaggedSnippet("Iron Deficiency Anemia", cid="D50")
+        assert snippet.words == ("iron", "deficiency", "anemia")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            TaggedSnippet(",;")
+
+
+class TestSnippetCorpus:
+    def test_dedupe_on_words_and_cid(self):
+        corpus = SnippetCorpus()
+        assert corpus.add("iron deficiency anemia", cid="D50")
+        assert not corpus.add("Iron, Deficiency; Anemia", cid="D50")
+        # Same words but untagged is a distinct entry (footnote 8).
+        assert corpus.add("iron deficiency anemia", cid=None)
+        assert len(corpus) == 2
+
+    def test_tagged_untagged_views(self):
+        corpus = SnippetCorpus()
+        corpus.add("a b", cid="X")
+        corpus.add("c d")
+        assert len(corpus.tagged()) == 1
+        assert len(corpus.untagged()) == 1
+
+    def test_add_all_and_extend(self):
+        corpus = SnippetCorpus()
+        assert corpus.add_all(["a b", "c d", "a b"]) == 2
+        other = SnippetCorpus()
+        other.add("e f")
+        other.add("a b")
+        assert corpus.extend(other) == 1
+        assert len(corpus) == 3
+
+    def test_getitem_and_iter(self):
+        corpus = SnippetCorpus()
+        corpus.add("one two")
+        assert corpus[0].text == "one two"
+        assert [s.text for s in corpus] == ["one two"]
+
+    def test_token_sequences(self):
+        corpus = SnippetCorpus()
+        corpus.add("a b")
+        assert corpus.token_sequences() == [("a", "b")]
+
+    def test_vocabulary_words_sorted_unique(self):
+        corpus = SnippetCorpus()
+        corpus.add("b a")
+        corpus.add("a c")
+        assert corpus.vocabulary_words() == ["a", "b", "c"]
+
+
+class TestSubsample:
+    def test_fraction_size(self):
+        corpus = SnippetCorpus()
+        for index in range(100):
+            corpus.add(f"word{index} extra")
+        half = corpus.subsample(0.5, rng=1)
+        assert len(half) == 50
+
+    def test_deterministic(self):
+        corpus = SnippetCorpus()
+        for index in range(30):
+            corpus.add(f"word{index} extra")
+        a = [s.text for s in corpus.subsample(0.4, rng=7)]
+        b = [s.text for s in corpus.subsample(0.4, rng=7)]
+        assert a == b
+
+    def test_preserves_tags(self):
+        corpus = SnippetCorpus()
+        corpus.add("tagged snippet", cid="X")
+        sampled = corpus.subsample(1.0, rng=0)
+        assert sampled[0].cid == "X"
+
+    def test_invalid_fraction(self):
+        corpus = SnippetCorpus()
+        corpus.add("a b")
+        with pytest.raises(ValueError):
+            corpus.subsample(0.0)
+        with pytest.raises(ValueError):
+            corpus.subsample(1.5)

@@ -1,0 +1,82 @@
+"""Tests for the knowledge base."""
+
+import pytest
+
+from repro.kb.knowledge_base import KnowledgeBase, TrainingPair
+from repro.utils.errors import DataError
+
+
+class TestAliasManagement:
+    def test_add_and_list(self, figure1_ontology):
+        kb = KnowledgeBase(figure1_ontology)
+        assert kb.add_alias("R10.0", "Acute Abdominal Syndrome")
+        assert kb.aliases_of("R10.0") == ("acute abdominal syndrome",)
+
+    def test_canonical_is_rejected_per_footnote9(self, figure1_ontology):
+        """Footnote 9: a pair <acute abdomen, acute abdomen> does not
+        contribute, so the canonical text is not stored as an alias."""
+        kb = KnowledgeBase(figure1_ontology)
+        assert not kb.add_alias("R10.0", "acute abdomen")
+        assert not kb.add_alias("R10.0", "ACUTE, abdomen")  # normalises equal
+        assert kb.aliases_of("R10.0") == ()
+
+    def test_duplicates_skipped(self, figure1_ontology):
+        kb = KnowledgeBase(figure1_ontology)
+        assert kb.add_alias("D53.2", "vitamin c deficiency anemia")
+        assert not kb.add_alias("D53.2", "Vitamin C Deficiency Anemia")
+        assert kb.alias_count() == 1
+
+    def test_unknown_concept(self, figure1_ontology):
+        kb = KnowledgeBase(figure1_ontology)
+        with pytest.raises(KeyError):
+            kb.add_alias("Z99", "anything")
+
+    def test_empty_alias(self, figure1_ontology):
+        kb = KnowledgeBase(figure1_ontology)
+        with pytest.raises(DataError):
+            kb.add_alias("D50", ",;")
+
+    def test_add_aliases_counts_stored(self, figure1_ontology):
+        kb = KnowledgeBase(figure1_ontology)
+        stored = kb.add_aliases(
+            "D53.2", ["scorbutic anemia", "vitamin c def anemia", "vitamin c def anemia"]
+        )
+        assert stored == 1  # first is canonical, third is duplicate
+
+
+class TestTrainingPairs:
+    def test_pairs_shape(self, figure3_kb):
+        pairs = figure3_kb.training_pairs()
+        assert all(isinstance(pair, TrainingPair) for pair in pairs)
+        d50 = [pair for pair in pairs if pair.cid == "D50.0"]
+        assert d50[0].canonical == (
+            "iron deficiency anemia secondary to blood loss"
+        )
+        assert d50[0].alias == "anemia chronic blood loss"
+
+    def test_restricted_to_cids(self, figure3_kb):
+        pairs = figure3_kb.training_pairs(cids=["D53.0"])
+        assert {pair.cid for pair in pairs} == {"D53.0"}
+        assert len(pairs) == 2
+
+    def test_labeled_snippets_iterates_all(self, figure3_kb):
+        snippets = list(figure3_kb.labeled_snippets())
+        assert len(snippets) == figure3_kb.alias_count()
+
+    def test_concepts_with_aliases(self, figure3_kb):
+        assert "D50.0" in figure3_kb.concepts_with_aliases()
+        assert "D50" not in figure3_kb.concepts_with_aliases()
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, figure1_ontology, figure3_kb, tmp_path):
+        path = tmp_path / "kb.json"
+        figure3_kb.save_json(path)
+        loaded = KnowledgeBase.load_json(figure1_ontology, path)
+        assert loaded.to_dict() == figure3_kb.to_dict()
+
+    def test_bad_json(self, figure1_ontology, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nope", encoding="utf-8")
+        with pytest.raises(DataError):
+            KnowledgeBase.load_json(figure1_ontology, path)

@@ -1,0 +1,132 @@
+"""Tests for activation/loss primitives and initialisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.functional import (
+    log_softmax,
+    one_hot,
+    sigmoid,
+    sigmoid_grad,
+    softmax,
+    softmax_cross_entropy,
+    tanh_grad,
+)
+from repro.nn.initializers import glorot_uniform, orthogonal, uniform, zeros
+
+finite_vectors = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=12),
+    elements=st.floats(min_value=-50, max_value=50),
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.zeros(1))[0] == pytest.approx(0.5)
+
+    def test_extreme_values_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(1.0)
+        assert np.isfinite(values).all()
+
+    @given(finite_vectors)
+    def test_range_and_monotonicity(self, x):
+        y = sigmoid(np.sort(x))
+        assert ((y >= 0) & (y <= 1)).all()
+        assert (np.diff(y) >= -1e-12).all()
+
+    def test_grad_formula(self):
+        y = sigmoid(np.array([0.3]))
+        assert sigmoid_grad(y)[0] == pytest.approx(y[0] * (1 - y[0]))
+
+
+class TestSoftmax:
+    @given(finite_vectors)
+    def test_sums_to_one(self, logits):
+        probabilities = softmax(logits)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities >= 0).all()
+
+    def test_shift_invariance(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100))
+
+    def test_extreme_stability(self):
+        probabilities = softmax(np.array([1e9, 0.0, -1e9]))
+        assert np.isfinite(probabilities).all()
+
+    @given(finite_vectors)
+    def test_log_softmax_consistent(self, logits):
+        np.testing.assert_allclose(
+            np.exp(log_softmax(logits)), softmax(logits), atol=1e-12
+        )
+
+    def test_axis_handling(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 1.0]])
+        rows = softmax(matrix, axis=1)
+        np.testing.assert_allclose(rows.sum(axis=1), [1.0, 1.0])
+
+
+class TestCrossEntropy:
+    def test_uniform_loss(self):
+        loss, _ = softmax_cross_entropy(np.zeros(4), 2)
+        assert loss == pytest.approx(np.log(4))
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 2)), 0)
+
+    def test_gradient_sums_to_zero(self):
+        _, grad = softmax_cross_entropy(np.array([0.5, -0.2, 1.0]), 1)
+        assert grad.sum() == pytest.approx(0.0)
+
+    def test_one_hot(self):
+        vector = one_hot(2, 4)
+        np.testing.assert_array_equal(vector, [0, 0, 1, 0])
+        with pytest.raises(IndexError):
+            one_hot(4, 4)
+
+    def test_tanh_grad(self):
+        y = np.tanh(np.array([0.7]))
+        assert tanh_grad(y)[0] == pytest.approx(1 - y[0] ** 2)
+
+
+class TestInitializers:
+    def test_zeros(self):
+        assert zeros((2, 3)).sum() == 0.0
+
+    def test_uniform_bounds_and_determinism(self):
+        a = uniform((100,), scale=0.05, rng=3)
+        b = uniform((100,), scale=0.05, rng=3)
+        assert (np.abs(a) <= 0.05).all()
+        np.testing.assert_array_equal(a, b)
+
+    def test_uniform_invalid_scale(self):
+        with pytest.raises(ValueError):
+            uniform((2,), scale=0.0)
+
+    def test_glorot_scale_shrinks_with_fanin(self):
+        small = glorot_uniform((4, 4), rng=0)
+        large = glorot_uniform((400, 400), rng=0)
+        assert np.abs(large).max() < np.abs(small).max()
+
+    @pytest.mark.parametrize("shape", [(5, 5), (7, 3), (3, 7)])
+    def test_orthogonal_columns(self, shape):
+        matrix = orthogonal(shape, rng=1)
+        assert matrix.shape == shape
+        rows, cols = shape
+        if rows >= cols:
+            product = matrix.T @ matrix
+            np.testing.assert_allclose(product, np.eye(cols), atol=1e-10)
+        else:
+            product = matrix @ matrix.T
+            np.testing.assert_allclose(product, np.eye(rows), atol=1e-10)
+
+    def test_orthogonal_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            orthogonal((3,), rng=0)  # type: ignore[arg-type]

@@ -1,0 +1,192 @@
+"""Finite-difference gradient checks for every nn building block.
+
+These are the foundation of trust for the whole model: COM-AID's
+backward pass is hand-derived, so each layer's analytic gradients are
+compared against central differences on small random problems.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Attention,
+    Embedding,
+    Linear,
+    LSTMEncoder,
+    softmax_cross_entropy,
+)
+
+EPS = 1e-5
+TOL = 1e-6
+
+
+def central_difference(function, array, epsilon=EPS):
+    """Numerically estimate d function / d array (function returns a scalar)."""
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function()
+        flat[index] = original - epsilon
+        lower = function()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def scalar_loss(output, weights):
+    """A fixed random projection turning any output into a scalar."""
+    return float((output * weights).sum())
+
+
+class TestLinearGradients:
+    def test_weight_bias_and_input_grads(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=5)
+        probe = rng.normal(size=3)
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(x, probe)
+
+        num_w = central_difference(
+            lambda: scalar_loss(layer.forward(x), probe), layer.weight.value
+        )
+        num_b = central_difference(
+            lambda: scalar_loss(layer.forward(x), probe), layer.bias.value
+        )
+        num_x = central_difference(
+            lambda: scalar_loss(layer.forward(x), probe), x
+        )
+        assert out.shape == (3,)
+        np.testing.assert_allclose(layer.weight.grad, num_w, atol=TOL)
+        np.testing.assert_allclose(layer.bias.grad, num_b, atol=TOL)
+        np.testing.assert_allclose(dx, num_x, atol=TOL)
+
+    def test_batched_input_grads(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        probe = rng.normal(size=(3, 2))
+
+        layer.zero_grad()
+        dx = layer.backward(x, probe)
+        num_x = central_difference(
+            lambda: scalar_loss(layer.forward(x), probe), x
+        )
+        num_w = central_difference(
+            lambda: scalar_loss(layer.forward(x), probe), layer.weight.value
+        )
+        np.testing.assert_allclose(dx, num_x, atol=TOL)
+        np.testing.assert_allclose(layer.weight.grad, num_w, atol=TOL)
+
+
+class TestEmbeddingGradients:
+    def test_scatter_add_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        table = Embedding(7, 3, rng=rng)
+        ids = [2, 5, 2]  # repeated id exercises accumulation
+        probe = rng.normal(size=(3, 3))
+
+        table.zero_grad()
+        table.backward(ids, probe)
+        numeric = central_difference(
+            lambda: scalar_loss(table.forward(ids), probe), table.weight.value
+        )
+        np.testing.assert_allclose(table.weight.grad, numeric, atol=TOL)
+
+
+class TestAttentionGradients:
+    def test_query_and_memory_grads(self):
+        rng = np.random.default_rng(3)
+        attention = Attention()
+        query = rng.normal(size=4)
+        memory = rng.normal(size=(6, 4))
+        probe = rng.normal(size=4)
+
+        def loss():
+            context, _, _ = attention.forward(query, memory)
+            return scalar_loss(context, probe)
+
+        _, _, cache = attention.forward(query, memory)
+        d_query, d_memory = attention.backward(probe, cache)
+        np.testing.assert_allclose(
+            d_query, central_difference(loss, query), atol=TOL
+        )
+        np.testing.assert_allclose(
+            d_memory, central_difference(loss, memory), atol=TOL
+        )
+
+
+class TestLSTMGradients:
+    @pytest.mark.parametrize("steps", [1, 4])
+    def test_bptt_all_parameters(self, steps):
+        rng = np.random.default_rng(4)
+        encoder = LSTMEncoder(3, 5, rng=rng)
+        inputs = rng.normal(size=(steps, 3))
+        probe = rng.normal(size=(steps, 5))
+        final_probe = rng.normal(size=5)
+
+        def loss():
+            states, _ = encoder.forward(inputs)
+            return scalar_loss(states, probe) + scalar_loss(
+                states[-1], final_probe
+            )
+
+        states, caches = encoder.forward(inputs)
+        encoder.zero_grad()
+        d_inputs, _, _ = encoder.backward(
+            probe, caches, d_h_final=final_probe
+        )
+
+        np.testing.assert_allclose(
+            d_inputs, central_difference(loss, inputs), atol=TOL
+        )
+        for name, parameter in encoder.named_parameters():
+            numeric = central_difference(loss, parameter.value)
+            np.testing.assert_allclose(
+                parameter.grad, numeric, atol=TOL, err_msg=f"parameter {name}"
+            )
+
+    def test_initial_state_grads(self):
+        rng = np.random.default_rng(5)
+        encoder = LSTMEncoder(2, 3, rng=rng)
+        inputs = rng.normal(size=(3, 2))
+        h0 = rng.normal(size=3)
+        c0 = rng.normal(size=3)
+        probe = rng.normal(size=(3, 3))
+
+        def loss():
+            states, _ = encoder.forward(inputs, h0=h0, c0=c0)
+            return scalar_loss(states, probe)
+
+        _, caches = encoder.forward(inputs, h0=h0, c0=c0)
+        encoder.zero_grad()
+        _, dh0, dc0 = encoder.backward(probe, caches)
+        np.testing.assert_allclose(dh0, central_difference(loss, h0), atol=TOL)
+        np.testing.assert_allclose(dc0, central_difference(loss, c0), atol=TOL)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_dlogits_matches_numeric(self):
+        rng = np.random.default_rng(6)
+        logits = rng.normal(size=9)
+        target = 4
+
+        loss, dlogits = softmax_cross_entropy(logits, target)
+
+        def loss_only():
+            value, _ = softmax_cross_entropy(logits, target)
+            return value
+
+        assert loss > 0
+        np.testing.assert_allclose(
+            dlogits, central_difference(loss_only, logits), atol=TOL
+        )
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(IndexError):
+            softmax_cross_entropy(np.zeros(3), 3)

@@ -1,0 +1,165 @@
+"""Finite-difference gradient checks and behaviour tests for the GRU."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRUCell, GRUEncoder
+
+EPS = 1e-5
+TOL = 1e-6
+
+
+def central_difference(function, array, epsilon=EPS):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function()
+        flat[index] = original - epsilon
+        lower = function()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def scalar_loss(output, weights):
+    return float((output * weights).sum())
+
+
+class TestGRUGradients:
+    @pytest.mark.parametrize("steps", [1, 4])
+    def test_bptt_all_parameters(self, steps):
+        rng = np.random.default_rng(4)
+        encoder = GRUEncoder(3, 5, rng=rng)
+        inputs = rng.normal(size=(steps, 3))
+        probe = rng.normal(size=(steps, 5))
+        final_probe = rng.normal(size=5)
+
+        def loss():
+            states, _ = encoder.forward(inputs)
+            return scalar_loss(states, probe) + scalar_loss(
+                states[-1], final_probe
+            )
+
+        states, caches = encoder.forward(inputs)
+        encoder.zero_grad()
+        d_inputs, _, _ = encoder.backward(probe, caches, d_h_final=final_probe)
+
+        np.testing.assert_allclose(
+            d_inputs, central_difference(loss, inputs), atol=TOL
+        )
+        for name, parameter in encoder.named_parameters():
+            numeric = central_difference(loss, parameter.value)
+            np.testing.assert_allclose(
+                parameter.grad, numeric, atol=TOL, err_msg=f"parameter {name}"
+            )
+
+    def test_initial_state_grad(self):
+        rng = np.random.default_rng(5)
+        encoder = GRUEncoder(2, 3, rng=rng)
+        inputs = rng.normal(size=(3, 2))
+        h0 = rng.normal(size=3)
+        probe = rng.normal(size=(3, 3))
+
+        def loss():
+            states, _ = encoder.forward(inputs, h0=h0)
+            return scalar_loss(states, probe)
+
+        _, caches = encoder.forward(inputs, h0=h0)
+        encoder.zero_grad()
+        _, dh0, dc0 = encoder.backward(probe, caches)
+        np.testing.assert_allclose(dh0, central_difference(loss, h0), atol=TOL)
+        np.testing.assert_array_equal(dc0, np.zeros(3))
+
+    def test_cell_slot_gradient_folds_into_hidden(self):
+        """The LSTM-compat cell slot: gradient on d_c_final must act
+        exactly like extra gradient on d_h_final."""
+        rng = np.random.default_rng(6)
+        encoder = GRUEncoder(2, 3, rng=rng)
+        inputs = rng.normal(size=(2, 2))
+        probe = rng.normal(size=3)
+        _, caches = encoder.forward(inputs)
+        encoder.zero_grad()
+        a, _, _ = encoder.backward(np.zeros((2, 3)), caches, d_h_final=probe)
+        grads_a = {n: p.grad.copy() for n, p in encoder.named_parameters()}
+        encoder.zero_grad()
+        _, caches = encoder.forward(inputs)
+        b, _, _ = encoder.backward(np.zeros((2, 3)), caches, d_c_final=probe)
+        np.testing.assert_allclose(a, b)
+        for name, parameter in encoder.named_parameters():
+            np.testing.assert_allclose(parameter.grad, grads_a[name])
+
+
+class TestGRUBehaviour:
+    def test_fewer_parameters_than_lstm(self):
+        from repro.nn.lstm import LSTMEncoder
+
+        gru = GRUEncoder(8, 8, rng=0)
+        lstm = LSTMEncoder(8, 8, rng=0)
+        assert gru.parameter_count() < lstm.parameter_count()
+
+    def test_cache_cell_property(self):
+        cell = GRUCell(2, 3, rng=0)
+        h, c = cell.initial_state()
+        h1, c1, cache = cell.step(np.ones(2), h, c)
+        np.testing.assert_array_equal(cache.c, cache.h)
+        np.testing.assert_array_equal(h1, c1)
+
+    def test_shape_validation(self):
+        encoder = GRUEncoder(3, 4, rng=0)
+        with pytest.raises(ValueError):
+            encoder.forward(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            encoder.forward(np.zeros((2, 5)))
+        _, caches = encoder.forward(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            encoder.backward(np.zeros((3, 4)), caches)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            GRUCell(0, 3)
+
+
+class TestComAidWithGRU:
+    def test_gru_comaid_gradients(self):
+        """End-to-end gradcheck of COM-AID with GRU cells."""
+        from repro.core.comaid import ComAid
+        from repro.core.config import ComAidConfig
+        from repro.text.vocab import Vocabulary
+
+        vocab = Vocabulary()
+        vocab.add_all(["iron", "anemia", "blood", "loss", "chronic"])
+        model = ComAid(ComAidConfig(dim=5, beta=1, cell="gru"), vocab, rng=0)
+        concept = vocab.encode(["iron", "anemia"])
+        ancestors = [vocab.encode(["iron"])]
+        query = vocab.encode(["blood", "loss"])
+
+        cache = model.forward(concept, ancestors, query)
+        model.zero_grad()
+        model.backward(cache)
+
+        rng = np.random.default_rng(1)
+        for name, parameter in model.named_parameters():
+            flat = parameter.value.ravel()
+            analytic = parameter.grad.ravel()
+            sample = rng.choice(flat.size, size=min(8, flat.size), replace=False)
+            for index in sample:
+                original = flat[index]
+                flat[index] = original + EPS
+                upper = model.forward(concept, ancestors, query).loss
+                flat[index] = original - EPS
+                lower = model.forward(concept, ancestors, query).loss
+                flat[index] = original
+                numeric = (upper - lower) / (2 * EPS)
+                assert analytic[index] == pytest.approx(numeric, abs=1e-5), (
+                    f"{name}[{index}]"
+                )
+
+    def test_invalid_cell_name(self):
+        from repro.core.config import ComAidConfig
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ComAidConfig(cell="transformer")

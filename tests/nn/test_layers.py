@@ -1,0 +1,153 @@
+"""Behavioural tests for layers (shapes, validation, determinism).
+
+Gradient correctness is covered by test_gradcheck.py; these cover the
+API contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Attention, Embedding, Linear, LSTMCell, LSTMEncoder
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer.forward(np.zeros(4)).shape == (3,)
+        assert layer.forward(np.zeros((5, 4))).shape == (5, 3)
+
+    def test_wrong_input_dim(self):
+        with pytest.raises(ValueError):
+            Linear(4, 3, rng=0).forward(np.zeros(5))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_bias_starts_zero(self):
+        layer = Linear(4, 3, rng=0)
+        np.testing.assert_array_equal(layer.bias.value, np.zeros(3))
+
+
+class TestEmbedding:
+    def test_forward_copies(self):
+        table = Embedding(4, 3, rng=0)
+        rows = table.forward([1, 2])
+        rows[0, 0] = 999.0
+        assert table.weight.value[1, 0] != 999.0
+
+    def test_out_of_range(self):
+        table = Embedding(4, 3, rng=0)
+        with pytest.raises(IndexError):
+            table.forward([4])
+        with pytest.raises(IndexError):
+            table.forward([-1])
+
+    def test_backward_shape_validation(self):
+        table = Embedding(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            table.backward([0], np.zeros((2, 3)))
+
+    def test_load_pretrained(self):
+        table = Embedding(4, 3, rng=0)
+        vectors = np.arange(6, dtype=float).reshape(2, 3)
+        table.load_pretrained(vectors, [1, 3])
+        np.testing.assert_array_equal(table.weight.value[1], [0, 1, 2])
+        np.testing.assert_array_equal(table.weight.value[3], [3, 4, 5])
+
+    def test_load_pretrained_shape_check(self):
+        table = Embedding(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            table.load_pretrained(np.zeros((1, 2)), [0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 3)
+        with pytest.raises(ValueError):
+            Embedding(3, 0)
+
+
+class TestLSTM:
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(3, 4, rng=0)
+        hidden = cell.hidden_dim
+        np.testing.assert_array_equal(
+            cell.bias.value[hidden : 2 * hidden], np.ones(hidden)
+        )
+
+    def test_step_shapes(self):
+        cell = LSTMCell(3, 4, rng=0)
+        h, c = cell.initial_state()
+        h1, c1, cache = cell.step(np.zeros(3), h, c)
+        assert h1.shape == (4,) and c1.shape == (4,)
+        assert cache.x.shape == (3,)
+
+    def test_encoder_rejects_empty_sequence(self):
+        encoder = LSTMEncoder(3, 4, rng=0)
+        with pytest.raises(ValueError):
+            encoder.forward(np.zeros((0, 3)))
+
+    def test_encoder_rejects_wrong_width(self):
+        encoder = LSTMEncoder(3, 4, rng=0)
+        with pytest.raises(ValueError):
+            encoder.forward(np.zeros((2, 5)))
+
+    def test_hidden_states_bounded(self):
+        encoder = LSTMEncoder(3, 4, rng=0)
+        states, _ = encoder.forward(
+            np.random.default_rng(0).normal(size=(10, 3)) * 100
+        )
+        assert (np.abs(states) <= 1.0).all()  # |o * tanh(c)| <= 1
+
+    def test_deterministic_given_seed(self):
+        inputs = np.random.default_rng(1).normal(size=(4, 3))
+        a, _ = LSTMEncoder(3, 4, rng=7).forward(inputs)
+        b, _ = LSTMEncoder(3, 4, rng=7).forward(inputs)
+        np.testing.assert_array_equal(a, b)
+
+    def test_backward_shape_validation(self):
+        encoder = LSTMEncoder(3, 4, rng=0)
+        _, caches = encoder.forward(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            encoder.backward(np.zeros((3, 4)), caches)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+
+
+class TestAttention:
+    def test_weights_form_distribution(self):
+        attention = Attention()
+        rng = np.random.default_rng(0)
+        _, weights, _ = attention.forward(rng.normal(size=4), rng.normal(size=(6, 4)))
+        assert weights.shape == (6,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()
+
+    def test_context_in_memory_convex_hull_single_row(self):
+        attention = Attention()
+        memory = np.array([[1.0, 2.0, 3.0]])
+        context, weights, _ = attention.forward(np.zeros(3), memory)
+        np.testing.assert_allclose(context, memory[0])
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_attends_to_aligned_row(self):
+        """The paper's intuition: the decoder attends to the most
+        relevant encoder state (largest inner product)."""
+        attention = Attention()
+        query = np.array([1.0, 0.0])
+        memory = np.array([[5.0, 0.0], [0.0, 5.0], [-5.0, 0.0]])
+        _, weights, _ = attention.forward(query, memory)
+        assert weights.argmax() == 0
+
+    def test_empty_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Attention().forward(np.zeros(3), np.zeros((0, 3)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Attention().forward(np.zeros(3), np.zeros((2, 4)))
+
+    def test_attention_is_parameter_free(self):
+        assert Attention().parameters() == {}

@@ -1,0 +1,184 @@
+"""Tests for Parameter/Module plumbing, optimisers, clipping, and
+serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adagrad,
+    Adam,
+    Embedding,
+    Linear,
+    LSTMEncoder,
+    Module,
+    Parameter,
+    clip_global_norm,
+    global_norm,
+    load_module,
+    save_module,
+)
+from repro.nn.optim import make_optimizer
+
+
+class ToyModel(Module):
+    def __init__(self):
+        self.layer = Linear(3, 2, rng=0)
+        self.table = Embedding(5, 3, rng=1)
+        self.scale = Parameter(np.ones(1))
+
+
+class TestModule:
+    def test_named_parameters_flatten_tree(self):
+        model = ToyModel()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "layer.weight", "layer.bias", "table.weight", "scale",
+        }
+
+    def test_parameter_count(self):
+        model = ToyModel()
+        assert model.parameter_count() == 2 * 3 + 2 + 5 * 3 + 1
+
+    def test_zero_grad(self):
+        model = ToyModel()
+        model.scale.grad += 5.0
+        model.zero_grad()
+        assert model.scale.grad[0] == 0.0
+
+    def test_state_dict_roundtrip(self):
+        model = ToyModel()
+        state = model.state_dict()
+        other = ToyModel()
+        other.scale.value[:] = 99.0
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.scale.value, model.scale.value)
+
+    def test_state_dict_is_a_copy(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["scale"][0] = -1.0
+        assert model.scale.value[0] == 1.0
+
+    def test_load_rejects_missing_and_unexpected(self):
+        model = ToyModel()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_bad_shapes(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["scale"] = np.ones(2)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestOptimizers:
+    def quadratic_problem(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        return parameter
+
+    def run_steps(self, optimizer, parameter, steps=200):
+        for _ in range(steps):
+            optimizer.zero_grad()
+            parameter.grad += 2 * parameter.value  # d/dx of x^2
+            optimizer.step()
+        return np.abs(parameter.value).max()
+
+    def test_sgd_converges(self):
+        parameter = self.quadratic_problem()
+        assert self.run_steps(SGD([parameter], lr=0.1), parameter) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        parameter = self.quadratic_problem()
+        optimizer = SGD([parameter], lr=0.05, momentum=0.9)
+        assert self.run_steps(optimizer, parameter) < 1e-3
+
+    def test_adagrad_converges(self):
+        parameter = self.quadratic_problem()
+        assert self.run_steps(Adagrad([parameter], lr=0.7), parameter) < 1e-2
+
+    def test_adam_converges(self):
+        parameter = self.quadratic_problem()
+        assert self.run_steps(Adam([parameter], lr=0.2), parameter, 400) < 1e-3
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, beta1=1.0)
+
+    def test_empty_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_factory(self):
+        parameter = Parameter(np.zeros(2))
+        assert isinstance(make_optimizer("sgd", [parameter], 0.1), SGD)
+        assert isinstance(make_optimizer("ADAM", [parameter], 0.1), Adam)
+        with pytest.raises(ValueError):
+            make_optimizer("rmsprop", [parameter], 0.1)
+
+
+class TestClipping:
+    def test_global_norm_value(self):
+        a = Parameter(np.zeros(2))
+        a.grad += np.array([3.0, 4.0])
+        assert global_norm([a]) == pytest.approx(5.0)
+
+    def test_clip_rescales(self):
+        a = Parameter(np.zeros(2))
+        a.grad += np.array([3.0, 4.0])
+        norm = clip_global_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert global_norm([a]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_when_under(self):
+        a = Parameter(np.zeros(2))
+        a.grad += np.array([0.3, 0.4])
+        clip_global_norm([a], max_norm=1.0)
+        np.testing.assert_allclose(a.grad, [0.3, 0.4])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_global_norm([Parameter(np.zeros(1))], max_norm=0.0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        model = ToyModel()
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        other = ToyModel()
+        other.layer.weight.value[:] = 0.0
+        load_module(other, path)
+        np.testing.assert_array_equal(
+            other.layer.weight.value, model.layer.weight.value
+        )
+
+    def test_lstm_roundtrip(self, tmp_path):
+        encoder = LSTMEncoder(4, 6, rng=2)
+        path = tmp_path / "lstm.npz"
+        save_module(encoder, path)
+        clone = LSTMEncoder(4, 6, rng=99)
+        load_module(clone, path)
+        inputs = np.random.default_rng(0).normal(size=(3, 4))
+        original, _ = encoder.forward(inputs)
+        restored, _ = clone.forward(inputs)
+        np.testing.assert_allclose(original, restored)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        model = ToyModel()
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        wrong = LSTMEncoder(2, 2, rng=0)
+        with pytest.raises(KeyError):
+            load_module(wrong, path)

@@ -1,0 +1,43 @@
+"""Tests for the Concept data type."""
+
+import pytest
+
+from repro.ontology.concept import Concept
+from repro.utils.errors import DataError
+
+
+class TestConcept:
+    def test_words_derived_from_description(self):
+        concept = Concept("N18.5", "Chronic Kidney Disease, Stage 5")
+        assert concept.words == ("chronic", "kidney", "disease", "stage", "5")
+
+    def test_explicit_words_respected(self):
+        concept = Concept("X", "ignored text", words=("given", "words"))
+        assert concept.words == ("given", "words")
+
+    def test_empty_cid_rejected(self):
+        with pytest.raises(DataError):
+            Concept("", "description")
+
+    def test_empty_description_rejected(self):
+        with pytest.raises(DataError):
+            Concept("X", "   ")
+
+    def test_punctuation_only_description_rejected(self):
+        with pytest.raises(DataError):
+            Concept("X", ",;")
+
+    def test_equality_ignores_words_cache(self):
+        a = Concept("D50", "iron deficiency anemia")
+        b = Concept("D50", "iron deficiency anemia", words=("other",))
+        assert a == b
+
+    def test_frozen(self):
+        concept = Concept("D50", "iron deficiency anemia")
+        with pytest.raises(AttributeError):
+            concept.cid = "D51"  # type: ignore[misc]
+
+    def test_str(self):
+        assert str(Concept("D50", "iron deficiency anemia")) == (
+            "D50: iron deficiency anemia"
+        )

@@ -1,0 +1,114 @@
+"""Tests for the synthetic ICD ontology builders."""
+
+import pytest
+
+from repro.ontology.icd import (
+    DEFAULT_FAMILIES,
+    SyntheticIcdSpec,
+    build_icd10_like_ontology,
+    build_icd9_like_ontology,
+    build_synthetic_icd,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        SyntheticIcdSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(categories_per_family=0),
+            dict(leaves_per_category=0),
+            dict(deep_fraction=1.5),
+            dict(deep_fraction=-0.1),
+            dict(description_style="fancy"),
+            dict(families=()),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SyntheticIcdSpec(**kwargs)
+
+
+class TestIcd10Like:
+    def test_deterministic_given_seed(self):
+        a = build_icd10_like_ontology(rng=5)
+        b = build_icd10_like_ontology(rng=5)
+        assert [c.cid for c in a] == [c.cid for c in b]
+        assert [c.description for c in a] == [c.description for c in b]
+
+    def test_different_seeds_differ(self):
+        a = build_icd10_like_ontology(rng=5)
+        b = build_icd10_like_ontology(rng=6)
+        assert [c.description for c in a] != [c.description for c in b]
+
+    def test_code_shapes(self):
+        ontology = build_icd10_like_ontology(rng=1)
+        for leaf in ontology.fine_grained():
+            # Alphanumeric: letter + digits + '.' + digits.
+            assert leaf.cid[0].isalpha()
+            assert "." in leaf.cid
+
+    def test_sibling_overlap_is_fine_grained(self):
+        """Sibling leaves share the category base and differ in
+        qualifiers — the paper's 'minor concept meaning differences'."""
+        ontology = build_icd10_like_ontology(rng=2)
+        for leaf in ontology.fine_grained():
+            parent = ontology.parent_of(leaf.cid)
+            siblings = [
+                c for c in ontology.children_of(parent.cid) if c.cid != leaf.cid
+            ]
+            if not siblings:
+                continue
+            shared = set(leaf.words) & set(siblings[0].words)
+            assert shared, f"{leaf.cid} shares no words with its sibling"
+
+    def test_counts_scale_with_parameters(self):
+        small = build_icd10_like_ontology(
+            rng=1, categories_per_family=2, leaves_per_category=2
+        )
+        large = build_icd10_like_ontology(
+            rng=1, categories_per_family=5, leaves_per_category=5
+        )
+        assert len(large.fine_grained()) > len(small.fine_grained())
+
+
+class TestIcd9Like:
+    def test_numeric_codes(self):
+        ontology = build_icd9_like_ontology(rng=1)
+        for leaf in ontology.fine_grained():
+            category = leaf.cid.split(".")[0]
+            assert category.isdigit()
+
+    def test_shallower_than_icd10(self):
+        icd9 = build_icd9_like_ontology(rng=1)
+        icd10 = build_icd10_like_ontology(rng=1)
+        assert icd9.max_depth() <= icd10.max_depth()
+
+    def test_shorter_descriptions_than_icd10(self):
+        """The paper attributes hospital-x vs MIMIC timing gaps to
+        ICD-10 descriptions being longer than ICD-9's."""
+        icd9 = build_icd9_like_ontology(rng=1)
+        icd10 = build_icd10_like_ontology(rng=1)
+
+        def mean_len(ontology):
+            leaves = ontology.fine_grained()
+            return sum(len(c.words) for c in leaves) / len(leaves)
+
+        assert mean_len(icd9) < mean_len(icd10)
+
+
+class TestUniqueness:
+    def test_all_cids_unique_across_spec_grid(self):
+        for deep_fraction in (0.0, 0.5, 1.0):
+            spec = SyntheticIcdSpec(
+                families=DEFAULT_FAMILIES[:4],
+                categories_per_family=4,
+                leaves_per_category=4,
+                deep_fraction=deep_fraction,
+            )
+            ontology = build_synthetic_icd(spec, rng=3)
+            cids = [c.cid for c in ontology]
+            assert len(cids) == len(set(cids))

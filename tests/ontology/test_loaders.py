@@ -1,0 +1,62 @@
+"""Tests for ontology JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.ontology.icd import build_icd10_like_ontology
+from repro.ontology.loaders import load_ontology_json, save_ontology_json
+from repro.utils.errors import DataError
+
+
+class TestRoundTrip:
+    def test_figure1_roundtrip(self, figure1_ontology, tmp_path):
+        path = tmp_path / "ontology.json"
+        save_ontology_json(figure1_ontology, path)
+        loaded = load_ontology_json(path)
+        assert {c.cid for c in loaded} == {c.cid for c in figure1_ontology}
+        assert loaded.parent_of("D50.0").cid == "D50"
+        assert loaded.get("N18.5").description == (
+            figure1_ontology.get("N18.5").description
+        )
+
+    def test_synthetic_roundtrip(self, tmp_path):
+        ontology = build_icd10_like_ontology(rng=4, categories_per_family=2)
+        path = tmp_path / "icd.json"
+        save_ontology_json(ontology, path)
+        loaded = load_ontology_json(path)
+        assert len(loaded) == len(ontology)
+        assert len(loaded.fine_grained()) == len(ontology.fine_grained())
+
+
+class TestErrors:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DataError, match="not valid JSON"):
+            load_ontology_json(path)
+
+    def test_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(DataError, match="JSON object"):
+            load_ontology_json(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"concepts": []}), encoding="utf-8")
+        with pytest.raises(DataError, match="missing key"):
+            load_ontology_json(path)
+
+    def test_cyclic_file_rejected(self, tmp_path):
+        payload = {
+            "concepts": [
+                {"cid": "A", "description": "a"},
+                {"cid": "B", "description": "b"},
+            ],
+            "edges": [["A", "B"], ["B", "A"]],
+        }
+        path = tmp_path / "cycle.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(DataError):
+            load_ontology_json(path)

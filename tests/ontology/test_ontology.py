@@ -1,0 +1,117 @@
+"""Tests for the tree-structured ontology."""
+
+import pytest
+
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import ROOT_CID, Ontology
+from repro.utils.errors import DataError
+
+
+class TestAdd:
+    def test_duplicate_cid_rejected(self, figure1_ontology):
+        with pytest.raises(DataError):
+            figure1_ontology.add(Concept("D50", "duplicate"))
+
+    def test_unknown_parent_rejected(self):
+        ontology = Ontology()
+        with pytest.raises(DataError):
+            ontology.add(Concept("X.1", "child"), parent_cid="X")
+
+    def test_reserved_root_cid_rejected(self):
+        with pytest.raises(DataError):
+            Ontology().add(Concept(ROOT_CID, "root"))
+
+
+class TestStructure:
+    def test_fine_grained_matches_paper(self, figure1_ontology):
+        fine = {concept.cid for concept in figure1_ontology.fine_grained()}
+        # Paper Section 2.1: D50.0, D53.0, D53.2, N18.5, N18.9, R10.0,
+        # R10.9 are the fine-grained concepts of Figure 1(b).
+        assert fine == {
+            "D50.0", "D53.0", "D53.2", "N18.5", "N18.9", "R10.0", "R10.9",
+        }
+
+    def test_is_fine_grained(self, figure1_ontology):
+        assert figure1_ontology.is_fine_grained("D50.0")
+        assert not figure1_ontology.is_fine_grained("D50")
+
+    def test_parent_and_children(self, figure1_ontology):
+        assert figure1_ontology.parent_of("D53.0").cid == "D53"
+        assert figure1_ontology.parent_of("D53") is None
+        children = {c.cid for c in figure1_ontology.children_of("D53")}
+        assert children == {"D53.0", "D53.2"}
+
+    def test_depths(self, figure1_ontology):
+        assert figure1_ontology.depth_of("D50") == 1
+        assert figure1_ontology.depth_of("D50.0") == 2
+        assert figure1_ontology.max_depth() == 2
+
+    def test_ancestors(self, figure1_ontology):
+        assert [c.cid for c in figure1_ontology.ancestors_of("D50.0")] == ["D50"]
+        assert figure1_ontology.ancestors_of("D50") == ()
+
+    def test_roots(self, figure1_ontology):
+        assert {c.cid for c in figure1_ontology.roots()} == {
+            "D50", "D53", "N18", "R10",
+        }
+
+    def test_subtree_preorder(self, figure1_ontology):
+        cids = [c.cid for c in figure1_ontology.subtree_of("D53")]
+        assert cids == ["D53", "D53.0", "D53.2"]
+
+    def test_get_unknown_raises(self, figure1_ontology):
+        with pytest.raises(KeyError):
+            figure1_ontology.get("Z99")
+
+    def test_contains_len_iter(self, figure1_ontology):
+        assert "D50" in figure1_ontology
+        assert "Z99" not in figure1_ontology
+        assert len(figure1_ontology) == 11
+        assert len(list(figure1_ontology)) == 11
+
+    def test_describe(self, figure1_ontology):
+        stats = figure1_ontology.describe()
+        assert stats == {
+            "concepts": 11, "fine_grained": 7, "max_depth": 2, "roots": 4,
+        }
+
+
+class TestFromEdges:
+    def test_builds_regardless_of_order(self):
+        concepts = [
+            Concept("A.1", "child one"),
+            Concept("A", "parent"),
+            Concept("A.1.a", "grandchild"),
+        ]
+        edges = [("A.1", "A.1.a"), ("A", "A.1")]
+        ontology = Ontology.from_edges(concepts, edges)
+        assert ontology.depth_of("A.1.a") == 3
+
+    def test_cycle_detected(self):
+        concepts = [Concept("A", "a"), Concept("B", "b")]
+        with pytest.raises(DataError, match="cycle"):
+            Ontology.from_edges(concepts, [("A", "B"), ("B", "A")])
+
+    def test_multi_parent_rejected(self):
+        concepts = [Concept("A", "a"), Concept("B", "b"), Concept("C", "c")]
+        with pytest.raises(DataError, match="multiple parents"):
+            Ontology.from_edges(concepts, [("A", "C"), ("B", "C")])
+
+    def test_unknown_edge_endpoint(self):
+        with pytest.raises(DataError):
+            Ontology.from_edges([Concept("A", "a")], [("A", "missing")])
+
+
+class TestRestrictedTo:
+    def test_keeps_ancestors(self, figure1_ontology):
+        restricted = figure1_ontology.restricted_to(["D50.0"])
+        assert set(c.cid for c in restricted) == {"D50", "D50.0"}
+        assert restricted.parent_of("D50.0").cid == "D50"
+
+    def test_unknown_cid_raises(self, figure1_ontology):
+        with pytest.raises(KeyError):
+            figure1_ontology.restricted_to(["nope"])
+
+    def test_restriction_preserves_depths(self, figure1_ontology):
+        restricted = figure1_ontology.restricted_to(["N18.5", "N18.9"])
+        assert restricted.depth_of("N18.5") == figure1_ontology.depth_of("N18.5")

@@ -1,0 +1,68 @@
+"""Tests for structural-context paths (paper Definition 4.1)."""
+
+import pytest
+
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import context_cids, structural_context, validate_tree
+from repro.utils.errors import ConfigurationError
+
+
+class TestStructuralContext:
+    def test_paper_example_beta1(self, figure1_ontology):
+        # "Given a depth β = 1, the structural context of concept D50.0
+        # is <D50.0, D50>."
+        assert context_cids(figure1_ontology, "D50.0", beta=1) == ("D50.0", "D50")
+
+    def test_duplication_when_too_shallow(self, figure1_ontology):
+        # D50.0 is at level 2; β = 3 duplicates the first-level concept.
+        assert context_cids(figure1_ontology, "D50.0", beta=3) == (
+            "D50.0", "D50", "D50", "D50",
+        )
+
+    def test_first_level_concept_duplicates_itself(self, figure1_ontology):
+        assert context_cids(figure1_ontology, "D50", beta=2) == (
+            "D50", "D50", "D50",
+        )
+
+    def test_beta_zero(self, figure1_ontology):
+        assert context_cids(figure1_ontology, "D50.0", beta=0) == ("D50.0",)
+
+    def test_deep_chain(self):
+        ontology = Ontology()
+        ontology.add(Concept("L20", "atopic dermatitis"))
+        ontology.add(Concept("L20.8", "other atopic dermatitis"), "L20")
+        ontology.add(Concept("L20.84", "intrinsic eczema"), "L20.8")
+        assert context_cids(ontology, "L20.84", beta=2) == (
+            "L20.84", "L20.8", "L20",
+        )
+        assert context_cids(ontology, "L20.84", beta=3) == (
+            "L20.84", "L20.8", "L20", "L20",
+        )
+
+    def test_length_is_beta_plus_one(self, figure1_ontology):
+        for beta in range(5):
+            path = structural_context(figure1_ontology, "N18.5", beta)
+            assert len(path) == beta + 1
+
+    def test_negative_beta_rejected(self, figure1_ontology):
+        with pytest.raises(ConfigurationError):
+            structural_context(figure1_ontology, "D50.0", beta=-1)
+
+    def test_unknown_concept(self, figure1_ontology):
+        with pytest.raises(KeyError):
+            structural_context(figure1_ontology, "Z99", beta=1)
+
+
+class TestValidateTree:
+    def test_valid_tree_passes(self, figure1_ontology):
+        validate_tree(figure1_ontology)
+
+    def test_synthetic_ontologies_pass(self):
+        from repro.ontology.icd import (
+            build_icd10_like_ontology,
+            build_icd9_like_ontology,
+        )
+
+        validate_tree(build_icd10_like_ontology(rng=0))
+        validate_tree(build_icd9_like_ontology(rng=0))

@@ -1,0 +1,73 @@
+"""Hypothesis property tests over randomly generated ontologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import structural_context, validate_tree
+
+
+@st.composite
+def random_ontology(draw):
+    """A random tree: each concept's parent is any earlier concept
+    (or none), which guarantees acyclicity by construction."""
+    size = draw(st.integers(min_value=1, max_value=25))
+    parent_picks = [
+        draw(st.integers(min_value=-1, max_value=index - 1))
+        for index in range(size)
+    ]
+    ontology = Ontology()
+    for index, parent in enumerate(parent_picks):
+        ontology.add(
+            Concept(f"C{index}", f"concept number {index}"),
+            parent_cid=f"C{parent}" if parent >= 0 else None,
+        )
+    return ontology
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_ontology())
+def test_tree_invariants_always_hold(ontology):
+    validate_tree(ontology)
+    # Every concept is either fine-grained or an ancestor of one.
+    fine = {concept.cid for concept in ontology.fine_grained()}
+    covered = set(fine)
+    for cid in fine:
+        covered.update(a.cid for a in ontology.ancestors_of(cid))
+    assert covered == {concept.cid for concept in ontology}
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_ontology(), st.integers(min_value=0, max_value=5))
+def test_structural_context_length_and_membership(ontology, beta):
+    for concept in ontology.fine_grained():
+        path = structural_context(ontology, concept.cid, beta)
+        assert len(path) == beta + 1
+        assert path[0] is ontology.get(concept.cid)
+        ancestors = {a.cid for a in ontology.ancestors_of(concept.cid)}
+        ancestors.add(concept.cid)  # first-level concepts pad with self
+        assert all(entry.cid in ancestors for entry in path[1:])
+        # Padding duplicates the shallowest element only.
+        real_depth = len(ontology.ancestors_of(concept.cid))
+        if beta > real_depth:
+            chain = ontology.ancestors_of(concept.cid)
+            filler = chain[-1].cid if chain else concept.cid
+            assert all(entry.cid == filler for entry in path[real_depth + 1 :])
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_ontology(), st.data())
+def test_restriction_preserves_structure(ontology, data):
+    fine = [concept.cid for concept in ontology.fine_grained()]
+    keep = data.draw(
+        st.lists(st.sampled_from(fine), min_size=1, max_size=len(fine), unique=True)
+    )
+    restricted = ontology.restricted_to(keep)
+    validate_tree(restricted)
+    for cid in keep:
+        assert cid in restricted
+        assert restricted.depth_of(cid) == ontology.depth_of(cid)
+        original_chain = [a.cid for a in ontology.ancestors_of(cid)]
+        restricted_chain = [a.cid for a in restricted.ancestors_of(cid)]
+        assert restricted_chain == original_chain

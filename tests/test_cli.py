@@ -1,0 +1,81 @@
+"""End-to-end CLI tests (generate -> train -> link -> evaluate)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.mark.slow
+class TestCliLifecycle:
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli")
+        data = root / "data"
+        model = root / "model"
+        exit_code = main(
+            [
+                "generate", "--dataset", "hospital-x-like",
+                "--out", str(data), "--seed", "9", "--queries", "60",
+            ]
+        )
+        assert exit_code == 0
+        exit_code = main(
+            [
+                "train", "--data", str(data), "--out", str(model),
+                "--dim", "10", "--epochs", "2", "--cbow-epochs", "3",
+                "--seed", "4",
+            ]
+        )
+        assert exit_code == 0
+        return data, model
+
+    def test_generate_artifacts(self, workspace):
+        data, _ = workspace
+        assert (data / "ontology.json").exists()
+        assert (data / "kb.json").exists()
+        lines = (data / "queries.jsonl").read_text().splitlines()
+        assert len(lines) == 60
+        record = json.loads(lines[0])
+        assert {"text", "cid", "channels"} <= set(record)
+
+    def test_train_artifacts(self, workspace):
+        _, model = workspace
+        for name in ("config.json", "vocab.json", "model.npz",
+                     "ontology.json", "kb.json", "vectors.npz"):
+            assert (model / name).exists(), name
+
+    def test_link_prints_candidates(self, workspace, capsys):
+        _, model = workspace
+        exit_code = main(
+            ["link", "--model", str(model), "--top", "2", "anemia"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "query: 'anemia'" in captured
+
+    def test_evaluate_reports_metrics(self, workspace, capsys):
+        data, model = workspace
+        exit_code = main(
+            [
+                "evaluate", "--model", str(model), "--data", str(data),
+                "--limit", "20",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "accuracy=" in captured and "mrr=" in captured
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_is_clean_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate", "--dataset", "nope", "--out", str(tmp_path / "x")]
+        )
+        assert exit_code == 1
+        assert "unknown dataset" in capsys.readouterr().err

@@ -1,0 +1,87 @@
+"""Tests for edit distances (incl. hypothesis metric properties)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.edit_distance import (
+    damerau_levenshtein,
+    levenshtein,
+    normalized_levenshtein,
+)
+
+short_text = st.text(alphabet="abcde", max_size=8)
+
+
+class TestLevenshtein:
+    def test_paper_typo_example(self):
+        # Section 5: "neuropaty" is a typo of "neuropathy".
+        assert levenshtein("neuropaty", "neuropathy") == 1
+
+    def test_identity(self):
+        assert levenshtein("anemia", "anemia") == 0
+
+    def test_empty_cases(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution_insertion_deletion(self):
+        assert levenshtein("cat", "cut") == 1
+        assert levenshtein("cat", "cart") == 1
+        assert levenshtein("cart", "cat") == 1
+
+    def test_band_early_exit(self):
+        assert levenshtein("aaaa", "bbbb", max_distance=2) == 3
+
+    def test_band_length_shortcut(self):
+        assert levenshtein("a", "abcdef", max_distance=2) == 3
+
+    def test_band_exact_when_within(self):
+        assert levenshtein("kitten", "sitting", max_distance=10) == 3
+
+    @given(short_text, short_text)
+    def test_symmetry(self, left, right):
+        assert levenshtein(left, right) == levenshtein(right, left)
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_bounded_by_longer_length(self, left, right):
+        assert levenshtein(left, right) <= max(len(left), len(right))
+
+    @given(short_text, short_text)
+    def test_zero_iff_equal(self, left, right):
+        assert (levenshtein(left, right) == 0) == (left == right)
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_is_one(self):
+        assert damerau_levenshtein("anemia", "aenmia") == 1
+        assert levenshtein("anemia", "aenmia") == 2
+
+    def test_identity(self):
+        assert damerau_levenshtein("x", "x") == 0
+
+    @given(short_text, short_text)
+    def test_never_exceeds_levenshtein(self, left, right):
+        assert damerau_levenshtein(left, right) <= levenshtein(left, right)
+
+    @given(short_text, short_text)
+    def test_symmetry(self, left, right):
+        assert damerau_levenshtein(left, right) == damerau_levenshtein(right, left)
+
+
+class TestNormalized:
+    def test_range(self):
+        assert normalized_levenshtein("abc", "xyz") == 1.0
+        assert normalized_levenshtein("abc", "abc") == 0.0
+
+    def test_both_empty(self):
+        assert normalized_levenshtein("", "") == 0.0
+
+    @given(short_text, short_text)
+    def test_in_unit_interval(self, left, right):
+        value = normalized_levenshtein(left, right)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for n-gram extraction and similarity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.ngrams import char_ngrams, ngram_jaccard, ngram_profile, word_ngrams
+
+short_text = st.text(alphabet="abcd", max_size=10)
+
+
+class TestCharNgrams:
+    def test_padded_bigrams(self):
+        assert char_ngrams("ca") == ["#c", "ca", "a#"]
+
+    def test_unpadded(self):
+        assert char_ngrams("cab", pad=False) == ["ca", "ab"]
+
+    def test_short_string(self):
+        assert char_ngrams("", n=3, pad=False) == []
+        assert char_ngrams("a", n=3, pad=False) == ["a"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", n=0)
+
+    @given(short_text, st.integers(min_value=1, max_value=4))
+    def test_count_formula(self, text, n):
+        grams = char_ngrams(text, n=n, pad=False)
+        if len(text) >= n:
+            assert len(grams) == len(text) - n + 1
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        assert word_ngrams(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+
+    def test_too_short(self):
+        assert word_ngrams(["only"], n=2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            word_ngrams(["a"], n=0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert ngram_jaccard("anemia", "anemia") == 1.0
+
+    def test_disjoint(self):
+        assert ngram_jaccard("aaa", "bbb") == 0.0
+
+    def test_both_empty(self):
+        assert ngram_jaccard("", "") == 1.0
+
+    @given(short_text, short_text)
+    def test_in_unit_interval_and_symmetric(self, left, right):
+        value = ngram_jaccard(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == ngram_jaccard(right, left)
+
+    def test_profile_is_multiset(self):
+        profile = ngram_profile("aaa")
+        assert profile["aa"] == 2

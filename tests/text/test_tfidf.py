@@ -1,0 +1,107 @@
+"""Tests for the TF-IDF inverted index."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tfidf import TfIdfIndex, TfIdfMatch
+from repro.utils.errors import NotFittedError
+
+token = st.text(alphabet="abcdef", min_size=1, max_size=4)
+document = st.lists(token, min_size=1, max_size=8)
+
+
+def build_index():
+    return TfIdfIndex().fit(
+        [
+            ("D50.0", ["iron", "deficiency", "anemia", "blood", "loss"]),
+            ("D53.2", ["scorbutic", "anemia"]),
+            ("N18.5", ["chronic", "kidney", "disease", "stage", "5"]),
+            ("R10.9", ["unspecified", "abdominal", "pain"]),
+        ]
+    )
+
+
+class TestSearch:
+    def test_exact_match_ranks_first(self):
+        index = build_index()
+        results = index.search(["scorbutic", "anemia"], k=3)
+        assert results[0].key == "D53.2"
+
+    def test_shared_rare_word_beats_common_word(self):
+        index = build_index()
+        results = index.search(["kidney"], k=2)
+        assert results[0].key == "N18.5"
+
+    def test_no_overlap_returns_empty(self):
+        index = build_index()
+        assert index.search(["menorrhagia"], k=5) == []
+
+    def test_fewer_than_k(self):
+        index = build_index()
+        results = index.search(["anemia"], k=10)
+        assert {match.key for match in results} == {"D50.0", "D53.2"}
+
+    def test_scores_are_cosines(self):
+        index = build_index()
+        for match in index.search(["anemia", "blood"], k=4):
+            assert 0.0 < match.score <= 1.0 + 1e-9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            build_index().search(["anemia"], k=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            TfIdfIndex().search(["x"])
+
+    def test_deterministic_tie_break(self):
+        index = TfIdfIndex().fit([("a", ["x"]), ("b", ["x"])])
+        first = index.search(["x"], k=2)
+        second = index.search(["x"], k=2)
+        assert [m.key for m in first] == [m.key for m in second]
+
+
+class TestStatistics:
+    def test_document_frequency(self):
+        index = build_index()
+        assert index.document_frequency("anemia") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_idf_decreases_with_df(self):
+        index = build_index()
+        assert index.idf("anemia") < index.idf("kidney")
+
+    def test_postings_examined(self):
+        index = build_index()
+        assert index.postings_examined(["anemia"]) == 2
+        assert index.postings_examined(["anemia", "kidney"]) == 3
+        assert index.postings_examined(["nothing"]) == 0
+
+    def test_len_and_vocabulary(self):
+        index = build_index()
+        assert len(index) == 4
+        assert "anemia" in index.vocabulary
+
+    def test_unfitted_statistics_raise(self):
+        with pytest.raises(NotFittedError):
+            TfIdfIndex().postings_examined(["x"])
+        with pytest.raises(NotFittedError):
+            TfIdfIndex().idf("x")
+
+
+class TestProperties:
+    @given(st.lists(document, min_size=1, max_size=12))
+    def test_self_query_retrieves_self(self, documents):
+        keyed = [(i, doc) for i, doc in enumerate(documents)]
+        index = TfIdfIndex().fit(keyed)
+        for key, doc in keyed:
+            results = index.search(doc, k=len(documents))
+            assert key in {match.key for match in results}
+
+    @given(st.lists(document, min_size=2, max_size=10), document)
+    def test_scores_sorted_descending(self, documents, query):
+        index = TfIdfIndex().fit(list(enumerate(documents)))
+        results = index.search(query, k=len(documents))
+        scores = [match.score for match in results]
+        assert scores == sorted(scores, reverse=True)

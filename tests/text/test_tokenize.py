@@ -1,0 +1,95 @@
+"""Tests for snippet tokenisation and normalisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    Tokenizer,
+    detokenize,
+    normalize_text,
+    shared_words,
+    tokenize,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Chronic Kidney Disease") == "chronic kidney disease"
+
+    def test_removes_paper_punctuation(self):
+        # Footnote 9: ',' and ';' removed.
+        assert normalize_text("anemia, chronic; severe") == "anemia chronic severe"
+
+    def test_squeezes_whitespace(self):
+        assert normalize_text("  a   b  ") == "a b"
+
+    def test_parentheses_and_slashes(self):
+        assert normalize_text("b/l (severe)") == "b l severe"
+
+
+class TestTokenize:
+    def test_paper_query_ckd5(self):
+        assert tokenize("ckd 5") == ["ckd", "5"]
+
+    def test_keeps_percent(self):
+        assert tokenize("hypertension ef 75%") == ["hypertension", "ef", "75%"]
+
+    def test_apostrophe_shorthand(self):
+        # "2'" (clinical shorthand for secondary) keeps its digit.
+        assert tokenize("fe def anemia 2' to menorrhagia") == [
+            "fe", "def", "anemia", "2", "to", "menorrhagia",
+        ]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize(",;:-()") == []
+
+    @given(st.text(max_size=80))
+    def test_never_raises_and_yields_nonempty_tokens(self, text):
+        tokens = tokenize(text)
+        assert all(token for token in tokens)
+
+    @given(st.text(alphabet="abcdefghij ", min_size=1, max_size=40))
+    def test_idempotent_on_clean_text(self, text):
+        tokens = tokenize(text)
+        assert tokenize(detokenize(tokens)) == tokens
+
+
+class TestTokenizer:
+    def test_stopword_removal(self):
+        tokenizer = Tokenizer(remove_stopwords=True)
+        assert tokenizer("pain in the abdomen") == ["pain", "abdomen"]
+
+    def test_clinical_modifiers_are_not_stopwords(self):
+        tokenizer = Tokenizer(remove_stopwords=True)
+        assert "chronic" in tokenizer("chronic pain of the knee")
+
+    def test_drop_numbers(self):
+        tokenizer = Tokenizer(keep_numbers=False)
+        assert tokenizer("ckd 5") == ["ckd"]
+
+    def test_min_token_length(self):
+        tokenizer = Tokenizer(min_token_length=3)
+        assert tokenizer("ckd of 5 stage") == ["ckd", "stage"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_token_length=0)
+
+    def test_tokenize_all(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.tokenize_all(["a b", "c"]) == [["a", "b"], ["c"]]
+
+
+class TestSharedWords:
+    def test_order_follows_left(self):
+        assert shared_words(["b", "a", "c"], ["a", "b"]) == ("b", "a")
+
+    def test_deduplicates(self):
+        assert shared_words(["a", "a", "b"], ["a"]) == ("a",)
+
+    def test_disjoint(self):
+        assert shared_words(["x"], ["y"]) == ()

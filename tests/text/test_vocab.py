@@ -1,0 +1,134 @@
+"""Tests for the Vocabulary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.vocab import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+)
+
+words = st.text(alphabet="abcdefg", min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_specials_occupy_first_ids(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.bos_id == 1
+        assert vocab.eos_id == 2
+        assert vocab.unk_id == 3
+        assert len(vocab) == 4
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("anemia")
+        second = vocab.add("anemia")
+        assert first == second
+        assert vocab.count_of("anemia") == 2
+
+    def test_add_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary().add("")
+
+    def test_from_corpus_min_count(self):
+        vocab = Vocabulary.from_corpus(
+            [["a", "a", "b"], ["a", "c"]], min_count=2
+        )
+        assert "a" in vocab
+        assert "b" not in vocab
+        assert "c" not in vocab
+
+    def test_from_corpus_max_size_keeps_most_frequent(self):
+        vocab = Vocabulary.from_corpus(
+            [["a"] * 5 + ["b"] * 3 + ["c"]], max_size=len(SPECIAL_TOKENS) + 2
+        )
+        assert "a" in vocab and "b" in vocab and "c" not in vocab
+
+    def test_from_corpus_max_size_too_small(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_corpus([["a"]], max_size=2)
+
+    def test_from_corpus_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_corpus([["a"]], min_count=0)
+
+    def test_deterministic_ids_via_tie_break(self):
+        a = Vocabulary.from_corpus([["z", "y", "x"]])
+        b = Vocabulary.from_corpus([["x", "z", "y"]])
+        assert a.words == b.words
+
+
+class TestLookup:
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary()
+        vocab.add("known")
+        assert vocab.id_of("unknown") == vocab.unk_id
+
+    def test_unknown_without_specials_raises(self):
+        vocab = Vocabulary(include_specials=False)
+        vocab.add("known")
+        with pytest.raises(KeyError):
+            vocab.id_of("unknown")
+
+    def test_word_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().word_of(99)
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add_all(["iron", "deficiency", "anemia"])
+        ids = vocab.encode(["iron", "anemia"])
+        assert vocab.decode(ids) == ["iron", "anemia"]
+
+    def test_decode_skips_specials_by_default(self):
+        vocab = Vocabulary()
+        vocab.add("x")
+        ids = [vocab.bos_id, vocab.id_of("x"), vocab.eos_id]
+        assert vocab.decode(ids) == ["x"]
+        assert vocab.decode(ids, skip_specials=False) == [
+            BOS_TOKEN, "x", EOS_TOKEN,
+        ]
+
+    def test_iteration_order_is_id_order(self):
+        vocab = Vocabulary()
+        vocab.add("b")
+        vocab.add("a")
+        listed = list(vocab)
+        assert listed.index("b") < listed.index("a")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add_all(["alpha", "beta", "alpha"])
+        restored = Vocabulary.from_dict(vocab.to_dict())
+        assert restored.words == vocab.words
+        assert restored.count_of("alpha") == 2
+        assert restored.pad_id == vocab.pad_id
+
+    @given(st.lists(words, min_size=1, max_size=30))
+    def test_roundtrip_property(self, corpus_words):
+        vocab = Vocabulary()
+        vocab.add_all(corpus_words)
+        restored = Vocabulary.from_dict(vocab.to_dict())
+        assert restored.words == vocab.words
+        for word in corpus_words:
+            assert restored.id_of(word) == vocab.id_of(word)
+
+
+class TestProperties:
+    @given(st.lists(st.lists(words, min_size=1, max_size=6), min_size=1, max_size=10))
+    def test_ids_are_contiguous_and_bijective(self, corpus):
+        vocab = Vocabulary.from_corpus(corpus)
+        assert sorted(vocab.encode(list(vocab.words))) == list(range(len(vocab)))
+        for word_id in range(len(vocab)):
+            assert vocab.id_of(vocab.word_of(word_id)) == word_id
+
+    def test_unk_and_pad_constants(self):
+        assert PAD_TOKEN in SPECIAL_TOKENS and UNK_TOKEN in SPECIAL_TOKENS

@@ -1,0 +1,46 @@
+"""Tests for the error hierarchy and logger naming."""
+
+import logging
+
+import pytest
+
+from repro.utils.errors import (
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+    ReproError,
+)
+from repro.utils.logging import get_logger
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (ConfigurationError, DataError, NotFittedError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_data_error_is_value_error(self):
+        assert issubclass(DataError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(ReproError):
+            raise DataError("bad input")
+
+
+class TestGetLogger:
+    def test_root(self):
+        assert get_logger().name == "repro"
+
+    def test_namespacing(self):
+        assert get_logger("core.trainer").name == "repro.core.trainer"
+
+    def test_already_namespaced(self):
+        assert get_logger("repro.nn").name == "repro.nn"
+
+    def test_returns_logger_instance(self):
+        assert isinstance(get_logger("x"), logging.Logger)

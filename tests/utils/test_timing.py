@@ -1,0 +1,100 @@
+"""Tests for stopwatch / phase timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import PhaseTimer, Stopwatch, TimingBreakdown
+
+
+class TestStopwatch:
+    def test_accumulates_across_segments(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.01)
+        second = watch.stop()
+        assert second > first > 0
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0
+        assert watch.running
+        watch.stop()
+
+    def test_double_start_raises(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+
+class TestTimingBreakdown:
+    def test_add_and_total(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("CR", 0.5)
+        breakdown.add("ED", 1.5)
+        breakdown.add("CR", 0.5)
+        assert breakdown.total() == pytest.approx(2.5)
+        assert breakdown.seconds["CR"] == pytest.approx(1.0)
+
+    def test_fractions_sum_to_one(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("a", 1.0)
+        breakdown.add("b", 3.0)
+        fractions = breakdown.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["b"] == pytest.approx(0.75)
+
+    def test_fractions_of_empty_total(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("a", 0.0)
+        assert breakdown.fractions() == {"a": 0.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimingBreakdown().add("x", -1.0)
+
+    def test_merge(self):
+        left = TimingBreakdown({"a": 1.0})
+        right = TimingBreakdown({"a": 2.0, "b": 1.0})
+        left.merge(right)
+        assert left.seconds == {"a": 3.0, "b": 1.0}
+
+
+class TestPhaseTimer:
+    def test_phases_recorded(self):
+        timer = PhaseTimer()
+        with timer.phase("OR"):
+            time.sleep(0.002)
+        with timer.phase("CR"):
+            time.sleep(0.002)
+        assert set(timer.breakdown.seconds) == {"OR", "CR"}
+        assert all(value > 0 for value in timer.breakdown.seconds.values())
+
+    def test_phase_records_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("ED"):
+                raise ValueError("boom")
+        assert timer.breakdown.seconds["ED"] >= 0
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        timer.reset()
+        assert timer.breakdown.seconds == {}

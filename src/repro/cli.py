@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the deployment lifecycle:
+Five commands cover the deployment lifecycle:
 
 * ``generate`` — synthesise a dataset bundle to a directory
   (ontology.json, kb.json, queries.jsonl);
@@ -8,7 +8,9 @@ Four commands cover the deployment lifecycle:
   dataset, saving a complete pipeline directory;
 * ``link`` — load a saved pipeline and link one or more queries;
 * ``evaluate`` — load a saved pipeline and score it against a
-  generated dataset's ground-truth queries.
+  generated dataset's ground-truth queries;
+* ``serve`` — load a saved pipeline and run the long-lived HTTP
+  linking service (micro-batching, bounded caches, metrics).
 
 Example session::
 
@@ -16,6 +18,7 @@ Example session::
     python -m repro train --data data/ --out model/ --dim 24 --epochs 8
     python -m repro link --model model/ "ckd 5" "fe def anemia"
     python -m repro evaluate --model model/ --data data/ --limit 100
+    python -m repro serve --model model/ --port 8080
 """
 
 from __future__ import annotations
@@ -26,7 +29,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.core.config import (
+    ComAidConfig,
+    LinkerConfig,
+    ServingConfig,
+    TrainingConfig,
+)
 from repro.core.persistence import load_pipeline, save_pipeline
 from repro.core.trainer import ComAidTrainer
 from repro.datasets.generator import LinkedQuery
@@ -168,6 +176,38 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the four offline commands never pay for (or
+    # depend on) the serving stack.
+    from repro.serving.server import create_server, run_server
+    from repro.serving.service import LinkingService
+
+    _, _, _, _, linker = load_pipeline(
+        args.model,
+        LinkerConfig(k=args.k, encoding_cache_size=args.cache_size),
+    )
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        batch_wait_ms=args.batch_wait_ms,
+        request_timeout_s=args.request_timeout,
+        warm_on_start=not args.no_warm,
+    )
+    service = LinkingService(linker, config)
+    server = create_server(service, host=config.host, port=config.port)
+    service.start()
+    # One parseable line before blocking, so wrappers (and the smoke
+    # test) can discover an ephemeral port and start polling /readyz.
+    print(
+        f"serving on http://{config.host}:{server.port} "
+        f"(model={args.model}, warm={not args.no_warm})",
+        flush=True,
+    )
+    run_server(server)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -218,6 +258,37 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--k", type=int, default=20)
     evaluate.add_argument("--limit", type=int, default=0)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP linking service on a saved pipeline"
+    )
+    serve.add_argument("--model", required=True, help="saved pipeline dir")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    serve.add_argument("--k", type=int, default=20)
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="encoding LRU capacity (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=8,
+        help="micro-batcher flush threshold",
+    )
+    serve.add_argument(
+        "--batch-wait-ms", type=float, default=2.0,
+        help="micro-batcher deadline in milliseconds (0 = no coalescing)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request budget in seconds (exceeded -> HTTP 504)",
+    )
+    serve.add_argument(
+        "--no-warm", action="store_true",
+        help="skip warm-up; readiness flips immediately, caches fill lazily",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

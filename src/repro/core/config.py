@@ -148,6 +148,12 @@ class LinkerConfig:
         Whether Phase I indexes concept aliases alongside canonical
         descriptions (richer recall; the paper's keyword matcher is
         built over concept descriptions).
+    encoding_cache_size:
+        Capacity of the bounded LRU caches over concept encodings and
+        ancestor-path encodings (Section 5's dominant-cost forward
+        passes).  0 means unbounded — the pre-serving behaviour, fine
+        for one-shot CLI runs; a long-lived service should bound it to
+        its memory budget.
     """
 
     k: int = 20
@@ -157,6 +163,7 @@ class LinkerConfig:
     rewrite_min_similarity: float = 0.6
     score_omega_only: bool = True
     index_aliases: bool = True
+    encoding_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -169,4 +176,59 @@ class LinkerConfig:
             raise ConfigurationError(
                 "rewrite_min_similarity must be a cosine in [-1, 1], got "
                 f"{self.rewrite_min_similarity}"
+            )
+        if self.encoding_cache_size < 0:
+            raise ConfigurationError(
+                "encoding_cache_size must be >= 0 (0 = unbounded), got "
+                f"{self.encoding_cache_size}"
+            )
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Online-serving configuration (the ``repro serve`` subsystem).
+
+    Attributes
+    ----------
+    host / port:
+        HTTP bind address; port 0 asks the OS for an ephemeral port
+        (the chosen port is printed at startup).
+    max_batch_size:
+        Micro-batcher flush threshold: a batch dispatches as soon as
+        this many requests are pending.
+    batch_wait_ms:
+        Micro-batcher deadline: an open batch dispatches at most this
+        many milliseconds after its first request arrived, full or not.
+        0 disables coalescing (every request is its own batch).
+    request_timeout_s:
+        End-to-end budget for one ``POST /link`` request; exceeding it
+        returns HTTP 504.
+    warm_on_start:
+        Pre-encode the indexed concepts before readiness flips
+        (``GET /readyz`` stays 503 during warm-up).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch_size: int = 8
+    batch_wait_ms: float = 2.0
+    request_timeout_s: float = 30.0
+    warm_on_start: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.batch_wait_ms < 0:
+            raise ConfigurationError(
+                f"batch_wait_ms must be >= 0, got {self.batch_wait_ms}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ConfigurationError(
+                f"request_timeout_s must be positive, got {self.request_timeout_s}"
             )

@@ -11,15 +11,19 @@ description; rank by score (RT).
 
 Timing of the four parts (OR/CR/ED/RT) is recorded per query, which is
 exactly the decomposition the paper's Figure 11 reports.  Concept
-encodings are cached, mirroring the paper's observation that the
-encode-decode forward passes dominate online cost.
+encodings are cached in thread-safe bounded LRUs
+(:class:`repro.serving.cache.LRUCache`, capacity from
+``LinkerConfig.encoding_cache_size``), mirroring the paper's
+observation that the encode-decode forward passes dominate online
+cost; :meth:`NeuralConceptLinker.link_batch` additionally amortises
+those encodings across a batch of queries for the serving layer.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.comaid import ComAid, ConceptEncoding
@@ -29,6 +33,7 @@ from repro.embeddings.similarity import WordVectors
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.ontology.ontology import Ontology
 from repro.ontology.paths import structural_context
+from repro.serving.cache import CacheStats, LRUCache
 from repro.text.tokenize import tokenize
 from repro.utils.errors import ConfigurationError
 from repro.utils.timing import PhaseTimer, TimingBreakdown
@@ -69,6 +74,18 @@ class LinkResult:
             if candidate.cid == cid:
                 return position
         return None
+
+
+@dataclass
+class _PreparedQuery:
+    """Phase-I output for one query, awaiting Phase-II scoring."""
+
+    query: str
+    tokens: Tuple[str, ...]
+    rewritten: Tuple[str, ...]
+    rewrites: Tuple[Rewrite, ...]
+    keyword_hits: List[Tuple[str, float]]
+    timer: PhaseTimer
 
 
 class NeuralConceptLinker:
@@ -134,37 +151,49 @@ class NeuralConceptLinker:
         if kb is not None:
             for _, alias in kb.labeled_snippets():
                 self._scoring_vocabulary.update(tokenize(alias))
-        self._encoding_cache: Dict[str, ConceptEncoding] = {}
-        self._ancestor_cache: Dict[str, List[ConceptEncoding]] = {}
+        capacity = self.config.encoding_cache_size or None
+        self._encoding_cache: LRUCache[str, ConceptEncoding] = LRUCache(
+            capacity, name="encodings"
+        )
+        self._ancestor_cache: LRUCache[str, List[ConceptEncoding]] = LRUCache(
+            capacity, name="ancestors"
+        )
 
     # -- encoding cache -----------------------------------------------------
 
     def _concept_encoding(self, cid: str) -> ConceptEncoding:
-        encoding = self._encoding_cache.get(cid)
-        if encoding is None:
-            concept = self.ontology.get(cid)
-            ids = self.model.words_to_ids(list(concept.words))
-            encoding = self.model.encode_concept(ids, keep_caches=False)
-            self._encoding_cache[cid] = encoding
-        return encoding
+        return self._encoding_cache.get_or_create(
+            cid, lambda: self._encode(cid)
+        )
+
+    def _encode(self, cid: str) -> ConceptEncoding:
+        concept = self.ontology.get(cid)
+        ids = self.model.words_to_ids(list(concept.words))
+        return self.model.encode_concept(ids, keep_caches=False)
 
     def _ancestor_encodings(self, cid: str) -> List[ConceptEncoding]:
         if not self.model.config.use_structure_attention:
             return []
-        ancestors = self._ancestor_cache.get(cid)
-        if ancestors is None:
-            path = structural_context(self.ontology, cid, self.model.config.beta)
-            ancestors = []
-            for concept in path[1:]:
-                ids = self.model.words_to_ids(list(concept.words))
-                ancestors.append(self.model.encode_concept(ids, keep_caches=False))
-            self._ancestor_cache[cid] = ancestors
+        return self._ancestor_cache.get_or_create(
+            cid, lambda: self._encode_ancestors(cid)
+        )
+
+    def _encode_ancestors(self, cid: str) -> List[ConceptEncoding]:
+        path = structural_context(self.ontology, cid, self.model.config.beta)
+        ancestors = []
+        for concept in path[1:]:
+            ids = self.model.words_to_ids(list(concept.words))
+            ancestors.append(self.model.encode_concept(ids, keep_caches=False))
         return ancestors
 
     def invalidate_cache(self) -> None:
         """Drop cached encodings (call after the model is retrained)."""
         self._encoding_cache.clear()
         self._ancestor_cache.clear()
+
+    def cache_stats(self) -> Tuple[CacheStats, CacheStats]:
+        """Snapshots of the encoding and ancestor cache counters."""
+        return (self._encoding_cache.stats, self._ancestor_cache.stats)
 
     def warm_cache(self, cids: Optional[Sequence[str]] = None) -> int:
         """Pre-encode concepts (all indexed leaves by default)."""
@@ -178,9 +207,49 @@ class NeuralConceptLinker:
 
     def link(self, query: str, k: Optional[int] = None) -> LinkResult:
         """Link ``query`` to its top fine-grained concepts."""
+        prepared = self._phase_one(query, self._resolve_k(k))
+        return self._phase_two(prepared)
+
+    def link_batch(
+        self,
+        queries: Sequence[str],
+        k: Union[None, int, Sequence[Optional[int]]] = None,
+    ) -> List[LinkResult]:
+        """Link several queries, amortising Phase-II concept encodings.
+
+        Phase I (OR + CR) runs for every query first, then the union of
+        candidate concepts is encoded once — a concept appearing in
+        several queries' candidate sets pays its (dominant, per Figure
+        11) encode cost a single time per batch, with the shared-encode
+        seconds attributed to the first query that needs the concept.
+        Rankings are identical to calling :meth:`link` per query in any
+        order; batching changes the work schedule, not the scores.
+
+        ``k`` may be a single value for the whole batch or one
+        (possibly ``None``) entry per query.
+        """
+        if isinstance(k, (list, tuple)):
+            if len(k) != len(queries):
+                raise ConfigurationError(
+                    f"got {len(k)} k values for {len(queries)} queries"
+                )
+            top_ks = [self._resolve_k(value) for value in k]
+        else:
+            top_ks = [self._resolve_k(k)] * len(queries)
+        prepared = [
+            self._phase_one(query, top_k)
+            for query, top_k in zip(queries, top_ks)
+        ]
+        return [self._phase_two(item) for item in prepared]
+
+    def _resolve_k(self, k: Optional[int]) -> int:
         top_k = k if k is not None else self.config.k
         if top_k < 1:
             raise ConfigurationError(f"k must be >= 1, got {top_k}")
+        return top_k
+
+    def _phase_one(self, query: str, top_k: int) -> "_PreparedQuery":
+        """Phase I: tokenize, rewrite OOV words (OR), retrieve (CR)."""
         timer = PhaseTimer()
         tokens = tuple(tokenize(query))
         rewrites: Tuple[Rewrite, ...] = ()
@@ -194,10 +263,22 @@ class NeuralConceptLinker:
             keyword_hits = (
                 self.candidates.generate(rewritten, k=top_k) if rewritten else []
             )
+        return _PreparedQuery(
+            query=query,
+            tokens=tokens,
+            rewritten=rewritten,
+            rewrites=rewrites,
+            keyword_hits=keyword_hits,
+            timer=timer,
+        )
+
+    def _phase_two(self, prepared: "_PreparedQuery") -> LinkResult:
+        """Phase II: COM-AID scoring (ED) and ranking (RT)."""
+        timer = prepared.timer
         scored: List[RankedConcept] = []
         with timer.phase("ED"):
-            for cid, keyword_score in keyword_hits:
-                log_prob = self._score_candidate(cid, rewritten)
+            for cid, keyword_score in prepared.keyword_hits:
+                log_prob = self._score_candidate(cid, prepared.rewritten)
                 scored.append(
                     RankedConcept(
                         cid=cid, log_prob=log_prob, keyword_score=keyword_score
@@ -218,10 +299,10 @@ class NeuralConceptLinker:
                     key=lambda item: (-item.log_prob, -item.keyword_score)
                 )
         return LinkResult(
-            query=query,
-            tokens=tokens,
-            rewritten_tokens=rewritten,
-            rewrites=rewrites,
+            query=prepared.query,
+            tokens=prepared.tokens,
+            rewritten_tokens=prepared.rewritten,
+            rewrites=prepared.rewrites,
             ranked=tuple(scored),
             timing=timer.breakdown,
         )

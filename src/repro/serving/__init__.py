@@ -1,0 +1,39 @@
+"""Online serving subsystem: long-lived, concurrent concept linking.
+
+The paper evaluates NCL as an *online* system (Section 5, Figure 11);
+this package turns the one-shot :class:`~repro.core.linker.NeuralConceptLinker`
+into a service fit for sustained traffic:
+
+* :mod:`repro.serving.cache` — thread-safe bounded LRU with hit/miss/
+  eviction counters (backs the linker's encoding caches);
+* :mod:`repro.serving.metrics` — in-process counters and streaming
+  latency histograms (p50/p95/p99) aggregating the per-query
+  OR/CR/ED/RT :class:`~repro.utils.timing.TimingBreakdown`;
+* :mod:`repro.serving.batcher` — micro-batching scheduler that
+  coalesces in-flight queries so Phase-II scoring amortises concept
+  encodings across concurrent requests;
+* :mod:`repro.serving.service` — the orchestrator (warm start,
+  readiness, request accounting);
+* :mod:`repro.serving.server` — a stdlib-only threaded HTTP JSON API
+  (``POST /link``, ``GET /healthz``, ``GET /readyz``, ``GET /metrics``).
+
+Only the dependency-free leaf modules are imported eagerly here;
+``repro.core.linker`` imports :mod:`repro.serving.cache`, so pulling
+the HTTP layer (which imports the linker back) into this package
+namespace at import time would create a cycle.
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,246 @@
+"""Micro-batching scheduler: coalesce in-flight requests into batches.
+
+The paper's cost model (Section 5) says Phase-II COM-AID forward passes
+dominate per-query time, and candidate sets of concurrent queries
+overlap heavily in practice (clinicians hammer the same subtrees).
+Handing the linker *batches* instead of single queries lets it encode
+each distinct candidate concept once per batch and share the encodings
+— the serving-time analogue of training-time mini-batching.
+
+``MicroBatcher`` owns a single worker thread that drains a queue:
+
+* the first pending item opens a batch and starts a deadline clock;
+* further items join until the batch reaches ``max_batch_size`` (a
+  *size flush*) or ``max_wait_ms`` elapses (a *deadline flush*);
+* the whole batch goes to the handler in arrival order and each
+  caller's future is resolved with its positional result.
+
+A single worker is a feature, not a shortcut: it serialises access to
+the (not thread-safe) model, which is what makes concurrent requests
+return bit-identical rankings to sequential calls.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generic, List, Optional, Sequence, TypeVar
+
+from repro.utils.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class BatcherClosedError(RuntimeError):
+    """Raised by ``submit`` after the batcher has been closed."""
+
+
+class BatchFuture(Generic[R]):
+    """A minimal future resolved by the batcher's worker thread."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result: Optional[R] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, result: R) -> None:
+        self._result = result
+        self._done.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        """Whether a result or error has been delivered."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> R:
+        """Block for the result; raises ``TimeoutError`` if not ready."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("batched request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result  # type: ignore[return-value]
+
+
+@dataclass
+class BatcherStats:
+    """Flush accounting (updated by the worker thread only)."""
+
+    batches: int = 0
+    items: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    drain_flushes: int = 0
+    max_batch: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready copy, with the derived mean batch size included."""
+        mean = self.items / self.batches if self.batches else 0.0
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "drain_flushes": self.drain_flushes,
+            "max_batch": self.max_batch,
+            "mean_batch": mean,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class _Pending(Generic[T, R]):
+    item: T
+    future: "BatchFuture[R]" = field(default_factory=BatchFuture)
+
+
+class MicroBatcher(Generic[T, R]):
+    """Coalesces submitted items into handler calls on a worker thread.
+
+    ``handler`` receives a list of items and must return one result per
+    item, in order.  A handler exception rejects every future in that
+    batch (requests are independent; the next batch proceeds).
+    """
+
+    _CLOSE = object()
+
+    def __init__(
+        self,
+        handler: Callable[[Sequence[T]], Sequence[R]],
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        name: str = "batcher",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        self.name = name
+        self._handler = handler
+        self._max_batch_size = max_batch_size
+        self._max_wait = max_wait_ms / 1000.0
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._closed = threading.Event()
+        self._stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name=f"{name}-worker", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_nowait(self, item: T) -> "BatchFuture[R]":
+        """Enqueue ``item`` and return its future immediately."""
+        if self._closed.is_set():
+            raise BatcherClosedError(f"{self.name} is closed")
+        pending: _Pending[T, R] = _Pending(item)
+        self._queue.put(pending)
+        return pending.future
+
+    def submit(self, item: T, timeout: Optional[float] = None) -> R:
+        """Enqueue ``item`` and block until its result is available."""
+        return self.submit_nowait(item).result(timeout)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work, drain what is queued, join the worker."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self._queue.put(self._CLOSE)
+        self._worker.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def stats(self) -> BatcherStats:
+        with self._stats_lock:
+            return BatcherStats(**vars(self._stats))
+
+    # -- worker -------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is self._CLOSE:
+                self._flush_remaining()
+                return
+            batch: List[_Pending[T, R]] = [first]
+            reason = self._fill(batch)
+            self._dispatch(batch, reason)
+            if reason == "close":
+                self._flush_remaining()
+                return
+
+    def _fill(self, batch: List["_Pending[T, R]"]) -> str:
+        """Grow ``batch`` until size, deadline, or close; returns why."""
+        deadline = time.monotonic() + self._max_wait
+        while len(batch) < self._max_batch_size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return "deadline"
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                return "deadline"
+            if item is self._CLOSE:
+                return "close"
+            batch.append(item)
+        return "size"
+
+    def _flush_remaining(self) -> None:
+        """After close: process whatever is still queued, batch by batch."""
+        leftover: List[_Pending[T, R]] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is self._CLOSE:
+                continue
+            leftover.append(item)
+        for start in range(0, len(leftover), self._max_batch_size):
+            self._dispatch(
+                leftover[start : start + self._max_batch_size], "drain"
+            )
+
+    def _dispatch(self, batch: List["_Pending[T, R]"], reason: str) -> None:
+        try:
+            results = self._handler([pending.item for pending in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(batch)} items"
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            for pending in batch:
+                pending.future._reject(error)
+            with self._stats_lock:
+                self._stats.errors += 1
+            return
+        finally:
+            with self._stats_lock:
+                self._stats.batches += 1
+                self._stats.items += len(batch)
+                self._stats.max_batch = max(self._stats.max_batch, len(batch))
+                if reason == "size":
+                    self._stats.size_flushes += 1
+                elif reason in ("deadline", "close"):
+                    self._stats.deadline_flushes += 1
+                else:
+                    self._stats.drain_flushes += 1
+        for pending, result in zip(batch, results):
+            pending.future._resolve(result)

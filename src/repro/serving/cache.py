@@ -1,0 +1,174 @@
+"""A thread-safe bounded LRU cache with observable statistics.
+
+The linker's concept-encoding caches were plain dicts: correct for a
+one-shot CLI run, but a long-lived service linking an open-ended query
+stream over a large ontology needs an eviction policy and visibility
+into how well the cache is doing — the paper's own observation that
+encode-decode forward passes dominate online cost (Section 5, Figure
+11) makes the encoding-cache hit rate *the* capacity-planning number.
+
+``LRUCache`` is a classic ``OrderedDict``-backed LRU guarded by an
+``RLock``.  ``get_or_create`` holds the lock across the factory call,
+which serialises misses for the same cache; that is deliberate — for
+concept encodings the factory is an expensive model forward pass, and
+computing it twice concurrently wastes more than the lock costs under
+the GIL.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Iterator, Optional, TypeVar
+
+from repro.utils.errors import ConfigurationError
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    name: str
+    capacity: Optional[int]
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never queried)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready copy, with the derived hit rate included."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded least-recently-used mapping with hit/miss/eviction counts.
+
+    ``capacity=None`` disables eviction (an unbounded cache that still
+    counts hits and misses); otherwise capacity must be a positive
+    integer and insertion beyond it evicts the least recently *used*
+    entry.  All operations are safe to call from multiple threads.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "cache") -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1 or None, got {capacity}"
+            )
+        self.name = name
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does not touch recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[K]:
+        """Snapshot of the keys, oldest-used first."""
+        with self._lock:
+            return iter(list(self._entries.keys()))
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Look up ``key``, counting a hit or miss and updating recency."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or overwrite ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            self._evict_overflow()
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Return the cached value, computing and inserting it on a miss.
+
+        The lock is held across ``factory`` so concurrent misses for the
+        same key compute the value exactly once.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value  # type: ignore[return-value]
+            self._misses += 1
+            created = factory()
+            self._entries[key] = created
+            self._evict_overflow()
+            return created
+
+    def _evict_overflow(self) -> None:
+        # Caller must hold the lock.
+        if self._capacity is None:
+            return
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (entries are preserved)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                capacity=self._capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

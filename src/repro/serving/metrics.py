@@ -1,0 +1,213 @@
+"""In-process service metrics: counters and streaming latency histograms.
+
+The linker already times every query's OR/CR/ED/RT phases (the paper's
+Figure 11 decomposition, :class:`~repro.utils.timing.TimingBreakdown`);
+this module aggregates those per-query breakdowns — plus request counts
+and end-to-end latencies — into service-level statistics a scrape of
+``GET /metrics`` can report.
+
+Histograms are streaming and O(1) per observation: samples land in
+log-spaced buckets (Prometheus style) and quantiles are estimated by
+linear interpolation inside the bucket containing the target rank.
+That keeps memory constant under unbounded traffic, at the price of
+quantile resolution equal to the bucket width (~26% here, two buckets
+per octave), which is plenty for p50/p95/p99 latency reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils.timing import TimingBreakdown
+
+
+def _default_bounds() -> List[float]:
+    # 50 µs .. ~105 s, two buckets per octave: covers sub-millisecond
+    # cache hits through multi-second cold batch floods.
+    bounds = []
+    value = 50e-6
+    while value < 120.0:
+        bounds.append(value)
+        value *= math.sqrt(2.0)
+    return bounds
+
+
+class Counter:
+    """A monotonically increasing thread-safe counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Streaming histogram over seconds with bucketed quantile estimates."""
+
+    def __init__(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        self._bounds = sorted(bounds) if bounds is not None else _default_bounds()
+        if not self._bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(bound <= 0 for bound in self._bounds):
+            raise ValueError("bucket bounds must be positive seconds")
+        self._lock = threading.Lock()
+        # counts[i] counts samples <= bounds[i]; the final slot is the
+        # +Inf overflow bucket.
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample in seconds."""
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        with self._lock:
+            index = self._bucket_index(seconds)
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            self._min = min(self._min, seconds)
+            self._max = max(self._max, seconds)
+
+    def _bucket_index(self, seconds: float) -> int:
+        low, high = 0, len(self._bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if seconds <= self._bounds[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty).
+
+        Linear interpolation within the bucket holding the target rank;
+        the overflow bucket reports the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    if index >= len(self._bounds):
+                        return self._max
+                    upper = self._bounds[index]
+                    lower = self._bounds[index - 1] if index > 0 else 0.0
+                    # Clamp to the observed range so tiny sample counts
+                    # don't report a bucket edge nobody hit.
+                    fraction = (rank - cumulative) / bucket_count
+                    estimate = lower + (upper - lower) * fraction
+                    return min(max(estimate, self._min), self._max)
+                cumulative += bucket_count
+            return self._max
+
+    def snapshot(self) -> Dict[str, float]:
+        """Count, sum, mean, and p50/p95/p99 as a JSON-ready dict."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one lock-free-to-read facade.
+
+    ``counter``/``histogram`` get-or-create by name, so call sites never
+    need registration order; ``observe_breakdown`` fans one per-query
+    :class:`TimingBreakdown` out to per-phase histograms named
+    ``<prefix>.<phase>`` — with the default prefix, exactly the paper's
+    ``phase_seconds.OR/CR/ED/RT`` decomposition at service level.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter(name)
+                self._counters[name] = counter
+            return counter
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> LatencyHistogram:
+        """The histogram registered under ``name`` (created on first use).
+
+        ``bounds`` only applies at creation; later callers get the
+        existing histogram unchanged.
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram(name, bounds=bounds)
+                self._histograms[name] = histogram
+            return histogram
+
+    def observe_breakdown(
+        self, breakdown: TimingBreakdown, prefix: str = "phase_seconds"
+    ) -> None:
+        """Record each phase of one query's breakdown under ``prefix``."""
+        for phase, seconds in breakdown.items():
+            self.histogram(f"{prefix}.{phase}").observe(seconds)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready copy of every metric's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }

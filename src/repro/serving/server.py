@@ -1,0 +1,258 @@
+"""Stdlib-only threaded HTTP JSON API in front of a LinkingService.
+
+Endpoints (all JSON):
+
+* ``POST /link`` — body ``{"query": "..."}`` or ``{"queries": [...]}``
+  with optional ``"k"``; responds ``{"results": [...]}`` where each
+  result carries the ranked concepts, applied rewrites, and the
+  per-query OR/CR/ED/RT timing breakdown (Figure 11's decomposition).
+* ``GET /healthz`` — liveness; 200 while the process can serve.
+* ``GET /readyz`` — readiness; 503 until warm-up finishes, then 200.
+* ``GET /metrics`` — the service snapshot (counters, latency
+  histograms with p50/p95/p99, cache and batcher statistics).
+
+Errors are structured: ``{"error": {"type": ..., "message": ...}}``
+with 400 for bad requests, 503 before readiness, 504 on request
+timeout, and 500 for anything unexpected.  One OS thread per
+connection (``ThreadingHTTPServer``) is plenty here because the
+model-bound work is serialised by the batcher anyway; threads only
+overlap on parsing and I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.linker import LinkResult
+from repro.serving.service import LinkingService, ServiceNotReadyError
+from repro.utils.errors import ReproError
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("serving.server")
+
+MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is already thousands of queries
+MAX_QUERIES_PER_REQUEST = 256
+
+
+class BadRequestError(ValueError):
+    """Client-side request problem, reported as HTTP 400."""
+
+
+def result_to_json(
+    result: LinkResult, server: "LinkingHTTPServer", top: Optional[int] = None
+) -> Dict[str, Any]:
+    """Serialise one LinkResult (descriptions resolved if possible)."""
+    ontology = server.service.linker.ontology
+    ranked = result.ranked if top is None else result.ranked[:top]
+    return {
+        "query": result.query,
+        "tokens": list(result.tokens),
+        "rewritten_tokens": list(result.rewritten_tokens),
+        "rewrites": [
+            {"original": rewrite.original, "replacement": rewrite.replacement}
+            for rewrite in result.rewrites
+        ],
+        "ranked": [
+            {
+                "cid": concept.cid,
+                "log_prob": concept.log_prob,
+                "loss": concept.loss,
+                "keyword_score": concept.keyword_score,
+                "description": ontology.get(concept.cid).description,
+            }
+            for concept in ranked
+        ],
+        "timing": result.timing.as_dict(),
+    }
+
+
+def _parse_link_body(payload: Any) -> Tuple[list, Optional[int], Optional[int]]:
+    """Validate a /link body; returns ``(queries, k, top)``."""
+    if not isinstance(payload, dict):
+        raise BadRequestError("request body must be a JSON object")
+    has_query = "query" in payload
+    has_queries = "queries" in payload
+    if has_query == has_queries:
+        raise BadRequestError(
+            "provide exactly one of 'query' (string) or 'queries' (list)"
+        )
+    if has_query:
+        query = payload["query"]
+        if not isinstance(query, str) or not query.strip():
+            raise BadRequestError("'query' must be a non-empty string")
+        queries = [query]
+    else:
+        queries = payload["queries"]
+        if not isinstance(queries, list) or not queries:
+            raise BadRequestError("'queries' must be a non-empty list")
+        if len(queries) > MAX_QUERIES_PER_REQUEST:
+            raise BadRequestError(
+                f"at most {MAX_QUERIES_PER_REQUEST} queries per request"
+            )
+        if not all(isinstance(q, str) and q.strip() for q in queries):
+            raise BadRequestError("'queries' entries must be non-empty strings")
+    k = payload.get("k")
+    if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 1):
+        raise BadRequestError("'k' must be a positive integer")
+    top = payload.get("top")
+    if top is not None and (
+        not isinstance(top, int) or isinstance(top, bool) or top < 1
+    ):
+        raise BadRequestError("'top' must be a positive integer")
+    return queries, k, top
+
+
+class _LinkRequestHandler(BaseHTTPRequestHandler):
+    server: "LinkingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        LOGGER.debug("%s %s", self.address_string(), format % args)
+
+    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_error(self, status: int, kind: str, message: str) -> None:
+        self._respond(status, {"error": {"type": kind, "message": message}})
+
+    # -- GET ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        service = self.server.service
+        if self.path == "/healthz":
+            if service.healthy:
+                self._respond(200, {"status": "ok"})
+            else:
+                self._respond_error(503, "unhealthy", "service is stopping")
+        elif self.path == "/readyz":
+            if service.ready:
+                self._respond(200, {"status": "ready"})
+            else:
+                self._respond_error(
+                    503, "not_ready", "warm-up has not completed"
+                )
+        elif self.path == "/metrics":
+            self._respond(200, service.snapshot())
+        else:
+            self._respond_error(404, "not_found", f"no route for {self.path}")
+
+    # -- POST ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path != "/link":
+            self._respond_error(404, "not_found", f"no route for {self.path}")
+            return
+        try:
+            payload = self._read_json()
+            queries, k, top = _parse_link_body(payload)
+            results = self.server.service.link_many(queries, k=k)
+        except BadRequestError as error:
+            self._respond_error(400, "bad_request", str(error))
+        except ServiceNotReadyError:
+            self._respond_error(503, "not_ready", "warm-up has not completed")
+        except TimeoutError:
+            self._respond_error(
+                504, "timeout", "request timed out; retry with backoff"
+            )
+        except ReproError as error:
+            self._respond_error(400, type(error).__name__, str(error))
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            LOGGER.error("internal error serving /link: %s", error)
+            self._respond_error(500, "internal", "internal server error")
+        else:
+            self._respond(
+                200,
+                {
+                    "results": [
+                        result_to_json(result, self.server, top=top)
+                        for result in results
+                    ]
+                },
+            )
+
+    def _read_json(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise BadRequestError("Content-Length header is required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise BadRequestError("Content-Length must be an integer")
+        if length <= 0:
+            raise BadRequestError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise BadRequestError("request body is not valid JSON")
+
+
+class LinkingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries its LinkingService."""
+
+    daemon_threads = True
+    # Fast rebinds between test/deploy restarts.
+    allow_reuse_address = True
+    # socketserver's default listen backlog is 5; a burst of concurrent
+    # clients (the whole point of this server) overflows that and shows
+    # up as connection resets on a loaded machine.
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], service: LinkingService) -> None:
+        super().__init__(address, _LinkRequestHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def create_server(
+    service: LinkingService, host: str = "127.0.0.1", port: int = 0
+) -> LinkingHTTPServer:
+    """Bind (port 0 picks an ephemeral port) without starting to serve."""
+    return LinkingHTTPServer((host, port), service)
+
+
+def run_server(
+    server: LinkingHTTPServer, install_signal_handlers: bool = True
+) -> None:
+    """Serve until SIGINT/SIGTERM (or ``server.shutdown()``), then drain.
+
+    Signal handlers are only installed from the main thread (Python
+    forbids them elsewhere); background callers stop the server with
+    ``server.shutdown()``.
+    """
+    stop = threading.Event()
+
+    def _request_stop(signum: object = None, frame: object = None) -> None:
+        # shutdown() must not run on the serve_forever thread; hand it off.
+        stop.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signal_handlers and threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, _request_stop)
+        signal.signal(signal.SIGTERM, _request_stop)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.service.stop()
+        server.server_close()
+        LOGGER.info("server stopped")

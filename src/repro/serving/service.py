@@ -1,0 +1,210 @@
+"""The linking service: batcher + caches + metrics around one linker.
+
+``LinkingService`` is the transport-agnostic middle layer between the
+HTTP server and :class:`~repro.core.linker.NeuralConceptLinker`:
+
+* every request flows through a :class:`~repro.serving.batcher.MicroBatcher`
+  whose single worker serialises model access (determinism under
+  concurrency) and whose coalescing amortises concept encodings;
+* warm-up (``warm_cache`` — pre-encoding the indexed concepts) runs on
+  a background thread at start; readiness flips only once it finishes,
+  so a load balancer never routes traffic to a cold instance paying
+  full ED cost per query;
+* per-request latency, per-phase OR/CR/ED/RT timings, result counts,
+  and error counts land in a :class:`~repro.serving.metrics.MetricsRegistry`,
+  and ``snapshot()`` merges those with cache and batcher statistics
+  into one JSON-ready report (the ``GET /metrics`` payload).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ServingConfig
+from repro.core.linker import LinkResult, NeuralConceptLinker
+from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import MetricsRegistry
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("serving.service")
+
+
+class ServiceNotReadyError(RuntimeError):
+    """Raised for requests arriving before warm-up has finished."""
+
+
+@dataclass(frozen=True)
+class _LinkRequest:
+    query: str
+    k: Optional[int]
+
+
+class LinkingService:
+    """A long-lived, concurrent wrapper around one trained linker."""
+
+    def __init__(
+        self,
+        linker: NeuralConceptLinker,
+        config: Optional[ServingConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.linker = linker
+        self.config = config if config is not None else ServingConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._warm_error: Optional[BaseException] = None
+        self._warm_thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._batcher: MicroBatcher[_LinkRequest, LinkResult] = MicroBatcher(
+            self._handle_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.batch_wait_ms,
+            name="link",
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, wait: bool = False) -> "LinkingService":
+        """Begin warm-up; with ``wait`` block until the service is ready."""
+        if self._started_at is not None:
+            raise RuntimeError("service already started")
+        self._started_at = time.monotonic()
+        if self.config.warm_on_start:
+            self._warm_thread = threading.Thread(
+                target=self._warm, name="link-warmup", daemon=True
+            )
+            self._warm_thread.start()
+        else:
+            self._ready.set()
+        if wait:
+            self._ready.wait()
+            if self._warm_error is not None:
+                raise RuntimeError("warm-up failed") from self._warm_error
+        return self
+
+    def _warm(self) -> None:
+        started = time.monotonic()
+        try:
+            warmed = self.linker.warm_cache()
+            elapsed = time.monotonic() - started
+            self.metrics.histogram("warmup_seconds").observe(elapsed)
+            LOGGER.info(
+                "warm-up done: %d encodings in %.2fs", warmed, elapsed
+            )
+        except BaseException as error:  # noqa: BLE001 - recorded, not raised
+            self._warm_error = error
+            self.metrics.counter("warmup_failures").inc()
+            LOGGER.error("warm-up failed: %s", error)
+        finally:
+            # Even a failed warm-up flips readiness: the caches fill
+            # lazily, so serving (slowly) beats serving nothing.
+            self._ready.set()
+
+    def stop(self) -> None:
+        """Drain in-flight requests and stop the batcher."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._batcher.close()
+
+    @property
+    def healthy(self) -> bool:
+        """Liveness: the process can still execute requests."""
+        return not self._stopped.is_set()
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: warm-up finished and the service is accepting work."""
+        return self._ready.is_set() and not self._stopped.is_set()
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # -- request path -------------------------------------------------------
+
+    def link(
+        self,
+        query: str,
+        k: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> LinkResult:
+        """Link one query through the micro-batcher (blocking)."""
+        return self.link_many([query], k=k, timeout=timeout)[0]
+
+    def link_many(
+        self,
+        queries: Sequence[str],
+        k: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[LinkResult]:
+        """Link several queries, submitted to the batcher as one burst."""
+        if not self.ready:
+            self.metrics.counter("requests_rejected").inc()
+            raise ServiceNotReadyError("service is not ready")
+        wait = timeout if timeout is not None else self.config.request_timeout_s
+        started = time.monotonic()
+        futures = [
+            self._batcher.submit_nowait(_LinkRequest(query=query, k=k))
+            for query in queries
+        ]
+        results: List[LinkResult] = []
+        try:
+            for future in futures:
+                remaining = wait - (time.monotonic() - started)
+                results.append(future.result(max(remaining, 0.0)))
+        except TimeoutError:
+            self.metrics.counter("requests_timeout").inc()
+            raise
+        except BaseException:
+            self.metrics.counter("requests_failed").inc()
+            raise
+        elapsed = time.monotonic() - started
+        for result in results:
+            self.metrics.counter("requests_total").inc()
+            self.metrics.counter("concepts_returned").inc(len(result.ranked))
+            self.metrics.observe_breakdown(result.timing)
+        self.metrics.histogram("request_seconds").observe(elapsed)
+        return results
+
+    def _handle_batch(
+        self, requests: Sequence[_LinkRequest]
+    ) -> List[LinkResult]:
+        self.metrics.counter("batches_total").inc()
+        self.metrics.histogram(
+            "batch_size", bounds=[1, 2, 4, 8, 16, 32, 64, 128]
+        ).observe(len(requests))
+        return self.linker.link_batch(
+            [request.query for request in requests],
+            k=[request.k for request in requests],
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready report: metrics + caches + batcher + lifecycle."""
+        report: Dict[str, Any] = {
+            "ready": self.ready,
+            "healthy": self.healthy,
+            "uptime_seconds": self.uptime_seconds,
+            "config": {
+                "max_batch_size": self.config.max_batch_size,
+                "batch_wait_ms": self.config.batch_wait_ms,
+                "request_timeout_s": self.config.request_timeout_s,
+                "warm_on_start": self.config.warm_on_start,
+            },
+        }
+        report.update(self.metrics.snapshot())
+        report["batcher"] = self._batcher.stats.as_dict()
+        cache_stats = getattr(self.linker, "cache_stats", None)
+        if callable(cache_stats):
+            report["caches"] = {
+                stats.name: stats.as_dict() for stats in cache_stats()
+            }
+        return report

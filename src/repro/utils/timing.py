@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, Mapping, Tuple
 
 
 class Stopwatch:
@@ -88,6 +88,18 @@ class TimingBreakdown:
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict copy of the per-phase seconds."""
         return dict(self.seconds)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate ``(phase, seconds)`` pairs over a snapshot copy.
+
+        The copy makes iteration safe while another thread (e.g. a
+        metrics aggregator in the serving layer) merges into the same
+        breakdown.
+        """
+        return iter(list(self.seconds.items()))
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return self.items()
 
 
 class PhaseTimer:

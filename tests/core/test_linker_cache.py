@@ -1,0 +1,154 @@
+"""Bounded-LRU behaviour of the linker's encoding caches.
+
+The heavy trained-model fixtures live in ``tests/serving/conftest.py``
+(shared with the serving-layer tests); here we exercise the cache
+semantics the serving subsystem relies on: bounded size, observable
+counters, preserved ``invalidate_cache``/``warm_cache`` behaviour, and
+identical rankings whatever the capacity.
+"""
+
+import threading
+
+import pytest
+
+from repro.utils.errors import ConfigurationError
+
+from tests.serving.conftest import make_linker, trained_pipeline  # noqa: F401
+
+
+class TestBoundedCaches:
+    def test_default_capacity_comes_from_config(self, make_linker):
+        linker = make_linker()
+        encoding_stats, ancestor_stats = linker.cache_stats()
+        assert encoding_stats.capacity == 4096
+        assert ancestor_stats.capacity == 4096
+
+    def test_zero_config_means_unbounded(self, make_linker):
+        linker = make_linker(encoding_cache_size=0)
+        encoding_stats, _ = linker.cache_stats()
+        assert encoding_stats.capacity is None
+
+    def test_negative_capacity_rejected(self, make_linker):
+        with pytest.raises(ConfigurationError):
+            make_linker(encoding_cache_size=-1)
+
+    def test_warm_cache_respects_capacity(self, make_linker):
+        linker = make_linker(encoding_cache_size=2)
+        warmed = linker.warm_cache()
+        # Seven indexed leaves flow through, only two survive eviction.
+        assert warmed == 2
+        encoding_stats, _ = linker.cache_stats()
+        assert encoding_stats.size == 2
+        assert encoding_stats.evictions == 5
+
+    def test_warm_cache_full_capacity_counts_all_leaves(
+        self, make_linker, trained_pipeline
+    ):
+        ontology, _, _ = trained_pipeline
+        linker = make_linker()
+        assert linker.warm_cache() == len(ontology.fine_grained())
+
+    def test_eviction_is_observable_during_linking(self, make_linker):
+        linker = make_linker(encoding_cache_size=1)
+        linker.link("ckd stage 5")
+        linker.link("vitamin c deficiency anemia")
+        encoding_stats, _ = linker.cache_stats()
+        assert encoding_stats.size == 1
+        assert encoding_stats.evictions >= 1
+        assert encoding_stats.misses >= 2
+
+    def test_warm_then_link_hits_cache(self, make_linker):
+        linker = make_linker()
+        linker.warm_cache()
+        before = linker.cache_stats()[0]
+        linker.link("ckd stage 5")
+        after = linker.cache_stats()[0]
+        assert after.hits > before.hits
+        assert after.misses == before.misses
+
+    def test_invalidate_cache_empties_and_still_links(self, make_linker):
+        linker = make_linker()
+        linker.warm_cache()
+        linker.invalidate_cache()
+        encoding_stats, ancestor_stats = linker.cache_stats()
+        assert encoding_stats.size == 0
+        assert ancestor_stats.size == 0
+        assert linker.link("anemia").ranked
+
+    def test_tiny_capacity_does_not_change_rankings(self, make_linker):
+        roomy = make_linker()
+        cramped = make_linker(encoding_cache_size=1)
+        for query in ("ckd stage 5", "anemia blood loss", "acute abdomen"):
+            expected = [(c.cid, c.log_prob) for c in roomy.link(query).ranked]
+            actual = [(c.cid, c.log_prob) for c in cramped.link(query).ranked]
+            assert actual == expected
+
+
+class TestLinkBatch:
+    def test_batch_matches_sequential(self, make_linker):
+        sequential = make_linker()
+        batched = make_linker()
+        queries = ["ckd stage 5", "anemia blood loss", "scorbutic anemia"]
+        expected = [
+            [(c.cid, c.log_prob) for c in sequential.link(q).ranked]
+            for q in queries
+        ]
+        results = batched.link_batch(queries)
+        actual = [[(c.cid, c.log_prob) for c in r.ranked] for r in results]
+        assert actual == expected
+
+    def test_batch_amortises_encodings(self, make_linker):
+        linker = make_linker()
+        # The same query twice: the second pays zero encoding misses.
+        linker.link_batch(["ckd stage 5", "ckd stage 5"])
+        encoding_stats, _ = linker.cache_stats()
+        assert encoding_stats.hits >= 1
+
+    def test_per_query_k(self, make_linker):
+        linker = make_linker()
+        wide, narrow = linker.link_batch(["anemia", "anemia"], k=[5, 1])
+        assert len(narrow.ranked) == 1
+        assert len(wide.ranked) >= len(narrow.ranked)
+        assert wide.ranked[0] == narrow.ranked[0]
+
+    def test_k_length_mismatch_rejected(self, make_linker):
+        with pytest.raises(ConfigurationError):
+            make_linker().link_batch(["a", "b"], k=[1])
+
+    def test_empty_batch(self, make_linker):
+        assert make_linker().link_batch([]) == []
+
+    def test_batch_timing_has_all_phases(self, make_linker):
+        results = make_linker().link_batch(["ckd stage 5"])
+        assert set(results[0].timing.seconds) == {"OR", "CR", "ED", "RT"}
+
+
+class TestThreadSafety:
+    def test_concurrent_links_are_deterministic(self, make_linker):
+        """Direct concurrent link() calls (no batcher) agree with
+        sequential results — the caches are the only shared state."""
+        linker = make_linker()
+        queries = ["ckd stage 5", "anemia blood loss", "acute abdomen pain"]
+        expected = {
+            query: [(c.cid, c.log_prob) for c in make_linker().link(query).ranked]
+            for query in queries
+        }
+        failures = []
+
+        def worker(query):
+            try:
+                for _ in range(5):
+                    got = [(c.cid, c.log_prob) for c in linker.link(query).ranked]
+                    assert got == expected[query]
+            except BaseException as error:  # pragma: no cover - failure path
+                failures.append((query, error))
+
+        threads = [
+            threading.Thread(target=worker, args=(query,))
+            for query in queries * 4
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures

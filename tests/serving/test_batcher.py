@@ -1,0 +1,211 @@
+"""Tests for the micro-batching scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.batcher import BatcherClosedError, MicroBatcher
+from repro.utils.errors import ConfigurationError
+
+
+def identity_handler(items):
+    return [item * 2 for item in items]
+
+
+class TestConfigValidation:
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(identity_handler, max_batch_size=0)
+
+    def test_bad_wait(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(identity_handler, max_wait_ms=-1)
+
+
+class TestFlushOnSize:
+    def test_full_batch_dispatches_without_waiting_for_deadline(self):
+        batches = []
+
+        def handler(items):
+            batches.append(list(items))
+            return list(items)
+
+        batcher = MicroBatcher(handler, max_batch_size=4, max_wait_ms=10_000)
+        try:
+            started = time.monotonic()
+            futures = [batcher.submit_nowait(i) for i in range(4)]
+            results = [future.result(5.0) for future in futures]
+            elapsed = time.monotonic() - started
+            assert results == [0, 1, 2, 3]
+            # A 10-second deadline obviously did not elapse.
+            assert elapsed < 5.0
+            stats = batcher.stats
+            assert stats.size_flushes >= 1
+            assert stats.items == 4
+            assert stats.max_batch <= 4
+        finally:
+            batcher.close()
+
+    def test_overflow_splits_into_multiple_batches(self):
+        sizes = []
+
+        def handler(items):
+            sizes.append(len(items))
+            return list(items)
+
+        batcher = MicroBatcher(handler, max_batch_size=3, max_wait_ms=20)
+        try:
+            futures = [batcher.submit_nowait(i) for i in range(10)]
+            assert [f.result(5.0) for f in futures] == list(range(10))
+            assert sum(sizes) == 10
+            assert max(sizes) <= 3
+        finally:
+            batcher.close()
+
+
+class TestFlushOnDeadline:
+    def test_partial_batch_dispatches_at_deadline(self):
+        batcher = MicroBatcher(
+            identity_handler, max_batch_size=64, max_wait_ms=30
+        )
+        try:
+            started = time.monotonic()
+            result = batcher.submit(21, timeout=5.0)
+            elapsed = time.monotonic() - started
+            assert result == 42
+            # Far below the only other flush trigger (64 items never came),
+            # and at least roughly the deadline in the happy case.
+            assert elapsed < 5.0
+            stats = batcher.stats
+            assert stats.deadline_flushes == 1
+            assert stats.size_flushes == 0
+            assert stats.max_batch == 1
+        finally:
+            batcher.close()
+
+    def test_zero_wait_means_immediate_singleton_batches(self):
+        batcher = MicroBatcher(identity_handler, max_batch_size=8, max_wait_ms=0)
+        try:
+            assert batcher.submit(5, timeout=5.0) == 10
+        finally:
+            batcher.close()
+
+
+class TestOrderingAndResults:
+    def test_results_match_submission_order_within_batch(self):
+        batcher = MicroBatcher(
+            lambda items: [item + 100 for item in items],
+            max_batch_size=8,
+            max_wait_ms=50,
+        )
+        try:
+            futures = [batcher.submit_nowait(i) for i in range(8)]
+            assert [f.result(5.0) for f in futures] == [100 + i for i in range(8)]
+        finally:
+            batcher.close()
+
+    def test_concurrent_submitters_all_get_their_own_result(self):
+        batcher = MicroBatcher(
+            lambda items: [item * item for item in items],
+            max_batch_size=4,
+            max_wait_ms=5,
+        )
+        results = {}
+        lock = threading.Lock()
+
+        def submit(value):
+            result = batcher.submit(value, timeout=10.0)
+            with lock:
+                results[value] = result
+
+        try:
+            threads = [
+                threading.Thread(target=submit, args=(value,))
+                for value in range(32)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert results == {value: value * value for value in range(32)}
+            assert batcher.stats.items == 32
+        finally:
+            batcher.close()
+
+
+class TestErrors:
+    def test_handler_exception_rejects_the_batch_only(self):
+        fail = threading.Event()
+        fail.set()
+
+        def handler(items):
+            if fail.is_set():
+                raise RuntimeError("model exploded")
+            return list(items)
+
+        batcher = MicroBatcher(handler, max_batch_size=4, max_wait_ms=5)
+        try:
+            with pytest.raises(RuntimeError, match="model exploded"):
+                batcher.submit(1, timeout=5.0)
+            assert batcher.stats.errors == 1
+            fail.clear()
+            assert batcher.submit(2, timeout=5.0) == 2
+        finally:
+            batcher.close()
+
+    def test_wrong_result_count_is_an_error(self):
+        batcher = MicroBatcher(
+            lambda items: [0], max_batch_size=4, max_wait_ms=5
+        )
+        try:
+            futures = [batcher.submit_nowait(i) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="results"):
+                    future.result(5.0)
+        finally:
+            batcher.close()
+
+    def test_result_timeout(self):
+        gate = threading.Event()
+
+        def handler(items):
+            gate.wait(5.0)
+            return list(items)
+
+        batcher = MicroBatcher(handler, max_batch_size=1, max_wait_ms=0)
+        try:
+            future = batcher.submit_nowait(1)
+            with pytest.raises(TimeoutError):
+                future.result(0.05)
+            gate.set()
+            assert future.result(5.0) == 1  # late result still lands
+        finally:
+            batcher.close()
+
+
+class TestLifecycle:
+    def test_close_drains_queued_items(self):
+        gate = threading.Event()
+
+        def handler(items):
+            gate.wait(5.0)
+            return list(items)
+
+        batcher = MicroBatcher(handler, max_batch_size=2, max_wait_ms=1_000)
+        futures = [batcher.submit_nowait(i) for i in range(6)]
+        gate.set()
+        batcher.close()
+        assert [f.result(1.0) for f in futures] == list(range(6))
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(identity_handler)
+        batcher.close()
+        assert batcher.closed
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(identity_handler)
+        batcher.close()
+        batcher.close()

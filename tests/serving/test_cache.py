@@ -1,0 +1,206 @@
+"""Tests for the thread-safe bounded LRU cache."""
+
+import threading
+
+import pytest
+
+from repro.serving.cache import LRUCache
+from repro.utils.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+        assert "a" in cache
+
+    def test_get_miss_returns_default(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=7) == 7
+
+    def test_overwrite_does_not_grow(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(capacity=0)
+        with pytest.raises(ConfigurationError):
+            LRUCache(capacity=-3)
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = LRUCache(capacity=None)
+        for index in range(1000):
+            cache.put(index, index)
+        assert len(cache) == 1000
+        assert cache.stats.evictions == 0
+
+
+class TestEviction:
+    def test_capacity_is_enforced(self):
+        cache = LRUCache(capacity=3)
+        for key in "abcd":
+            cache.put(key, key)
+        assert len(cache) == 3
+        assert "a" not in cache  # least recently used went first
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a is now most recent
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.put("d", 4)
+        assert list(cache.keys()) == ["c", "d"]
+        assert cache.stats.evictions == 2
+
+
+class TestCounters:
+    def test_hits_and_misses(self):
+        cache = LRUCache(capacity=2)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert stats.requests == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert LRUCache(capacity=2).stats.hit_rate == 0.0
+
+    def test_contains_does_not_count(self):
+        cache = LRUCache(capacity=2)
+        _ = "a" in cache
+        assert cache.stats.requests == 0
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_reset_stats_preserves_entries(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_stats()
+        assert len(cache) == 1
+        assert cache.stats.requests == 0
+
+    def test_as_dict_is_json_shaped(self):
+        cache = LRUCache(capacity=2, name="encodings")
+        payload = cache.stats.as_dict()
+        assert payload["name"] == "encodings"
+        assert set(payload) >= {"capacity", "size", "hits", "misses",
+                                "evictions", "hit_rate"}
+
+
+class TestGetOrCreate:
+    def test_factory_called_once_per_key(self):
+        cache = LRUCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (2, 1)
+
+    def test_factory_exception_does_not_poison(self):
+        cache = LRUCache(capacity=4)
+
+        def boom():
+            raise RuntimeError("factory failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", boom)
+        assert "k" not in cache
+        assert cache.get_or_create("k", lambda: 5) == 5
+
+
+class TestThreadSafety:
+    def test_concurrent_get_or_create_hammer(self):
+        """Many threads over a keyspace larger than capacity: sizes stay
+        bounded, counters reconcile, and every read sees a coherent value."""
+        capacity = 8
+        cache = LRUCache(capacity=capacity)
+        operations_per_thread = 400
+        thread_count = 8
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for step in range(operations_per_thread):
+                    key = (worker_id * 7 + step) % 32
+                    value = cache.get_or_create(key, lambda k=key: k * 10)
+                    assert value == key * 10
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats
+        assert stats.size <= capacity
+        total_ops = operations_per_thread * thread_count
+        assert stats.hits + stats.misses == total_ops
+        assert stats.evictions == stats.misses - stats.size
+
+    def test_concurrent_put_and_clear(self):
+        cache = LRUCache(capacity=16)
+        stop = threading.Event()
+
+        def writer():
+            index = 0
+            while not stop.is_set():
+                cache.put(index % 64, index)
+                index += 1
+
+        def clearer():
+            while not stop.is_set():
+                cache.clear()
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads.append(threading.Thread(target=clearer))
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(0.2, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join(5.0)
+        stop_timer.cancel()
+        assert len(cache) <= 16

@@ -1,0 +1,144 @@
+"""Tests for counters, streaming latency histograms, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.serving.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.utils.timing import TimingBreakdown
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safe_increments(self):
+        counter = Counter("x")
+
+        def bump():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram("lat")
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_count_sum_mean_exact(self):
+        histogram = LatencyHistogram("lat")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.006)
+        assert histogram.mean == pytest.approx(0.002)
+
+    def test_quantiles_are_bucket_accurate(self):
+        histogram = LatencyHistogram("lat")
+        # 100 samples at 1ms, 5 at 100ms: p50 ~ 1ms, p99 ~ 100ms.
+        for _ in range(100):
+            histogram.observe(0.001)
+        for _ in range(5):
+            histogram.observe(0.100)
+        p50 = histogram.quantile(0.50)
+        p99 = histogram.quantile(0.99)
+        # Bucket resolution is sqrt(2); accept one bucket of error.
+        assert 0.0005 <= p50 <= 0.002
+        assert 0.05 <= p99 <= 0.150
+        assert p50 < p99
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = LatencyHistogram("lat")
+        histogram.observe(0.0042)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.0042)
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = LatencyHistogram("lat", bounds=[0.01, 0.1])
+        histogram.observe(5.0)
+        histogram.observe(9.0)
+        assert histogram.quantile(0.99) == pytest.approx(9.0)
+
+    def test_invalid_inputs(self):
+        histogram = LatencyHistogram("lat")
+        with pytest.raises(ValueError):
+            histogram.observe(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram("bad", bounds=[])
+        with pytest.raises(ValueError):
+            LatencyHistogram("bad", bounds=[-1.0])
+
+    def test_snapshot_shape(self):
+        histogram = LatencyHistogram("lat")
+        histogram.observe(0.01)
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert snapshot["count"] == 1
+
+    def test_concurrent_observe(self):
+        histogram = LatencyHistogram("lat")
+
+        def observe_many():
+            for _ in range(5_000):
+                histogram.observe(0.002)
+
+        threads = [threading.Thread(target=observe_many) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 20_000
+        assert histogram.sum == pytest.approx(40.0)
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_histogram_get_or_create_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_observe_breakdown_fans_out_phases(self):
+        registry = MetricsRegistry()
+        breakdown = TimingBreakdown()
+        breakdown.add("OR", 0.001)
+        breakdown.add("CR", 0.002)
+        breakdown.add("ED", 0.040)
+        breakdown.add("RT", 0.0005)
+        registry.observe_breakdown(breakdown)
+        registry.observe_breakdown(breakdown)
+        snapshot = registry.snapshot()
+        for phase in ("OR", "CR", "ED", "RT"):
+            assert snapshot["histograms"][f"phase_seconds.{phase}"]["count"] == 2
+        assert snapshot["histograms"]["phase_seconds.ED"]["sum"] == pytest.approx(0.08)
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(3)
+        registry.histogram("request_seconds").observe(0.02)
+        payload = json.dumps(registry.snapshot())
+        assert "requests_total" in payload
+        assert "request_seconds" in payload

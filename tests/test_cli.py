@@ -73,6 +73,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m/"])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.cache_size == 4096
+        assert args.max_batch_size == 8
+        assert args.batch_wait_ms == 2.0
+        assert args.request_timeout == 30.0
+        assert args.no_warm is False
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m/", "--port", "0", "--cache-size", "0",
+             "--max-batch-size", "32", "--batch-wait-ms", "0.5", "--no-warm"]
+        )
+        assert args.port == 0
+        assert args.cache_size == 0
+        assert args.max_batch_size == 32
+        assert args.batch_wait_ms == 0.5
+        assert args.no_warm is True
+
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
     def test_unknown_dataset_is_clean_error(self, tmp_path, capsys):
         exit_code = main(
             ["generate", "--dataset", "nope", "--out", str(tmp_path / "x")]

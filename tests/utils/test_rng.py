@@ -74,9 +74,15 @@ class TestCrossProcessDeterminism:
     def test_derive_rng_stable_across_hash_seeds(self):
         """derive_rng must not depend on builtin hash() randomisation:
         the same labels must yield the same stream in any process."""
+        import os
         import subprocess
         import sys
 
+        import repro
+
+        # The env is deliberately minimal so only PYTHONHASHSEED varies,
+        # but the child still needs to find this repo's packages.
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
         snippet = (
             "from repro.utils.rng import derive_rng, ensure_rng;"
             "g = derive_rng(ensure_rng(7), 'dataset', 'pipeline');"
@@ -88,7 +94,11 @@ class TestCrossProcessDeterminism:
                 [sys.executable, "-c", snippet],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": package_root,
+                },
             )
             assert result.returncode == 0, result.stderr
             outputs.add(result.stdout.strip())

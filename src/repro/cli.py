@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the deployment lifecycle:
+Six commands cover the deployment lifecycle:
 
 * ``generate`` — synthesise a dataset bundle to a directory
   (ontology.json, kb.json, queries.jsonl);
@@ -10,7 +10,9 @@ Five commands cover the deployment lifecycle:
 * ``evaluate`` — load a saved pipeline and score it against a
   generated dataset's ground-truth queries;
 * ``serve`` — load a saved pipeline and run the long-lived HTTP
-  linking service (micro-batching, bounded caches, metrics).
+  linking service (micro-batching, bounded caches, metrics);
+* ``verify-pipeline`` — check a saved pipeline's manifest and
+  per-file checksums without loading the model.
 
 Example session::
 
@@ -35,7 +37,11 @@ from repro.core.config import (
     ServingConfig,
     TrainingConfig,
 )
-from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.persistence import (
+    load_pipeline,
+    save_pipeline,
+    verify_pipeline,
+)
 from repro.core.trainer import ComAidTrainer
 from repro.datasets.generator import LinkedQuery
 from repro.datasets.registry import get_dataset_builder
@@ -124,13 +130,47 @@ def _cmd_train(args: argparse.Namespace) -> int:
         ),
         rng=args.seed,
     )
-    model = trainer.fit(kb, word_vectors=vectors)
-    out = save_pipeline(args.out, model, ontology, kb=kb, word_vectors=vectors)
+    model = trainer.fit(
+        kb,
+        word_vectors=vectors,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+    )
+    # Provenance lands in the pipeline manifest (and /metrics): which
+    # seed produced the deployed weights, and whether training resumed
+    # from a checkpoint rather than running uninterrupted.
+    metadata = {
+        "seed": args.seed,
+        "epochs": args.epochs,
+        "resumed_from": str(args.resume) if args.resume else None,
+        "checkpoint_dir": (
+            str(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+    }
+    out = save_pipeline(
+        args.out, model, ontology, kb=kb, word_vectors=vectors,
+        metadata=metadata,
+    )
     print(
         f"trained on {trainer.history.examples} pairs "
         f"(final loss {trainer.history.final_loss():.3f}, "
         f"{trainer.history.seconds:.0f}s); saved pipeline to {out}"
     )
+    return 0
+
+
+def _cmd_verify_pipeline(args: argparse.Namespace) -> int:
+    manifest = verify_pipeline(args.model)
+    files = manifest.get("files", {})
+    total = sum(int(entry.get("bytes", 0)) for entry in files.values())
+    print(
+        f"pipeline {args.model} OK: {len(files)} files, "
+        f"{total} bytes, all checksums match"
+    )
+    metadata = manifest.get("metadata") or {}
+    if metadata:
+        print(f"  metadata: {json.dumps(metadata, sort_keys=True)}")
     return 0
 
 
@@ -241,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sampled-softmax", type=int, default=0)
     train.add_argument("--no-pretrain", action="store_true")
     train.add_argument("--seed", type=int, default=5)
+    train.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write atomic training checkpoints into this directory",
+    )
+    train.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint every N epochs (0 = only when resuming support "
+        "is unused); requires --checkpoint-dir",
+    )
+    train.add_argument(
+        "--resume", default=None,
+        help="resume from a checkpoint directory (or a checkpoint root, "
+        "which picks the latest epoch)",
+    )
     train.set_defaults(func=_cmd_train)
 
     link = commands.add_parser("link", help="link queries with a saved pipeline")
@@ -289,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip warm-up; readiness flips immediately, caches fill lazily",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    verify = commands.add_parser(
+        "verify-pipeline",
+        help="check a saved pipeline's manifest and per-file checksums",
+    )
+    verify.add_argument("--model", required=True, help="saved pipeline dir")
+    verify.set_defaults(func=_cmd_verify_pipeline)
     return parser
 
 

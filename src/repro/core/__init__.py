@@ -12,28 +12,46 @@
   retraining (Appendix A).
 """
 
+from repro.core.checkpoint import (
+    CheckpointState,
+    latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from repro.core.comaid import ComAid
 from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig, PAPER_DEFAULTS
 from repro.core.candidates import CandidateGenerator
 from repro.core.feedback import FeedbackController, FeedbackItem
 from repro.core.linker import LinkResult, NeuralConceptLinker
-from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.persistence import (
+    load_pipeline,
+    save_pipeline,
+    verify_pipeline,
+)
 from repro.core.rewriter import QueryRewriter
 from repro.core.timon import parse_review_csv, render_review_page
 from repro.core.trainer import ComAidTrainer
 
 __all__ = [
     "CandidateGenerator",
+    "CheckpointState",
     "ComAid",
     "ComAidConfig",
     "ComAidTrainer",
     "FeedbackController",
     "FeedbackItem",
+    "latest_checkpoint",
     "LinkResult",
     "LinkerConfig",
-    "NeuralConceptLinker",
+    "load_checkpoint",
     "load_pipeline",
+    "prune_checkpoints",
+    "save_checkpoint",
     "save_pipeline",
+    "verify_checkpoint",
+    "verify_pipeline",
     "PAPER_DEFAULTS",
     "QueryRewriter",
     "parse_review_csv",

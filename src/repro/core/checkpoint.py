@@ -1,0 +1,344 @@
+"""Atomic training checkpoints: snapshot, verify, resume.
+
+A checkpoint captures everything :class:`~repro.core.trainer.ComAidTrainer`
+needs to continue a run *bit-for-bit* from an epoch boundary:
+
+* the COM-AID parameters (``model.state_dict()``),
+* the optimiser's accumulator state (``optimizer.state_dict()``),
+* the trainer RNG's bit-generator state (shuffle stream) and, when
+  sampled softmax is active, the output sampler's RNG state,
+* the cumulative example permutation (epoch shuffles compose in place),
+* the :class:`TrainingHistory` losses recorded so far.
+
+On disk each checkpoint is one directory:
+
+.. code-block:: text
+
+    <checkpoint_dir>/
+      epoch-0003/
+        state.npz        arrays: model.*, optim.*, order
+        manifest.json    epoch, RNG states, history, config echo,
+                         sha256 + byte size of state.npz
+      LATEST             name of the newest complete checkpoint
+
+Durability comes from staging: ``state.npz`` and ``manifest.json`` are
+written (and fsynced) into a hidden temp directory which is then
+``os.replace``-d to its final name, so a crash at any point leaves
+either no ``epoch-K`` directory or a complete one — never a torn one.
+The ``LATEST`` pointer is itself updated via temp-file + ``os.replace``
+and only after the checkpoint directory is committed; stale staging
+directories from killed runs are swept on the next save.
+
+:func:`load_checkpoint` re-hashes ``state.npz`` against the manifest and
+raises :class:`~repro.utils.errors.DataError` naming the damaged file on
+any truncation or corruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.utils.errors import DataError
+from repro.utils.faults import probe
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FORMAT = 1
+LATEST_FILE = "LATEST"
+STATE_FILE = "state.npz"
+MANIFEST_FILE = "manifest.json"
+_STAGING_PREFIX = ".staging-"
+
+
+@dataclass
+class CheckpointState:
+    """In-memory image of one checkpoint (see module docstring)."""
+
+    epoch: int
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, np.ndarray]
+    rng_state: dict
+    order: np.ndarray
+    epoch_losses: List[float]
+    seconds: float
+    examples: int
+    sampler_rng_state: Optional[dict] = None
+    model_config: Optional[dict] = None
+    training_config: Optional[dict] = None
+
+
+def _sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + ``os.replace``."""
+    staging = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    with open(staging, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, path)
+
+
+def _sweep_staging(directory: Path) -> None:
+    """Remove torn staging directories left behind by killed runs."""
+    for entry in directory.glob(f"{_STAGING_PREFIX}*"):
+        if entry.is_dir():
+            shutil.rmtree(entry, ignore_errors=True)
+
+
+def checkpoint_name(epoch: int) -> str:
+    """Directory name for the checkpoint taken after ``epoch`` epochs."""
+    return f"epoch-{epoch:04d}"
+
+
+def save_checkpoint(directory: PathLike, state: CheckpointState) -> Path:
+    """Atomically write ``state`` under ``directory`` and advance LATEST.
+
+    Returns the committed checkpoint path (``<directory>/epoch-KKKK``).
+    Re-saving an epoch that already exists replaces it.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    _sweep_staging(base)
+    name = checkpoint_name(state.epoch)
+    final = base / name
+    staging = base / f"{_STAGING_PREFIX}{name}-{os.getpid()}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+
+    arrays: Dict[str, np.ndarray] = {"order": np.asarray(state.order)}
+    for key, value in state.model_state.items():
+        arrays[f"model.{key}"] = value
+    for key, value in state.optimizer_state.items():
+        arrays[f"optim.{key}"] = value
+    probe("checkpoint.write_state")
+    state_path = staging / STATE_FILE
+    with open(state_path, "wb") as handle:
+        np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "epoch": state.epoch,
+        "rng_state": state.rng_state,
+        "sampler_rng_state": state.sampler_rng_state,
+        "history": {
+            "epoch_losses": list(state.epoch_losses),
+            "seconds": state.seconds,
+            "examples": state.examples,
+        },
+        "model_config": state.model_config,
+        "training_config": state.training_config,
+        "files": {
+            STATE_FILE: {
+                "sha256": _sha256_of(state_path),
+                "bytes": state_path.stat().st_size,
+            }
+        },
+    }
+    probe("checkpoint.write_manifest")
+    manifest_path = staging / MANIFEST_FILE
+    with open(manifest_path, "wb") as handle:
+        handle.write(json.dumps(manifest, indent=2).encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    probe("checkpoint.commit")
+    if final.exists():
+        # Re-saving the same epoch (e.g. a re-run over an old dir):
+        # park the stale copy so the replace below stays atomic.
+        stale = base / f"{_STAGING_PREFIX}stale-{name}-{os.getpid()}"
+        os.replace(final, stale)
+        shutil.rmtree(stale, ignore_errors=True)
+    os.replace(staging, final)
+    probe("checkpoint.advance_latest")
+    _write_atomic(base / LATEST_FILE, (name + "\n").encode("utf-8"))
+    return final
+
+
+def _checkpoint_dirs(directory: Path) -> List[Path]:
+    return sorted(
+        entry
+        for entry in directory.glob("epoch-*")
+        if entry.is_dir() and (entry / MANIFEST_FILE).exists()
+    )
+
+
+def latest_checkpoint(directory: PathLike) -> Optional[Path]:
+    """Newest complete checkpoint under ``directory`` (None when empty).
+
+    Prefers the LATEST pointer; falls back to scanning ``epoch-*``
+    directories when the pointer is missing or dangling (e.g. a crash
+    landed between the directory commit and the pointer update).
+    """
+    base = Path(directory)
+    pointer = base / LATEST_FILE
+    if pointer.exists():
+        name = pointer.read_text(encoding="utf-8").strip()
+        candidate = base / name
+        if candidate.is_dir() and (candidate / MANIFEST_FILE).exists():
+            return candidate
+    complete = _checkpoint_dirs(base)
+    return complete[-1] if complete else None
+
+
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.exists():
+        raise DataError(f"checkpoint {path} has no {MANIFEST_FILE}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(
+            f"checkpoint manifest {manifest_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or "epoch" not in manifest:
+        raise DataError(f"checkpoint manifest {manifest_path} is malformed")
+    return manifest
+
+
+def verify_checkpoint(path: PathLike) -> dict:
+    """Check a checkpoint's files against its manifest.
+
+    Returns the parsed manifest on success; raises
+    :class:`DataError` naming the missing/corrupt file otherwise.
+    """
+    root = Path(path)
+    manifest = _read_manifest(root)
+    for name, expected in manifest.get("files", {}).items():
+        target = root / name
+        if not target.exists():
+            raise DataError(f"checkpoint {root} is missing {name}")
+        size = target.stat().st_size
+        if size != expected.get("bytes"):
+            raise DataError(
+                f"checkpoint file {target} is truncated: "
+                f"{size} bytes, manifest says {expected.get('bytes')}"
+            )
+        digest = _sha256_of(target)
+        if digest != expected.get("sha256"):
+            raise DataError(
+                f"checkpoint file {target} is corrupt "
+                f"(sha256 {digest[:12]}… != manifest {str(expected.get('sha256'))[:12]}…)"
+            )
+    return manifest
+
+
+def load_checkpoint(path: PathLike) -> CheckpointState:
+    """Load and integrity-check one checkpoint directory.
+
+    ``path`` may be a specific ``epoch-KKKK`` directory or a checkpoint
+    root, in which case the newest complete checkpoint is used.
+    """
+    root = Path(path)
+    if not root.exists():
+        raise DataError(f"checkpoint path {root} does not exist")
+    if not (root / MANIFEST_FILE).exists():
+        newest = latest_checkpoint(root)
+        if newest is None:
+            raise DataError(f"{root} contains no complete checkpoint")
+        root = newest
+    manifest = verify_checkpoint(root)
+    state_path = root / STATE_FILE
+    try:
+        with np.load(state_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, KeyError) as exc:
+        raise DataError(
+            f"checkpoint file {state_path} cannot be read: {exc}"
+        ) from exc
+    if "order" not in arrays:
+        raise DataError(f"checkpoint file {state_path} is missing 'order'")
+    model_state = {
+        key[len("model."):]: value
+        for key, value in arrays.items()
+        if key.startswith("model.")
+    }
+    optimizer_state = {
+        key[len("optim."):]: value
+        for key, value in arrays.items()
+        if key.startswith("optim.")
+    }
+    history = manifest.get("history", {})
+    return CheckpointState(
+        epoch=int(manifest["epoch"]),
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        rng_state=manifest.get("rng_state"),
+        order=arrays["order"],
+        epoch_losses=[float(x) for x in history.get("epoch_losses", [])],
+        seconds=float(history.get("seconds", 0.0)),
+        examples=int(history.get("examples", 0)),
+        sampler_rng_state=manifest.get("sampler_rng_state"),
+        model_config=manifest.get("model_config"),
+        training_config=manifest.get("training_config"),
+    )
+
+
+def prune_checkpoints(directory: PathLike, keep: int) -> List[Path]:
+    """Delete all but the ``keep`` newest complete checkpoints.
+
+    Returns the removed paths.  The checkpoint named by LATEST is never
+    removed, whatever ``keep`` says.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    base = Path(directory)
+    complete = _checkpoint_dirs(base)
+    newest = latest_checkpoint(base)
+    removed: List[Path] = []
+    for entry in complete[:-keep] if keep < len(complete) else []:
+        if newest is not None and entry == newest:
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+        removed.append(entry)
+    return removed
+
+
+def snapshot_from_trainer(
+    trainer: "ComAidTrainer",  # noqa: F821 - import cycle (trainer imports us)
+    optimizer,
+    epoch: int,
+    order: np.ndarray,
+) -> CheckpointState:
+    """Assemble a :class:`CheckpointState` from live trainer internals."""
+    model = trainer.model
+    assert model is not None
+    return CheckpointState(
+        epoch=epoch,
+        model_state=model.state_dict(),
+        optimizer_state=optimizer.state_dict(),
+        rng_state=trainer._rng.bit_generator.state,
+        order=np.asarray(order).copy(),
+        epoch_losses=list(trainer.history.epoch_losses),
+        seconds=trainer.history.seconds,
+        examples=trainer.history.examples,
+        sampler_rng_state=model.output_sampler_rng_state(),
+        model_config=dataclasses.asdict(trainer.model_config),
+        training_config=dataclasses.asdict(trainer.training_config),
+    )

@@ -161,6 +161,25 @@ class ComAid(Module):
         """Disable sampled-softmax training (restore the exact softmax)."""
         self._output_sampler = None
 
+    def output_sampler_rng_state(self) -> Optional[dict]:
+        """The active sampler generator's bit-generator state (or None).
+
+        Captured at epoch boundaries by the checkpoint layer so a
+        resumed sampled-softmax run draws the same negative rows as the
+        uninterrupted run.
+        """
+        if self._output_sampler is None:
+            return None
+        return self._output_sampler[2].bit_generator.state
+
+    def restore_output_sampler_rng(self, state: dict) -> None:
+        """Restore a sampler RNG state from a checkpoint."""
+        if self._output_sampler is None:
+            raise ConfigurationError(
+                "no output sampler is active; call set_output_sampler first"
+            )
+        self._output_sampler[2].bit_generator.state = state
+
     def _sampled_rows(self, target: int) -> np.ndarray:
         assert self._output_sampler is not None
         negatives, cdf, generator = self._output_sampler

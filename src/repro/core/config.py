@@ -154,6 +154,18 @@ class LinkerConfig:
         passes).  0 means unbounded — the pre-serving behaviour, fine
         for one-shot CLI runs; a long-lived service should bound it to
         its memory budget.
+    phase2_budget_s:
+        Per-query wall-clock budget for Phase II re-ranking (ED).  When
+        scoring overruns it, the query falls back to Phase I keyword
+        ranking and the result is tagged ``degraded``.  0 disables the
+        budget (the offline behaviour).
+    degrade_on_error:
+        When Phase II raises, return the Phase I keyword ranking tagged
+        ``degraded`` instead of failing the whole request — the paper's
+        Section 5 keyword matcher is already computed at that point and
+        is strictly better than an error page.  ``False`` restores
+        fail-fast (useful in tests and batch evaluation, where a hidden
+        model bug must not be papered over).
     """
 
     k: int = 20
@@ -164,6 +176,8 @@ class LinkerConfig:
     score_omega_only: bool = True
     index_aliases: bool = True
     encoding_cache_size: int = 4096
+    phase2_budget_s: float = 0.0
+    degrade_on_error: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -181,6 +195,11 @@ class LinkerConfig:
             raise ConfigurationError(
                 "encoding_cache_size must be >= 0 (0 = unbounded), got "
                 f"{self.encoding_cache_size}"
+            )
+        if self.phase2_budget_s < 0:
+            raise ConfigurationError(
+                "phase2_budget_s must be >= 0 (0 = unlimited), got "
+                f"{self.phase2_budget_s}"
             )
 
 
@@ -206,6 +225,13 @@ class ServingConfig:
     warm_on_start:
         Pre-encode the indexed concepts before readiness flips
         (``GET /readyz`` stays 503 during warm-up).
+    warm_retries:
+        How many times a failed warm-up is retried (with exponential
+        backoff) before the service gives up and serves cold.  0
+        restores the one-shot behaviour.
+    warm_backoff_s:
+        Base backoff before the first warm-up retry; doubles per
+        attempt.
     """
 
     host: str = "127.0.0.1"
@@ -214,8 +240,18 @@ class ServingConfig:
     batch_wait_ms: float = 2.0
     request_timeout_s: float = 30.0
     warm_on_start: bool = True
+    warm_retries: int = 2
+    warm_backoff_s: float = 0.5
 
     def __post_init__(self) -> None:
+        if self.warm_retries < 0:
+            raise ConfigurationError(
+                f"warm_retries must be >= 0, got {self.warm_retries}"
+            )
+        if self.warm_backoff_s < 0:
+            raise ConfigurationError(
+                f"warm_backoff_s must be >= 0, got {self.warm_backoff_s}"
+            )
         if not 0 <= self.port <= 65535:
             raise ConfigurationError(
                 f"port must be in [0, 65535], got {self.port}"

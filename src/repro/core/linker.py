@@ -22,8 +22,9 @@ those encodings across a batch of queries for the serving layer.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.comaid import ComAid, ConceptEncoding
@@ -36,7 +37,11 @@ from repro.ontology.paths import structural_context
 from repro.serving.cache import CacheStats, LRUCache
 from repro.text.tokenize import tokenize
 from repro.utils.errors import ConfigurationError
+from repro.utils.faults import probe
+from repro.utils.logging import get_logger
 from repro.utils.timing import PhaseTimer, TimingBreakdown
+
+logger = get_logger("core.linker")
 
 
 @dataclass(frozen=True)
@@ -55,7 +60,14 @@ class RankedConcept:
 
 @dataclass
 class LinkResult:
-    """Outcome of linking one query."""
+    """Outcome of linking one query.
+
+    ``degraded=True`` marks a result whose ranking is Phase I keyword
+    order only (the paper's Section 5 keyword matcher): Phase II either
+    raised or overran its per-query budget, so COM-AID scores are
+    absent and every ``log_prob`` is ``-inf``.  ``degraded_reason``
+    says which (``"error: …"`` or ``"budget: …"``).
+    """
 
     query: str
     tokens: Tuple[str, ...]
@@ -63,6 +75,8 @@ class LinkResult:
     rewrites: Tuple[Rewrite, ...]
     ranked: Tuple[RankedConcept, ...]
     timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
     @property
     def top(self) -> Optional[RankedConcept]:
@@ -158,6 +172,10 @@ class NeuralConceptLinker:
         self._ancestor_cache: LRUCache[str, List[ConceptEncoding]] = LRUCache(
             capacity, name="ancestors"
         )
+        #: Provenance from the deployment manifest (seed, resume point,
+        #: training losses …); populated by ``load_pipeline`` and
+        #: surfaced by the serving layer's ``/metrics``.
+        self.pipeline_metadata: Dict[str, Any] = {}
 
     # -- encoding cache -----------------------------------------------------
 
@@ -273,17 +291,49 @@ class NeuralConceptLinker:
         )
 
     def _phase_two(self, prepared: "_PreparedQuery") -> LinkResult:
-        """Phase II: COM-AID scoring (ED) and ranking (RT)."""
+        """Phase II: COM-AID scoring (ED) and ranking (RT).
+
+        Phase II is guarded: when scoring raises (and
+        ``degrade_on_error`` is set) or overruns ``phase2_budget_s``,
+        the query degrades to the Phase I keyword ranking instead of
+        failing — Phase I is already computed at this point and a
+        keyword-ranked answer beats an error for an interactive
+        clinical user.
+        """
         timer = prepared.timer
+        config = self.config
         scored: List[RankedConcept] = []
+        degraded_reason: Optional[str] = None
         with timer.phase("ED"):
-            for cid, keyword_score in prepared.keyword_hits:
-                log_prob = self._score_candidate(cid, prepared.rewritten)
-                scored.append(
-                    RankedConcept(
-                        cid=cid, log_prob=log_prob, keyword_score=keyword_score
+            budget = config.phase2_budget_s
+            deadline = (time.monotonic() + budget) if budget > 0 else None
+            try:
+                for cid, keyword_score in prepared.keyword_hits:
+                    probe("linker.phase2")
+                    if deadline is not None and time.monotonic() > deadline:
+                        degraded_reason = (
+                            f"budget: phase2 exceeded {budget:.3f}s after "
+                            f"{len(scored)}/{len(prepared.keyword_hits)} "
+                            "candidates"
+                        )
+                        break
+                    log_prob = self._score_candidate(cid, prepared.rewritten)
+                    scored.append(
+                        RankedConcept(
+                            cid=cid, log_prob=log_prob, keyword_score=keyword_score
+                        )
                     )
+            except Exception as error:  # noqa: BLE001 - degraded-mode guard
+                if not config.degrade_on_error:
+                    raise
+                degraded_reason = f"error: {type(error).__name__}: {error}"
+                logger.warning(
+                    "phase2 failed for %r; serving keyword ranking: %s",
+                    prepared.query,
+                    error,
                 )
+        if degraded_reason is not None:
+            return self._degraded_result(prepared, degraded_reason)
         with timer.phase("RT"):
             if self._log_priors is not None:
                 log_priors = self._log_priors
@@ -305,6 +355,31 @@ class NeuralConceptLinker:
             rewrites=prepared.rewrites,
             ranked=tuple(scored),
             timing=timer.breakdown,
+        )
+
+    def _degraded_result(
+        self, prepared: "_PreparedQuery", reason: str
+    ) -> LinkResult:
+        """Phase I fallback: keyword ranking only, tagged ``degraded``."""
+        with prepared.timer.phase("RT"):
+            ranked = tuple(
+                RankedConcept(
+                    cid=cid, log_prob=-math.inf, keyword_score=keyword_score
+                )
+                for cid, keyword_score in sorted(
+                    prepared.keyword_hits,
+                    key=lambda hit: (-hit[1], hit[0]),
+                )
+            )
+        return LinkResult(
+            query=prepared.query,
+            tokens=prepared.tokens,
+            rewritten_tokens=prepared.rewritten,
+            rewrites=prepared.rewrites,
+            ranked=ranked,
+            timing=prepared.timer.breakdown,
+            degraded=True,
+            degraded_reason=reason,
         )
 
     def _score_candidate(self, cid: str, query_tokens: Sequence[str]) -> float:

@@ -13,11 +13,19 @@ what the feedback controller triggers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+    snapshot_from_trainer,
+)
 from repro.core.comaid import ComAid
 from repro.core.config import ComAidConfig, TrainingConfig
 from repro.kb.knowledge_base import KnowledgeBase, TrainingPair
@@ -28,7 +36,8 @@ from repro.ontology.ontology import Ontology
 from repro.ontology.paths import structural_context
 from repro.text.tokenize import tokenize
 from repro.text.vocab import Vocabulary
-from repro.utils.errors import DataError, NotFittedError
+from repro.utils.errors import ConfigurationError, DataError, NotFittedError
+from repro.utils.faults import probe
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, derive_rng, ensure_rng
 from repro.utils.timing import Stopwatch
@@ -151,13 +160,34 @@ class ComAidTrainer:
         kb: KnowledgeBase,
         word_vectors: Optional[WordVectors] = None,
         pairs: Optional[Sequence[TrainingPair]] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
+        resume_from: Optional[Union[str, Path]] = None,
     ) -> ComAid:
         """Train a fresh model on the knowledge base's alias pairs.
 
         ``word_vectors`` seeds the embedding table (the pre-training
         hand-off); omit it to reproduce the COM-AID⁻o1 ablation.
         ``pairs`` overrides the training set (robustness studies).
+
+        With ``checkpoint_dir`` and ``checkpoint_every=N`` an atomic
+        checkpoint (parameters, optimiser state, RNG streams, history)
+        is written after every N-th epoch.  ``resume_from`` continues a
+        killed run from a checkpoint directory (or a checkpoint root,
+        resuming its newest complete checkpoint): given the same
+        knowledge base, configs, and seed, the resumed run reproduces
+        the uninterrupted run's epoch losses and final parameters
+        bit-for-bit (wall-clock ``history.seconds`` is the one field
+        that legitimately differs).
         """
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every > 0 and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every > 0 requires a checkpoint_dir"
+            )
         vocab = self.build_vocabulary(kb, word_vectors)
         model = ComAid(
             self.model_config, vocab, rng=derive_rng(self._rng, "model-init")
@@ -172,8 +202,60 @@ class ComAidTrainer:
             raise DataError("knowledge base has no training pairs")
         examples = self._encode_pairs(model, kb.ontology, training_pairs)
         self.history = TrainingHistory(examples=len(examples))
-        self._run_epochs(examples, self.training_config.epochs)
+        resume_state: Optional[CheckpointState] = None
+        if resume_from is not None:
+            resume_state = self._validate_resume(
+                load_checkpoint(resume_from), len(examples)
+            )
+            model.load_state_dict(resume_state.model_state)
+            self.history = TrainingHistory(
+                epoch_losses=list(resume_state.epoch_losses),
+                seconds=resume_state.seconds,
+                examples=len(examples),
+            )
+            logger.info(
+                "resuming from epoch %d/%d",
+                resume_state.epoch,
+                self.training_config.epochs,
+            )
+        self._run_epochs(
+            examples,
+            self.training_config.epochs,
+            resume_state=resume_state,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
         return model
+
+    def _validate_resume(
+        self, state: CheckpointState, example_count: int
+    ) -> CheckpointState:
+        """Refuse checkpoints from a different config or training set."""
+        if state.model_config is not None:
+            current = dataclasses.asdict(self.model_config)
+            if state.model_config != current:
+                raise ConfigurationError(
+                    "checkpoint was taken with a different model config: "
+                    f"{state.model_config} != {current}"
+                )
+        if state.training_config is not None:
+            current = dataclasses.asdict(self.training_config)
+            if state.training_config != current:
+                raise ConfigurationError(
+                    "checkpoint was taken with a different training config: "
+                    f"{state.training_config} != {current}"
+                )
+        if state.examples and state.examples != example_count:
+            raise DataError(
+                f"checkpoint trained on {state.examples} examples but the "
+                f"current knowledge base encodes {example_count}"
+            )
+        if state.epoch > self.training_config.epochs:
+            raise ConfigurationError(
+                f"checkpoint is at epoch {state.epoch}, beyond the requested "
+                f"{self.training_config.epochs} epochs"
+            )
+        return state
 
     def continue_training(
         self, extra_pairs: Sequence[TrainingPair], epochs: int = 1
@@ -204,7 +286,14 @@ class ComAidTrainer:
         model.embedding.load_pretrained(matrix, ids)
         logger.info("seeded %d/%d embeddings from pre-training", len(ids), len(model.vocab))
 
-    def _run_epochs(self, examples: List[_Example], epochs: int) -> None:
+    def _run_epochs(
+        self,
+        examples: List[_Example],
+        epochs: int,
+        resume_state: Optional[CheckpointState] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
+    ) -> None:
         assert self.model is not None
         model = self.model
         settings = self.training_config
@@ -218,9 +307,28 @@ class ComAidTrainer:
                 settings.sampled_softmax,
                 rng=derive_rng(self._rng, "output-sampler"),
             )
-        watch = Stopwatch().start()
+        start_epoch = 0
         order = np.arange(len(examples))
-        for epoch in range(epochs):
+        if resume_state is not None:
+            start_epoch = resume_state.epoch
+            optimizer.load_state_dict(resume_state.optimizer_state)
+            # Epoch shuffles compose in place, so the permutation as of
+            # the checkpointed epoch must be restored, not replayed.
+            order = np.asarray(resume_state.order, dtype=order.dtype).copy()
+            if len(order) != len(examples):
+                raise DataError(
+                    f"checkpoint order has {len(order)} entries for "
+                    f"{len(examples)} examples"
+                )
+            if resume_state.sampler_rng_state is not None:
+                model.restore_output_sampler_rng(resume_state.sampler_rng_state)
+            # Restore the shuffle stream last: the derive_rng calls above
+            # advanced the parent generator exactly as the original run
+            # did before its first epoch.
+            if resume_state.rng_state is not None:
+                self._rng.bit_generator.state = resume_state.rng_state
+        watch = Stopwatch().start()
+        for epoch in range(start_epoch, epochs):
             if settings.shuffle:
                 self._rng.shuffle(order)
             epoch_loss = 0.0
@@ -246,6 +354,16 @@ class ComAidTrainer:
             logger.info(
                 "epoch %d/%d mean token loss %.4f", epoch + 1, epochs, mean_loss
             )
+            if (
+                checkpoint_dir is not None
+                and checkpoint_every > 0
+                and (epoch + 1) % checkpoint_every == 0
+            ):
+                save_checkpoint(
+                    checkpoint_dir,
+                    snapshot_from_trainer(self, optimizer, epoch + 1, order),
+                )
+            probe("trainer.epoch_end")
         self.history.seconds += watch.stop()
         if settings.sampled_softmax > 0:
             model.clear_output_sampler()

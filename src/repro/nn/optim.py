@@ -35,6 +35,51 @@ class Optimizer:
         for parameter in self.parameters:
             parameter.zero_grad()
 
+    # -- checkpointing ------------------------------------------------------
+    #
+    # Slots are keyed by parameter position: optimisers are always
+    # rebuilt from model.parameters(), whose iteration order is the
+    # module-tree order and therefore stable across runs.
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Internal accumulator state as ``{slot_name: array}`` (copies).
+
+        Stateless optimisers return an empty dict.  Together with the
+        model parameters and the RNG state this is everything needed to
+        resume training bit-for-bit from an epoch boundary.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict` (strict shape check)."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but state_dict has "
+                f"keys {sorted(state)}"
+            )
+
+    def _pack_slots(self, **slots: List[np.ndarray]) -> Dict[str, np.ndarray]:
+        packed: Dict[str, np.ndarray] = {}
+        for slot_name, arrays in slots.items():
+            for index, array in enumerate(arrays):
+                packed[f"{slot_name}.{index}"] = array.copy()
+        return packed
+
+    def _unpack_slot(
+        self, state: Dict[str, np.ndarray], slot_name: str, into: List[np.ndarray]
+    ) -> None:
+        for index, target in enumerate(into):
+            key = f"{slot_name}.{index}"
+            if key not in state:
+                raise ValueError(f"optimizer state is missing {key!r}")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != target.shape:
+                raise ValueError(
+                    f"optimizer state {key!r}: shape {value.shape} does not "
+                    f"match {target.shape}"
+                )
+            into[index] = value.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -65,6 +110,17 @@ class SGD(Optimizer):
             velocity += parameter.grad
             parameter.value -= self.lr * velocity
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if self._velocity is None:
+            return {}
+        return self._pack_slots(velocity=self._velocity)
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if self._velocity is None:
+            super().load_state_dict(state)
+            return
+        self._unpack_slot(state, "velocity", self._velocity)
+
 
 class Adagrad(Optimizer):
     """Adagrad: per-coordinate learning rates (good for embeddings)."""
@@ -87,6 +143,12 @@ class Adagrad(Optimizer):
             parameter.value -= (
                 self.lr * parameter.grad / (np.sqrt(accumulator) + self.epsilon)
             )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self._pack_slots(accumulator=self._accumulator)
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._unpack_slot(state, "accumulator", self._accumulator)
 
 
 class Adam(Optimizer):
@@ -133,6 +195,20 @@ class Adam(Optimizer):
             parameter.value -= (
                 self.lr * first_hat / (np.sqrt(second_hat) + self.epsilon)
             )
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        packed = self._pack_slots(
+            first_moment=self._first_moment, second_moment=self._second_moment
+        )
+        packed["step_count"] = np.array(self._step_count, dtype=np.int64)
+        return packed
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "step_count" not in state:
+            raise ValueError("Adam state is missing 'step_count'")
+        self._unpack_slot(state, "first_moment", self._first_moment)
+        self._unpack_slot(state, "second_moment", self._second_moment)
+        self._step_count = int(state["step_count"])
 
 
 def make_optimizer(

@@ -22,6 +22,7 @@ overlap on parsing and I/O.
 from __future__ import annotations
 
 import json
+import math
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -45,7 +46,12 @@ class BadRequestError(ValueError):
 def result_to_json(
     result: LinkResult, server: "LinkingHTTPServer", top: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Serialise one LinkResult (descriptions resolved if possible)."""
+    """Serialise one LinkResult (descriptions resolved if possible).
+
+    Degraded results (Phase I keyword ranking only) report ``null`` for
+    ``log_prob``/``loss``: ``-inf`` is not valid strict JSON, and a
+    sentinel number would be indistinguishable from a real score.
+    """
     ontology = server.service.linker.ontology
     ranked = result.ranked if top is None else result.ranked[:top]
     return {
@@ -59,14 +65,20 @@ def result_to_json(
         "ranked": [
             {
                 "cid": concept.cid,
-                "log_prob": concept.log_prob,
-                "loss": concept.loss,
+                "log_prob": (
+                    concept.log_prob
+                    if math.isfinite(concept.log_prob)
+                    else None
+                ),
+                "loss": concept.loss if math.isfinite(concept.loss) else None,
                 "keyword_score": concept.keyword_score,
                 "description": ontology.get(concept.cid).description,
             }
             for concept in ranked
         ],
         "timing": result.timing.as_dict(),
+        "degraded": result.degraded,
+        "degraded_reason": result.degraded_reason,
     }
 
 

@@ -27,6 +27,7 @@ from repro.core.config import ServingConfig
 from repro.core.linker import LinkResult, NeuralConceptLinker
 from repro.serving.batcher import MicroBatcher
 from repro.serving.metrics import MetricsRegistry
+from repro.utils.faults import probe
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("serving.service")
@@ -56,7 +57,7 @@ class LinkingService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._ready = threading.Event()
         self._stopped = threading.Event()
-        self._warm_error: Optional[BaseException] = None
+        self._warm_error: Optional[Exception] = None
         self._warm_thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
         self._batcher: MicroBatcher[_LinkRequest, LinkResult] = MicroBatcher(
@@ -87,21 +88,46 @@ class LinkingService:
         return self
 
     def _warm(self) -> None:
-        started = time.monotonic()
+        # Bounded retry-with-backoff: a transiently failing warm-up
+        # (cold storage, a flaky first batch of encodes) should not
+        # condemn the instance to serving cold forever.  Only Exception
+        # is caught — KeyboardInterrupt/SystemExit must still unwind the
+        # thread (the finally flips readiness either way: the caches
+        # fill lazily, so serving slowly beats serving nothing).
         try:
-            warmed = self.linker.warm_cache()
-            elapsed = time.monotonic() - started
-            self.metrics.histogram("warmup_seconds").observe(elapsed)
-            LOGGER.info(
-                "warm-up done: %d encodings in %.2fs", warmed, elapsed
-            )
-        except BaseException as error:  # noqa: BLE001 - recorded, not raised
-            self._warm_error = error
-            self.metrics.counter("warmup_failures").inc()
-            LOGGER.error("warm-up failed: %s", error)
+            attempts = self.config.warm_retries + 1
+            for attempt in range(1, attempts + 1):
+                started = time.monotonic()
+                try:
+                    probe("service.warm")
+                    warmed = self.linker.warm_cache()
+                except Exception as error:  # noqa: BLE001 - retried, then recorded
+                    self._warm_error = error
+                    self.metrics.counter("warmup_failures").inc()
+                    LOGGER.error(
+                        "warm-up attempt %d/%d failed: %s",
+                        attempt,
+                        attempts,
+                        error,
+                    )
+                    if attempt == attempts or self._stopped.is_set():
+                        break
+                    backoff = self.config.warm_backoff_s * (2.0 ** (attempt - 1))
+                    self.metrics.counter("warmup_retries").inc()
+                    if self._stopped.wait(backoff):
+                        break
+                else:
+                    self._warm_error = None
+                    elapsed = time.monotonic() - started
+                    self.metrics.histogram("warmup_seconds").observe(elapsed)
+                    LOGGER.info(
+                        "warm-up done: %d encodings in %.2fs (attempt %d)",
+                        warmed,
+                        elapsed,
+                        attempt,
+                    )
+                    break
         finally:
-            # Even a failed warm-up flips readiness: the caches fill
-            # lazily, so serving (slowly) beats serving nothing.
             self._ready.set()
 
     def stop(self) -> None:
@@ -162,7 +188,9 @@ class LinkingService:
         except TimeoutError:
             self.metrics.counter("requests_timeout").inc()
             raise
-        except BaseException:
+        except Exception:
+            # Exception, not BaseException: KeyboardInterrupt/SystemExit
+            # must propagate without being booked as request failures.
             self.metrics.counter("requests_failed").inc()
             raise
         elapsed = time.monotonic() - started
@@ -170,6 +198,13 @@ class LinkingService:
             self.metrics.counter("requests_total").inc()
             self.metrics.counter("concepts_returned").inc(len(result.ranked))
             self.metrics.observe_breakdown(result.timing)
+            if result.degraded:
+                self.metrics.counter("requests_degraded").inc()
+                reason = result.degraded_reason or ""
+                if reason.startswith("error"):
+                    self.metrics.counter("phase2_failures").inc()
+                elif reason.startswith("budget"):
+                    self.metrics.counter("phase2_budget_exceeded").inc()
         self.metrics.histogram("request_seconds").observe(elapsed)
         return results
 
@@ -207,4 +242,10 @@ class LinkingService:
             report["caches"] = {
                 stats.name: stats.as_dict() for stats in cache_stats()
             }
+        # Deployment provenance (training seed, checkpoint/resume point)
+        # from the pipeline manifest, so BENCH runs can attribute
+        # degradation rates to the exact model build.
+        report["pipeline"] = dict(
+            getattr(self.linker, "pipeline_metadata", None) or {}
+        )
         return report

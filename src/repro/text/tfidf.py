@@ -112,15 +112,19 @@ class TfIdfIndex:
         for term, query_weight in query_weights.items():
             for doc_id, doc_weight in self._postings[term]:
                 scores[doc_id] = scores.get(doc_id, 0.0) + query_weight * doc_weight
-        ranked = sorted(
-            scores.items(),
-            key=lambda item: (-item[1] / self._norms[item[0]], item[0]),
-        )
-        results = []
-        for doc_id, raw_score in ranked[:k]:
-            cosine = raw_score / (self._norms[doc_id] * query_norm)
-            results.append(TfIdfMatch(key=self._keys[doc_id], score=cosine))
-        return results
+        # Sort by the exact cosine that is reported: dividing by the
+        # query norm inside the sort key keeps ties and near-ties in
+        # the same order the caller observes (raw/norm and
+        # raw/(norm*qnorm) can round to differently-ordered floats).
+        cosines = {
+            doc_id: raw / (self._norms[doc_id] * query_norm)
+            for doc_id, raw in scores.items()
+        }
+        ranked = sorted(cosines.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            TfIdfMatch(key=self._keys[doc_id], score=cosine)
+            for doc_id, cosine in ranked[:k]
+        ]
 
     def postings_examined(self, tokens: Sequence[str]) -> int:
         """Number of postings a query over ``tokens`` would touch.

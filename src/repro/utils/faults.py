@@ -1,0 +1,159 @@
+"""Fault-injection probe points for crash/latency testing.
+
+Production code calls :func:`probe` at named sites — epoch boundaries,
+between persistence file writes, inside Phase II scoring.  In normal
+operation a probe is a dict lookup on an empty plan (nanoseconds); under
+a test's :func:`fault_injection` context it can raise, block, or delay,
+which is how the reliability suite simulates a SIGKILL mid-save, a
+crash mid-epoch, or a flaky re-ranker without subprocess gymnastics.
+
+.. code-block:: python
+
+    with fault_injection({"persistence.commit": FaultSpec(action="raise")}):
+        save_pipeline(target, model, ontology)   # dies before the swap
+
+Site names are plain dotted strings; a spec can be armed to fire only
+from the ``after``-th hit onward (``after=2`` skips two hits) and for a
+limited number of ``times``, so a test can let epoch 1 and 2 succeed
+and kill epoch 3 exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an armed ``raise`` probe (deliberately not a ReproError,
+    so library error handling cannot accidentally swallow a simulated
+    crash)."""
+
+
+@dataclass
+class FaultSpec:
+    """What one probe site should do when hit.
+
+    Attributes
+    ----------
+    action:
+        ``"raise"`` (InjectedFault), ``"io_error"`` (OSError), or
+        ``"delay"`` (sleep ``delay_s`` then continue).
+    after:
+        Number of hits to let through unharmed before firing.
+    times:
+        How many hits fire once armed; ``-1`` means every hit forever.
+    delay_s:
+        Sleep duration for ``action="delay"``.
+    message:
+        Text carried by the raised exception.
+    """
+
+    action: str = "raise"
+    after: int = 0
+    times: int = 1
+    delay_s: float = 0.0
+    message: str = ""
+    hits: int = field(default=0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in ("raise", "io_error", "delay"):
+            raise ValueError(
+                f"action must be raise/io_error/delay, got {self.action!r}"
+            )
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+class FaultPlan:
+    """A thread-safe mapping of site name to :class:`FaultSpec`."""
+
+    def __init__(self, specs: Mapping[str, Union[FaultSpec, dict]]) -> None:
+        self._lock = threading.Lock()
+        self._specs: Dict[str, FaultSpec] = {}
+        for site, spec in specs.items():
+            if isinstance(spec, dict):
+                spec = FaultSpec(**spec)
+            self._specs[site] = spec
+
+    def spec_for(self, site: str) -> Optional[FaultSpec]:
+        """The spec registered for ``site``, or None (no counting)."""
+        return self._specs.get(site)
+
+    def arm_check(self, site: str) -> Optional[FaultSpec]:
+        """Count one hit on ``site``; return the spec if it should fire."""
+        with self._lock:
+            spec = self._specs.get(site)
+            if spec is None:
+                return None
+            spec.hits += 1
+            if spec.hits <= spec.after:
+                return None
+            if spec.times >= 0 and spec.fired >= spec.times:
+                return None
+            spec.fired += 1
+            return spec
+
+    def hits(self, site: str) -> int:
+        """Total times ``site`` was probed (fired or not)."""
+        with self._lock:
+            spec = self._specs.get(site)
+            return spec.hits if spec is not None else 0
+
+
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def is_active() -> bool:
+    """Whether any fault plan is currently installed."""
+    return _ACTIVE_PLAN is not None
+
+
+def probe(site: str) -> None:
+    """Execute the fault (if any) armed for ``site``.
+
+    Called from production probe points; a no-op unless a test has
+    installed a plan via :func:`fault_injection`.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return
+    spec = plan.arm_check(site)
+    if spec is None:
+        return
+    if spec.action == "delay":
+        time.sleep(spec.delay_s)
+        return
+    message = spec.message or f"injected fault at {site!r}"
+    if spec.action == "io_error":
+        raise OSError(message)
+    raise InjectedFault(message)
+
+
+@contextmanager
+def fault_injection(
+    specs: Mapping[str, Union[FaultSpec, dict]],
+) -> Iterator[FaultPlan]:
+    """Install a fault plan for the duration of the ``with`` block.
+
+    Plans do not nest: installing a second plan while one is active is
+    a test bug and raises immediately.
+    """
+    global _ACTIVE_PLAN
+    plan = FaultPlan(specs)
+    with _ACTIVE_LOCK:
+        if _ACTIVE_PLAN is not None:
+            raise RuntimeError("a fault plan is already active")
+        _ACTIVE_PLAN = plan
+    try:
+        yield plan
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE_PLAN = None

@@ -1,0 +1,277 @@
+"""Checkpoint/resume: atomicity, integrity, and bit-for-bit resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointState,
+    latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.core.config import ComAidConfig, TrainingConfig
+from repro.core.trainer import ComAidTrainer
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.utils.errors import ConfigurationError, DataError
+from repro.utils.faults import FaultSpec, InjectedFault, fault_injection
+
+
+def build_kb() -> KnowledgeBase:
+    ontology = Ontology()
+    ontology.add(Concept("D50", "iron deficiency anemia"))
+    ontology.add(
+        Concept("D50.0", "iron deficiency anemia secondary to blood loss"),
+        parent_cid="D50",
+    )
+    ontology.add(Concept("N18", "chronic kidney disease"))
+    ontology.add(
+        Concept("N18.5", "chronic kidney disease, stage 5"), parent_cid="N18"
+    )
+    kb = KnowledgeBase(ontology)
+    kb.add_alias("D50.0", "anemia chronic blood loss")
+    kb.add_alias("D50.0", "hemorrhagic anemia")
+    kb.add_alias("N18.5", "ckd stage 5")
+    kb.add_alias("N18.5", "end stage renal disease")
+    return kb
+
+
+MODEL_CONFIG = ComAidConfig(dim=8, beta=1)
+TRAIN_CONFIG = TrainingConfig(epochs=6, batch_size=4)
+
+
+def make_trainer(**overrides) -> ComAidTrainer:
+    training = overrides.pop("training", TRAIN_CONFIG)
+    return ComAidTrainer(MODEL_CONFIG, training, rng=11)
+
+
+class TestCheckpointRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        state = CheckpointState(
+            epoch=3,
+            model_state={"layer.w": np.arange(6.0).reshape(2, 3)},
+            optimizer_state={"accumulator.0": np.ones((2, 3))},
+            rng_state=np.random.default_rng(5).bit_generator.state,
+            order=np.array([2, 0, 1]),
+            epoch_losses=[1.5, 1.2, 1.0],
+            seconds=4.2,
+            examples=3,
+        )
+        path = save_checkpoint(tmp_path, state)
+        assert path.name == "epoch-0003"
+        assert latest_checkpoint(tmp_path) == path
+        loaded = load_checkpoint(path)
+        assert loaded.epoch == 3
+        assert loaded.epoch_losses == [1.5, 1.2, 1.0]
+        assert loaded.rng_state == state.rng_state
+        np.testing.assert_array_equal(loaded.order, state.order)
+        np.testing.assert_array_equal(
+            loaded.model_state["layer.w"], state.model_state["layer.w"]
+        )
+        np.testing.assert_array_equal(
+            loaded.optimizer_state["accumulator.0"],
+            state.optimizer_state["accumulator.0"],
+        )
+
+    def test_load_from_root_picks_latest(self, tmp_path):
+        for epoch in (1, 2):
+            save_checkpoint(
+                tmp_path,
+                CheckpointState(
+                    epoch=epoch,
+                    model_state={"w": np.full(2, float(epoch))},
+                    optimizer_state={},
+                    rng_state={},
+                    order=np.arange(2),
+                    epoch_losses=[1.0] * epoch,
+                    seconds=0.0,
+                    examples=2,
+                ),
+            )
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.epoch == 2
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_empty_root_raises(self, tmp_path):
+        with pytest.raises(DataError, match="no complete checkpoint"):
+            load_checkpoint(tmp_path)
+
+
+class TestIntegrity:
+    def _saved(self, tmp_path):
+        return save_checkpoint(
+            tmp_path,
+            CheckpointState(
+                epoch=1,
+                model_state={"w": np.ones(4)},
+                optimizer_state={},
+                rng_state={},
+                order=np.arange(4),
+                epoch_losses=[0.5],
+                seconds=0.0,
+                examples=4,
+            ),
+        )
+
+    def test_truncated_state_detected(self, tmp_path):
+        path = self._saved(tmp_path)
+        state_file = path / "state.npz"
+        state_file.write_bytes(state_file.read_bytes()[:-10])
+        with pytest.raises(DataError, match="truncated"):
+            verify_checkpoint(path)
+
+    def test_corrupt_state_detected(self, tmp_path):
+        path = self._saved(tmp_path)
+        state_file = path / "state.npz"
+        raw = bytearray(state_file.read_bytes())
+        raw[-1] ^= 0xFF
+        state_file.write_bytes(bytes(raw))
+        with pytest.raises(DataError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_malformed_manifest_detected(self, tmp_path):
+        path = self._saved(tmp_path)
+        (path / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(DataError, match="JSON"):
+            load_checkpoint(path)
+
+    def test_crash_during_write_leaves_no_partial_checkpoint(self, tmp_path):
+        self._saved(tmp_path)  # epoch-0001 exists
+        with fault_injection(
+            {"checkpoint.commit": FaultSpec(action="raise")}
+        ):
+            with pytest.raises(InjectedFault):
+                save_checkpoint(
+                    tmp_path,
+                    CheckpointState(
+                        epoch=2,
+                        model_state={"w": np.zeros(4)},
+                        optimizer_state={},
+                        rng_state={},
+                        order=np.arange(4),
+                        epoch_losses=[0.5, 0.4],
+                        seconds=0.0,
+                        examples=4,
+                    ),
+                )
+        # The torn epoch-0002 never materialised; LATEST still points at 1.
+        assert latest_checkpoint(tmp_path).name == "epoch-0001"
+        assert not (tmp_path / "epoch-0002").exists()
+        # And the next save sweeps the staging leftovers.
+        self._saved(tmp_path)
+        assert not list(tmp_path.glob(".staging-*"))
+
+    def test_prune_keeps_newest(self, tmp_path):
+        for epoch in (1, 2, 3):
+            save_checkpoint(
+                tmp_path,
+                CheckpointState(
+                    epoch=epoch,
+                    model_state={"w": np.ones(2)},
+                    optimizer_state={},
+                    rng_state={},
+                    order=np.arange(2),
+                    epoch_losses=[1.0] * epoch,
+                    seconds=0.0,
+                    examples=2,
+                ),
+            )
+        removed = prune_checkpoints(tmp_path, keep=2)
+        assert [p.name for p in removed] == ["epoch-0001"]
+        assert latest_checkpoint(tmp_path).name == "epoch-0003"
+
+
+class TestTrainerResume:
+    def test_resume_reproduces_uninterrupted_run_bit_for_bit(self, tmp_path):
+        kb = build_kb()
+        baseline = make_trainer()
+        model = baseline.fit(kb)
+        baseline_losses = list(baseline.history.epoch_losses)
+        baseline_params = model.state_dict()
+
+        # Same seed, checkpoint every epoch, killed (fault-injected)
+        # at the end of epoch 3.
+        crashed = make_trainer()
+        with fault_injection(
+            {"trainer.epoch_end": FaultSpec(after=2, action="raise")}
+        ):
+            with pytest.raises(InjectedFault):
+                crashed.fit(
+                    kb, checkpoint_dir=tmp_path / "ckpt", checkpoint_every=1
+                )
+        newest = latest_checkpoint(tmp_path / "ckpt")
+        assert newest is not None and newest.name == "epoch-0003"
+
+        resumed = make_trainer()
+        resumed_model = resumed.fit(kb, resume_from=tmp_path / "ckpt")
+        assert resumed.history.epoch_losses == baseline_losses
+        resumed_params = resumed_model.state_dict()
+        assert set(resumed_params) == set(baseline_params)
+        for name, value in baseline_params.items():
+            np.testing.assert_array_equal(resumed_params[name], value, err_msg=name)
+
+    def test_resume_with_sampled_softmax_bit_for_bit(self, tmp_path):
+        kb = build_kb()
+        training = TrainingConfig(epochs=4, batch_size=4, sampled_softmax=3)
+        baseline = make_trainer(training=training)
+        model = baseline.fit(kb)
+        baseline_losses = list(baseline.history.epoch_losses)
+        baseline_params = model.state_dict()
+
+        partial = make_trainer(training=training)
+        with fault_injection(
+            {"trainer.epoch_end": FaultSpec(after=1, action="raise")}
+        ):
+            with pytest.raises(InjectedFault):
+                partial.fit(
+                    kb, checkpoint_dir=tmp_path / "ckpt", checkpoint_every=1
+                )
+
+        resumed = make_trainer(training=training)
+        resumed_model = resumed.fit(kb, resume_from=tmp_path / "ckpt")
+        assert resumed.history.epoch_losses == baseline_losses
+        for name, value in baseline_params.items():
+            np.testing.assert_array_equal(
+                resumed_model.state_dict()[name], value, err_msg=name
+            )
+
+    def test_checkpoint_every_requires_dir(self):
+        with pytest.raises(ConfigurationError):
+            make_trainer().fit(build_kb(), checkpoint_every=1)
+
+    def test_resume_rejects_config_mismatch(self, tmp_path):
+        kb = build_kb()
+        trainer = make_trainer()
+        trainer.fit(kb, checkpoint_dir=tmp_path, checkpoint_every=2)
+        other = ComAidTrainer(
+            ComAidConfig(dim=12, beta=1), TRAIN_CONFIG, rng=11
+        )
+        with pytest.raises(ConfigurationError, match="model config"):
+            other.fit(kb, resume_from=tmp_path)
+
+    def test_resume_rejects_different_training_set(self, tmp_path):
+        kb = build_kb()
+        trainer = make_trainer()
+        trainer.fit(kb, checkpoint_dir=tmp_path, checkpoint_every=2)
+        smaller = build_kb()
+        pairs = smaller.training_pairs()[:2]
+        with pytest.raises(DataError, match="examples"):
+            make_trainer().fit(smaller, pairs=pairs, resume_from=tmp_path)
+
+    def test_completed_run_checkpoints_final_epoch(self, tmp_path):
+        trainer = make_trainer()
+        trainer.fit(build_kb(), checkpoint_dir=tmp_path, checkpoint_every=3)
+        assert latest_checkpoint(tmp_path).name == "epoch-0006"
+        manifest = json.loads(
+            (tmp_path / "epoch-0006" / "manifest.json").read_text()
+        )
+        assert manifest["epoch"] == 6
+        assert len(manifest["history"]["epoch_losses"]) == 6

@@ -1,0 +1,182 @@
+"""Persistence failure paths: truncation, corruption, crash-mid-save."""
+
+import json
+
+import pytest
+
+from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.core.persistence import (
+    load_pipeline,
+    save_pipeline,
+    verify_pipeline,
+)
+from repro.core.trainer import ComAidTrainer
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.utils.errors import DataError
+from repro.utils.faults import FaultSpec, InjectedFault, fault_injection
+
+
+@pytest.fixture(scope="module")
+def trained_stack():
+    ontology = Ontology()
+    ontology.add(Concept("D50", "iron deficiency anemia"))
+    ontology.add(
+        Concept("D50.0", "iron deficiency anemia secondary to blood loss"),
+        parent_cid="D50",
+    )
+    ontology.add(Concept("N18", "chronic kidney disease"))
+    ontology.add(
+        Concept("N18.5", "chronic kidney disease, stage 5"), parent_cid="N18"
+    )
+    kb = KnowledgeBase(ontology)
+    kb.add_alias("D50.0", "anemia chronic blood loss")
+    kb.add_alias("N18.5", "ckd stage 5")
+    kb.add_alias("N18.5", "end stage renal disease")
+    trainer = ComAidTrainer(
+        ComAidConfig(dim=8, beta=1), TrainingConfig(epochs=3, batch_size=4), rng=3
+    )
+    model = trainer.fit(kb)
+    return ontology, kb, model
+
+
+@pytest.fixture
+def saved_dir(trained_stack, tmp_path):
+    ontology, kb, model = trained_stack
+    directory = tmp_path / "pipeline"
+    save_pipeline(directory, model, ontology, kb=kb)
+    return directory
+
+
+class TestVerifyPipeline:
+    def test_clean_save_verifies(self, saved_dir):
+        manifest = verify_pipeline(saved_dir)
+        assert manifest["format"] == 1
+        assert "model.npz" in manifest["files"]
+
+    def test_metadata_embedded(self, trained_stack, tmp_path):
+        ontology, kb, model = trained_stack
+        directory = tmp_path / "meta"
+        save_pipeline(
+            directory, model, ontology, kb=kb,
+            metadata={"resumed_from": "epoch-0003", "seed": 3},
+        )
+        manifest = verify_pipeline(directory)
+        assert manifest["metadata"]["resumed_from"] == "epoch-0003"
+        *_, linker = load_pipeline(directory)
+        assert linker.pipeline_metadata["seed"] == 3
+
+    def test_truncated_model_detected(self, saved_dir):
+        target = saved_dir / "model.npz"
+        target.write_bytes(target.read_bytes()[:-20])
+        with pytest.raises(DataError, match="model.npz"):
+            verify_pipeline(saved_dir)
+
+    def test_bitflip_detected(self, saved_dir):
+        target = saved_dir / "vocab.json"
+        raw = bytearray(target.read_bytes())
+        raw[len(raw) // 2] ^= 0x20  # same length, different bytes
+        target.write_bytes(bytes(raw))
+        with pytest.raises(DataError, match="vocab.json"):
+            verify_pipeline(saved_dir)
+
+    def test_missing_required_artifact_detected(self, saved_dir):
+        (saved_dir / "ontology.json").unlink()
+        with pytest.raises(DataError, match="ontology.json"):
+            verify_pipeline(saved_dir)
+
+    def test_manifestless_directory_rejected(self, saved_dir):
+        (saved_dir / "manifest.json").unlink()
+        with pytest.raises(DataError, match="manifest.json"):
+            verify_pipeline(saved_dir)
+
+
+class TestLoadFailurePaths:
+    def test_truncated_model_npz_named(self, saved_dir):
+        target = saved_dir / "model.npz"
+        target.write_bytes(target.read_bytes()[: len(target.read_bytes()) // 2])
+        with pytest.raises(DataError, match="model.npz"):
+            load_pipeline(saved_dir)
+
+    def test_malformed_vocab_json_named(self, saved_dir):
+        (saved_dir / "vocab.json").write_text("{oops", encoding="utf-8")
+        with pytest.raises(DataError, match="vocab.json"):
+            load_pipeline(saved_dir)
+
+    def test_missing_kb_json_named(self, saved_dir):
+        # kb.json is optional in general but this manifest lists it, so
+        # its absence is corruption, not a KB-less deployment.
+        (saved_dir / "kb.json").unlink()
+        with pytest.raises(DataError, match="kb.json"):
+            load_pipeline(saved_dir)
+
+    def test_malformed_config_named(self, saved_dir):
+        (saved_dir / "config.json").write_text(
+            json.dumps({"dim": 8, "unknown_field": True}), encoding="utf-8"
+        )
+        with pytest.raises(DataError, match="config.json"):
+            load_pipeline(saved_dir)
+
+    def test_verify_flag_checks_before_deserialising(self, saved_dir):
+        target = saved_dir / "model.npz"
+        raw = bytearray(target.read_bytes())
+        raw[-1] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        with pytest.raises(DataError, match="model.npz"):
+            load_pipeline(saved_dir, verify=True)
+
+    def test_missing_directory_still_clear(self, tmp_path):
+        with pytest.raises(DataError, match="saved pipeline"):
+            load_pipeline(tmp_path / "nothing-here")
+
+
+class TestCrashMidSave:
+    @pytest.mark.parametrize(
+        "site",
+        [
+            "persistence.write.model.npz",
+            "persistence.write.kb.json",
+            "persistence.write.manifest.json",
+            "persistence.commit",
+        ],
+    )
+    def test_crash_never_corrupts_existing_deployment(
+        self, trained_stack, saved_dir, site
+    ):
+        ontology, kb, model = trained_stack
+        before = {
+            entry.name: entry.read_bytes()
+            for entry in sorted(saved_dir.iterdir())
+        }
+        with fault_injection({site: FaultSpec(action="raise")}):
+            with pytest.raises(InjectedFault):
+                save_pipeline(saved_dir, model, ontology, kb=kb)
+        after = {
+            entry.name: entry.read_bytes()
+            for entry in sorted(saved_dir.iterdir())
+        }
+        assert after == before, f"deployment changed after crash at {site}"
+        verify_pipeline(saved_dir)
+        load_pipeline(saved_dir, LinkerConfig(k=3))
+
+    def test_io_error_crash_leaves_no_staging(self, trained_stack, tmp_path):
+        ontology, kb, model = trained_stack
+        target = tmp_path / "fresh"
+        with fault_injection(
+            {"persistence.write.ontology.json": FaultSpec(action="io_error")}
+        ):
+            with pytest.raises(OSError):
+                save_pipeline(target, model, ontology, kb=kb)
+        assert not target.exists()
+        assert not list(tmp_path.glob("fresh.staging-*"))
+
+    def test_save_over_crashed_save_succeeds(self, trained_stack, saved_dir):
+        ontology, kb, model = trained_stack
+        with fault_injection(
+            {"persistence.commit": FaultSpec(action="raise")}
+        ):
+            with pytest.raises(InjectedFault):
+                save_pipeline(saved_dir, model, ontology, kb=kb)
+        save_pipeline(saved_dir, model, ontology, kb=kb)
+        verify_pipeline(saved_dir)

@@ -67,6 +67,93 @@ class TestCliLifecycle:
         assert exit_code == 0
         assert "accuracy=" in captured and "mrr=" in captured
 
+    def test_verify_pipeline_ok(self, workspace, capsys):
+        _, model = workspace
+        exit_code = main(["verify-pipeline", "--model", str(model)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "all checksums match" in captured
+        assert '"seed": 4' in captured  # training provenance surfaced
+
+    def test_verify_pipeline_detects_corruption(self, workspace, capsys):
+        _, model = workspace
+        target = model / "vocab.json"
+        original = target.read_bytes()
+        target.write_bytes(original[:-4])
+        try:
+            exit_code = main(["verify-pipeline", "--model", str(model)])
+        finally:
+            target.write_bytes(original)
+        assert exit_code == 1
+        assert "vocab.json" in capsys.readouterr().err
+
+
+@pytest.mark.faults
+class TestCliCrashResume:
+    """The full drill: train with checkpoints, crash, resume, verify."""
+
+    def test_train_crash_resume_verify(self, tmp_path, capsys):
+        from repro.utils.faults import (
+            FaultSpec,
+            InjectedFault,
+            fault_injection,
+        )
+
+        data = tmp_path / "data"
+        assert main(
+            ["generate", "--dataset", "hospital-x-like",
+             "--out", str(data), "--seed", "9", "--queries", "40"]
+        ) == 0
+        train_args = [
+            "train", "--data", str(data), "--dim", "10", "--epochs", "4",
+            "--cbow-epochs", "3", "--seed", "4",
+            "--checkpoint-every", "1",
+        ]
+
+        # Uninterrupted baseline.
+        baseline = tmp_path / "baseline"
+        assert main(
+            train_args
+            + ["--out", str(baseline),
+               "--checkpoint-dir", str(tmp_path / "ckpt-base")]
+        ) == 0
+
+        # Crash after epoch 2, then resume from the latest checkpoint.
+        crashed_ckpts = tmp_path / "ckpt-crash"
+        with fault_injection(
+            {"trainer.epoch_end": FaultSpec(after=1, times=1)}
+        ):
+            with pytest.raises(InjectedFault):
+                main(
+                    train_args
+                    + ["--out", str(tmp_path / "crashed"),
+                       "--checkpoint-dir", str(crashed_ckpts)]
+                )
+        resumed = tmp_path / "resumed"
+        assert main(
+            train_args
+            + ["--out", str(resumed),
+               "--checkpoint-dir", str(crashed_ckpts),
+               "--resume", str(crashed_ckpts)]
+        ) == 0
+
+        # Bit-for-bit: the resumed pipeline's weights equal the baseline's.
+        import numpy as np
+
+        with np.load(baseline / "model.npz") as a, np.load(
+            resumed / "model.npz"
+        ) as b:
+            assert sorted(a.files) == sorted(b.files)
+            for name in a.files:
+                np.testing.assert_array_equal(a[name], b[name])
+
+        # The resumed deployment verifies and records its provenance.
+        capsys.readouterr()
+        assert main(["verify-pipeline", "--model", str(resumed)]) == 0
+        out = capsys.readouterr().out
+        assert "all checksums match" in out
+        assert "resumed_from" in out
+
 
 class TestParser:
     def test_requires_command(self):
@@ -98,6 +185,28 @@ class TestParser:
     def test_serve_requires_model(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
+
+    def test_train_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--data", "d/", "--out", "m/",
+             "--checkpoint-dir", "c/", "--checkpoint-every", "2",
+             "--resume", "c/epoch-0002"]
+        )
+        assert args.checkpoint_dir == "c/"
+        assert args.checkpoint_every == 2
+        assert args.resume == "c/epoch-0002"
+
+    def test_train_checkpoint_defaults_off(self):
+        args = build_parser().parse_args(
+            ["train", "--data", "d/", "--out", "m/"]
+        )
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every == 0
+        assert args.resume is None
+
+    def test_verify_pipeline_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify-pipeline"])
 
     def test_unknown_dataset_is_clean_error(self, tmp_path, capsys):
         exit_code = main(

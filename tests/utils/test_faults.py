@@ -1,0 +1,83 @@
+"""Tests for the fault-injection probe harness."""
+
+import time
+
+import pytest
+
+from repro.utils.faults import (
+    FaultSpec,
+    InjectedFault,
+    fault_injection,
+    is_active,
+    probe,
+)
+
+
+class TestProbe:
+    def test_noop_without_plan(self):
+        assert not is_active()
+        probe("anywhere.at.all")  # must not raise
+
+    def test_raise_action(self):
+        with fault_injection({"site.a": FaultSpec(action="raise")}):
+            assert is_active()
+            with pytest.raises(InjectedFault):
+                probe("site.a")
+        assert not is_active()
+
+    def test_io_error_action(self):
+        with fault_injection({"disk": FaultSpec(action="io_error", message="boom")}):
+            with pytest.raises(OSError, match="boom"):
+                probe("disk")
+
+    def test_delay_action(self):
+        with fault_injection({"slow": FaultSpec(action="delay", delay_s=0.05)}):
+            started = time.monotonic()
+            probe("slow")
+            assert time.monotonic() - started >= 0.045
+
+    def test_unknown_sites_unharmed(self):
+        with fault_injection({"site.a": FaultSpec()}):
+            probe("site.b")  # must not raise
+
+    def test_dict_specs_coerced(self):
+        with fault_injection({"site": {"action": "raise"}}):
+            with pytest.raises(InjectedFault):
+                probe("site")
+
+
+class TestArming:
+    def test_after_skips_initial_hits(self):
+        with fault_injection({"epoch": FaultSpec(after=2)}) as plan:
+            probe("epoch")
+            probe("epoch")
+            with pytest.raises(InjectedFault):
+                probe("epoch")
+            assert plan.hits("epoch") == 3
+
+    def test_times_limits_firing(self):
+        with fault_injection({"flaky": FaultSpec(times=1)}):
+            with pytest.raises(InjectedFault):
+                probe("flaky")
+            probe("flaky")  # already spent
+
+    def test_times_forever(self):
+        with fault_injection({"dead": FaultSpec(times=-1)}):
+            for _ in range(3):
+                with pytest.raises(InjectedFault):
+                    probe("dead")
+
+    def test_injected_fault_is_not_repro_error(self):
+        from repro.utils.errors import ReproError
+
+        assert not issubclass(InjectedFault, ReproError)
+
+    def test_nested_plans_rejected(self):
+        with fault_injection({"a": FaultSpec()}):
+            with pytest.raises(RuntimeError, match="already active"):
+                with fault_injection({"b": FaultSpec()}):
+                    pass
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(action="explode")

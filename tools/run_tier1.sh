@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the fast suite exactly as CI runs it, then the opt-in
+# fault-injection drills (crash/resume end-to-end; excluded from the
+# default run by the `-m 'not faults'` addopts in pyproject.toml).
+#
+#   tools/run_tier1.sh            # fast suite only
+#   tools/run_tier1.sh --faults   # fast suite + fault drills
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m pytest -x -q
+
+if [[ "${1:-}" == "--faults" ]]; then
+    echo "== fault-injection drills =="
+    python -m pytest -q -m faults
+fi

@@ -1,0 +1,51 @@
+"""Phase-II batching benchmark — sequential vs batched candidate scoring.
+
+Runs the head-to-head on the hospital-x-like smoke dataset at k=10 (the
+configuration the acceptance gate names), writes ``BENCH_phase2.json``
+at the repo root with both per-phase timing profiles, the measured
+ED+RT speedup, and the equivalence audit, and asserts the two
+guarantees: ≥2× faster on ED+RT and bit-identical rankings with ≤1e-9
+log-prob deltas.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import SMALL
+from repro.eval.experiments.phase2_batching import run_phase2_batching
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_phase2.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_phase2_batching(
+        scale=SMALL, seed=2018, k=10, queries_per_point=40
+    )
+
+
+def test_phase2_batched_at_least_2x_on_ed_rt(once, report):
+    data = once(lambda: report)
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    assert data["speedup_ed_rt"] >= 2.0, data
+
+
+def test_phase2_batched_rankings_equivalent(once, report):
+    # Register with pytest-benchmark so --benchmark-only
+    # does not skip this shape assertion.
+    once(lambda: None)
+    assert report["rankings_identical"], report
+    assert report["max_abs_log_prob_delta"] <= 1e-9, report
+
+
+def test_phase2_ed_still_dominates_batched(once, report):
+    # Batching shrinks ED but must not reorder Figure 11's hierarchy on
+    # this workload: encode-decode stays the dominant phase.
+    once(lambda: None)
+    batched = report["batched"]
+    assert batched["ED"] == max(
+        batched[phase] for phase in ("OR", "CR", "ED", "RT")
+    ), batched

@@ -39,7 +39,12 @@ import numpy as np
 from repro.core.config import ComAidConfig
 from repro.nn.attention import Attention, AttentionCache
 from repro.nn.embedding import Embedding
-from repro.nn.functional import softmax_cross_entropy, tanh, tanh_grad
+from repro.nn.functional import (
+    batched_target_log_probs,
+    softmax_cross_entropy,
+    tanh,
+    tanh_grad,
+)
 from repro.nn.gru import GRUEncoder
 from repro.nn.linear import Linear
 from repro.nn.lstm import LSTMEncoder, LSTMStepCache
@@ -435,6 +440,107 @@ class ComAid(Module):
         struct_memory = self._structure_memory(list(ancestors))
         cache = self._decode(concept, list(ancestors), struct_memory, query_ids)
         return -cache.loss
+
+    def score_batch(
+        self,
+        query_ids: Sequence[Sequence[int]],
+        candidates: Sequence[Tuple[ConceptEncoding, Sequence[ConceptEncoding]]],
+    ) -> np.ndarray:
+        """Batched :meth:`score_with_encodings` — the Phase-II hot path.
+
+        ``candidates`` holds one ``(concept, ancestors)`` encoding pair
+        per re-ranking candidate; ``query_ids`` gives each candidate its
+        query-word ids (possibly distinct per candidate — the linker
+        removes the words each candidate's canonical description shares
+        with the query).  Returns the ``(k,)`` vector of
+        ``log p(q_j | c_j)``, matching the sequential method per row to
+        floating-point round-off.
+
+        All k decodes advance in lock-step: one ``(k, ·)`` matmul per
+        decoder timestep instead of k mat-vecs (the trick seq2seq
+        serving stacks use for beam scoring).  Text attention (Eq. 5-6)
+        is masked over each candidate's true description length;
+        structure attention (Eq. 7) runs over the ``(k, β, d)`` ancestor
+        block — Def. 4.1's first-level duplication already pads every
+        ancestor path to exactly β, so no mask is needed there.
+        Candidates whose ⟨query, eos⟩ sequence is shorter than the batch
+        maximum stop accumulating log-probability after their final
+        step; the trailing steps run on ``<pad>`` inputs and are
+        discarded.  Inference-only: no caches are kept and no gradients
+        flow — training and the equivalence-test oracle stay on the
+        sequential :meth:`_decode`.
+        """
+        if len(query_ids) != len(candidates):
+            raise DataError(
+                f"got {len(query_ids)} query sequences for "
+                f"{len(candidates)} candidates"
+            )
+        if not candidates:
+            raise DataError("cannot score an empty candidate batch")
+        queries = [list(ids) for ids in query_ids]
+        if any(not query for query in queries):
+            raise DataError("cannot score an empty query")
+        size = len(candidates)
+        dim = self.config.dim
+        concepts = [concept for concept, _ in candidates]
+        h = np.stack([concept.final_h for concept in concepts])
+        c = np.stack([concept.final_c for concept in concepts])
+        text_memory: Optional[np.ndarray] = None
+        text_mask: Optional[np.ndarray] = None
+        if self.config.use_text_attention:
+            lengths = [concept.states.shape[0] for concept in concepts]
+            width = max(lengths)
+            text_memory = np.zeros((size, width, dim))
+            text_mask = np.zeros((size, width), dtype=bool)
+            for row, concept in enumerate(concepts):
+                text_memory[row, : lengths[row]] = concept.states
+                text_mask[row, : lengths[row]] = True
+        struct_memory: Optional[np.ndarray] = None
+        if self.config.use_structure_attention:
+            struct_memory = np.stack(
+                [
+                    self._structure_memory(list(ancestors))
+                    for _, ancestors in candidates
+                ]
+            )
+        input_ids = [[self.vocab.bos_id] + query for query in queries]
+        targets = [query + [self.vocab.eos_id] for query in queries]
+        steps = max(len(sequence) for sequence in targets)
+        pad = self.vocab.pad_id
+        log_probs = np.zeros(size)
+        for t in range(steps):
+            step_ids = [
+                sequence[t] if t < len(sequence) else pad
+                for sequence in input_ids
+            ]
+            x = self.embedding.forward(step_ids)
+            h, c = self.decoder.cell.step_batch(x, h, c)
+            parts = [h]
+            if text_memory is not None:
+                contexts, _ = self.text_attention.forward_batch(
+                    h, text_memory, text_mask
+                )
+                parts.append(contexts)
+            if struct_memory is not None:
+                contexts, _ = self.structure_attention.forward_batch(
+                    h, struct_memory
+                )
+                parts.append(contexts)
+            s_tilde = tanh(self.composite.forward(np.concatenate(parts, axis=1)))
+            logits = self.output.forward(s_tilde)
+            step_targets = np.asarray(
+                [
+                    sequence[t] if t < len(sequence) else 0
+                    for sequence in targets
+                ],
+                dtype=np.intp,
+            )
+            step_log_probs = batched_target_log_probs(logits, step_targets)
+            active = np.asarray(
+                [t < len(sequence) for sequence in targets], dtype=bool
+            )
+            log_probs[active] += step_log_probs[active]
+        return log_probs
 
     # -- generation ---------------------------------------------------------
 

@@ -166,6 +166,16 @@ class LinkerConfig:
         is strictly better than an error page.  ``False`` restores
         fail-fast (useful in tests and batch evaluation, where a hidden
         model bug must not be papered over).
+    batch_phase2:
+        Score all Phase-II candidates in one lock-step batched decode
+        (``ComAid.score_batch``: one ``(k, ·)`` matmul per decoder
+        timestep) instead of one candidate at a time.  Rankings, scores
+        (to ≤1e-9), and tie order are identical either way — proven by
+        ``tests/core/test_phase2_batching.py`` — so this is purely a
+        latency knob; ``False`` restores the sequential reference path
+        (also the degraded-mode/test oracle).  Budget semantics are
+        preserved: the deadline is checked per candidate while the
+        batch is assembled and once after the all-or-nothing decode.
     """
 
     k: int = 20
@@ -178,6 +188,7 @@ class LinkerConfig:
     encoding_cache_size: int = 4096
     phase2_budget_s: float = 0.0
     degrade_on_error: bool = True
+    batch_phase2: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 1:

@@ -1,0 +1,127 @@
+"""Phase-II batching benchmark — sequential vs lock-step candidate scoring.
+
+Figure 11 shows the encode-decode part (ED) dominating online linking
+time; ``LinkerConfig.batch_phase2`` attacks exactly that term by scoring
+all k re-ranking candidates in one batched decode (one ``(k, ·)`` matmul
+per decoder timestep instead of k mat-vecs).  This runner measures the
+win and audits the equivalence claim in the same pass: the identical
+query stream flows through two linkers sharing one trained model — one
+sequential (the reference), one batched — and the report carries the
+per-phase means, the ED+RT speedup, and the maximum log-prob delta /
+ranking agreement between the two paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.core.linker import NeuralConceptLinker
+from repro.eval.experiments.scale import DEFAULT, ExperimentScale
+from repro.eval.harness import build_pipeline
+from repro.eval.reporting import format_table
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.timing import TimingBreakdown
+
+PHASES = ("OR", "CR", "ED", "RT")
+
+
+def _mean_breakdown(breakdowns: Sequence[TimingBreakdown]) -> Dict[str, float]:
+    totals: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+    for breakdown in breakdowns:
+        for phase in PHASES:
+            totals[phase] += breakdown.seconds.get(phase, 0.0)
+    count = max(len(breakdowns), 1)
+    means = {phase: totals[phase] / count for phase in PHASES}
+    means["total"] = sum(means.values())
+    means["ed_rt"] = means["ED"] + means["RT"]
+    return means
+
+
+def run_phase2_batching(
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 2018,
+    k: int = 10,
+    queries_per_point: int = 40,
+    dataset: str = "hospital-x-like",
+    verbose: bool = True,
+) -> Dict[str, object]:
+    """Sequential-vs-batched Phase II on one trained pipeline.
+
+    Returns a JSON-ready report: per-mode mean OR/CR/ED/RT seconds per
+    query, ``speedup_ed_rt`` (sequential ED+RT over batched ED+RT), and
+    the equivalence audit (``rankings_identical``,
+    ``max_abs_log_prob_delta``).
+    """
+    generator = ensure_rng(seed)
+    bundle = scale.dataset(dataset, rng=derive_rng(generator, dataset))
+    pipeline = build_pipeline(
+        bundle,
+        model_config=scale.model_config(),
+        training_config=scale.training_config(),
+        cbow_config=scale.cbow_config(),
+        rng=derive_rng(generator, dataset, "pipeline"),
+    )
+    batched = pipeline.linker
+    assert batched.config.batch_phase2, "default linker must be batched"
+    sequential = NeuralConceptLinker(
+        pipeline.model,
+        bundle.ontology,
+        replace(batched.config, batch_phase2=False),
+        kb=bundle.kb,
+        word_vectors=pipeline.word_vectors,
+    )
+    queries = [query.text for query in bundle.queries[:queries_per_point]]
+    linkers = {"sequential": sequential, "batched": batched}
+    timings: Dict[str, Dict[str, float]] = {}
+    results: Dict[str, list] = {}
+    for mode, linker in linkers.items():
+        linker.warm_cache()  # steady-state encoder caches, like Fig. 11
+        outcomes = [linker.link(query, k=k) for query in queries]
+        timings[mode] = _mean_breakdown([item.timing for item in outcomes])
+        results[mode] = outcomes
+
+    max_delta = 0.0
+    rankings_identical = True
+    for left, right in zip(results["sequential"], results["batched"]):
+        if [c.cid for c in left.ranked] != [c.cid for c in right.ranked]:
+            rankings_identical = False
+        for a, b in zip(left.ranked, right.ranked):
+            if a.cid == b.cid:
+                max_delta = max(max_delta, abs(a.log_prob - b.log_prob))
+
+    speedup = timings["sequential"]["ed_rt"] / max(
+        timings["batched"]["ed_rt"], 1e-12
+    )
+    report: Dict[str, object] = {
+        "dataset": dataset,
+        "scale": scale.name,
+        "seed": seed,
+        "k": k,
+        "queries": len(queries),
+        "sequential": timings["sequential"],
+        "batched": timings["batched"],
+        "speedup_ed_rt": speedup,
+        "speedup_total": timings["sequential"]["total"]
+        / max(timings["batched"]["total"], 1e-12),
+        "rankings_identical": rankings_identical,
+        "max_abs_log_prob_delta": max_delta,
+    }
+    if verbose:
+        rows = [
+            [mode]
+            + [round(timings[mode][phase] * 1e3, 3) for phase in PHASES]
+            + [round(timings[mode]["total"] * 1e3, 3)]
+            for mode in ("sequential", "batched")
+        ]
+        print(
+            format_table(
+                ["mode"] + [f"{p} (ms)" for p in PHASES] + ["total (ms)"],
+                rows,
+                title=(
+                    f"Phase-II batching, {dataset} k={k} "
+                    f"(ED+RT speedup {speedup:.2f}x)"
+                ),
+            )
+        )
+    return report

@@ -16,11 +16,11 @@ into the encoder and the ancestor encodings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn.functional import softmax
+from repro.nn.functional import masked_softmax, softmax
 from repro.nn.module import Module
 
 
@@ -61,6 +61,41 @@ class Attention(Module):
         context = weights @ memory
         cache = AttentionCache(query=query, memory=memory, weights=weights)
         return context, weights, cache
+
+    def forward_batch(
+        self,
+        queries: np.ndarray,
+        memory: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched attention: one query row against one memory per row.
+
+        ``queries`` is ``(B, d)``; ``memory`` is ``(B, N, d)`` — per-row
+        memories zero-padded to a common length ``N``; ``mask`` is an
+        optional ``(B, N)`` boolean marking each row's valid memory
+        entries (``None`` means all valid, e.g. the structure memories,
+        which Def. 4.1's first-level duplication pads to a uniform β).
+        Returns ``(contexts, weights)`` with shapes ``(B, d)`` and
+        ``(B, N)``; row ``b`` equals :meth:`forward` on ``queries[b]``
+        against the valid prefix of ``memory[b]`` (padding gets weight
+        exactly 0 and a zero-padded memory row contributes exactly
+        nothing to the context).  Inference-only: no cache, no backward.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        memory = np.asarray(memory, dtype=np.float64)
+        if memory.ndim != 3:
+            raise ValueError(f"memory must be 3-D, got shape {memory.shape}")
+        if memory.shape[1] == 0:
+            raise ValueError("attention memory must be non-empty")
+        if queries.shape != (memory.shape[0], memory.shape[2]):
+            raise ValueError(
+                f"queries shape {queries.shape} incompatible with memory "
+                f"{memory.shape}"
+            )
+        scores = np.einsum("bnd,bd->bn", memory, queries)
+        weights = masked_softmax(scores, mask)
+        contexts = np.einsum("bn,bnd->bd", weights, memory)
+        return contexts, weights
 
     def backward(
         self, d_context: np.ndarray, cache: AttentionCache

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,62 @@ def softmax_cross_entropy(
     dlogits = np.exp(log_probs)
     dlogits[target] -= 1.0
     return loss, dlogits
+
+
+def masked_softmax(
+    scores: np.ndarray, mask: Optional[np.ndarray] = None, axis: int = -1
+) -> np.ndarray:
+    """Softmax along ``axis`` restricted to positions where ``mask`` holds.
+
+    Masked-out positions receive probability exactly 0, and the valid
+    positions' probabilities equal a plain softmax computed over the
+    valid entries alone: the max is taken over valid scores only and the
+    padding contributes exact zero terms to the normaliser.  This is the
+    property the batched Phase-II equivalence suite relies on when
+    candidate memories of different lengths are zero-padded to a common
+    width.  ``mask=None`` degrades to :func:`softmax`.  Every slice
+    along ``axis`` must keep at least one valid position.
+    """
+    if mask is None:
+        return softmax(scores, axis=axis)
+    scores = np.asarray(scores, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != scores.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} != scores shape {scores.shape}"
+        )
+    if not np.all(np.any(mask, axis=axis)):
+        raise ValueError("masked_softmax: a slice has no valid positions")
+    masked = np.where(mask, scores, -np.inf)
+    shifted = masked - np.max(masked, axis=axis, keepdims=True)
+    exp = np.exp(shifted)  # exp(-inf) is exactly 0.0
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def batched_target_log_probs(
+    logits: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Per-row ``log softmax(logits[b])[targets[b]]`` for a ``(B, V)`` batch.
+
+    The batched, sign-flipped analogue of :func:`softmax_cross_entropy`'s
+    loss term (no gradient is produced — the batched Phase-II path is
+    inference-only).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    index = np.asarray(targets, dtype=np.intp)
+    if index.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {index.shape} != ({logits.shape[0]},)"
+        )
+    if index.size and (index.min() < 0 or index.max() >= logits.shape[1]):
+        raise IndexError(
+            f"target out of range for {logits.shape[1]} classes: "
+            f"{index.min()}..{index.max()}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    return log_probs[np.arange(logits.shape[0]), index]
 
 
 def one_hot(index: int, size: int) -> np.ndarray:

@@ -103,6 +103,39 @@ class GRUCell(Module):
         )
         return h, h, cache
 
+    def step_batch(
+        self,
+        x: np.ndarray,
+        h_prev: np.ndarray,
+        c_prev: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One step over a ``(B, input_dim)`` row-batch; ``c_prev`` is
+        accepted and ignored (LSTM API parity).
+
+        Row ``b`` of the output equals :meth:`step` on row ``b`` (to
+        floating-point round-off).  Inference-only: no cache, no
+        gradients.
+        """
+        hidden = self.hidden_dim
+        x = np.asarray(x, dtype=np.float64)
+        h_prev = np.asarray(h_prev, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"x must be (B, {self.input_dim}), got {x.shape}")
+        if h_prev.shape != (x.shape[0], hidden):
+            raise ValueError(
+                f"h_prev must be ({x.shape[0]}, {hidden}), got {h_prev.shape}"
+            )
+        pre_x = x @ self.wx.value.T + self.bias.value
+        update = sigmoid(pre_x[:, :hidden] + h_prev @ self.wh.value[:hidden].T)
+        reset = sigmoid(
+            pre_x[:, hidden : 2 * hidden]
+            + h_prev @ self.wh.value[hidden : 2 * hidden].T
+        )
+        candidate_recurrent = h_prev @ self.wh.value[2 * hidden :].T
+        candidate = tanh(pre_x[:, 2 * hidden :] + reset * candidate_recurrent)
+        h = (1.0 - update) * candidate + update * h_prev
+        return h, h
+
     def backward_step(
         self,
         dh: np.ndarray,
@@ -184,6 +217,33 @@ class GRUEncoder(Module):
             states[t] = h
             caches.append(cache)
         return states, caches
+
+    def forward_batch(
+        self,
+        inputs: np.ndarray,
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Lock-step run over a ``(B, T, input_dim)`` batch; ``c0``
+        ignored.  Returns ``(B, T, hidden_dim)`` states; inference-only
+        (mirrors :meth:`LSTMEncoder.forward_batch`)."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[2] != self.cell.input_dim:
+            raise ValueError(
+                f"inputs must be (B, T, {self.cell.input_dim}), "
+                f"got {inputs.shape}"
+            )
+        batch, steps = inputs.shape[:2]
+        if batch == 0 or steps == 0:
+            raise ValueError("cannot encode an empty batch or sequence")
+        h = np.zeros((batch, self.cell.hidden_dim), dtype=np.float64)
+        if h0 is not None:
+            h = np.asarray(h0, dtype=np.float64)
+        states = np.empty((batch, steps, self.cell.hidden_dim))
+        for t in range(steps):
+            h, _ = self.cell.step_batch(inputs[:, t, :], h)
+            states[:, t, :] = h
+        return states
 
     def backward(
         self,

@@ -101,6 +101,37 @@ class LSTMCell(Module):
         )
         return hidden_state, cell, cache
 
+    def step_batch(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One time step over a ``(B, input_dim)`` row-batch.
+
+        Row ``b`` of the outputs equals :meth:`step` applied to row ``b``
+        of the inputs (to floating-point round-off: the batch runs one
+        ``(B, 4h)`` matmul per term where :meth:`step` runs B mat-vecs).
+        Inference-only — no cache is produced and no gradients flow; the
+        training path stays on :meth:`step`.
+        """
+        hidden = self.hidden_dim
+        x = np.asarray(x, dtype=np.float64)
+        h_prev = np.asarray(h_prev, dtype=np.float64)
+        c_prev = np.asarray(c_prev, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"x must be (B, {self.input_dim}), got {x.shape}")
+        if h_prev.shape != (x.shape[0], hidden) or c_prev.shape != h_prev.shape:
+            raise ValueError(
+                f"states must be ({x.shape[0]}, {hidden}), got "
+                f"h={h_prev.shape}, c={c_prev.shape}"
+            )
+        pre = x @ self.wx.value.T + h_prev @ self.wh.value.T + self.bias.value
+        gate_i = sigmoid(pre[:, :hidden])
+        gate_f = sigmoid(pre[:, hidden : 2 * hidden])
+        gate_o = sigmoid(pre[:, 2 * hidden : 3 * hidden])
+        candidate = tanh(pre[:, 3 * hidden :])
+        cell = gate_f * c_prev + gate_i * candidate
+        hidden_state = gate_o * tanh(cell)
+        return hidden_state, cell
+
     def backward_step(
         self, dh: np.ndarray, dc: np.ndarray, cache: LSTMStepCache
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -181,6 +212,40 @@ class LSTMEncoder(Module):
             states[t] = h
             caches.append(cache)
         return states, caches
+
+    def forward_batch(
+        self,
+        inputs: np.ndarray,
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run the cell over a ``(B, T, input_dim)`` batch in lock-step.
+
+        Returns the ``(B, T, hidden_dim)`` hidden states; row ``b``
+        equals :meth:`forward` on sequence ``b`` (ragged batches must be
+        padded by the caller, which then ignores the surplus states).
+        Inference-only — no caches are kept, so there is no BPTT.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[2] != self.cell.input_dim:
+            raise ValueError(
+                f"inputs must be (B, T, {self.cell.input_dim}), "
+                f"got {inputs.shape}"
+            )
+        batch, steps = inputs.shape[:2]
+        if batch == 0 or steps == 0:
+            raise ValueError("cannot encode an empty batch or sequence")
+        h = np.zeros((batch, self.cell.hidden_dim), dtype=np.float64)
+        c = np.zeros((batch, self.cell.hidden_dim), dtype=np.float64)
+        if h0 is not None:
+            h = np.asarray(h0, dtype=np.float64)
+        if c0 is not None:
+            c = np.asarray(c0, dtype=np.float64)
+        states = np.empty((batch, steps, self.cell.hidden_dim))
+        for t in range(steps):
+            h, c = self.cell.step_batch(inputs[:, t, :], h, c)
+            states[:, t, :] = h
+        return states
 
     def backward(
         self,

@@ -54,6 +54,47 @@ class TestLinkerDegradedMode:
         result = linker.link("ckd stage 5")
         assert not result.degraded
 
+    def test_batched_phase2_error_falls_back_to_keyword_ranking(
+        self, make_linker
+    ):
+        # Regression guard for the batched hot path: a failure inside
+        # the all-at-once decode (the ``linker.phase2.batch`` probe
+        # site) degrades to Phase I exactly like a sequential failure.
+        linker = make_linker(batch_phase2=True)
+        clean = linker.link("ckd stage 5")
+        assert not clean.degraded
+        with fault_injection({"linker.phase2.batch": FaultSpec(times=-1)}):
+            result = linker.link("ckd stage 5")
+        assert result.degraded
+        assert result.degraded_reason.startswith("error:")
+        assert {c.cid for c in result.ranked} == {c.cid for c in clean.ranked}
+        keyword_scores = [c.keyword_score for c in result.ranked]
+        assert keyword_scores == sorted(keyword_scores, reverse=True)
+        assert all(c.log_prob == -math.inf for c in result.ranked)
+
+    def test_batched_phase2_error_without_degrade_reraises(self, make_linker):
+        linker = make_linker(batch_phase2=True, degrade_on_error=False)
+        with fault_injection({"linker.phase2.batch": FaultSpec(times=-1)}):
+            with pytest.raises(RuntimeError):
+                linker.link("ckd stage 5")
+
+    def test_batched_phase2_budget_degrades(self, make_linker):
+        # The batched decode is all-or-nothing, so the overrun is
+        # detected after it returns — the query still degrades with a
+        # ``budget:`` reason, matching the sequential contract.
+        linker = make_linker(batch_phase2=True, phase2_budget_s=0.01)
+        with fault_injection(
+            {
+                "linker.phase2.batch": FaultSpec(
+                    action="delay", delay_s=0.05, times=-1
+                )
+            }
+        ):
+            result = linker.link("ckd stage 5")
+        assert result.degraded
+        assert result.degraded_reason.startswith("budget:")
+        assert result.ranked
+
     def test_link_batch_degrades_per_query(self, make_linker):
         linker = make_linker()
         # Fail exactly one query's Phase II: the first probe hit belongs

@@ -1,17 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the fast suite exactly as CI runs it, then the opt-in
 # fault-injection drills (crash/resume end-to-end; excluded from the
-# default run by the `-m 'not faults'` addopts in pyproject.toml).
+# default run by the `-m 'not faults'` addopts in pyproject.toml) and
+# the opt-in Phase-II batching benchmark (refreshes BENCH_phase2.json).
 #
-#   tools/run_tier1.sh            # fast suite only
-#   tools/run_tier1.sh --faults   # fast suite + fault drills
+#   tools/run_tier1.sh                 # fast suite only
+#   tools/run_tier1.sh --faults        # fast suite + fault drills
+#   tools/run_tier1.sh --bench-phase2  # fast suite + batching benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
 python -m pytest -x -q
 
-if [[ "${1:-}" == "--faults" ]]; then
-    echo "== fault-injection drills =="
-    python -m pytest -q -m faults
-fi
+for arg in "$@"; do
+    case "$arg" in
+        --faults)
+            echo "== fault-injection drills =="
+            python -m pytest -q -m faults
+            ;;
+        --bench-phase2)
+            echo "== Phase-II batching benchmark (writes BENCH_phase2.json) =="
+            python -m pytest -q benchmarks/test_phase2_batching.py
+            ;;
+        *)
+            echo "unknown flag: $arg (expected --faults and/or --bench-phase2)" >&2
+            exit 2
+            ;;
+    esac
+done

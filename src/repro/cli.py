@@ -1,26 +1,34 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the deployment lifecycle:
+Eight commands cover the deployment lifecycle:
 
 * ``generate`` — synthesise a dataset bundle to a directory
   (ontology.json, kb.json, queries.jsonl);
 * ``train`` — pre-train embeddings + train COM-AID on a generated
-  dataset, saving a complete pipeline directory;
+  dataset, saving a complete pipeline directory (``--run-dir`` also
+  records per-epoch telemetry for ``repro runs``);
 * ``link`` — load a saved pipeline and link one or more queries;
+* ``trace`` — link queries with tracing forced on and print each
+  request's span tree (the offline twin of ``GET /traces``);
 * ``evaluate`` — load a saved pipeline and score it against a
   generated dataset's ground-truth queries;
 * ``serve`` — load a saved pipeline and run the long-lived HTTP
-  linking service (micro-batching, bounded caches, metrics);
+  linking service (micro-batching, bounded caches, metrics, traces);
+* ``runs`` — list training-run telemetry directories, or diff two
+  runs epoch by epoch;
 * ``verify-pipeline`` — check a saved pipeline's manifest and
   per-file checksums without loading the model.
 
 Example session::
 
     python -m repro generate --dataset hospital-x-like --out data/ --seed 7
-    python -m repro train --data data/ --out model/ --dim 24 --epochs 8
+    python -m repro train --data data/ --out model/ --dim 24 --epochs 8 \\
+        --run-dir runs/
     python -m repro link --model model/ "ckd 5" "fe def anemia"
+    python -m repro trace --model model/ "ckd 5"
+    python -m repro runs --dir runs/
     python -m repro evaluate --model model/ --data data/ --limit 100
-    python -m repro serve --model model/ --port 8080
+    python -m repro serve --model model/ --port 8080 --log-json
 """
 
 from __future__ import annotations
@@ -136,6 +144,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
+        run_dir=args.run_dir,
+        run_id=args.run_id,
     )
     # Provenance lands in the pipeline manifest (and /metrics): which
     # seed produced the deployed weights, and whether training resumed
@@ -198,6 +208,100 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import Tracer, format_trace
+
+    _, ontology, _, _, linker = load_pipeline(
+        args.model, LinkerConfig(k=args.k)
+    )
+    tracer = Tracer(sample_rate=1.0, capacity=max(len(args.queries), 1))
+    for query in args.queries:
+        root = tracer.start_trace("cli.link", query=query)
+        with root:
+            result = linker.link(query)
+            root.set_tag("results", len(result.ranked))
+            if result.degraded:
+                root.set_tag("degraded", True)
+                root.set_tag("degraded_reason", result.degraded_reason)
+        trace_dict = tracer.find(root.request_id)
+        if trace_dict is not None:
+            print(format_trace(trace_dict))
+        top = result.ranked[0] if result.ranked else None
+        if top is not None:
+            description = ontology.get(top.cid).description
+            print(f"  -> {top.cid} logp={top.log_prob:.2f}  {description}")
+        else:
+            print("  -> (no candidates)")
+        print()
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.runlog import diff_runs, list_runs, load_run
+
+    if args.diff:
+        run_a = load_run(Path(args.dir) / args.diff[0])
+        run_b = load_run(Path(args.dir) / args.diff[1])
+        report = diff_runs(run_a, run_b)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        print(f"run A: {report['run_a']} ({report['epochs_a']} epochs)")
+        print(f"run B: {report['run_b']} ({report['epochs_b']} epochs)")
+        for entry in report["per_epoch"]:
+            delta = entry.get("delta")
+            delta_text = f"{delta:+.4f}" if delta is not None else "n/a"
+            print(
+                f"  epoch {entry['epoch']:>3}: "
+                f"A={entry['loss_a']:.4f} B={entry['loss_b']:.4f} "
+                f"delta={delta_text}"
+            )
+        if "final_loss_delta" in report:
+            print(f"final loss delta (B-A): {report['final_loss_delta']:+.4f}")
+        return 0
+
+    runs = list_runs(args.dir)
+    if not runs:
+        print(f"no runs under {args.dir}")
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "run_id": run.run_id,
+                        "epochs": len(run.epochs),
+                        "final_loss": run.final_loss,
+                        "seconds": run.seconds,
+                        "tokens_per_s": run.mean_tokens_per_s,
+                        "completed": run.completed,
+                    }
+                    for run in runs
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{'run':<28} {'epochs':>6} {'final_loss':>10} "
+        f"{'seconds':>8} {'tok/s':>10} status"
+    )
+    for run in runs:
+        loss = f"{run.final_loss:.4f}" if run.final_loss is not None else "-"
+        seconds = f"{run.seconds:.1f}" if run.seconds is not None else "-"
+        rate = (
+            f"{run.mean_tokens_per_s:.0f}"
+            if run.mean_tokens_per_s is not None
+            else "-"
+        )
+        status = "complete" if run.completed else "partial"
+        print(
+            f"{run.run_id:<28} {len(run.epochs):>6} {loss:>10} "
+            f"{seconds:>8} {rate:>10} {status}"
+        )
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     _, _, _, _, linker = load_pipeline(args.model, LinkerConfig(k=args.k))
     _, _, _, queries = _load_dataset_dir(Path(args.data))
@@ -222,6 +326,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import create_server, run_server
     from repro.serving.service import LinkingService
 
+    if args.log_json:
+        from repro.obs.logjson import configure_json_logging
+
+        configure_json_logging()
     _, _, _, _, linker = load_pipeline(
         args.model,
         LinkerConfig(k=args.k, encoding_cache_size=args.cache_size),
@@ -233,6 +341,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_wait_ms=args.batch_wait_ms,
         request_timeout_s=args.request_timeout,
         warm_on_start=not args.no_warm,
+        trace_sample_rate=args.trace_sample,
+        trace_buffer=args.trace_buffer,
     )
     service = LinkingService(linker, config)
     server = create_server(service, host=config.host, port=config.port)
@@ -295,6 +405,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint directory (or a checkpoint root, "
         "which picks the latest epoch)",
     )
+    train.add_argument(
+        "--run-dir", default=None,
+        help="record per-epoch telemetry under this directory "
+        "(listable with `repro runs`)",
+    )
+    train.add_argument(
+        "--run-id", default=None,
+        help="run directory name under --run-dir (default: timestamped)",
+    )
     train.set_defaults(func=_cmd_train)
 
     link = commands.add_parser("link", help="link queries with a saved pipeline")
@@ -303,6 +422,30 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--top", type=int, default=3)
     link.add_argument("queries", nargs="+", help="query text(s)")
     link.set_defaults(func=_cmd_link)
+
+    trace = commands.add_parser(
+        "trace",
+        help="link queries with tracing forced on and print span trees",
+    )
+    trace.add_argument("--model", required=True, help="saved pipeline dir")
+    trace.add_argument("--k", type=int, default=20)
+    trace.add_argument("queries", nargs="+", help="query text(s)")
+    trace.set_defaults(func=_cmd_trace)
+
+    runs = commands.add_parser(
+        "runs", help="list or diff training-run telemetry directories"
+    )
+    runs.add_argument(
+        "--dir", required=True, help="runs root (the train --run-dir)"
+    )
+    runs.add_argument(
+        "--diff", nargs=2, metavar=("RUN_A", "RUN_B"), default=None,
+        help="compare two run ids epoch by epoch",
+    )
+    runs.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    runs.set_defaults(func=_cmd_runs)
 
     evaluate = commands.add_parser(
         "evaluate", help="score a saved pipeline on a dataset's queries"
@@ -341,6 +484,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-warm", action="store_true",
         help="skip warm-up; readiness flips immediately, caches fill lazily",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of requests traced into GET /traces "
+        "(deterministic; 0 disables tracing)",
+    )
+    serve.add_argument(
+        "--trace-buffer", type=int, default=64,
+        help="how many finished traces the ring buffer retains",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs (request-ID correlated) on stderr",
     )
     serve.set_defaults(func=_cmd_serve)
 

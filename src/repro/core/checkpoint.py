@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs import trace
 from repro.utils.errors import DataError
 from repro.utils.faults import probe
 
@@ -120,6 +121,11 @@ def save_checkpoint(directory: PathLike, state: CheckpointState) -> Path:
     Returns the committed checkpoint path (``<directory>/epoch-KKKK``).
     Re-saving an epoch that already exists replaces it.
     """
+    with trace.span("checkpoint.save", epoch=state.epoch):
+        return _save_checkpoint(directory, state)
+
+
+def _save_checkpoint(directory: PathLike, state: CheckpointState) -> Path:
     base = Path(directory)
     base.mkdir(parents=True, exist_ok=True)
     _sweep_staging(base)

@@ -243,6 +243,15 @@ class ServingConfig:
     warm_backoff_s:
         Base backoff before the first warm-up retry; doubles per
         attempt.
+    trace_sample_rate:
+        Fraction of requests whose span trace is retained (``GET
+        /traces``).  Deterministic: 0.25 keeps exactly every fourth
+        request.  0 disables tracing entirely (the instrumented path
+        then costs one context-variable read per span site, the <1%
+        overhead budget ``BENCH_obs.json`` enforces).
+    trace_buffer:
+        Ring-buffer capacity for finished traces; the oldest trace is
+        evicted when a new one lands in a full buffer.
     """
 
     host: str = "127.0.0.1"
@@ -253,6 +262,8 @@ class ServingConfig:
     warm_on_start: bool = True
     warm_retries: int = 2
     warm_backoff_s: float = 0.5
+    trace_sample_rate: float = 1.0
+    trace_buffer: int = 64
 
     def __post_init__(self) -> None:
         if self.warm_retries < 0:
@@ -278,4 +289,13 @@ class ServingConfig:
         if self.request_timeout_s <= 0:
             raise ConfigurationError(
                 f"request_timeout_s must be positive, got {self.request_timeout_s}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                "trace_sample_rate must be in [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
+        if self.trace_buffer < 1:
+            raise ConfigurationError(
+                f"trace_buffer must be >= 1, got {self.trace_buffer}"
             )

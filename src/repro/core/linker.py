@@ -36,6 +36,7 @@ from repro.core.config import LinkerConfig
 from repro.core.rewriter import QueryRewriter, Rewrite
 from repro.embeddings.similarity import WordVectors
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import trace
 from repro.ontology.ontology import Ontology
 from repro.ontology.paths import structural_context
 from repro.serving.cache import CacheStats, LRUCache
@@ -236,6 +237,7 @@ class NeuralConceptLinker:
         self,
         queries: Sequence[str],
         k: Union[None, int, Sequence[Optional[int]]] = None,
+        trace_contexts: Optional[Sequence[object]] = None,
     ) -> List[LinkResult]:
         """Link several queries, amortising Phase-II concept encodings.
 
@@ -249,6 +251,14 @@ class NeuralConceptLinker:
 
         ``k`` may be a single value for the whole batch or one
         (possibly ``None``) entry per query.
+
+        ``trace_contexts`` carries one (possibly ``None``) span per
+        query: this method typically runs on the micro-batcher's worker
+        thread, where the submitting request's trace context is not
+        ambient, so the serving layer captures each request's span at
+        submit time and the per-query work here re-enters it — nesting
+        the linker's spans under the right request even though requests
+        from several traces share one batch.
         """
         if isinstance(k, (list, tuple)):
             if len(k) != len(queries):
@@ -258,11 +268,25 @@ class NeuralConceptLinker:
             top_ks = [self._resolve_k(value) for value in k]
         else:
             top_ks = [self._resolve_k(k)] * len(queries)
-        prepared = [
-            self._phase_one(query, top_k)
-            for query, top_k in zip(queries, top_ks)
-        ]
-        return [self._phase_two(item) for item in prepared]
+        if trace_contexts is not None and len(trace_contexts) != len(queries):
+            raise ConfigurationError(
+                f"got {len(trace_contexts)} trace contexts for "
+                f"{len(queries)} queries"
+            )
+        contexts: Sequence[object] = (
+            trace_contexts
+            if trace_contexts is not None
+            else [None] * len(queries)
+        )
+        prepared = []
+        for query, top_k, context in zip(queries, top_ks, contexts):
+            with trace.attach(context):
+                prepared.append(self._phase_one(query, top_k))
+        results = []
+        for item, context in zip(prepared, contexts):
+            with trace.attach(context):
+                results.append(self._phase_two(item))
+        return results
 
     def _resolve_k(self, k: Optional[int]) -> int:
         top_k = k if k is not None else self.config.k
@@ -276,15 +300,22 @@ class NeuralConceptLinker:
         tokens = tuple(tokenize(query))
         rewrites: Tuple[Rewrite, ...] = ()
         rewritten = tokens
-        with timer.phase("OR"):
+        with timer.phase("OR"), trace.span(
+            "linker.rewrite", phase="OR"
+        ) as span:
             if self.rewriter is not None and tokens:
                 rewritten_list, applied = self.rewriter.rewrite(tokens)
                 rewritten = tuple(rewritten_list)
                 rewrites = tuple(applied)
-        with timer.phase("CR"):
+                if applied:
+                    span.set_tag("rewrites", len(applied))
+        with timer.phase("CR"), trace.span(
+            "linker.retrieve", phase="CR", k=top_k
+        ) as span:
             keyword_hits = (
                 self.candidates.generate(rewritten, k=top_k) if rewritten else []
             )
+            span.set_tag("candidates", len(keyword_hits))
         return _PreparedQuery(
             query=query,
             tokens=tokens,
@@ -314,7 +345,12 @@ class NeuralConceptLinker:
         config = self.config
         scored: List[RankedConcept] = []
         degraded_reason: Optional[str] = None
-        with timer.phase("ED"):
+        with timer.phase("ED"), trace.span(
+            "linker.phase2",
+            phase="ED",
+            candidates=len(prepared.keyword_hits),
+            mode="batched" if config.batch_phase2 else "sequential",
+        ) as ed_span:
             budget = config.phase2_budget_s
             deadline = (time.monotonic() + budget) if budget > 0 else None
             try:
@@ -335,9 +371,13 @@ class NeuralConceptLinker:
                     prepared.query,
                     error,
                 )
+            if degraded_reason is not None:
+                ed_span.set_tag("degraded_reason", degraded_reason)
         if degraded_reason is not None:
             return self._degraded_result(prepared, degraded_reason)
-        with timer.phase("RT"):
+        with timer.phase("RT"), trace.span(
+            "linker.rerank", phase="RT", results=len(scored)
+        ):
             if self._log_priors is not None:
                 log_priors = self._log_priors
                 floor = min(log_priors.values())
@@ -368,19 +408,22 @@ class NeuralConceptLinker:
     ) -> Tuple[List[RankedConcept], Optional[str]]:
         """Per-candidate reference path (also the equivalence oracle)."""
         scored: List[RankedConcept] = []
-        for cid, keyword_score in prepared.keyword_hits:
-            probe("linker.phase2")
-            if deadline is not None and time.monotonic() > deadline:
-                return scored, (
-                    f"budget: phase2 exceeded {budget:.3f}s after "
-                    f"{len(scored)}/{len(prepared.keyword_hits)} candidates"
+        with trace.span(
+            "linker.phase2.decode", phase="ED", mode="sequential"
+        ):
+            for cid, keyword_score in prepared.keyword_hits:
+                probe("linker.phase2")
+                if deadline is not None and time.monotonic() > deadline:
+                    return scored, (
+                        f"budget: phase2 exceeded {budget:.3f}s after "
+                        f"{len(scored)}/{len(prepared.keyword_hits)} candidates"
+                    )
+                log_prob = self._score_candidate(cid, prepared.rewritten)
+                scored.append(
+                    RankedConcept(
+                        cid=cid, log_prob=log_prob, keyword_score=keyword_score
+                    )
                 )
-            log_prob = self._score_candidate(cid, prepared.rewritten)
-            scored.append(
-                RankedConcept(
-                    cid=cid, log_prob=log_prob, keyword_score=keyword_score
-                )
-            )
         return scored, None
 
     def _phase_two_batched(
@@ -418,14 +461,25 @@ class NeuralConceptLinker:
                 pending_ids.append(self.model.words_to_ids(effective))
         if pending:
             probe("linker.phase2.batch")
-            batch = [
-                (
-                    self._concept_encoding(hits[index][0]),
-                    self._ancestor_encodings(hits[index][0]),
-                )
-                for index in pending
-            ]
-            scores = self.model.score_batch(pending_ids, batch)
+            with trace.span(
+                "linker.phase2.decode", phase="ED", batch=len(pending)
+            ) as span:
+                if span.is_recording:
+                    cached = sum(
+                        1
+                        for index in pending
+                        if hits[index][0] in self._encoding_cache
+                    )
+                    span.set_tag("encodings_cached", cached)
+                    span.set_tag("encodings_missing", len(pending) - cached)
+                batch = [
+                    (
+                        self._concept_encoding(hits[index][0]),
+                        self._ancestor_encodings(hits[index][0]),
+                    )
+                    for index in pending
+                ]
+                scores = self.model.score_batch(pending_ids, batch)
             for index, score in zip(pending, scores):
                 log_probs[index] = float(score)
             if deadline is not None and time.monotonic() > deadline:
@@ -445,7 +499,9 @@ class NeuralConceptLinker:
         self, prepared: "_PreparedQuery", reason: str
     ) -> LinkResult:
         """Phase I fallback: keyword ranking only, tagged ``degraded``."""
-        with prepared.timer.phase("RT"):
+        with prepared.timer.phase("RT"), trace.span(
+            "linker.rerank", phase="RT", degraded=True
+        ):
             ranked = tuple(
                 RankedConcept(
                     cid=cid, log_prob=-math.inf, keyword_score=keyword_score

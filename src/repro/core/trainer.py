@@ -30,6 +30,7 @@ from repro.core.comaid import ComAid
 from repro.core.config import ComAidConfig, TrainingConfig
 from repro.kb.knowledge_base import KnowledgeBase, TrainingPair
 from repro.nn.clip import clip_global_norm
+from repro.obs.runlog import RunLogger, rng_fingerprint
 from repro.nn.optim import make_optimizer
 from repro.embeddings.similarity import WordVectors
 from repro.ontology.ontology import Ontology
@@ -163,6 +164,8 @@ class ComAidTrainer:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 0,
         resume_from: Optional[Union[str, Path]] = None,
+        run_dir: Optional[Union[str, Path]] = None,
+        run_id: Optional[str] = None,
     ) -> ComAid:
         """Train a fresh model on the knowledge base's alias pairs.
 
@@ -179,6 +182,11 @@ class ComAidTrainer:
         the uninterrupted run's epoch losses and final parameters
         bit-for-bit (wall-clock ``history.seconds`` is the one field
         that legitimately differs).
+
+        ``run_dir`` enables training telemetry: per-epoch JSONL records
+        (loss, token throughput, gradient norms, checkpoint wall time,
+        RNG stream fingerprint) land under ``run_dir/<run_id>/`` as the
+        run progresses, for ``repro runs`` to list and diff.
         """
         if checkpoint_every < 0:
             raise ConfigurationError(
@@ -218,13 +226,47 @@ class ComAidTrainer:
                 resume_state.epoch,
                 self.training_config.epochs,
             )
-        self._run_epochs(
-            examples,
-            self.training_config.epochs,
-            resume_state=resume_state,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_every=checkpoint_every,
-        )
+        runlog: Optional[RunLogger] = None
+        if run_dir is not None:
+            runlog = RunLogger(
+                run_dir,
+                run_id=run_id,
+                meta={
+                    "model_config": dataclasses.asdict(self.model_config),
+                    "training_config": dataclasses.asdict(
+                        self.training_config
+                    ),
+                    "examples": len(examples),
+                    "pretrained_embeddings": word_vectors is not None,
+                    "resumed_epoch": (
+                        resume_state.epoch if resume_state is not None else 0
+                    ),
+                    "rng_fingerprint_start": rng_fingerprint(self._rng),
+                },
+            )
+        try:
+            self._run_epochs(
+                examples,
+                self.training_config.epochs,
+                resume_state=resume_state,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                runlog=runlog,
+            )
+            if runlog is not None:
+                runlog.finish(
+                    epochs=len(self.history.epoch_losses),
+                    final_loss=(
+                        self.history.epoch_losses[-1]
+                        if self.history.epoch_losses
+                        else None
+                    ),
+                    seconds=self.history.seconds,
+                    examples=self.history.examples,
+                )
+        finally:
+            if runlog is not None:
+                runlog.close()
         return model
 
     def _validate_resume(
@@ -293,6 +335,7 @@ class ComAidTrainer:
         resume_state: Optional[CheckpointState] = None,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 0,
+        runlog: Optional[RunLogger] = None,
     ) -> None:
         assert self.model is not None
         model = self.model
@@ -329,10 +372,14 @@ class ComAidTrainer:
                 self._rng.bit_generator.state = resume_state.rng_state
         watch = Stopwatch().start()
         for epoch in range(start_epoch, epochs):
+            epoch_started = watch.elapsed
             if settings.shuffle:
                 self._rng.shuffle(order)
             epoch_loss = 0.0
             token_count = 0
+            grad_norm_sum = 0.0
+            grad_norm_max = 0.0
+            batch_count = 0
             for start in range(0, len(order), settings.batch_size):
                 batch = order[start : start + settings.batch_size]
                 model.zero_grad()
@@ -347,21 +394,46 @@ class ComAidTrainer:
                     model.backward(cache, scale=scale)
                     epoch_loss += cache.loss
                     token_count += len(example.query_ids) + 1
-                clip_global_norm(model.parameters().values(), settings.clip_norm)
+                grad_norm = clip_global_norm(
+                    model.parameters().values(), settings.clip_norm
+                )
+                grad_norm_sum += grad_norm
+                grad_norm_max = max(grad_norm_max, grad_norm)
+                batch_count += 1
                 optimizer.step()
             mean_loss = epoch_loss / max(token_count, 1)
             self.history.epoch_losses.append(mean_loss)
             logger.info(
                 "epoch %d/%d mean token loss %.4f", epoch + 1, epochs, mean_loss
             )
+            checkpoint_seconds = 0.0
             if (
                 checkpoint_dir is not None
                 and checkpoint_every > 0
                 and (epoch + 1) % checkpoint_every == 0
             ):
+                checkpoint_watch = Stopwatch().start()
                 save_checkpoint(
                     checkpoint_dir,
                     snapshot_from_trainer(self, optimizer, epoch + 1, order),
+                )
+                checkpoint_seconds = checkpoint_watch.stop()
+            if runlog is not None:
+                epoch_seconds = watch.elapsed - epoch_started
+                runlog.log_epoch(
+                    epoch + 1,
+                    mean_loss=mean_loss,
+                    tokens=token_count,
+                    seconds=epoch_seconds,
+                    tokens_per_s=(
+                        token_count / epoch_seconds if epoch_seconds > 0 else 0.0
+                    ),
+                    grad_norm_mean=(
+                        grad_norm_sum / batch_count if batch_count else 0.0
+                    ),
+                    grad_norm_max=grad_norm_max,
+                    checkpoint_s=checkpoint_seconds,
+                    rng=rng_fingerprint(self._rng),
                 )
             probe("trainer.epoch_end")
         self.history.seconds += watch.stop()

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.feedback import FeedbackController
 from repro.eval.experiments.scale import SMALL, ExperimentScale
 from repro.eval.harness import build_pipeline
+from repro.eval.reporting import emit
 from repro.ontology.paths import structural_context
 from repro.text.tokenize import tokenize
 from repro.utils.rng import derive_rng, ensure_rng
@@ -173,7 +174,7 @@ def run(
         previous_concepts = current_concepts
         previous_words = current_words
         if verbose:
-            print(
+            emit(
                 f"Fig10 feedback {len(steps)}: <{cid}, {text!r}> "
                 f"loss {loss_before:.2f} -> {loss_after:.2f}, "
                 f"concept shift {concept_shift:.4f}, word shift {word_shift:.4f}"

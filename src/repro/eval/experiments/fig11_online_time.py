@@ -20,7 +20,7 @@ from typing import Dict, List, Sequence
 from repro.core.config import LinkerConfig
 from repro.eval.experiments.scale import DEFAULT, ExperimentScale
 from repro.eval.harness import NclPipeline, build_pipeline
-from repro.eval.reporting import format_table
+from repro.eval.reporting import emit, format_table
 from repro.utils.rng import derive_rng, ensure_rng
 from repro.utils.timing import TimingBreakdown
 
@@ -89,7 +89,7 @@ def run_vary_k(
                 + [round(per_k[k]["total"] * 1e3, 3)]
                 for k in k_grid
             ]
-            print(
+            emit(
                 format_table(
                     ["k"] + [f"{p} (ms)" for p in PHASES] + ["total (ms)"],
                     rows,
@@ -140,7 +140,7 @@ def run_vary_query_length(
                 + [round(values["total"] * 1e3, 3)]
                 for length, values in per_length.items()
             ]
-            print(
+            emit(
                 format_table(
                     ["|q|"] + [f"{p} (ms)" for p in PHASES] + ["total (ms)"],
                     rows,

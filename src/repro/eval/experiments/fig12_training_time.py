@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 from repro.core.trainer import ComAidTrainer
 from repro.embeddings.pretrain import pretrain_word_vectors
 from repro.eval.experiments.scale import SMALL, ExperimentScale
-from repro.eval.reporting import format_series
+from repro.eval.reporting import emit, format_series
 from repro.utils.rng import derive_rng, ensure_rng
 from repro.utils.timing import Stopwatch
 
@@ -54,7 +54,7 @@ def run_pretraining_time(
             "seconds": seconds,
         }
         if verbose:
-            print(
+            emit(
                 format_series(
                     f"Fig12a {name} pretrain-seconds", fractions, seconds, "frac"
                 )
@@ -94,7 +94,7 @@ def run_refinement_time(
             "seconds": seconds,
         }
         if verbose:
-            print(
+            emit(
                 format_series(
                     f"Fig12b {name} refine-seconds", fractions, seconds, "frac"
                 )

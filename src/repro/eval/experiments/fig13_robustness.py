@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 from repro.datasets.generator import generate_queries
 from repro.eval.experiments.scale import SMALL, ExperimentScale
 from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
-from repro.eval.reporting import format_series
+from repro.eval.reporting import emit, format_series
 from repro.utils.rng import derive_rng, ensure_rng
 
 FRACTIONS = (0.25, 0.5, 0.75, 1.0)
@@ -84,7 +84,7 @@ def run_vary_concepts(
             accuracies.append(outcome.accuracy)
         results[name] = {"fraction": list(fractions), "acc": accuracies}
         if verbose:
-            print(
+            emit(
                 format_series(f"Fig13a {name}", fractions, accuracies, "frac")
             )
     return results
@@ -130,7 +130,7 @@ def run_vary_unlabeled(
             accuracies.append(outcome.accuracy)
         results[name] = {"fraction": list(fractions), "acc": accuracies}
         if verbose:
-            print(
+            emit(
                 format_series(f"Fig13b {name}", fractions, accuracies, "frac")
             )
     return results

@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence
 from repro.eval.experiments.scale import DEFAULT, ExperimentScale
 from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
 from repro.eval.metrics import coverage, top1_accuracy
-from repro.eval.reporting import format_series
+from repro.eval.reporting import emit, format_series
 from repro.utils.rng import derive_rng, ensure_rng
 
 K_GRID = (10, 20, 30, 40, 50)
@@ -59,8 +59,8 @@ def run_vary_k(
         "acc": [sum(values) / len(values) for values in accuracy_per_k.values()],
     }
     if verbose:
-        print(format_series("Fig5a Cov", results["k"], results["cov"], "k"))
-        print(format_series("Fig5a Acc", results["k"], results["acc"], "k"))
+        emit(format_series("Fig5a Cov", results["k"], results["cov"], "k"))
+        emit(format_series("Fig5a Acc", results["k"], results["acc"], "k"))
     return results
 
 
@@ -101,5 +101,5 @@ def run_vary_beta(
             accuracies.append(outcome.accuracy)
         results[name] = {"beta": list(beta_grid), "acc": accuracies}
         if verbose:
-            print(format_series(f"Fig5b {name}", beta_grid, accuracies, "beta"))
+            emit(format_series(f"Fig5b {name}", beta_grid, accuracies, "beta"))
     return results

@@ -26,7 +26,7 @@ from typing import Dict, List, Sequence
 
 from repro.eval.experiments.scale import SMALL, ExperimentScale
 from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
-from repro.eval.reporting import format_series
+from repro.eval.reporting import emit, format_series
 from repro.utils.rng import derive_rng, ensure_rng
 
 VARIANTS = {
@@ -86,12 +86,12 @@ def run(
         results[name] = per_variant
         if verbose:
             for variant, series in per_variant.items():
-                print(
+                emit(
                     format_series(
                         f"Fig6 {name} {variant} acc", dims, series["acc"], "d"
                     )
                 )
-                print(
+                emit(
                     format_series(
                         f"Fig6 {name} {variant} mrr", dims, series["mrr"], "d"
                     )

@@ -34,7 +34,7 @@ from repro.eval.harness import (
     evaluate_groups,
     linker_ranker,
 )
-from repro.eval.reporting import format_table
+from repro.eval.reporting import emit, format_table
 from repro.utils.rng import derive_rng, ensure_rng
 
 THETA_GRID = (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -133,7 +133,7 @@ def run(
 
         results[name] = rows
         if verbose:
-            print(
+            emit(
                 format_table(
                     ["method", "accuracy", "MRR"],
                     [row.as_row() for row in rows],

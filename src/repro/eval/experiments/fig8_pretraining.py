@@ -24,7 +24,7 @@ from typing import Dict, List, Sequence
 
 from repro.eval.experiments.scale import SMALL, ExperimentScale
 from repro.eval.harness import build_pipeline, evaluate_ranker, linker_ranker
-from repro.eval.reporting import format_series
+from repro.eval.reporting import emit, format_series
 from repro.utils.rng import derive_rng, ensure_rng
 
 DATASETS = ("hospital-x-like", "mimic-iii-like")
@@ -94,7 +94,7 @@ def run(
         results[name] = per_series
         if verbose:
             for series_name, data in per_series.items():
-                print(
+                emit(
                     format_series(
                         f"Fig8 {name} {series_name}", dims, data["acc"], "d"
                     )

@@ -19,7 +19,7 @@ from typing import Dict, Sequence
 from repro.core.linker import NeuralConceptLinker
 from repro.eval.experiments.scale import DEFAULT, ExperimentScale
 from repro.eval.harness import build_pipeline
-from repro.eval.reporting import format_table
+from repro.eval.reporting import emit, format_table
 from repro.utils.rng import derive_rng, ensure_rng
 from repro.utils.timing import TimingBreakdown
 
@@ -114,7 +114,7 @@ def run_phase2_batching(
             + [round(timings[mode]["total"] * 1e3, 3)]
             for mode in ("sequential", "batched")
         ]
-        print(
+        emit(
             format_table(
                 ["mode"] + [f"{p} (ms)" for p in PHASES] + ["total (ms)"],
                 rows,

@@ -2,11 +2,22 @@
 
 Benchmarks print the same rows/series the paper's tables and figures
 report; these helpers keep that output consistent and diff-friendly.
+
+Experiment code writes through :func:`emit` rather than bare ``print``:
+the library keeps a single, greppable output seam (enforced by
+``tools/check_no_print.py``) while the CLI remains the only place that
+prints directly.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import List, Sequence
+
+
+def emit(text: str = "") -> None:
+    """Write one line of experiment output to stdout."""
+    sys.stdout.write(text + "\n")
 
 
 def _stringify(value: object) -> str:

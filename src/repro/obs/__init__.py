@@ -1,0 +1,23 @@
+"""Observability: span tracing, training telemetry, structured logs.
+
+The paper's online-cost analysis (Section 5, Figure 11) decomposes
+linking time into OR/CR/ED/RT; :mod:`repro.obs` is the layer that lets
+a running deployment *see* that decomposition per request rather than
+only in aggregate:
+
+* :mod:`repro.obs.trace` — a zero-dependency span tracer with
+  context-propagated request IDs, nested spans over the full online
+  path, and a bounded ring buffer of sampled traces (``GET /traces``,
+  ``repro trace``);
+* :mod:`repro.obs.runlog` — per-epoch JSONL training telemetry and
+  run comparison (``repro runs``);
+* :mod:`repro.obs.logjson` — structured JSON logging correlated with
+  the active trace's request ID;
+* :mod:`repro.obs.prom` — Prometheus text-format exposition of the
+  serving metrics (``GET /metrics?format=prometheus``).
+
+Everything here is stdlib-only and safe to import from any layer:
+:mod:`repro.obs.trace` in particular imports nothing from ``repro``,
+so core modules (linker, trainer, faults) can call its no-op-when-idle
+``span()``/``span_event()`` hooks without layering cycles.
+"""

@@ -1,0 +1,79 @@
+"""Structured JSON logging correlated with the active trace.
+
+One JSON object per line: timestamp, level, logger, message, plus the
+``request_id``/``trace_id``/``span_id`` of whatever sampled trace is
+active in the logging thread's context — which is how a log line from
+deep inside Phase II is joined to its ``GET /traces`` span tree.  Any
+``extra={...}`` fields a call site passes land in the object too.
+
+The library never configures logging on import (that stays an
+application decision, per :mod:`repro.utils.logging`);
+:func:`configure_json_logging` is the one-call opt-in the ``repro
+serve`` CLI uses.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+from typing import IO, Optional
+
+from repro.obs import trace
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as single-line JSON with trace correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.fromtimestamp(
+                record.created, tz=timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = trace.current_span()
+        if span is not None and span.is_recording:
+            payload["request_id"] = span.request_id
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream: Optional[IO[str]] = None
+) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` root logger (idempotent).
+
+    Replaces any handler installed by a previous call, so tests and
+    re-invocations do not stack duplicate output.  Returns the handler
+    (callers may capture its stream or remove it).
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

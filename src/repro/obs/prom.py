@@ -1,0 +1,102 @@
+"""Prometheus text-format exposition of the serving metrics.
+
+Renders a :class:`~repro.serving.metrics.MetricsRegistry` in the
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+counters as ``repro_<name>_total`` and latency histograms as the
+standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+triple, so a stock Prometheus scrape of ``GET
+/metrics?format=prometheus`` needs no adapter.  Metric names are
+sanitised (dots become underscores: ``phase_seconds.ED`` →
+``repro_phase_seconds_ED``); each histogram is read atomically so a
+scrape never sees ``_count`` disagree with its ``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.serving.metrics import MetricsRegistry
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold a dotted registry name into a valid Prometheus metric name."""
+    cleaned = _INVALID.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    metrics: MetricsRegistry,
+    namespace: str = "repro",
+    gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """The registry's current state in Prometheus text format.
+
+    ``gauges`` carries point-in-time values that are not registry
+    counters (readiness, uptime, cache sizes); they render with
+    ``# TYPE ... gauge``.
+    """
+    counters, histograms = metrics.collect()
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = f"{namespace}_{sanitize_metric_name(name)}"
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name].value}")
+    for name, value in sorted((gauges or {}).items()):
+        metric = f"{namespace}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        metric = f"{namespace}_{sanitize_metric_name(name)}"
+        buckets, total_sum, count = histogram.buckets()
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in buckets:
+            le = "+Inf" if math.isinf(bound) else _format_value(bound)
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(total_sum)}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_gauges(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Extract gauge-worthy scalars from a service snapshot dict.
+
+    Pulls readiness/uptime plus per-cache and batcher numbers out of
+    the JSON ``/metrics`` payload shape, so the Prometheus view covers
+    the same surface without new bookkeeping.
+    """
+    gauges: Dict[str, float] = {}
+    if "ready" in snapshot:
+        gauges["ready"] = 1.0 if snapshot["ready"] else 0.0
+    if "healthy" in snapshot:
+        gauges["healthy"] = 1.0 if snapshot["healthy"] else 0.0
+    if "uptime_seconds" in snapshot:
+        gauges["uptime_seconds"] = float(snapshot["uptime_seconds"])
+    for cache_name, stats in (snapshot.get("caches") or {}).items():
+        for key in ("size", "hits", "misses", "evictions"):
+            if key in stats:
+                gauges[f"cache.{cache_name}.{key}"] = float(stats[key])
+    for key, value in (snapshot.get("batcher") or {}).items():
+        if isinstance(value, (int, float)):
+            gauges[f"batcher.{key}"] = float(value)
+    for key, value in (snapshot.get("traces") or {}).items():
+        if isinstance(value, (int, float)):
+            gauges[f"traces.{key}"] = float(value)
+    return gauges

@@ -1,0 +1,225 @@
+"""Training run telemetry: per-epoch JSONL logs and run comparison.
+
+Ngo et al.'s medical-concept-annotation study attributes accuracy
+deltas across pipeline stages by comparing *runs*, not single numbers;
+this module gives :class:`~repro.core.trainer.ComAidTrainer` the same
+discipline.  A run directory looks like::
+
+    runs/20260806-142501-3fa2c1/
+        meta.json       # configs, example counts, RNG fingerprint
+        epochs.jsonl    # one record per epoch, appended + flushed live
+        summary.json    # final loss / wall time, written at completion
+
+``epochs.jsonl`` is append-only and flushed per epoch, so a crashed or
+killed run keeps everything it had measured — the file doubles as a
+liveness probe for long trainings.  ``repro runs`` lists run
+directories and diffs two runs epoch-by-epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.utils.errors import DataError
+
+PathLike = Union[str, Path]
+
+META_FILE = "meta.json"
+EPOCHS_FILE = "epochs.jsonl"
+SUMMARY_FILE = "summary.json"
+
+
+def rng_fingerprint(rng: Any) -> str:
+    """A short stable digest of a numpy Generator's current state.
+
+    Two runs whose fingerprints match at the same epoch are consuming
+    identical random streams — the cheap way to confirm a resumed run
+    really is bit-for-bit on the original's trajectory.
+    """
+    state = repr(rng.bit_generator.state).encode("utf-8")
+    return hashlib.sha256(state).hexdigest()[:12]
+
+
+def _default_run_id() -> str:
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+
+class RunLogger:
+    """Appends one training run's telemetry under ``root/<run_id>/``."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        run_id: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.run_id = run_id if run_id else _default_run_id()
+        self.path = Path(root) / self.run_id
+        self.path.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "run_id": self.run_id,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        payload.update(meta or {})
+        with open(self.path / META_FILE, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        # Line-buffered append handle held for the run's lifetime; each
+        # epoch record is flushed immediately so a killed run loses
+        # nothing already measured.
+        self._epochs = open(self.path / EPOCHS_FILE, "a", encoding="utf-8")
+
+    def log_epoch(self, epoch: int, **fields: Any) -> None:
+        """Append one per-epoch record (flushed to disk before return)."""
+        record: Dict[str, Any] = {"epoch": epoch}
+        record.update(fields)
+        self._epochs.write(json.dumps(record, default=str) + "\n")
+        self._epochs.flush()
+
+    def finish(self, **fields: Any) -> None:
+        """Write the end-of-run summary and close the epoch log."""
+        with open(self.path / SUMMARY_FILE, "w", encoding="utf-8") as handle:
+            json.dump(fields, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        self.close()
+
+    def close(self) -> None:
+        """Close the epoch log without writing a summary (crash path)."""
+        if not self._epochs.closed:
+            self._epochs.close()
+
+
+@dataclass
+class RunInfo:
+    """One run directory, loaded: metadata, epoch records, summary."""
+
+    run_id: str
+    path: Path
+    meta: Dict[str, Any] = field(default_factory=dict)
+    epochs: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        if self.epochs and "mean_loss" in self.epochs[-1]:
+            return float(self.epochs[-1]["mean_loss"])
+        return None
+
+    @property
+    def seconds(self) -> Optional[float]:
+        if "seconds" in self.summary:
+            return float(self.summary["seconds"])
+        total = sum(
+            float(record.get("seconds", 0.0)) for record in self.epochs
+        )
+        return total if self.epochs else None
+
+    @property
+    def mean_tokens_per_s(self) -> Optional[float]:
+        rates = [
+            float(record["tokens_per_s"])
+            for record in self.epochs
+            if "tokens_per_s" in record
+        ]
+        return sum(rates) / len(rates) if rates else None
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.summary)
+
+
+def load_run(path: PathLike) -> RunInfo:
+    """Load one run directory (tolerates a missing/partial summary)."""
+    run_path = Path(path)
+    meta_path = run_path / META_FILE
+    if not meta_path.is_file():
+        raise DataError(f"not a run directory (no {META_FILE}): {run_path}")
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise DataError(f"corrupt {meta_path}: {error}")
+    epochs: List[Dict[str, Any]] = []
+    epochs_path = run_path / EPOCHS_FILE
+    if epochs_path.is_file():
+        for line_number, line in enumerate(
+            epochs_path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                epochs.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A torn final line is exactly what a crash leaves
+                # behind; everything before it is still good telemetry.
+                break
+    summary: Dict[str, Any] = {}
+    summary_path = run_path / SUMMARY_FILE
+    if summary_path.is_file():
+        try:
+            summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            summary = {}
+    return RunInfo(
+        run_id=str(meta.get("run_id", run_path.name)),
+        path=run_path,
+        meta=meta,
+        epochs=epochs,
+        summary=summary,
+    )
+
+
+def list_runs(root: PathLike) -> List[RunInfo]:
+    """All run directories under ``root``, sorted by run id (oldest first)."""
+    root_path = Path(root)
+    if not root_path.is_dir():
+        return []
+    runs = []
+    for child in sorted(root_path.iterdir()):
+        if child.is_dir() and (child / META_FILE).is_file():
+            runs.append(load_run(child))
+    return runs
+
+
+def diff_runs(a: RunInfo, b: RunInfo) -> Dict[str, Any]:
+    """Epoch-by-epoch loss comparison of two runs, JSON-ready.
+
+    Per common epoch: both losses and ``delta = loss_b - loss_a``
+    (negative means run B trains lower).  The summary block compares
+    final losses, wall time, and mean token throughput.
+    """
+    by_epoch_a = {int(r["epoch"]): r for r in a.epochs if "epoch" in r}
+    by_epoch_b = {int(r["epoch"]): r for r in b.epochs if "epoch" in r}
+    common = sorted(set(by_epoch_a) & set(by_epoch_b))
+    per_epoch = []
+    for epoch in common:
+        loss_a = by_epoch_a[epoch].get("mean_loss")
+        loss_b = by_epoch_b[epoch].get("mean_loss")
+        entry: Dict[str, Any] = {
+            "epoch": epoch, "loss_a": loss_a, "loss_b": loss_b,
+        }
+        if loss_a is not None and loss_b is not None:
+            entry["delta"] = float(loss_b) - float(loss_a)
+        per_epoch.append(entry)
+    result: Dict[str, Any] = {
+        "run_a": a.run_id,
+        "run_b": b.run_id,
+        "epochs_a": len(a.epochs),
+        "epochs_b": len(b.epochs),
+        "common_epochs": len(common),
+        "per_epoch": per_epoch,
+        "final_loss_a": a.final_loss,
+        "final_loss_b": b.final_loss,
+        "seconds_a": a.seconds,
+        "seconds_b": b.seconds,
+        "tokens_per_s_a": a.mean_tokens_per_s,
+        "tokens_per_s_b": b.mean_tokens_per_s,
+    }
+    if a.final_loss is not None and b.final_loss is not None:
+        result["final_loss_delta"] = b.final_loss - a.final_loss
+    return result

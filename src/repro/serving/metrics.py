@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.utils.timing import TimingBreakdown
 
@@ -116,14 +116,22 @@ class LatencyHistogram:
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile in seconds (0 when empty).
 
-        Linear interpolation within the bucket holding the target rank;
-        the overflow bucket reports the observed maximum.
+        Edge cases are defined, not emergent: an empty histogram
+        reports 0.0 for every ``q``; ``q=0`` is exactly the observed
+        minimum and ``q=1`` exactly the observed maximum (no bucket
+        interpolation at the extremes).  In between, linear
+        interpolation within the bucket holding the target rank; the
+        overflow bucket reports the observed maximum.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             if self._count == 0:
                 return 0.0
+            if q == 0.0:
+                return self._min
+            if q == 1.0:
+                return self._max
             rank = q * self._count
             cumulative = 0
             for index, bucket_count in enumerate(self._counts):
@@ -141,6 +149,25 @@ class LatencyHistogram:
                     return min(max(estimate, self._min), self._max)
                 cumulative += bucket_count
             return self._max
+
+    def buckets(self) -> Tuple[List[Tuple[float, int]], float, int]:
+        """Cumulative ``(upper_bound, count<=bound)`` pairs, sum, count.
+
+        The final pair's bound is ``+Inf`` (the overflow bucket), whose
+        cumulative count equals the total — the shape Prometheus
+        histogram exposition requires.  All three values are read under
+        one lock acquisition, so a scrape never sees ``count`` disagree
+        with the ``+Inf`` bucket.
+        """
+        with self._lock:
+            cumulative: List[Tuple[float, int]] = []
+            running = 0
+            for bound, count in zip(
+                list(self._bounds) + [math.inf], self._counts
+            ):
+                running += count
+                cumulative.append((bound, running))
+            return cumulative, self._sum, self._count
 
     def snapshot(self) -> Dict[str, float]:
         """Count, sum, mean, and p50/p95/p99 as a JSON-ready dict."""
@@ -199,6 +226,18 @@ class MetricsRegistry:
         """Record each phase of one query's breakdown under ``prefix``."""
         for phase, seconds in breakdown.items():
             self.histogram(f"{prefix}.{phase}").observe(seconds)
+
+    def collect(
+        self,
+    ) -> Tuple[Dict[str, Counter], Dict[str, LatencyHistogram]]:
+        """Copies of the live metric maps (for exporters).
+
+        The returned dicts are snapshots but the metric objects are the
+        live ones — an exporter reads each metric's own lock-guarded
+        state at render time.
+        """
+        with self._lock:
+            return dict(self._counters), dict(self._histograms)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-ready copy of every metric's current state."""

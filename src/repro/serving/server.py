@@ -1,15 +1,23 @@
 """Stdlib-only threaded HTTP JSON API in front of a LinkingService.
 
-Endpoints (all JSON):
+Endpoints (JSON unless noted):
 
 * ``POST /link`` — body ``{"query": "..."}`` or ``{"queries": [...]}``
-  with optional ``"k"``; responds ``{"results": [...]}`` where each
-  result carries the ranked concepts, applied rewrites, and the
-  per-query OR/CR/ED/RT timing breakdown (Figure 11's decomposition).
+  with optional ``"k"``; responds ``{"results": [...], "request_id":
+  ...}`` where each result carries the ranked concepts, applied
+  rewrites, and the per-query OR/CR/ED/RT timing breakdown (Figure
+  11's decomposition).  An ``X-Request-ID`` request header is honoured
+  (else one is generated); it is echoed as a response header, embedded
+  in the payload, stamped on every correlated JSON log line, and is
+  the key for finding the request's trace.
 * ``GET /healthz`` — liveness; 200 while the process can serve.
 * ``GET /readyz`` — readiness; 503 until warm-up finishes, then 200.
 * ``GET /metrics`` — the service snapshot (counters, latency
-  histograms with p50/p95/p99, cache and batcher statistics).
+  histograms with p50/p95/p99, cache and batcher statistics);
+  ``?format=prometheus`` (or an ``Accept: text/plain`` header) returns
+  Prometheus text exposition instead.
+* ``GET /traces`` — recent sampled span traces from the ring buffer
+  (``?limit=N`` bounds the reply, ``?request_id=...`` fetches one).
 
 Errors are structured: ``{"error": {"type": ..., "message": ...}}``
 with 400 for bad requests, 503 before readiness, 504 on request
@@ -27,8 +35,11 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.linker import LinkResult
+from repro.obs import trace
+from repro.obs.prom import render_prometheus, snapshot_gauges
 from repro.serving.service import LinkingService, ServiceNotReadyError
 from repro.utils.errors import ReproError
 from repro.utils.logging import get_logger
@@ -127,10 +138,25 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         LOGGER.debug("%s %s", self.address_string(), format % args)
 
-    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -142,22 +168,70 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         service = self.server.service
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        path = parts.path
+        params = parse_qs(parts.query)
+        if path == "/healthz":
             if service.healthy:
                 self._respond(200, {"status": "ok"})
             else:
                 self._respond_error(503, "unhealthy", "service is stopping")
-        elif self.path == "/readyz":
+        elif path == "/readyz":
             if service.ready:
                 self._respond(200, {"status": "ready"})
             else:
                 self._respond_error(
                     503, "not_ready", "warm-up has not completed"
                 )
-        elif self.path == "/metrics":
-            self._respond(200, service.snapshot())
+        elif path == "/metrics":
+            accepts = self.headers.get("Accept", "")
+            wants_text = (
+                params.get("format", [""])[0] == "prometheus"
+                or "text/plain" in accepts
+            )
+            snapshot = service.snapshot()
+            if wants_text:
+                self._respond_text(
+                    200,
+                    render_prometheus(
+                        service.metrics, gauges=snapshot_gauges(snapshot)
+                    ),
+                )
+            else:
+                self._respond(200, snapshot)
+        elif path == "/traces":
+            self._respond_traces(params)
         else:
             self._respond_error(404, "not_found", f"no route for {self.path}")
+
+    def _respond_traces(self, params: Dict[str, list]) -> None:
+        tracer = self.server.service.tracer
+        request_id = params.get("request_id", [None])[0]
+        if request_id:
+            found = tracer.find(request_id)
+            if found is None:
+                self._respond_error(
+                    404,
+                    "trace_not_found",
+                    f"no retained trace for request {request_id!r} "
+                    "(evicted from the ring buffer, or never sampled)",
+                )
+                return
+            self._respond(200, {"traces": [found], "stats": tracer.stats()})
+            return
+        limit_raw = params.get("limit", [None])[0]
+        limit: Optional[int] = None
+        if limit_raw is not None:
+            try:
+                limit = int(limit_raw)
+            except ValueError:
+                self._respond_error(
+                    400, "bad_request", "'limit' must be an integer"
+                )
+                return
+        self._respond(
+            200, {"traces": tracer.traces(limit=limit), "stats": tracer.stats()}
+        )
 
     # -- POST ---------------------------------------------------------------
 
@@ -165,33 +239,57 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
         if self.path != "/link":
             self._respond_error(404, "not_found", f"no route for {self.path}")
             return
+        # The request ID exists whether or not this trace is sampled:
+        # it is echoed in the response (header + body), stamped on the
+        # JSON logs, and — when sampled — keys the span tree in /traces.
+        request_id = (
+            self.headers.get("X-Request-ID") or ""
+        ).strip() or trace.new_request_id()
+        root = self.server.service.tracer.start_trace(
+            "http.link", request_id=request_id
+        )
+        with root:
+            status, payload = self._handle_link(root)
+            root.set_tag("status", status)
+        payload["request_id"] = request_id
+        self._respond(status, payload, headers={"X-Request-ID": request_id})
+
+    def _handle_link(self, root: Any) -> Tuple[int, Dict[str, Any]]:
+        """Run one /link request under ``root``; returns (status, body)."""
+
+        def error_body(kind: str, message: str) -> Dict[str, Any]:
+            return {"error": {"type": kind, "message": message}}
+
         try:
             payload = self._read_json()
             queries, k, top = _parse_link_body(payload)
+            root.set_tag("queries", len(queries))
+            if k is not None:
+                root.set_tag("k", k)
             results = self.server.service.link_many(queries, k=k)
         except BadRequestError as error:
-            self._respond_error(400, "bad_request", str(error))
+            return 400, error_body("bad_request", str(error))
         except ServiceNotReadyError:
-            self._respond_error(503, "not_ready", "warm-up has not completed")
+            return 503, error_body("not_ready", "warm-up has not completed")
         except TimeoutError:
-            self._respond_error(
-                504, "timeout", "request timed out; retry with backoff"
+            return 504, error_body(
+                "timeout", "request timed out; retry with backoff"
             )
         except ReproError as error:
-            self._respond_error(400, type(error).__name__, str(error))
+            return 400, error_body(type(error).__name__, str(error))
         except Exception as error:  # noqa: BLE001 - last-resort boundary
             LOGGER.error("internal error serving /link: %s", error)
-            self._respond_error(500, "internal", "internal server error")
-        else:
-            self._respond(
-                200,
-                {
-                    "results": [
-                        result_to_json(result, self.server, top=top)
-                        for result in results
-                    ]
-                },
-            )
+            return 500, error_body("internal", "internal server error")
+        degraded = sum(1 for result in results if result.degraded)
+        LOGGER.info(
+            "linked %d queries (%d degraded)", len(results), degraded
+        )
+        return 200, {
+            "results": [
+                result_to_json(result, self.server, top=top)
+                for result in results
+            ]
+        }
 
     def _read_json(self) -> Any:
         length_header = self.headers.get("Content-Length")

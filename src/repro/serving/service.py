@@ -25,6 +25,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ServingConfig
 from repro.core.linker import LinkResult, NeuralConceptLinker
+from repro.obs import trace
+from repro.obs.trace import Tracer
 from repro.serving.batcher import MicroBatcher
 from repro.serving.metrics import MetricsRegistry
 from repro.utils.faults import probe
@@ -41,6 +43,9 @@ class ServiceNotReadyError(RuntimeError):
 class _LinkRequest:
     query: str
     k: Optional[int]
+    #: Span captured at submit time; the batcher's worker thread
+    #: re-enters it so linker spans nest under the right request.
+    ctx: Optional[object] = None
 
 
 class LinkingService:
@@ -51,10 +56,19 @@ class LinkingService:
         linker: NeuralConceptLinker,
         config: Optional[ServingConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.linker = linker
         self.config = config if config is not None else ServingConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(
+                sample_rate=self.config.trace_sample_rate,
+                capacity=self.config.trace_buffer,
+            )
+        )
         self._ready = threading.Event()
         self._stopped = threading.Event()
         self._warm_error: Optional[Exception] = None
@@ -176,15 +190,37 @@ class LinkingService:
             raise ServiceNotReadyError("service is not ready")
         wait = timeout if timeout is not None else self.config.request_timeout_s
         started = time.monotonic()
-        futures = [
-            self._batcher.submit_nowait(_LinkRequest(query=query, k=k))
+        # One span per query, captured here (the caller's context, under
+        # the HTTP root span if any) and carried with the request so the
+        # batcher's worker thread can nest linker spans beneath it.  The
+        # span stays open until the future resolves: its duration is the
+        # queue wait plus model time, i.e. what the caller experienced.
+        spans = [
+            trace.start_span("service.request", query=query)
             for query in queries
+        ]
+        futures = [
+            self._batcher.submit_nowait(
+                _LinkRequest(
+                    query=query, k=k, ctx=span if span.is_recording else None
+                )
+            )
+            for query, span in zip(queries, spans)
         ]
         results: List[LinkResult] = []
         try:
-            for future in futures:
+            for span, future in zip(spans, futures):
                 remaining = wait - (time.monotonic() - started)
-                results.append(future.result(max(remaining, 0.0)))
+                try:
+                    result = future.result(max(remaining, 0.0))
+                except BaseException as error:
+                    span.set_tag("error", type(error).__name__)
+                    raise
+                results.append(result)
+                span.set_tag("results", len(result.ranked))
+                if result.degraded:
+                    span.set_tag("degraded", True)
+                    span.set_tag("degraded_reason", result.degraded_reason)
         except TimeoutError:
             self.metrics.counter("requests_timeout").inc()
             raise
@@ -193,6 +229,9 @@ class LinkingService:
             # must propagate without being booked as request failures.
             self.metrics.counter("requests_failed").inc()
             raise
+        finally:
+            for span in spans:
+                span.end()
         elapsed = time.monotonic() - started
         for result in results:
             self.metrics.counter("requests_total").inc()
@@ -218,6 +257,7 @@ class LinkingService:
         return self.linker.link_batch(
             [request.query for request in requests],
             k=[request.k for request in requests],
+            trace_contexts=[request.ctx for request in requests],
         )
 
     # -- introspection ------------------------------------------------------
@@ -237,6 +277,7 @@ class LinkingService:
         }
         report.update(self.metrics.snapshot())
         report["batcher"] = self._batcher.stats.as_dict()
+        report["traces"] = self.tracer.stats()
         cache_stats = getattr(self.linker, "cache_stats", None)
         if callable(cache_stats):
             report["caches"] = {

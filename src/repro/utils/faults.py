@@ -26,6 +26,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Optional, Union
 
+from repro.obs.trace import span_event
+
 
 class InjectedFault(RuntimeError):
     """Raised by an armed ``raise`` probe (deliberately not a ReproError,
@@ -128,6 +130,10 @@ def probe(site: str) -> None:
     spec = plan.arm_check(site)
     if spec is None:
         return
+    # A firing fault is exactly the event a trace reader wants pinned
+    # to the span it interrupted (e.g. the injected Phase-II error that
+    # explains a degraded result); no-op unless a trace is recording.
+    span_event("fault.fired", site=site, action=spec.action)
     if spec.action == "delay":
         time.sleep(spec.delay_s)
         return

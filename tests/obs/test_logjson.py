@@ -1,0 +1,102 @@
+"""Structured JSON logging: shape, trace correlation, idempotence."""
+
+import io
+import json
+import logging
+
+from repro.obs.logjson import JsonLogFormatter, configure_json_logging
+from repro.obs.trace import Tracer
+from repro.utils.logging import get_logger
+
+
+def _capture_logger(name="logjson_test"):
+    stream = io.StringIO()
+    handler = configure_json_logging(stream=stream)
+    logger = get_logger(name)
+    return stream, handler, logger
+
+
+def _teardown(handler):
+    logging.getLogger("repro").removeHandler(handler)
+
+
+def test_lines_are_json_with_level_logger_message():
+    stream, handler, logger = _capture_logger()
+    try:
+        logger.info("hello %s", "world")
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "hello world"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.logjson_test"
+        assert record["ts"].endswith("+00:00")
+        assert "request_id" not in record
+    finally:
+        _teardown(handler)
+
+
+def test_active_trace_ids_are_attached():
+    stream, handler, logger = _capture_logger()
+    tracer = Tracer()
+    try:
+        with tracer.start_trace("root", request_id="req-log") as root:
+            logger.warning("inside")
+        record = json.loads(stream.getvalue().strip())
+        assert record["request_id"] == "req-log"
+        assert record["trace_id"] == root.trace_id
+        assert record["span_id"] == root.span_id
+    finally:
+        _teardown(handler)
+
+
+def test_extra_fields_pass_through():
+    stream, handler, logger = _capture_logger()
+    try:
+        logger.info("counted", extra={"queries": 3, "degraded": 0})
+        record = json.loads(stream.getvalue().strip())
+        assert record["queries"] == 3
+        assert record["degraded"] == 0
+    finally:
+        _teardown(handler)
+
+
+def test_exceptions_are_formatted():
+    stream, handler, logger = _capture_logger()
+    try:
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("failed")
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "ERROR"
+        assert "RuntimeError: boom" in record["exc_info"]
+    finally:
+        _teardown(handler)
+
+
+def test_reconfigure_replaces_previous_handler():
+    first_stream = io.StringIO()
+    first = configure_json_logging(stream=first_stream)
+    second_stream = io.StringIO()
+    second = configure_json_logging(stream=second_stream)
+    try:
+        root = logging.getLogger("repro")
+        json_handlers = [
+            h for h in root.handlers if getattr(h, "_repro_json", False)
+        ]
+        assert json_handlers == [second]
+        get_logger("logjson_test").info("once")
+        assert first_stream.getvalue() == ""
+        assert "once" in second_stream.getvalue()
+    finally:
+        _teardown(first)
+        _teardown(second)
+
+
+def test_formatter_is_single_line_json():
+    formatter = JsonLogFormatter()
+    record = logging.LogRecord(
+        "repro.x", logging.INFO, __file__, 1, "multi\nline", None, None
+    )
+    text = formatter.format(record)
+    assert "\n" not in text
+    assert json.loads(text)["message"] == "multi\nline"

@@ -1,0 +1,88 @@
+"""Prometheus text exposition: names, counters, histograms, gauges."""
+
+import math
+
+from repro.obs.prom import (
+    render_prometheus,
+    sanitize_metric_name,
+    snapshot_gauges,
+)
+from repro.serving.metrics import MetricsRegistry
+
+
+class TestSanitize:
+    def test_dots_and_dashes_fold_to_underscores(self):
+        assert sanitize_metric_name("phase_seconds.ED") == "phase_seconds_ED"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_digit_prefix_guard(self):
+        assert sanitize_metric_name("5xx") == "_5xx"
+        assert sanitize_metric_name("") == "_"
+
+    def test_colons_allowed(self):
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+
+
+class TestRender:
+    def test_counters_get_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.counter("hits_total").inc(1)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 3" in text
+        # An existing _total suffix is not doubled.
+        assert "repro_hits_total 1" in text
+        assert "repro_hits_total_total" not in text
+
+    def test_histogram_is_cumulative_with_inf_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", bounds=[0.01, 0.1])
+        for value in (0.005, 0.05, 5.0):
+            histogram.observe(value)
+        lines = render_prometheus(registry).splitlines()
+        bucket_lines = [l for l in lines if l.startswith("repro_lat_bucket")]
+        assert bucket_lines == [
+            'repro_lat_bucket{le="0.01"} 1',
+            'repro_lat_bucket{le="0.1"} 2',
+            'repro_lat_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_lat_count 3" in lines
+        sum_line = [l for l in lines if l.startswith("repro_lat_sum")][0]
+        assert math.isclose(float(sum_line.split()[1]), 5.055)
+
+    def test_gauges_render_with_gauge_type(self):
+        registry = MetricsRegistry()
+        text = render_prometheus(
+            registry, gauges={"ready": 1.0, "cache.concepts.size": 42}
+        )
+        assert "# TYPE repro_ready gauge" in text
+        assert "repro_ready 1.0" in text
+        assert "repro_cache_concepts_size 42.0" in text
+
+    def test_ends_with_newline(self):
+        assert render_prometheus(MetricsRegistry()).endswith("\n")
+
+
+class TestSnapshotGauges:
+    def test_extracts_lifecycle_cache_batcher_traces(self):
+        snapshot = {
+            "ready": True,
+            "healthy": False,
+            "uptime_seconds": 12.5,
+            "caches": {"concepts": {"size": 10, "hits": 4, "name": "x"}},
+            "batcher": {"batches": 3, "name": "link"},
+            "traces": {"retained": 2, "sample_rate": 1.0},
+        }
+        gauges = snapshot_gauges(snapshot)
+        assert gauges["ready"] == 1.0
+        assert gauges["healthy"] == 0.0
+        assert gauges["uptime_seconds"] == 12.5
+        assert gauges["cache.concepts.size"] == 10.0
+        assert gauges["cache.concepts.hits"] == 4.0
+        assert gauges["batcher.batches"] == 3.0
+        assert gauges["traces.retained"] == 2.0
+        assert "batcher.name" not in gauges
+
+    def test_empty_snapshot(self):
+        assert snapshot_gauges({}) == {}

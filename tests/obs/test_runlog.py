@@ -1,0 +1,103 @@
+"""Training run telemetry: JSONL logging, loading, diffing, crashes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.runlog import (
+    EPOCHS_FILE,
+    META_FILE,
+    SUMMARY_FILE,
+    RunLogger,
+    diff_runs,
+    list_runs,
+    load_run,
+    rng_fingerprint,
+)
+from repro.utils.errors import DataError
+
+
+def _write_run(root, run_id, losses, completed=True):
+    logger = RunLogger(root, run_id=run_id, meta={"seed": 7})
+    for epoch, loss in enumerate(losses, start=1):
+        logger.log_epoch(
+            epoch, mean_loss=loss, tokens=100, seconds=0.5, tokens_per_s=200.0
+        )
+    if completed:
+        logger.finish(epochs=len(losses), final_loss=losses[-1], seconds=1.0)
+    else:
+        logger.close()
+    return logger
+
+
+class TestRunLogger:
+    def test_run_directory_layout(self, tmp_path):
+        logger = _write_run(tmp_path, "run-a", [2.0, 1.5])
+        assert (logger.path / META_FILE).is_file()
+        assert (logger.path / EPOCHS_FILE).is_file()
+        assert (logger.path / SUMMARY_FILE).is_file()
+        records = [
+            json.loads(line)
+            for line in (logger.path / EPOCHS_FILE).read_text().splitlines()
+        ]
+        assert [r["epoch"] for r in records] == [1, 2]
+        assert records[1]["mean_loss"] == 1.5
+
+    def test_epochs_survive_without_finish(self, tmp_path):
+        _write_run(tmp_path, "run-crash", [3.0], completed=False)
+        info = load_run(tmp_path / "run-crash")
+        assert not info.completed
+        assert info.final_loss == 3.0
+        assert info.seconds == pytest.approx(0.5)
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        logger = _write_run(tmp_path, "run-torn", [2.0, 1.0], completed=False)
+        with open(logger.path / EPOCHS_FILE, "a", encoding="utf-8") as handle:
+            handle.write('{"epoch": 3, "mean_loss"')  # the crash artifact
+        info = load_run(logger.path)
+        assert [r["epoch"] for r in info.epochs] == [1, 2]
+
+    def test_load_rejects_non_run_directory(self, tmp_path):
+        with pytest.raises(DataError):
+            load_run(tmp_path)
+
+    def test_meta_is_recorded(self, tmp_path):
+        logger = _write_run(tmp_path, "run-meta", [1.0])
+        info = load_run(logger.path)
+        assert info.meta["seed"] == 7
+        assert info.meta["run_id"] == "run-meta"
+
+
+class TestListAndDiff:
+    def test_list_runs_sorted_and_filtered(self, tmp_path):
+        _write_run(tmp_path, "run-b", [1.0])
+        _write_run(tmp_path, "run-a", [2.0])
+        (tmp_path / "not-a-run").mkdir()
+        runs = list_runs(tmp_path)
+        assert [run.run_id for run in runs] == ["run-a", "run-b"]
+        assert list_runs(tmp_path / "missing") == []
+
+    def test_diff_runs_epoch_by_epoch(self, tmp_path):
+        a = load_run(_write_run(tmp_path, "run-a", [2.0, 1.5, 1.2]).path)
+        b = load_run(_write_run(tmp_path, "run-b", [2.1, 1.4]).path)
+        report = diff_runs(a, b)
+        assert report["common_epochs"] == 2
+        assert report["per_epoch"][0]["delta"] == pytest.approx(0.1)
+        assert report["per_epoch"][1]["delta"] == pytest.approx(-0.1)
+        assert report["final_loss_delta"] == pytest.approx(1.4 - 1.2)
+        assert report["tokens_per_s_a"] == pytest.approx(200.0)
+
+
+class TestRngFingerprint:
+    def test_same_state_same_fingerprint(self):
+        a = np.random.default_rng(42)
+        b = np.random.default_rng(42)
+        assert rng_fingerprint(a) == rng_fingerprint(b)
+        assert len(rng_fingerprint(a)) == 12
+
+    def test_consumed_stream_changes_fingerprint(self):
+        rng = np.random.default_rng(42)
+        before = rng_fingerprint(rng)
+        rng.random(10)
+        assert rng_fingerprint(rng) != before

@@ -1,0 +1,102 @@
+"""Trainer run telemetry: fit(run_dir=...) writes a diffable run log."""
+
+import json
+
+import pytest
+
+from repro.core.config import ComAidConfig, TrainingConfig
+from repro.core.trainer import ComAidTrainer
+from repro.obs.runlog import EPOCHS_FILE, diff_runs, list_runs, load_run
+
+
+def _trainer(seed=7, epochs=3):
+    return ComAidTrainer(
+        ComAidConfig(dim=8, beta=2),
+        TrainingConfig(
+            epochs=epochs, batch_size=4, optimizer="adagrad", learning_rate=0.2
+        ),
+        rng=seed,
+    )
+
+
+class TestFitTelemetry:
+    @pytest.fixture(scope="class")
+    def run_root(self, tmp_path_factory, figure3_kb_cls):
+        root = tmp_path_factory.mktemp("runs")
+        _trainer(seed=7).fit(
+            figure3_kb_cls,
+            run_dir=root,
+            run_id="run-a",
+            checkpoint_dir=root / "ckpt",
+            checkpoint_every=2,
+        )
+        _trainer(seed=11).fit(figure3_kb_cls, run_dir=root, run_id="run-b")
+        return root
+
+    def test_epoch_records_carry_the_telemetry_fields(self, run_root):
+        lines = (run_root / "run-a" / EPOCHS_FILE).read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["epoch"] for r in records] == [1, 2, 3]
+        for record in records:
+            assert record["mean_loss"] > 0
+            assert record["tokens"] > 0
+            assert record["tokens_per_s"] >= 0
+            assert record["grad_norm_mean"] > 0
+            assert record["grad_norm_max"] >= record["grad_norm_mean"]
+            assert len(record["rng"]) == 12
+        # Epoch 2 checkpointed; epochs 1 and 3 did not.
+        assert records[1]["checkpoint_s"] > 0
+        assert records[0]["checkpoint_s"] == 0.0
+        assert records[2]["checkpoint_s"] == 0.0
+        # The shuffle stream advances every epoch.
+        assert len({r["rng"] for r in records}) == 3
+
+    def test_meta_and_summary_describe_the_run(self, run_root):
+        info = load_run(run_root / "run-a")
+        assert info.completed
+        assert info.meta["training_config"]["epochs"] == 3
+        assert info.meta["model_config"]["dim"] == 8
+        assert info.meta["resumed_epoch"] == 0
+        assert len(info.meta["rng_fingerprint_start"]) == 12
+        assert info.final_loss == pytest.approx(info.epochs[-1]["mean_loss"])
+
+    def test_runs_are_listable_and_diffable(self, run_root):
+        runs = list_runs(run_root)
+        assert [run.run_id for run in runs] == ["run-a", "run-b"]
+        report = diff_runs(runs[0], runs[1])
+        assert report["common_epochs"] == 3
+        # Different seeds diverge from the first epoch.
+        assert any(
+            entry["delta"] != pytest.approx(0.0)
+            for entry in report["per_epoch"]
+        )
+
+
+@pytest.fixture(scope="class")
+def figure3_kb_cls():
+    """Class-scoped copy of the Figure 1/3 fixture (one training per class)."""
+    from repro.kb.knowledge_base import KnowledgeBase
+    from repro.ontology.concept import Concept
+    from repro.ontology.ontology import Ontology
+
+    ontology = Ontology()
+    ontology.add(Concept("D50", "iron deficiency anemia"))
+    ontology.add(
+        Concept("D50.0", "iron deficiency anemia secondary to blood loss"),
+        parent_cid="D50",
+    )
+    ontology.add(Concept("D53", "other nutritional anemias"))
+    ontology.add(
+        Concept("D53.0", "protein deficiency anemia"), parent_cid="D53"
+    )
+    ontology.add(Concept("D53.2", "scorbutic anemia"), parent_cid="D53")
+    ontology.add(Concept("N18", "chronic kidney disease"))
+    ontology.add(
+        Concept("N18.5", "chronic kidney disease, stage 5"), parent_cid="N18"
+    )
+    kb = KnowledgeBase(ontology)
+    kb.add_alias("D50.0", "anemia, chronic blood loss")
+    kb.add_alias("D53.0", "amino acid deficiency anemia")
+    kb.add_alias("D53.2", "vitamin c deficiency anemia")
+    kb.add_alias("N18.5", "ckd stage 5")
+    return kb

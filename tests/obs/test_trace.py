@@ -1,0 +1,224 @@
+"""Span tracer: nesting, tags/events, sampling, bounds, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    MAX_EVENTS_PER_SPAN,
+    MAX_SPANS_PER_TRACE,
+    NOOP_SPAN,
+    Tracer,
+    attach,
+    current_request_id,
+    current_span,
+    format_trace,
+    span,
+    span_event,
+    start_span,
+)
+
+
+def _spans_by_name(trace_dict):
+    return {s["name"]: s for s in trace_dict["spans"]}
+
+
+class TestSpanTree:
+    def test_nested_spans_record_parentage(self):
+        tracer = Tracer()
+        with tracer.start_trace("root", request_id="req-1") as root:
+            with span("child") as child:
+                with span("grandchild"):
+                    pass
+            assert child.parent_id == root.span_id
+        trace_dict = tracer.find("req-1")
+        by_name = _spans_by_name(trace_dict)
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        assert (
+            by_name["grandchild"]["parent_id"] == by_name["child"]["span_id"]
+        )
+        assert by_name["root"]["parent_id"] is None
+
+    def test_tags_and_events_land_in_the_record(self):
+        tracer = Tracer()
+        with tracer.start_trace("root", request_id="req-2", k=10):
+            with span("work", phase="ED") as sp:
+                sp.set_tag("candidates", 7)
+                sp.add_event("fault.fired", site="x", action="raise")
+        by_name = _spans_by_name(tracer.find("req-2"))
+        work = by_name["work"]
+        assert work["tags"] == {"phase": "ED", "candidates": 7}
+        assert work["events"][0]["name"] == "fault.fired"
+        assert work["events"][0]["attrs"] == {"site": "x", "action": "raise"}
+        assert by_name["root"]["tags"] == {"k": 10}
+
+    def test_exception_tags_error_and_still_finishes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.start_trace("root", request_id="req-3"):
+                raise ValueError("boom")
+        root = _spans_by_name(tracer.find("req-3"))["root"]
+        assert root["tags"]["error"] == "ValueError: boom"
+
+    def test_current_span_and_request_id_follow_context(self):
+        tracer = Tracer()
+        assert current_span() is None
+        assert current_request_id() is None
+        with tracer.start_trace("root", request_id="req-4") as root:
+            assert current_span() is root
+            assert current_request_id() == "req-4"
+            with span("child") as child:
+                assert current_span() is child
+            assert current_span() is root
+        assert current_span() is None
+
+    def test_span_event_on_current_span(self):
+        tracer = Tracer()
+        span_event("ignored")  # no trace active: silently dropped
+        with tracer.start_trace("root", request_id="req-5"):
+            with span("inner"):
+                span_event("marker", detail=1)
+        inner = _spans_by_name(tracer.find("req-5"))["inner"]
+        assert [event["name"] for event in inner["events"]] == ["marker"]
+
+
+class TestNoopPath:
+    def test_span_without_trace_is_the_shared_noop(self):
+        assert span("anything") is NOOP_SPAN
+        assert start_span("anything") is NOOP_SPAN
+        assert not NOOP_SPAN.is_recording
+        # Full surface, no errors, no state.
+        with span("x") as sp:
+            sp.set_tag("a", 1).add_event("e")
+        sp.end()
+
+    def test_rate_zero_roots_are_noops(self):
+        tracer = Tracer(sample_rate=0.0)
+        for _ in range(5):
+            assert tracer.start_trace("root") is NOOP_SPAN
+        assert tracer.stats()["sampled"] == 0
+        assert tracer.stats()["started"] == 5
+
+    def test_attach_none_and_noop_do_not_install_context(self):
+        with attach(None) as sp:
+            assert sp is NOOP_SPAN
+            assert current_span() is None
+        with attach(NOOP_SPAN):
+            assert current_span() is None
+
+
+class TestSampling:
+    def test_quarter_rate_keeps_exactly_every_fourth(self):
+        tracer = Tracer(sample_rate=0.25)
+        recorded = []
+        for index in range(12):
+            root = tracer.start_trace("root")
+            recorded.append(root.is_recording)
+            root.end()
+        assert recorded == [False, False, False, True] * 3
+        assert tracer.stats()["sampled"] == 3
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=2)
+        for index in range(4):
+            tracer.start_trace("root", request_id=f"req-{index}").end()
+        retained = [t["request_id"] for t in tracer.traces()]
+        assert retained == ["req-3", "req-2"]
+        assert tracer.find("req-0") is None
+        stats = tracer.stats()
+        assert stats["finished"] == 4
+        assert stats["retained"] == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestBounds:
+    def test_span_cap_drops_but_counts(self):
+        tracer = Tracer()
+        root = tracer.start_trace("root", request_id="req-cap")
+        with root:
+            for _ in range(MAX_SPANS_PER_TRACE + 10):
+                span("s").end()
+        trace_dict = tracer.find("req-cap")
+        assert len(trace_dict["spans"]) == MAX_SPANS_PER_TRACE
+        # +11: the 10 overflow children plus the root itself.
+        assert trace_dict["dropped_spans"] == 11
+
+    def test_event_cap(self):
+        tracer = Tracer()
+        with tracer.start_trace("root", request_id="req-ev") as root:
+            for index in range(MAX_EVENTS_PER_SPAN + 5):
+                root.add_event(f"e{index}")
+        root_span = _spans_by_name(tracer.find("req-ev"))["root"]
+        assert len(root_span["events"]) == MAX_EVENTS_PER_SPAN
+
+
+class TestCrossThread:
+    def test_attach_propagates_span_to_worker_thread(self):
+        tracer = Tracer()
+        root = tracer.start_trace("root", request_id="req-worker")
+        seen = {}
+
+        def worker():
+            # A fresh thread has no ambient context...
+            seen["before"] = current_span()
+            with attach(root):
+                seen["inside"] = current_request_id()
+                with span("worker.step"):
+                    pass
+            seen["after"] = current_span()
+
+        thread = threading.Thread(target=worker)
+        with root:
+            thread.start()
+            thread.join()
+        assert seen["before"] is None
+        assert seen["inside"] == "req-worker"
+        assert seen["after"] is None
+        by_name = _spans_by_name(tracer.find("req-worker"))
+        assert by_name["worker.step"]["parent_id"] == by_name["root"]["span_id"]
+
+    def test_concurrent_children_from_many_threads(self):
+        tracer = Tracer()
+        root = tracer.start_trace("root", request_id="req-many")
+        barrier = threading.Barrier(8)
+
+        def worker(index):
+            barrier.wait()
+            with attach(root):
+                for step in range(20):
+                    with span(f"t{index}.s{step}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        root.end()
+        trace_dict = tracer.find("req-many")
+        names = {s["name"] for s in trace_dict["spans"]}
+        assert len(names) == 8 * 20 + 1
+        span_ids = [s["span_id"] for s in trace_dict["spans"]]
+        assert len(span_ids) == len(set(span_ids))
+
+
+class TestFormatTrace:
+    def test_renders_indented_tree_with_tags_and_events(self):
+        tracer = Tracer()
+        with tracer.start_trace("http.link", request_id="req-fmt"):
+            with span("linker.retrieve", phase="CR", k=10) as sp:
+                sp.add_event("fault.fired", site="x")
+        text = format_trace(tracer.find("req-fmt"))
+        lines = text.splitlines()
+        assert "request=req-fmt" in lines[0]
+        assert lines[1].startswith("  http.link ")
+        assert lines[2].startswith("    linker.retrieve ")
+        assert "{k=10, phase=CR}" in lines[2]
+        assert lines[3].strip() == "! fault.fired {site=x}"

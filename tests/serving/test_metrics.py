@@ -93,6 +93,37 @@ class TestLatencyHistogram:
         assert set(snapshot) == {"count", "sum", "mean", "p50", "p95", "p99"}
         assert snapshot["count"] == 1
 
+    def test_empty_histogram_defined_for_all_quantiles(self):
+        histogram = LatencyHistogram("lat")
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_q0_is_exact_min_q1_is_exact_max(self):
+        histogram = LatencyHistogram("lat")
+        for value in (0.003, 0.0007, 0.19, 0.04):
+            histogram.observe(value)
+        # Extremes are the tracked min/max, not bucket-edge estimates.
+        assert histogram.quantile(0.0) == 0.0007
+        assert histogram.quantile(1.0) == 0.19
+
+    def test_q0_q1_with_single_zero_sample(self):
+        histogram = LatencyHistogram("lat")
+        histogram.observe(0.0)
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 0.0
+
+    def test_buckets_are_cumulative_and_end_at_inf(self):
+        import math
+
+        histogram = LatencyHistogram("lat", bounds=[0.01, 0.1])
+        for value in (0.005, 0.05, 5.0):
+            histogram.observe(value)
+        cumulative, total_sum, count = histogram.buckets()
+        assert [pair[1] for pair in cumulative] == [1, 2, 3]
+        assert cumulative[-1][0] == math.inf
+        assert count == 3
+        assert total_sum == pytest.approx(5.055)
+
     def test_concurrent_observe(self):
         histogram = LatencyHistogram("lat")
 
@@ -142,3 +173,41 @@ class TestMetricsRegistry:
         payload = json.dumps(registry.snapshot())
         assert "requests_total" in payload
         assert "request_seconds" in payload
+
+    def test_collect_returns_live_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        counters, histograms = registry.collect()
+        assert counters["hits"] is registry.counter("hits")
+        registry.counter("hits").inc()
+        assert counters["hits"].value == 3
+        assert histograms == {}
+
+    def test_concurrent_registration_and_increments(self):
+        # 16 threads race get-or-create on overlapping names while
+        # incrementing: every thread must land on the same Counter
+        # object per name and no increment may be lost.
+        registry = MetricsRegistry()
+        names = [f"metric_{index}" for index in range(4)]
+        barrier = threading.Barrier(16)
+        increments_per_thread = 2_000
+
+        def worker():
+            barrier.wait()
+            for index in range(increments_per_thread):
+                name = names[index % len(names)]
+                registry.counter(name).inc()
+                registry.histogram(name).observe(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = 16 * increments_per_thread // len(names)
+        for name in names:
+            assert registry.counter(name).value == expected
+            assert registry.histogram(name).count == expected
+        counters, histograms = registry.collect()
+        assert sorted(counters) == names
+        assert sorted(histograms) == names

@@ -75,6 +75,44 @@ class TestCliLifecycle:
         assert "all checksums match" in captured
         assert '"seed": 4' in captured  # training provenance surfaced
 
+    def test_trace_prints_span_tree(self, workspace, capsys):
+        _, model = workspace
+        exit_code = main(["trace", "--model", str(model), "--k", "5", "anemia"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert captured.startswith("trace ")
+        for fragment in (
+            "cli.link",
+            "linker.rewrite",
+            "linker.retrieve",
+            "linker.phase2",
+            "linker.rerank",
+            "phase=OR",
+            "phase=CR",
+            "phase=ED",
+            "phase=RT",
+        ):
+            assert fragment in captured, fragment
+
+    def test_train_run_dir_feeds_runs_cli(self, workspace, tmp_path, capsys):
+        data, _ = workspace
+        runs_root = tmp_path / "runs"
+        exit_code = main(
+            [
+                "train", "--data", str(data), "--out", str(tmp_path / "m"),
+                "--dim", "10", "--epochs", "2", "--cbow-epochs", "3",
+                "--seed", "4", "--run-dir", str(runs_root),
+                "--run-id", "telemetry-run",
+            ]
+        )
+        assert exit_code == 0
+        assert (runs_root / "telemetry-run" / "epochs.jsonl").is_file()
+        capsys.readouterr()
+        assert main(["runs", "--dir", str(runs_root)]) == 0
+        listing = capsys.readouterr().out
+        assert "telemetry-run" in listing
+        assert "complete" in listing
+
     def test_verify_pipeline_detects_corruption(self, workspace, capsys):
         _, model = workspace
         target = model / "vocab.json"
@@ -155,6 +193,52 @@ class TestCliCrashResume:
         assert "resumed_from" in out
 
 
+class TestRunsCli:
+    @staticmethod
+    def _write_run(root, run_id, losses):
+        from repro.obs.runlog import RunLogger
+
+        logger = RunLogger(root, run_id=run_id, meta={"seed": 7})
+        for epoch, loss in enumerate(losses, start=1):
+            logger.log_epoch(
+                epoch, mean_loss=loss, tokens=80, seconds=0.4,
+                tokens_per_s=200.0,
+            )
+        logger.finish(epochs=len(losses), final_loss=losses[-1], seconds=0.8)
+
+    def test_lists_runs_as_a_table(self, tmp_path, capsys):
+        self._write_run(tmp_path, "run-a", [2.0, 1.5])
+        self._write_run(tmp_path, "run-b", [2.2, 1.4])
+        assert main(["runs", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run-a" in out and "run-b" in out
+        assert "1.5000" in out and "1.4000" in out
+
+    def test_diff_prints_per_epoch_deltas(self, tmp_path, capsys):
+        self._write_run(tmp_path, "run-a", [2.0, 1.5])
+        self._write_run(tmp_path, "run-b", [2.2, 1.4])
+        assert main(
+            ["runs", "--dir", str(tmp_path), "--diff", "run-a", "run-b"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epoch   1" in out
+        assert "delta=+0.2000" in out
+        assert "delta=-0.1000" in out
+        assert "final loss delta (B-A): -0.1000" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        self._write_run(tmp_path, "run-a", [2.0])
+        assert main(["runs", "--dir", str(tmp_path), "--json"]) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert record["run_id"] == "run-a"
+        assert record["completed"] is True
+        assert record["final_loss"] == 2.0
+
+    def test_empty_root_is_not_an_error(self, tmp_path, capsys):
+        assert main(["runs", "--dir", str(tmp_path / "none")]) == 0
+        assert "no runs under" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -203,6 +287,39 @@ class TestParser:
         assert args.checkpoint_dir is None
         assert args.checkpoint_every == 0
         assert args.resume is None
+
+    def test_serve_trace_flags(self):
+        args = build_parser().parse_args(["serve", "--model", "m/"])
+        assert args.trace_sample == 1.0
+        assert args.trace_buffer == 64
+        assert args.log_json is False
+        args = build_parser().parse_args(
+            ["serve", "--model", "m/", "--trace-sample", "0.25",
+             "--trace-buffer", "8", "--log-json"]
+        )
+        assert args.trace_sample == 0.25
+        assert args.trace_buffer == 8
+        assert args.log_json is True
+
+    def test_train_run_flags(self):
+        args = build_parser().parse_args(["train", "--data", "d/", "--out", "m/"])
+        assert args.run_dir is None and args.run_id is None
+        args = build_parser().parse_args(
+            ["train", "--data", "d/", "--out", "m/",
+             "--run-dir", "runs/", "--run-id", "r1"]
+        )
+        assert args.run_dir == "runs/"
+        assert args.run_id == "r1"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "--model", "m/", "ckd 5"])
+        assert args.func.__name__ == "_cmd_trace"
+        assert args.k == 20
+        assert args.queries == ["ckd 5"]
+
+    def test_runs_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs"])
 
     def test_verify_pipeline_requires_model(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail on bare ``print(`` calls in the library (``src/repro/``).
+
+Library code must log through ``repro.utils.logging`` (operational
+messages), emit experiment output through ``repro.eval.reporting.emit``
+(the single stdout seam), or — with JSON logging enabled — land in the
+structured stream.  A bare ``print`` bypasses all three: it cannot be
+silenced, carries no request-ID correlation, and corrupts parseable
+stdout (e.g. the Prometheus exposition).
+
+The scan is token-based (``tokenize``), so ``print(`` inside strings,
+comments, or docstrings never false-positives, and ``pprint(`` /
+``my_print(`` never match.  The CLI is the process's user interface and
+is allowed to print.
+
+Usage: ``python tools/check_no_print.py`` (from the repo root).
+Exit code 1 lists every offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tokenize
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Files (relative to the repo root) where ``print`` is the interface.
+ALLOWLIST = frozenset({"src/repro/cli.py"})
+
+SCAN_ROOT = "src/repro"
+
+
+def find_print_calls(path: Path) -> Iterator[int]:
+    """Line numbers of ``print`` NAME tokens followed by ``(``."""
+    with open(path, "rb") as handle:
+        tokens = list(tokenize.tokenize(handle.readline))
+    for index, token in enumerate(tokens):
+        if token.type != tokenize.NAME or token.string != "print":
+            continue
+        # An attribute access (``console.print(...)``) is not the
+        # builtin; a bare NAME preceded by ``.`` is skipped.
+        if index > 0 and tokens[index - 1].string == ".":
+            continue
+        if index + 1 < len(tokens) and tokens[index + 1].string == "(":
+            yield token.start[0]
+
+
+def scan(root: Path) -> List[Tuple[Path, int]]:
+    offenders: List[Tuple[Path, int]] = []
+    for path in sorted((root / SCAN_ROOT).rglob("*.py")):
+        if str(path.relative_to(root)) in ALLOWLIST:
+            continue
+        for line in find_print_calls(path):
+            offenders.append((path.relative_to(root), line))
+    return offenders
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    offenders = scan(root)
+    if not offenders:
+        print(f"no bare print() calls under {SCAN_ROOT}/")
+        return 0
+    print(
+        f"{len(offenders)} bare print() call(s) in library code "
+        "(use repro.utils.logging or repro.eval.reporting.emit):",
+        file=sys.stderr,
+    )
+    for path, line in offenders:
+        print(f"  {path}:{line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

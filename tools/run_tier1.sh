@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the fast suite exactly as CI runs it, then the opt-in
-# fault-injection drills (crash/resume end-to-end; excluded from the
-# default run by the `-m 'not faults'` addopts in pyproject.toml) and
-# the opt-in Phase-II batching benchmark (refreshes BENCH_phase2.json).
+# Tier-1 gate: the no-print lint plus the fast suite exactly as CI runs
+# it, then the opt-in fault-injection drills (crash/resume end-to-end;
+# excluded from the default run by the `-m 'not faults'` addopts in
+# pyproject.toml) and the opt-in benchmarks (each refreshes its BENCH
+# json at the repo root).
 #
-#   tools/run_tier1.sh                 # fast suite only
-#   tools/run_tier1.sh --faults        # fast suite + fault drills
-#   tools/run_tier1.sh --bench-phase2  # fast suite + batching benchmark
+#   tools/run_tier1.sh                 # lint + fast suite only
+#   tools/run_tier1.sh --faults        # ... + fault drills
+#   tools/run_tier1.sh --bench-phase2  # ... + batching benchmark
+#   tools/run_tier1.sh --bench-obs     # ... + tracing-overhead benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+python tools/check_no_print.py
 python -m pytest -x -q
 
 for arg in "$@"; do
@@ -23,8 +26,12 @@ for arg in "$@"; do
             echo "== Phase-II batching benchmark (writes BENCH_phase2.json) =="
             python -m pytest -q benchmarks/test_phase2_batching.py
             ;;
+        --bench-obs)
+            echo "== tracing overhead benchmark (writes BENCH_obs.json) =="
+            python -m pytest -q benchmarks/test_obs_overhead.py
+            ;;
         *)
-            echo "unknown flag: $arg (expected --faults and/or --bench-phase2)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2 and/or --bench-obs)" >&2
             exit 2
             ;;
     esac

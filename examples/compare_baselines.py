@@ -15,25 +15,25 @@ Usage::
     python examples/compare_baselines.py
 """
 
-from repro.baselines import (
-    Doc2VecLinker,
-    LrPlusLinker,
-    NobleCoderLinker,
-    PkduckLinker,
-    WmdLinker,
-)
-from repro.baselines.doc2vec import Doc2VecConfig
-from repro.core import (
+from repro.api import (
+    CbowConfig,
     ComAidConfig,
     ComAidTrainer,
+    Doc2VecConfig,
+    Doc2VecLinker,
     LinkerConfig,
+    LrPlusLinker,
     NeuralConceptLinker,
+    NobleCoderLinker,
+    PkduckLinker,
     TrainingConfig,
+    WmdLinker,
+    format_table,
+    hospital_x_like,
+    mean_reciprocal_rank,
+    pretrain_word_vectors,
+    top1_accuracy,
 )
-from repro.datasets import hospital_x_like
-from repro.embeddings import CbowConfig, pretrain_word_vectors
-from repro.eval.metrics import mean_reciprocal_rank, top1_accuracy
-from repro.eval.reporting import format_table
 
 
 def main() -> None:

@@ -11,16 +11,19 @@ Usage::
     python examples/custom_ontology.py
 """
 
-from repro.core import (
+from repro.api import (
+    CbowConfig,
     ComAidConfig,
     ComAidTrainer,
+    Concept,
+    KnowledgeBase,
     LinkerConfig,
     NeuralConceptLinker,
+    Ontology,
+    SnippetCorpus,
     TrainingConfig,
+    pretrain_word_vectors,
 )
-from repro.embeddings import CbowConfig, pretrain_word_vectors
-from repro.kb import KnowledgeBase, SnippetCorpus
-from repro.ontology import Concept, Ontology
 
 
 def build_figure1_ontology() -> Ontology:

@@ -16,16 +16,17 @@ Usage::
     python examples/expert_feedback_loop.py
 """
 
-from repro.core import (
+from repro.api import (
+    CbowConfig,
     ComAidConfig,
     ComAidTrainer,
     FeedbackController,
     LinkerConfig,
     NeuralConceptLinker,
     TrainingConfig,
+    mimic_iii_like,
+    pretrain_word_vectors,
 )
-from repro.datasets import mimic_iii_like
-from repro.embeddings import CbowConfig, pretrain_word_vectors
 
 
 def main() -> None:

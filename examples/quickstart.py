@@ -15,15 +15,16 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro.core import (
+from repro.api import (
+    CbowConfig,
     ComAidConfig,
     ComAidTrainer,
     LinkerConfig,
     NeuralConceptLinker,
     TrainingConfig,
+    hospital_x_like,
+    pretrain_word_vectors,
 )
-from repro.datasets import hospital_x_like
-from repro.embeddings import CbowConfig, pretrain_word_vectors
 
 
 def main() -> None:

@@ -7,6 +7,8 @@ system from first principles on NumPy:
 * :mod:`repro.core` — the COM-AID encode-decode network with text and
   structure attention, its trainer, the two-phase online linker, and
   the expert-feedback controller;
+* :mod:`repro.engine` — precompiled concept artifacts and the sharded
+  scatter-gather linking engine;
 * :mod:`repro.embeddings` — CBOW pre-training with concept-id
   injection;
 * :mod:`repro.baselines` — the paper's five competitor methods;
@@ -16,30 +18,26 @@ system from first principles on NumPy:
   hand-derived backprop);
 * :mod:`repro.eval` — metrics and per-figure experiment runners.
 
-The most common entry points are re-exported here::
+**Import from** :mod:`repro.api` — the stable, versioned public
+surface::
 
-    from repro import (hospital_x_like, pretrain_word_vectors,
-                       ComAidConfig, TrainingConfig, LinkerConfig,
-                       ComAidTrainer, NeuralConceptLinker)
+    from repro.api import (hospital_x_like, pretrain_word_vectors,
+                           ComAidConfig, TrainingConfig, LinkerConfig,
+                           ComAidTrainer, NeuralConceptLinker)
+
+The historical top-level re-exports (``from repro import ...``) still
+resolve, but lazily and with a :class:`DeprecationWarning` naming the
+``repro.api`` replacement; they will be removed in a future major
+version.
 """
 
-from repro.core import (
-    ComAid,
-    ComAidConfig,
-    ComAidTrainer,
-    FeedbackController,
-    LinkerConfig,
-    NeuralConceptLinker,
-    TrainingConfig,
-)
-from repro.datasets import hospital_x_like, mimic_iii_like
-from repro.embeddings import CbowConfig, pretrain_word_vectors
-from repro.kb import KnowledgeBase, SnippetCorpus
-from repro.ontology import Concept, Ontology
+import warnings
+from typing import Any, List
 
 __version__ = "1.0.0"
 
-__all__ = [
+#: Legacy top-level re-exports, now shimmed through :mod:`repro.api`.
+_DEPRECATED_EXPORTS = (
     "CbowConfig",
     "ComAid",
     "ComAidConfig",
@@ -52,8 +50,37 @@ __all__ = [
     "Ontology",
     "SnippetCorpus",
     "TrainingConfig",
-    "__version__",
     "hospital_x_like",
     "mimic_iii_like",
     "pretrain_word_vectors",
+)
+
+__all__ = [
+    *sorted(_DEPRECATED_EXPORTS),
+    "__version__",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve a legacy top-level re-export via :mod:`repro.api`.
+
+    Emits a :class:`DeprecationWarning` naming the stable replacement;
+    the resolved object is NOT cached on this module, so every legacy
+    access keeps warning until the import is migrated.
+    """
+    if name in _DEPRECATED_EXPORTS:
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; use "
+            f"'from repro.api import {name}' (the stable v1 surface)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    """Advertise the lazy legacy surface to ``dir()``/completion."""
+    return sorted(set(globals()) | set(__all__))

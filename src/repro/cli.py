@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the deployment lifecycle:
+Nine commands cover the deployment lifecycle:
 
 * ``generate`` — synthesise a dataset bundle to a directory
   (ontology.json, kb.json, queries.jsonl);
 * ``train`` — pre-train embeddings + train COM-AID on a generated
   dataset, saving a complete pipeline directory (``--run-dir`` also
   records per-epoch telemetry for ``repro runs``);
+* ``compile`` — precompile every concept's encoder states, structure
+  memories, and Phase-I index into a checksummed artifact directory
+  that ``link``/``serve`` can mount via ``--artifact-dir`` (and shard
+  with ``--shards``);
 * ``link`` — load a saved pipeline and link one or more queries;
 * ``trace`` — link queries with tracing forced on and print each
   request's span tree (the offline twin of ``GET /traces``);
@@ -19,16 +23,23 @@ Eight commands cover the deployment lifecycle:
 * ``verify-pipeline`` — check a saved pipeline's manifest and
   per-file checksums without loading the model.
 
+``link`` and ``serve`` accept ``--config FILE``: a JSON file shaped
+like :meth:`repro.core.config.RuntimeConfig.to_dict` output.  Flags
+layered on top win, but only when they are moved off their defaults —
+a flag left at its default defers to the file.
+
 Example session::
 
     python -m repro generate --dataset hospital-x-like --out data/ --seed 7
     python -m repro train --data data/ --out model/ --dim 24 --epochs 8 \\
         --run-dir runs/
+    python -m repro compile --model model/ --out artifact/
     python -m repro link --model model/ "ckd 5" "fe def anemia"
     python -m repro trace --model model/ "ckd 5"
     python -m repro runs --dir runs/
     python -m repro evaluate --model model/ --data data/ --limit 100
-    python -m repro serve --model model/ --port 8080 --log-json
+    python -m repro serve --model model/ --artifact-dir artifact/ \\
+        --shards 4 --port 8080 --log-json
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ from typing import List, Optional
 from repro.core.config import (
     ComAidConfig,
     LinkerConfig,
-    ServingConfig,
+    RuntimeConfig,
     TrainingConfig,
 )
 from repro.core.persistence import (
@@ -60,6 +71,67 @@ from repro.kb.corpus import SnippetCorpus
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.ontology.loaders import load_ontology_json, save_ontology_json
 from repro.utils.errors import ReproError
+
+#: argparse defaults for the flags that can also come from ``--config``.
+#: Registered into the parser *and* consulted when layering flags over
+#: the file, so the two can never drift: a flag still sitting at its
+#: default defers to the config file.
+_LINKER_FLAG_DEFAULTS = {"k": 20, "cache_size": 4096}
+_SERVING_FLAG_DEFAULTS = {
+    "host": "127.0.0.1",
+    "port": 8080,
+    "max_batch_size": 8,
+    "batch_wait_ms": 2.0,
+    "request_timeout": 30.0,
+    "trace_sample": 1.0,
+    "trace_buffer": 64,
+}
+
+#: argparse dest → config dataclass field, where the two differ.
+_FLAG_TO_FIELD = {
+    "cache_size": "encoding_cache_size",
+    "request_timeout": "request_timeout_s",
+    "trace_sample": "trace_sample_rate",
+}
+
+
+def _flag_overrides(
+    args: argparse.Namespace, defaults: dict
+) -> dict:
+    """Flags moved off their registered defaults, keyed by config field."""
+    overrides = {}
+    for dest, default in defaults.items():
+        value = getattr(args, dest, default)
+        if value != default:
+            overrides[_FLAG_TO_FIELD.get(dest, dest)] = value
+    return overrides
+
+
+def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    """The layered runtime config: ``--config`` file under flag overrides.
+
+    Every command that needs a :class:`LinkerConfig` or
+    :class:`ServingConfig` builds it here, so raw flag/file values pass
+    through exactly one validation path (``RuntimeConfig``).
+    """
+    if getattr(args, "config", None):
+        runtime = RuntimeConfig.from_file(args.config)
+    else:
+        runtime = RuntimeConfig()
+    linker_overrides = _flag_overrides(args, _LINKER_FLAG_DEFAULTS)
+    if getattr(args, "artifact_dir", None) is not None:
+        linker_overrides["artifact_dir"] = args.artifact_dir
+    if getattr(args, "shards", None) is not None:
+        linker_overrides["shards"] = args.shards
+    if linker_overrides:
+        runtime = runtime.replace_section("linker", **linker_overrides)
+    if hasattr(args, "host"):  # serve-only flags
+        serving_overrides = _flag_overrides(args, _SERVING_FLAG_DEFAULTS)
+        if args.no_warm:
+            serving_overrides["warm_on_start"] = False
+        if serving_overrides:
+            runtime = runtime.replace_section("serving", **serving_overrides)
+    return runtime
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -184,10 +256,31 @@ def _cmd_verify_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_link(args: argparse.Namespace) -> int:
-    _, ontology, _, _, linker = load_pipeline(
-        args.model, LinkerConfig(k=args.k)
+def _cmd_compile(args: argparse.Namespace) -> int:
+    # Imported here: only this command needs the engine's compiler.
+    from repro.engine.compile import compile_artifact
+
+    model, ontology, kb, _, _ = load_pipeline(args.model)
+    target = compile_artifact(
+        args.out,
+        model,
+        ontology,
+        kb=kb,
+        index_aliases=not args.no_aliases,
+        metadata={"pipeline": str(args.model)},
     )
+    header = json.loads((target / "artifact.json").read_text(encoding="utf-8"))
+    print(
+        f"compiled {header['concepts']} concepts "
+        f"(dim {header['dim']}, beta {header['beta']}, "
+        f"aliases={not args.no_aliases}) to {target}"
+    )
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    runtime = _runtime_config(args)
+    _, ontology, _, _, linker = load_pipeline(args.model, runtime.linker)
     for query in args.queries:
         result = linker.link(query)
         print(f"query: {query!r}")
@@ -330,20 +423,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs.logjson import configure_json_logging
 
         configure_json_logging()
-    _, _, _, _, linker = load_pipeline(
-        args.model,
-        LinkerConfig(k=args.k, encoding_cache_size=args.cache_size),
-    )
-    config = ServingConfig(
-        host=args.host,
-        port=args.port,
-        max_batch_size=args.max_batch_size,
-        batch_wait_ms=args.batch_wait_ms,
-        request_timeout_s=args.request_timeout,
-        warm_on_start=not args.no_warm,
-        trace_sample_rate=args.trace_sample,
-        trace_buffer=args.trace_buffer,
-    )
+    runtime = _runtime_config(args)
+    _, _, _, _, linker = load_pipeline(args.model, runtime.linker)
+    config = runtime.serving
     service = LinkingService(linker, config)
     server = create_server(service, host=config.host, port=config.port)
     service.start()
@@ -351,7 +433,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # test) can discover an ephemeral port and start polling /readyz.
     print(
         f"serving on http://{config.host}:{server.port} "
-        f"(model={args.model}, warm={not args.no_warm})",
+        f"(model={args.model}, warm={config.warm_on_start})",
         flush=True,
     )
     run_server(server)
@@ -416,10 +498,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.set_defaults(func=_cmd_train)
 
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="precompile concept encodings + Phase-I index into an artifact",
+    )
+    compile_cmd.add_argument(
+        "--model", required=True, help="saved pipeline dir"
+    )
+    compile_cmd.add_argument(
+        "--out", required=True, help="artifact output directory"
+    )
+    compile_cmd.add_argument(
+        "--no-aliases", action="store_true",
+        help="index canonical descriptions only (must match the linker's "
+        "index_aliases at serve time)",
+    )
+    compile_cmd.set_defaults(func=_cmd_compile)
+
     link = commands.add_parser("link", help="link queries with a saved pipeline")
     link.add_argument("--model", required=True, help="saved pipeline dir")
-    link.add_argument("--k", type=int, default=20)
+    link.add_argument(
+        "--config", default=None,
+        help="JSON RuntimeConfig file (flags moved off their defaults win)",
+    )
+    link.add_argument("--k", type=int, default=_LINKER_FLAG_DEFAULTS["k"])
     link.add_argument("--top", type=int, default=3)
+    link.add_argument(
+        "--artifact-dir", default=None,
+        help="serve from a compiled concept artifact (`repro compile`)",
+    )
+    link.add_argument(
+        "--shards", type=int, default=None,
+        help="scatter-gather shard count (requires --artifact-dir)",
+    )
     link.add_argument("queries", nargs="+", help="query text(s)")
     link.set_defaults(func=_cmd_link)
 
@@ -460,25 +571,42 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the HTTP linking service on a saved pipeline"
     )
     serve.add_argument("--model", required=True, help="saved pipeline dir")
-    serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
-        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+        "--config", default=None,
+        help="JSON RuntimeConfig file (flags moved off their defaults win)",
     )
-    serve.add_argument("--k", type=int, default=20)
+    serve.add_argument("--host", default=_SERVING_FLAG_DEFAULTS["host"])
     serve.add_argument(
-        "--cache-size", type=int, default=4096,
+        "--port", type=int, default=_SERVING_FLAG_DEFAULTS["port"],
+        help="0 picks an ephemeral port",
+    )
+    serve.add_argument("--k", type=int, default=_LINKER_FLAG_DEFAULTS["k"])
+    serve.add_argument(
+        "--cache-size", type=int,
+        default=_LINKER_FLAG_DEFAULTS["cache_size"],
         help="encoding LRU capacity (0 = unbounded)",
     )
     serve.add_argument(
-        "--max-batch-size", type=int, default=8,
+        "--artifact-dir", default=None,
+        help="serve from a compiled concept artifact (`repro compile`)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="scatter-gather shard count (requires --artifact-dir)",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int,
+        default=_SERVING_FLAG_DEFAULTS["max_batch_size"],
         help="micro-batcher flush threshold",
     )
     serve.add_argument(
-        "--batch-wait-ms", type=float, default=2.0,
+        "--batch-wait-ms", type=float,
+        default=_SERVING_FLAG_DEFAULTS["batch_wait_ms"],
         help="micro-batcher deadline in milliseconds (0 = no coalescing)",
     )
     serve.add_argument(
-        "--request-timeout", type=float, default=30.0,
+        "--request-timeout", type=float,
+        default=_SERVING_FLAG_DEFAULTS["request_timeout"],
         help="per-request budget in seconds (exceeded -> HTTP 504)",
     )
     serve.add_argument(
@@ -486,12 +614,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip warm-up; readiness flips immediately, caches fill lazily",
     )
     serve.add_argument(
-        "--trace-sample", type=float, default=1.0,
+        "--trace-sample", type=float,
+        default=_SERVING_FLAG_DEFAULTS["trace_sample"],
         help="fraction of requests traced into GET /traces "
         "(deterministic; 0 disables tracing)",
     )
     serve.add_argument(
-        "--trace-buffer", type=int, default=64,
+        "--trace-buffer", type=int,
+        default=_SERVING_FLAG_DEFAULTS["trace_buffer"],
         help="how many finished traces the ring buffer retains",
     )
     serve.add_argument(

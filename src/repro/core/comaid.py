@@ -220,6 +220,27 @@ class ComAid(Module):
         """The paper's concept representation ``h_n^c`` (a copy)."""
         return self.encode_concept(word_ids, keep_caches=False).final_h.copy()
 
+    def _candidate_structure_memory(
+        self, ancestors: object
+    ) -> Optional[np.ndarray]:
+        """Structure memory for one :meth:`score_batch` candidate.
+
+        Accepts either a precomputed ``(beta, dim)`` matrix (the
+        compiled-artifact fast path, validated for shape) or a sequence
+        of ancestor encodings to stack the usual way.
+        """
+        if isinstance(ancestors, np.ndarray):
+            if not self.config.use_structure_attention:
+                return None
+            expected = (self.config.beta, self.config.dim)
+            if ancestors.shape != expected:
+                raise DataError(
+                    f"precomputed structure memory has shape "
+                    f"{ancestors.shape}, expected {expected}"
+                )
+            return ancestors
+        return self._structure_memory(list(ancestors))
+
     def _structure_memory(
         self, ancestors: Sequence[ConceptEncoding]
     ) -> Optional[np.ndarray]:
@@ -433,11 +454,18 @@ class ComAid(Module):
 
         The online linker encodes every candidate concept once and
         scores many queries against it; this avoids re-running the
-        encoder (the dominant cost Figure 11 calls "ED").
+        encoder (the dominant cost Figure 11 calls "ED").  As with
+        :meth:`score_batch`, ``ancestors`` may be a precomputed
+        ``(beta, dim)`` structure-memory matrix instead of ancestor
+        encodings.
         """
         if not query_ids:
             raise DataError("cannot score an empty query")
-        struct_memory = self._structure_memory(list(ancestors))
+        struct_memory = self._candidate_structure_memory(ancestors)
+        if self.config.use_structure_attention and isinstance(
+            ancestors, np.ndarray
+        ):
+            ancestors = []
         cache = self._decode(concept, list(ancestors), struct_memory, query_ids)
         return -cache.loss
 
@@ -469,6 +497,13 @@ class ComAid(Module):
         discarded.  Inference-only: no caches are kept and no gradients
         flow — training and the equivalence-test oracle stay on the
         sequential :meth:`_decode`.
+
+        A candidate's ancestors may be given either as the usual
+        sequence of :class:`ConceptEncoding` (runtime encoding path) or
+        as a precomputed ``(beta, dim)`` structure-memory matrix — the
+        exact array :meth:`_structure_memory` would build.  The
+        compiled-artifact engine stores those matrices per concept so
+        the ancestor encoders never run online.
         """
         if len(query_ids) != len(candidates):
             raise DataError(
@@ -499,7 +534,7 @@ class ComAid(Module):
         if self.config.use_structure_attention:
             struct_memory = np.stack(
                 [
-                    self._structure_memory(list(ancestors))
+                    self._candidate_structure_memory(ancestors)
                     for _, ancestors in candidates
                 ]
             )

@@ -10,8 +10,11 @@ every experiment overrides them explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar, Dict, Mapping, Optional, Union
 
 from repro.utils.errors import ConfigurationError
 
@@ -176,6 +179,18 @@ class LinkerConfig:
         (also the degraded-mode/test oracle).  Budget semantics are
         preserved: the deadline is checked per candidate while the
         batch is assembled and once after the all-or-nothing decode.
+    artifact_dir:
+        Directory of a compiled concept artifact (``repro compile``).
+        When set, the linker loads the artifact (fingerprint-checked
+        against the model) and serves Phase I/II entirely from
+        precomputed state via the sharded engine
+        (:mod:`repro.engine.shards`); unset keeps the runtime-encoding
+        path.
+    shards:
+        Shard count S for the scatter-gather engine.  Requires
+        ``artifact_dir``; S=1 (the default) runs the engine inline on
+        the calling thread, S>1 runs shards on a persistent worker
+        pool.  Rankings are identical at any S.
     """
 
     k: int = 20
@@ -189,10 +204,22 @@ class LinkerConfig:
     phase2_budget_s: float = 0.0
     degrade_on_error: bool = True
     batch_phase2: bool = True
+    artifact_dir: Optional[str] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.shards > 1 and self.artifact_dir is None:
+            raise ConfigurationError(
+                "shards > 1 requires artifact_dir (the sharded engine "
+                "serves from a compiled concept artifact; run "
+                "`repro compile` first)"
+            )
         if self.edit_distance_max < 0:
             raise ConfigurationError(
                 f"edit_distance_max must be >= 0, got {self.edit_distance_max}"
@@ -299,3 +326,123 @@ class ServingConfig:
             raise ConfigurationError(
                 f"trace_buffer must be >= 1, got {self.trace_buffer}"
             )
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """The four configuration sections behind one typed envelope.
+
+    Every entry point (CLI flags, serving, config files, tests) builds
+    its configs through this class, so there is exactly one place where
+    raw mappings become validated dataclasses.  Round-trips losslessly
+    through :meth:`to_dict`/:meth:`from_dict`; :meth:`from_file` reads
+    the same shape from JSON.  Unknown section names and unknown keys
+    inside a section are **rejected** with a :class:`ConfigurationError`
+    naming the offender — a typo in a config file must fail loudly, not
+    silently fall back to a default.
+    """
+
+    model: ComAidConfig = field(default_factory=ComAidConfig)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    linker: LinkerConfig = field(default_factory=LinkerConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
+
+    #: Section name → dataclass, the single source of truth for the
+    #: envelope shape (from_dict validation and to_dict ordering).
+    SECTIONS: ClassVar[Dict[str, type]] = {
+        "model": ComAidConfig,
+        "training": TrainingConfig,
+        "linker": LinkerConfig,
+        "serving": ServingConfig,
+    }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RuntimeConfig":
+        """Build from a ``{section: {key: value}}`` mapping.
+
+        Absent sections take their defaults.  Unknown sections, unknown
+        keys within a section, and non-mapping section bodies raise
+        :class:`ConfigurationError`; value validation is then delegated
+        to each dataclass's ``__post_init__``.
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"config must be a mapping of sections, got "
+                f"{type(payload).__name__}"
+            )
+        unknown_sections = sorted(set(payload) - set(cls.SECTIONS))
+        if unknown_sections:
+            raise ConfigurationError(
+                f"unknown config section(s) {unknown_sections}; valid "
+                f"sections are {sorted(cls.SECTIONS)}"
+            )
+        built: Dict[str, Any] = {}
+        for section, section_cls in cls.SECTIONS.items():
+            body = payload.get(section)
+            if body is None:
+                built[section] = section_cls()
+                continue
+            if isinstance(body, section_cls):
+                built[section] = body
+                continue
+            if not isinstance(body, Mapping):
+                raise ConfigurationError(
+                    f"config section {section!r} must be a mapping, got "
+                    f"{type(body).__name__}"
+                )
+            valid = {f.name for f in dataclasses.fields(section_cls)}
+            unknown_keys = sorted(set(body) - valid)
+            if unknown_keys:
+                raise ConfigurationError(
+                    f"unknown key(s) {unknown_keys} in config section "
+                    f"{section!r}; valid keys are {sorted(valid)}"
+                )
+            built[section] = section_cls(**body)
+        return cls(**built)
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready ``{section: {key: value}}`` (from_dict round-trip)."""
+        return {
+            section: dataclasses.asdict(getattr(self, section))
+            for section in self.SECTIONS
+        }
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "RuntimeConfig":
+        """Load a JSON config file shaped like :meth:`to_dict` output."""
+        source = Path(path)
+        try:
+            text = source.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read config file {source}: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"config file {source} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    def replace_section(self, section: str, **overrides: Any) -> "RuntimeConfig":
+        """A copy with ``overrides`` applied inside one section.
+
+        The CLI layers flag values over a ``--config`` file with this;
+        unknown keys are rejected exactly as in :meth:`from_dict`.
+        """
+        if section not in self.SECTIONS:
+            raise ConfigurationError(
+                f"unknown config section {section!r}; valid sections are "
+                f"{sorted(self.SECTIONS)}"
+            )
+        section_cls = self.SECTIONS[section]
+        valid = {f.name for f in dataclasses.fields(section_cls)}
+        unknown_keys = sorted(set(overrides) - valid)
+        if unknown_keys:
+            raise ConfigurationError(
+                f"unknown key(s) {unknown_keys} in config section "
+                f"{section!r}; valid keys are {sorted(valid)}"
+            )
+        updated = dataclasses.replace(getattr(self, section), **overrides)
+        return dataclasses.replace(self, **{section: updated})

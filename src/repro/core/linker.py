@@ -119,6 +119,7 @@ class NeuralConceptLinker:
         word_vectors: Optional[WordVectors] = None,
         restrict_to: Optional[Sequence[str]] = None,
         priors: Optional[Dict[str, float]] = None,
+        engine: Optional[object] = None,
     ) -> None:
         """Two-phase linker.
 
@@ -129,10 +130,42 @@ class NeuralConceptLinker:
         uniform and ranking reduces to MLE (Eq. 12).  Priors must be
         positive; they are normalised internally, and every supplied
         cid must exist in the ontology.
+
+        ``engine`` injects a pre-built
+        :class:`repro.engine.shards.ShardedConceptEngine`; without one,
+        ``config.artifact_dir`` (if set) loads the compiled artifact —
+        fingerprint-checked against ``model`` — and builds an engine
+        with ``config.shards`` shards.  With an engine active, Phase I
+        runs scatter-gather retrieval and Phase II scores from the
+        precomputed encoding slab; rankings are identical to the
+        runtime-encoding path.
         """
         self.model = model
         self.ontology = ontology
         self.config = config if config is not None else LinkerConfig()
+        self._engine = engine
+        if self._engine is None and self.config.artifact_dir is not None:
+            if restrict_to is not None:
+                raise ConfigurationError(
+                    "restrict_to cannot be combined with artifact_dir: the "
+                    "compiled artifact fixes the indexed concept set"
+                )
+            # Engine imports stay function-local: repro.engine.compile
+            # imports the persistence layer, which imports this module.
+            from repro.engine.compile import load_artifact
+            from repro.engine.shards import ShardedConceptEngine
+
+            artifact = load_artifact(self.config.artifact_dir, model=model)
+            if artifact.index_aliases != self.config.index_aliases:
+                raise ConfigurationError(
+                    f"artifact was compiled with index_aliases="
+                    f"{artifact.index_aliases} but the linker is configured "
+                    f"with index_aliases={self.config.index_aliases}; "
+                    "recompile or align the config"
+                )
+            self._engine = ShardedConceptEngine(
+                model, ontology, artifact, shards=self.config.shards
+            )
         self._log_priors: Optional[Dict[str, float]] = None
         if priors is not None:
             if not priors:
@@ -148,12 +181,21 @@ class NeuralConceptLinker:
             self._log_priors = {
                 cid: math.log(mass / total) for cid, mass in priors.items()
             }
-        self.candidates = CandidateGenerator(
-            ontology,
-            kb=kb,
-            index_aliases=self.config.index_aliases,
-            restrict_to=restrict_to,
-        )
+        if self._engine is not None:
+            # The monolithic generator is rebuilt from the artifact's
+            # *frozen* documents (not live ontology + KB state) so Ω
+            # and any direct `candidates` use can never drift from what
+            # the engine's shards serve.
+            self.candidates = CandidateGenerator.from_documents(
+                ontology, self._engine.artifact.documents
+            )
+        else:
+            self.candidates = CandidateGenerator(
+                ontology,
+                kb=kb,
+                index_aliases=self.config.index_aliases,
+                restrict_to=restrict_to,
+            )
         self.rewriter: Optional[QueryRewriter] = None
         if self.config.rewrite_queries:
             self.rewriter = QueryRewriter(
@@ -182,9 +224,18 @@ class NeuralConceptLinker:
         #: surfaced by the serving layer's ``/metrics``.
         self.pipeline_metadata: Dict[str, Any] = {}
 
+    # -- engine --------------------------------------------------------------
+
+    @property
+    def engine(self) -> Optional[object]:
+        """The active sharded engine, or None (runtime-encoding path)."""
+        return self._engine
+
     # -- encoding cache -----------------------------------------------------
 
     def _concept_encoding(self, cid: str) -> ConceptEncoding:
+        if self._engine is not None and cid in self._engine:
+            return self._engine.encoding_of(cid)
         return self._encoding_cache.get_or_create(
             cid, lambda: self._encode(cid)
         )
@@ -194,9 +245,17 @@ class NeuralConceptLinker:
         ids = self.model.words_to_ids(list(concept.words))
         return self.model.encode_concept(ids, keep_caches=False)
 
-    def _ancestor_encodings(self, cid: str) -> List[ConceptEncoding]:
+    def _ancestor_encodings(self, cid: str) -> Union[List[ConceptEncoding], Any]:
+        """Ancestor encodings, or a precompiled structure-memory matrix.
+
+        With an engine active the return value is the artifact's
+        ``(beta, dim)`` matrix (or ``[]`` without structure attention) —
+        both scoring entry points accept either form.
+        """
         if not self.model.config.use_structure_attention:
             return []
+        if self._engine is not None and cid in self._engine:
+            return self._engine.structure_memory_of(cid)
         return self._ancestor_cache.get_or_create(
             cid, lambda: self._encode_ancestors(cid)
         )
@@ -312,9 +371,13 @@ class NeuralConceptLinker:
         with timer.phase("CR"), trace.span(
             "linker.retrieve", phase="CR", k=top_k
         ) as span:
-            keyword_hits = (
-                self.candidates.generate(rewritten, k=top_k) if rewritten else []
-            )
+            if not rewritten:
+                keyword_hits = []
+            elif self._engine is not None:
+                keyword_hits = self._engine.retrieve(rewritten, top_k)
+                span.set_tag("shards", self._engine.shards)
+            else:
+                keyword_hits = self.candidates.generate(rewritten, k=top_k)
             span.set_tag("candidates", len(keyword_hits))
         return _PreparedQuery(
             query=query,
@@ -464,22 +527,31 @@ class NeuralConceptLinker:
             with trace.span(
                 "linker.phase2.decode", phase="ED", batch=len(pending)
             ) as span:
-                if span.is_recording:
-                    cached = sum(
-                        1
+                if self._engine is not None:
+                    # Engine path: candidates came from the engine's own
+                    # index, so every cid has a precompiled encoding;
+                    # scoring is grouped by shard on the worker pool.
+                    span.set_tag("precompiled", True)
+                    scores = self._engine.score_batch(
+                        pending_ids, [hits[index][0] for index in pending]
+                    )
+                else:
+                    if span.is_recording:
+                        cached = sum(
+                            1
+                            for index in pending
+                            if hits[index][0] in self._encoding_cache
+                        )
+                        span.set_tag("encodings_cached", cached)
+                        span.set_tag("encodings_missing", len(pending) - cached)
+                    batch = [
+                        (
+                            self._concept_encoding(hits[index][0]),
+                            self._ancestor_encodings(hits[index][0]),
+                        )
                         for index in pending
-                        if hits[index][0] in self._encoding_cache
-                    )
-                    span.set_tag("encodings_cached", cached)
-                    span.set_tag("encodings_missing", len(pending) - cached)
-                batch = [
-                    (
-                        self._concept_encoding(hits[index][0]),
-                        self._ancestor_encodings(hits[index][0]),
-                    )
-                    for index in pending
-                ]
-                scores = self.model.score_batch(pending_ids, batch)
+                    ]
+                    scores = self.model.score_batch(pending_ids, batch)
             for index, score in zip(pending, scores):
                 log_probs[index] = float(score)
             if deadline is not None and time.monotonic() > deadline:

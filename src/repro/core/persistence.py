@@ -41,8 +41,9 @@ import json
 import os
 import shutil
 import zipfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -95,6 +96,134 @@ def _sweep_stale_staging(target: Path) -> None:
             shutil.rmtree(entry, ignore_errors=True)
 
 
+@contextmanager
+def atomic_directory(directory: PathLike) -> Iterator[Path]:
+    """Stage writes to a sibling temp dir; commit atomically on success.
+
+    The generic crash-safety core shared by :func:`save_pipeline` and
+    the compiled-artifact writer (:mod:`repro.engine.compile`).  The
+    body receives a staging directory to fill; on normal exit every
+    staged file is fsynced and the staging directory is renamed over
+    ``directory`` (parking any existing deployment first, so a crash in
+    the one non-atomic instant still leaves the old bytes on disk under
+    the backup name).  On exception the staging directory is removed
+    and ``directory`` is untouched.
+    """
+    target = Path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_staging(target)
+    staging = target.parent / f"{target.name}{_STAGING_MARKER}{os.getpid()}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        yield staging
+        _fsync_dir_files(staging)
+        probe("persistence.commit")
+        if target.exists():
+            # The one non-atomic instant: park the old deployment, move
+            # the new one in, then drop the parked copy.  A crash inside
+            # this window leaves the old deployment intact under the
+            # backup name; the next save sweeps it.
+            backup = target.parent / f"{target.name}{_STAGING_MARKER}old-{os.getpid()}"
+            os.replace(target, backup)
+            os.replace(staging, target)
+            shutil.rmtree(backup, ignore_errors=True)
+        else:
+            os.replace(staging, target)
+    except BaseException:
+        # Failed saves must not leave a half-written staging directory
+        # masquerading as progress — but never touch ``target`` itself.
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def write_manifest(
+    staging: PathLike,
+    format_version: int,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Checksum every staged file into ``manifest.json``.
+
+    Returns the manifest written: format version, caller metadata, and
+    per-file SHA-256 / byte sizes for everything already staged.
+    """
+    staging_dir = Path(staging)
+    manifest: Dict[str, Any] = {
+        "format": format_version,
+        "metadata": metadata or {},
+        "files": {
+            entry.name: {
+                "sha256": _sha256_of(entry),
+                "bytes": entry.stat().st_size,
+            }
+            for entry in sorted(staging_dir.iterdir())
+            if entry.is_file()
+        },
+    }
+    probe("persistence.write.manifest.json")
+    (staging_dir / MANIFEST_FILE).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return manifest
+
+
+def verify_manifest_dir(
+    directory: PathLike,
+    required_files: Sequence[str],
+    kind: str = "pipeline",
+) -> Dict[str, Any]:
+    """Prove a manifest-carrying directory is complete and uncorrupted.
+
+    Checks the manifest exists, every file in ``required_files`` is
+    listed, and every manifest-listed file matches its recorded byte
+    size and SHA-256.  Returns the parsed manifest on success; raises
+    :class:`DataError` naming the first offending file otherwise.
+    ``kind`` labels the error messages ("pipeline", "artifact", …).
+    """
+    source = Path(directory)
+    if not source.is_dir():
+        raise DataError(f"{source} is not a {kind} directory")
+    manifest_path = source / MANIFEST_FILE
+    if not manifest_path.exists():
+        raise DataError(
+            f"{source} has no {MANIFEST_FILE}; re-save the {kind} to "
+            "adopt the checksummed format"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(
+            f"{kind} manifest {manifest_path} is not valid JSON: {exc}"
+        ) from exc
+    files = manifest.get("files")
+    if not isinstance(files, dict):
+        raise DataError(f"{kind} manifest {manifest_path} lists no files")
+    for name in required_files:
+        if name not in files:
+            raise DataError(
+                f"{kind} manifest {manifest_path} is missing required "
+                f"artifact {name}"
+            )
+    for name, expected in files.items():
+        artifact = source / name
+        if not artifact.exists():
+            raise DataError(f"{kind} {source} is missing {name}")
+        size = artifact.stat().st_size
+        if size != expected.get("bytes"):
+            raise DataError(
+                f"{kind} file {artifact} is truncated: {size} bytes, "
+                f"manifest says {expected.get('bytes')}"
+            )
+        digest = _sha256_of(artifact)
+        if digest != expected.get("sha256"):
+            raise DataError(
+                f"{kind} file {artifact} is corrupt (sha256 "
+                f"{digest[:12]}… != manifest {str(expected.get('sha256'))[:12]}…)"
+            )
+    return manifest
+
+
 def save_pipeline(
     directory: PathLike,
     model: ComAid,
@@ -113,13 +242,7 @@ def save_pipeline(
     serving layer's ``/metrics``.
     """
     target = Path(directory)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    _sweep_stale_staging(target)
-    staging = target.parent / f"{target.name}{_STAGING_MARKER}{os.getpid()}"
-    if staging.exists():
-        shutil.rmtree(staging)
-    staging.mkdir()
-    try:
+    with atomic_directory(target) as staging:
         probe("persistence.write.config.json")
         (staging / "config.json").write_text(
             json.dumps(dataclasses.asdict(model.config), indent=2),
@@ -144,40 +267,7 @@ def save_pipeline(
                 words=np.array(word_vectors.words, dtype=object),
                 tags=np.array(sorted(word_vectors.tag_words), dtype=object),
             )
-        manifest: Dict[str, Any] = {
-            "format": PIPELINE_FORMAT,
-            "metadata": metadata or {},
-            "files": {
-                entry.name: {
-                    "sha256": _sha256_of(entry),
-                    "bytes": entry.stat().st_size,
-                }
-                for entry in sorted(staging.iterdir())
-                if entry.is_file()
-            },
-        }
-        probe("persistence.write.manifest.json")
-        (staging / MANIFEST_FILE).write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
-        _fsync_dir_files(staging)
-        probe("persistence.commit")
-        if target.exists():
-            # The one non-atomic instant: park the old deployment, move
-            # the new one in, then drop the parked copy.  A crash inside
-            # this window leaves the old deployment intact under the
-            # backup name; the next save sweeps it.
-            backup = target.parent / f"{target.name}{_STAGING_MARKER}old-{os.getpid()}"
-            os.replace(target, backup)
-            os.replace(staging, target)
-            shutil.rmtree(backup, ignore_errors=True)
-        else:
-            os.replace(staging, target)
-    except BaseException:
-        # Failed saves must not leave a half-written staging directory
-        # masquerading as progress — but never touch ``target`` itself.
-        shutil.rmtree(staging, ignore_errors=True)
-        raise
+        write_manifest(staging, PIPELINE_FORMAT, metadata)
     return target
 
 
@@ -191,47 +281,7 @@ def verify_pipeline(directory: PathLike) -> Dict[str, Any]:
     Pipelines saved before manifests existed fail verification —
     re-save them to adopt the format.
     """
-    source = Path(directory)
-    if not source.is_dir():
-        raise DataError(f"{source} is not a pipeline directory")
-    manifest_path = source / MANIFEST_FILE
-    if not manifest_path.exists():
-        raise DataError(
-            f"{source} has no {MANIFEST_FILE}; re-save the pipeline to "
-            "adopt the checksummed format"
-        )
-    try:
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise DataError(
-            f"pipeline manifest {manifest_path} is not valid JSON: {exc}"
-        ) from exc
-    files = manifest.get("files")
-    if not isinstance(files, dict):
-        raise DataError(f"pipeline manifest {manifest_path} lists no files")
-    for name in REQUIRED_FILES:
-        if name not in files:
-            raise DataError(
-                f"pipeline manifest {manifest_path} is missing required "
-                f"artifact {name}"
-            )
-    for name, expected in files.items():
-        artifact = source / name
-        if not artifact.exists():
-            raise DataError(f"pipeline {source} is missing {name}")
-        size = artifact.stat().st_size
-        if size != expected.get("bytes"):
-            raise DataError(
-                f"pipeline file {artifact} is truncated: {size} bytes, "
-                f"manifest says {expected.get('bytes')}"
-            )
-        digest = _sha256_of(artifact)
-        if digest != expected.get("sha256"):
-            raise DataError(
-                f"pipeline file {artifact} is corrupt (sha256 "
-                f"{digest[:12]}… != manifest {str(expected.get('sha256'))[:12]}…)"
-            )
-    return manifest
+    return verify_manifest_dir(directory, REQUIRED_FILES, kind="pipeline")
 
 
 def load_manifest(directory: PathLike) -> Optional[Dict[str, Any]]:

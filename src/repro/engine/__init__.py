@@ -1,0 +1,44 @@
+"""Scale-out linking engine: precompiled concept artifacts + sharding.
+
+The paper's online cost analysis (Section 5, Figure 11) shows the
+encode-decode forward passes dominating linking time, and its target
+deployments (full SNOMED/ICD-scale ontologies) are orders of magnitude
+larger than the fixtures — per-query concept encoding does not survive
+that scale.  This package moves every per-concept computation offline
+and partitions the online work:
+
+* :mod:`repro.engine.compile` — the ``repro compile`` step: encode
+  every fine-grained concept once (final encoder states ``h_c``, the
+  per-word text-attention memories, Def.-4.1 structure memories, and
+  the Phase-I TF-IDF documents/statistics) into a versioned,
+  checksummed artifact directory written through the atomic
+  persistence layer;
+* :mod:`repro.engine.shards` — partition the concept space into S
+  shards, each with its own Phase-I index (global IDF scale) and a
+  zero-copy slice of the precomputed encoding slab, with scatter-gather
+  top-k merging for Phase I and shard-local batched Phase-II scoring
+  on a persistent worker pool.
+
+``S=1`` degenerates to the current in-thread path; rankings and
+log-probs are identical to the unsharded linker at any S (proven by
+``tests/engine/test_shards.py``).
+"""
+
+from repro.engine.compile import (
+    ARTIFACT_FORMAT,
+    ConceptArtifact,
+    compile_artifact,
+    load_artifact,
+    verify_artifact,
+)
+from repro.engine.shards import ShardedConceptEngine, ShardFailure
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ConceptArtifact",
+    "ShardFailure",
+    "ShardedConceptEngine",
+    "compile_artifact",
+    "load_artifact",
+    "verify_artifact",
+]

@@ -1,0 +1,410 @@
+"""Offline concept compilation: the ``repro compile`` step.
+
+A trained COM-AID pipeline still pays per-concept work online: Phase I
+scans a TF-IDF index built at process start, and Phase II runs the
+concept encoder (and the β ancestor encoders) for every candidate the
+LRU caches have not seen.  Compilation runs all of that exactly once,
+offline, and freezes the results into a versioned, checksummed
+**concept artifact**:
+
+.. code-block:: text
+
+    <dir>/
+      artifact.json     format, model fingerprint, Phase-I documents +
+                        global TF-IDF statistics, concept order
+      encodings.npz     final_h (N,d), final_c (N,d), concatenated
+                        per-word encoder states + offsets, word ids
+      structure.npz     Def.-4.1 structure memories (N, beta, d)
+                        (absent for the COM-AID⁻c/⁻wc ablations)
+      manifest.json     per-file sha256/byte sizes (atomic-persistence
+                        format shared with the pipeline manifest)
+
+The artifact is written through :func:`repro.core.persistence.atomic_directory`,
+so a crash mid-compile never corrupts an existing artifact, and
+:func:`verify_artifact` (or ``load_artifact(verify=True)``) proves a
+directory complete and uncorrupted before it is put behind traffic.
+Loading checks the **model fingerprint** — a SHA-256 over the model's
+parameter tensors plus its architecture config — so an artifact can
+never be served against weights other than the ones it was compiled
+from (stale-artifact bugs surface as a :class:`DataError`, not as
+silently wrong rankings).
+
+Equivalence: the stored encodings are produced by the very same
+``encode_concept`` / ``structural_context`` calls the online linker
+would make, so a linker backed by the artifact returns bit-identical
+concept representations — the sharded-engine equivalence suite rests
+on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.candidates import concept_documents
+from repro.core.comaid import ComAid, ConceptEncoding
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import trace
+from repro.ontology.ontology import Ontology
+from repro.ontology.paths import structural_context
+from repro.text.tfidf import CorpusStats, TfIdfIndex
+from repro.utils.errors import DataError
+from repro.utils.faults import probe
+from repro.utils.logging import get_logger
+
+PathLike = Union[str, Path]
+
+logger = get_logger("engine.compile")
+
+#: Artifact directory format version (bumped on layout changes).
+ARTIFACT_FORMAT = 1
+
+ARTIFACT_FILE = "artifact.json"
+ENCODINGS_FILE = "encodings.npz"
+STRUCTURE_FILE = "structure.npz"
+
+#: Files a complete artifact must contain (structure.npz is optional —
+#: absent when the model has no structure attention).
+REQUIRED_FILES = (ARTIFACT_FILE, ENCODINGS_FILE)
+
+
+def model_fingerprint(model: ComAid) -> Dict[str, Any]:
+    """Identity of the weights an artifact was compiled from.
+
+    SHA-256 over every parameter tensor (name, shape, raw bytes) plus
+    the architecture config and vocabulary size.  Two models agree on
+    the fingerprint iff they would produce the same encodings.
+    """
+    digest = hashlib.sha256()
+    for name, parameter in sorted(model.named_parameters()):
+        digest.update(name.encode("utf-8"))
+        array = np.ascontiguousarray(parameter.value)
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return {
+        "params_sha256": digest.hexdigest(),
+        "config": dataclasses.asdict(model.config),
+        "vocab_size": len(model.vocab),
+    }
+
+
+@dataclass
+class ConceptArtifact:
+    """An in-memory view of a compiled concept artifact.
+
+    Arrays are the slabs exactly as stored; per-concept accessors
+    return zero-copy views into them, so S shards sharing one loaded
+    artifact cost one copy of the encodings in total.
+    """
+
+    directory: Path
+    format: int
+    fingerprint: Dict[str, Any]
+    metadata: Dict[str, Any]
+    cids: Tuple[str, ...]
+    final_h: np.ndarray
+    final_c: np.ndarray
+    states: np.ndarray
+    state_offsets: np.ndarray
+    word_ids: np.ndarray
+    word_offsets: np.ndarray
+    structure: Optional[np.ndarray]
+    documents: List[Tuple[str, List[str]]]
+    corpus_stats: CorpusStats
+    index_aliases: bool
+
+    def __post_init__(self) -> None:
+        self._positions = {cid: i for i, cid in enumerate(self.cids)}
+
+    def __len__(self) -> int:
+        return len(self.cids)
+
+    def __contains__(self, cid: str) -> bool:
+        return cid in self._positions
+
+    def position_of(self, cid: str) -> int:
+        """Global position of ``cid`` in the compiled concept order.
+
+        This order is the monolithic index's insertion order, i.e. the
+        tie-break the unsharded TF-IDF top-k uses — scatter-gather
+        merging sorts on it to reproduce the unsharded ranking exactly.
+        """
+        try:
+            return self._positions[cid]
+        except KeyError:
+            raise DataError(f"concept {cid!r} is not in the compiled artifact")
+
+    def encoding_of(self, cid: str) -> ConceptEncoding:
+        """The precompiled :class:`ConceptEncoding` for ``cid`` (views)."""
+        position = self.position_of(cid)
+        lo, hi = self.state_offsets[position], self.state_offsets[position + 1]
+        wlo, whi = self.word_offsets[position], self.word_offsets[position + 1]
+        states = self.states[lo:hi]
+        return ConceptEncoding(
+            word_ids=tuple(int(w) for w in self.word_ids[wlo:whi]),
+            states=states,
+            final_h=self.final_h[position],
+            final_c=self.final_c[position],
+            caches=None,
+        )
+
+    def structure_memory_of(self, cid: str) -> Optional[np.ndarray]:
+        """The ``(beta, dim)`` Def.-4.1 structure memory, or ``None``."""
+        if self.structure is None:
+            return None
+        return self.structure[self.position_of(cid)]
+
+    def check_model(self, model: ComAid) -> None:
+        """Raise :class:`DataError` unless ``model`` matches the artifact."""
+        current = model_fingerprint(model)
+        if current["params_sha256"] != self.fingerprint.get("params_sha256"):
+            raise DataError(
+                f"artifact {self.directory} was compiled from different "
+                "model weights (fingerprint mismatch); re-run `repro "
+                "compile` after retraining"
+            )
+
+    def monolithic_index(self) -> TfIdfIndex:
+        """One unsharded TF-IDF index over the frozen documents."""
+        return TfIdfIndex().fit(self.documents)
+
+
+def compile_artifact(
+    directory: PathLike,
+    model: ComAid,
+    ontology: Ontology,
+    kb: Optional[KnowledgeBase] = None,
+    index_aliases: bool = True,
+    restrict_to: Optional[Sequence[str]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Encode every fine-grained concept once and freeze the results.
+
+    Runs the concept encoder over each indexed concept (the ``h_c``
+    final states plus the per-word text-attention memories), builds the
+    Def.-4.1 structure memories along each concept's β-ancestor path,
+    tokenises the Phase-I index documents, and writes everything —
+    with global TF-IDF statistics and a model fingerprint — into
+    ``directory`` crash-safely.  Returns the artifact path.
+    """
+    documents = concept_documents(
+        ontology, kb=kb, index_aliases=index_aliases, restrict_to=restrict_to
+    )
+    if not documents:
+        raise DataError("no fine-grained concepts to compile")
+    stats = TfIdfIndex().fit(documents).stats()
+    beta = model.config.beta
+    use_structure = model.config.use_structure_attention
+    dim = model.config.dim
+
+    cids: List[str] = []
+    final_h_rows: List[np.ndarray] = []
+    final_c_rows: List[np.ndarray] = []
+    state_blocks: List[np.ndarray] = []
+    word_blocks: List[List[int]] = []
+    structure_blocks: List[np.ndarray] = []
+    with trace.span("engine.compile", concepts=len(documents)):
+        for cid, _ in documents:
+            probe("engine.compile.concept")
+            concept = ontology.get(cid)
+            word_ids = model.words_to_ids(list(concept.words))
+            encoding = model.encode_concept(word_ids, keep_caches=False)
+            cids.append(cid)
+            final_h_rows.append(encoding.final_h)
+            final_c_rows.append(encoding.final_c)
+            state_blocks.append(encoding.states)
+            word_blocks.append(list(word_ids))
+            if use_structure:
+                path = structural_context(ontology, cid, beta)
+                ancestors = []
+                for ancestor in path[1:]:
+                    ids = model.words_to_ids(list(ancestor.words))
+                    ancestors.append(
+                        model.encode_concept(ids, keep_caches=False)
+                    )
+                if len(ancestors) != beta:
+                    raise DataError(
+                        f"concept {cid!r} yielded {len(ancestors)} ancestors "
+                        f"for beta={beta}"
+                    )
+                structure_blocks.append(
+                    np.vstack([a.final_h for a in ancestors])
+                )
+
+    state_offsets = np.zeros(len(cids) + 1, dtype=np.int64)
+    np.cumsum([block.shape[0] for block in state_blocks], out=state_offsets[1:])
+    word_offsets = np.zeros(len(cids) + 1, dtype=np.int64)
+    np.cumsum([len(block) for block in word_blocks], out=word_offsets[1:])
+
+    header = {
+        "format": ARTIFACT_FORMAT,
+        "fingerprint": model_fingerprint(model),
+        "concepts": len(cids),
+        "dim": dim,
+        "beta": beta,
+        "index": {
+            "order": cids,
+            "index_aliases": bool(index_aliases),
+            "stats": stats.to_dict(),
+            "documents": {cid: list(tokens) for cid, tokens in documents},
+        },
+    }
+
+    from repro.core.persistence import atomic_directory, write_manifest
+
+    target = Path(directory)
+    with atomic_directory(target) as staging:
+        probe("engine.compile.write.artifact.json")
+        (staging / ARTIFACT_FILE).write_text(
+            json.dumps(header, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        probe("engine.compile.write.encodings.npz")
+        np.savez_compressed(
+            staging / ENCODINGS_FILE,
+            final_h=np.stack(final_h_rows),
+            final_c=np.stack(final_c_rows),
+            states=(
+                np.concatenate(state_blocks)
+                if state_blocks
+                else np.zeros((0, dim))
+            ),
+            state_offsets=state_offsets,
+            word_ids=np.asarray(
+                [wid for block in word_blocks for wid in block],
+                dtype=np.int64,
+            ),
+            word_offsets=word_offsets,
+        )
+        if use_structure:
+            probe("engine.compile.write.structure.npz")
+            np.savez_compressed(
+                staging / STRUCTURE_FILE,
+                structure=np.stack(structure_blocks),
+            )
+        write_manifest(staging, ARTIFACT_FORMAT, metadata)
+    logger.info(
+        "compiled %d concepts (%d encoder states) into %s",
+        len(cids),
+        int(state_offsets[-1]),
+        target,
+    )
+    return target
+
+
+def verify_artifact(directory: PathLike) -> Dict[str, Any]:
+    """Prove an artifact directory is complete and uncorrupted.
+
+    Manifest-driven byte-size and SHA-256 checks over every listed
+    file; returns the parsed manifest, raises :class:`DataError` naming
+    the first offending file otherwise.
+    """
+    from repro.core.persistence import verify_manifest_dir
+
+    return verify_manifest_dir(directory, REQUIRED_FILES, kind="artifact")
+
+
+def load_artifact(
+    directory: PathLike,
+    model: Optional[ComAid] = None,
+    verify: bool = True,
+) -> ConceptArtifact:
+    """Load a compiled concept artifact.
+
+    With ``verify`` (the default) every file is checksummed against the
+    manifest before deserialisation — a tampered or torn artifact
+    raises :class:`DataError` naming the file.  Passing ``model``
+    additionally checks the weight fingerprint, refusing to serve an
+    artifact compiled from other weights.
+    """
+    source = Path(directory)
+    if verify:
+        verify_artifact(source)
+    header_path = source / ARTIFACT_FILE
+    if not header_path.exists():
+        raise DataError(f"{source} does not look like a compiled artifact")
+    try:
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(
+            f"artifact file {header_path} is not valid JSON: {exc}"
+        ) from exc
+    if header.get("format") != ARTIFACT_FORMAT:
+        raise DataError(
+            f"artifact {source} has format {header.get('format')!r}; this "
+            f"build reads format {ARTIFACT_FORMAT}"
+        )
+    try:
+        order = [str(cid) for cid in header["index"]["order"]]
+        raw_documents = header["index"]["documents"]
+        documents = [
+            (cid, [str(token) for token in raw_documents[cid]])
+            for cid in order
+        ]
+        stats = CorpusStats.from_dict(header["index"]["stats"])
+        index_aliases = bool(header["index"]["index_aliases"])
+        fingerprint = dict(header["fingerprint"])
+    except (KeyError, TypeError) as exc:
+        raise DataError(
+            f"artifact file {header_path} is missing fields: {exc}"
+        ) from exc
+    try:
+        with np.load(source / ENCODINGS_FILE) as archive:
+            final_h = archive["final_h"]
+            final_c = archive["final_c"]
+            states = archive["states"]
+            state_offsets = archive["state_offsets"]
+            word_ids = archive["word_ids"]
+            word_offsets = archive["word_offsets"]
+    except (OSError, KeyError, ValueError) as exc:
+        raise DataError(
+            f"artifact file {source / ENCODINGS_FILE} is corrupt or "
+            f"unreadable: {type(exc).__name__}: {exc}"
+        ) from exc
+    structure: Optional[np.ndarray] = None
+    structure_path = source / STRUCTURE_FILE
+    if structure_path.exists():
+        try:
+            with np.load(structure_path) as archive:
+                structure = archive["structure"]
+        except (OSError, KeyError, ValueError) as exc:
+            raise DataError(
+                f"artifact file {structure_path} is corrupt or unreadable: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    manifest_metadata: Dict[str, Any] = {}
+    from repro.core.persistence import load_manifest
+
+    manifest = load_manifest(source)
+    if manifest is not None:
+        manifest_metadata = dict(manifest.get("metadata") or {})
+    artifact = ConceptArtifact(
+        directory=source,
+        format=int(header["format"]),
+        fingerprint=fingerprint,
+        metadata=manifest_metadata,
+        cids=tuple(order),
+        final_h=final_h,
+        final_c=final_c,
+        states=states,
+        state_offsets=state_offsets,
+        word_ids=word_ids,
+        word_offsets=word_offsets,
+        structure=structure,
+        documents=documents,
+        corpus_stats=stats,
+        index_aliases=index_aliases,
+    )
+    if len(artifact.cids) != final_h.shape[0]:
+        raise DataError(
+            f"artifact {source} is inconsistent: {len(artifact.cids)} "
+            f"concepts listed, {final_h.shape[0]} encodings stored"
+        )
+    if model is not None:
+        artifact.check_model(model)
+    return artifact

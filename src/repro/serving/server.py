@@ -1,26 +1,37 @@
 """Stdlib-only threaded HTTP JSON API in front of a LinkingService.
 
-Endpoints (JSON unless noted):
+The API is versioned under ``/v1`` (JSON unless noted):
 
-* ``POST /link`` — body ``{"query": "..."}`` or ``{"queries": [...]}``
-  with optional ``"k"``; responds ``{"results": [...], "request_id":
-  ...}`` where each result carries the ranked concepts, applied
-  rewrites, and the per-query OR/CR/ED/RT timing breakdown (Figure
-  11's decomposition).  An ``X-Request-ID`` request header is honoured
-  (else one is generated); it is echoed as a response header, embedded
-  in the payload, stamped on every correlated JSON log line, and is
-  the key for finding the request's trace.
-* ``GET /healthz`` — liveness; 200 while the process can serve.
-* ``GET /readyz`` — readiness; 503 until warm-up finishes, then 200.
-* ``GET /metrics`` — the service snapshot (counters, latency
-  histograms with p50/p95/p99, cache and batcher statistics);
-  ``?format=prometheus`` (or an ``Accept: text/plain`` header) returns
-  Prometheus text exposition instead.
-* ``GET /traces`` — recent sampled span traces from the ring buffer
-  (``?limit=N`` bounds the reply, ``?request_id=...`` fetches one).
+* ``POST /v1/link`` — body ``{"query": "..."}`` or ``{"queries":
+  [...]}`` with optional ``"k"``; responds ``{"results": [...],
+  "request_id": ..., "api_version": "1.0"}`` where each result carries
+  the ranked concepts, applied rewrites, and the per-query OR/CR/ED/RT
+  timing breakdown (Figure 11's decomposition).  An ``X-Request-ID``
+  request header is honoured (else one is generated); it is echoed as
+  a response header, embedded in the payload, stamped on every
+  correlated JSON log line, and is the key for finding the request's
+  trace.
+* ``GET /healthz`` (alias ``/v1/healthz``) — liveness; 200 while the
+  process can serve.
+* ``GET /readyz`` (alias ``/v1/readyz``) — readiness; 503 until
+  warm-up finishes, then 200.
+* ``GET /v1/metrics`` — the service snapshot (counters, latency
+  histograms with p50/p95/p99, cache, batcher, and sharded-engine
+  statistics); ``?format=prometheus`` (or an ``Accept: text/plain``
+  header) returns Prometheus text exposition instead.
+* ``GET /v1/traces`` — recent sampled span traces from the ring
+  buffer (``?limit=N`` bounds the reply, ``?request_id=...`` fetches
+  one).
 
-Errors are structured: ``{"error": {"type": ..., "message": ...}}``
-with 400 for bad requests, 503 before readiness, 504 on request
+The pre-versioning routes (``/link``, ``/metrics``, ``/traces``)
+remain as aliases that answer identically but carry a
+``Deprecation: true`` response header plus a ``Link:
+rel="successor-version"`` pointing at the ``/v1`` route; they will be
+removed in v2.
+
+Errors share one envelope across every endpoint: ``{"error": {"code":
+..., "message": ..., "request_id": ...}}`` with 400 for bad requests,
+404 for unknown routes/traces, 503 before readiness, 504 on request
 timeout, and 500 for anything unexpected.  One OS thread per
 connection (``ThreadingHTTPServer``) is plenty here because the
 model-bound work is serialised by the batcher anyway; threads only
@@ -37,6 +48,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.api import API_VERSION
 from repro.core.linker import LinkResult
 from repro.obs import trace
 from repro.obs.prom import render_prometheus, snapshot_gauges
@@ -49,9 +61,32 @@ LOGGER = get_logger("serving.server")
 MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is already thousands of queries
 MAX_QUERIES_PER_REQUEST = 256
 
+#: URL prefix of the current stable HTTP surface.
+V1_PREFIX = "/v1"
+
 
 class BadRequestError(ValueError):
     """Client-side request problem, reported as HTTP 400."""
+
+
+def error_envelope(
+    code: str, message: str, request_id: str
+) -> Dict[str, Any]:
+    """The one error shape every endpoint answers with.
+
+    ``code`` is a stable, machine-matchable identifier (``bad_request``,
+    ``not_ready``, ``timeout``, ``not_found``, ``trace_not_found``,
+    ``internal``, or a ``ReproError`` class name); ``message`` is
+    human-facing prose; ``request_id`` correlates the failure with logs
+    and traces.
+    """
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "request_id": request_id,
+        }
+    }
 
 
 def result_to_json(
@@ -144,6 +179,10 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
+        # Every JSON response self-describes its API version, so a
+        # client (or a capture in a bug report) is never ambiguous
+        # about which surface produced it.
+        payload.setdefault("api_version", API_VERSION)
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -153,24 +192,76 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _respond_text(self, status: int, text: str) -> None:
+    def _respond_text(
+        self,
+        status: int,
+        text: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "text/plain; version=0.0.4")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _respond_error(self, status: int, kind: str, message: str) -> None:
-        self._respond(status, {"error": {"type": kind, "message": message}})
+    def _request_id(self) -> str:
+        """This request's correlation id (header-supplied or generated)."""
+        return (
+            self.headers.get("X-Request-ID") or ""
+        ).strip() or trace.new_request_id()
+
+    def _respond_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        request_id: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._respond(
+            status,
+            error_envelope(
+                code, message, request_id or self._request_id()
+            ),
+            headers=headers,
+        )
+
+    def _route(self) -> Tuple[str, Dict[str, list], bool]:
+        """``(normalised path, query params, legacy?)``.
+
+        The ``/v1`` prefix is stripped so one dispatch serves both
+        surfaces; ``legacy`` marks a pre-versioning path, which answers
+        identically but carries deprecation headers.
+        """
+        parts = urlsplit(self.path)
+        path = parts.path
+        params = parse_qs(parts.query)
+        if path == V1_PREFIX or path.startswith(V1_PREFIX + "/"):
+            return path[len(V1_PREFIX):] or "/", params, False
+        return path, params, True
+
+    @staticmethod
+    def _deprecation_headers(path: str) -> Dict[str, str]:
+        """Headers steering legacy-route clients to the ``/v1`` twin."""
+        return {
+            "Deprecation": "true",
+            "Link": f'<{V1_PREFIX}{path}>; rel="successor-version"',
+        }
 
     # -- GET ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         service = self.server.service
-        parts = urlsplit(self.path)
-        path = parts.path
-        params = parse_qs(parts.query)
+        path, params, legacy = self._route()
+        # Health endpoints are canonical unversioned (load-balancer
+        # convention); /metrics and /traces moved under /v1, so their
+        # bare forms answer with deprecation headers.
+        extra: Optional[Dict[str, str]] = None
+        if legacy and path in ("/metrics", "/traces"):
+            extra = self._deprecation_headers(path)
         if path == "/healthz":
             if service.healthy:
                 self._respond(200, {"status": "ok"})
@@ -196,15 +287,18 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                     render_prometheus(
                         service.metrics, gauges=snapshot_gauges(snapshot)
                     ),
+                    headers=extra,
                 )
             else:
-                self._respond(200, snapshot)
+                self._respond(200, snapshot, headers=extra)
         elif path == "/traces":
-            self._respond_traces(params)
+            self._respond_traces(params, extra)
         else:
             self._respond_error(404, "not_found", f"no route for {self.path}")
 
-    def _respond_traces(self, params: Dict[str, list]) -> None:
+    def _respond_traces(
+        self, params: Dict[str, list], headers: Optional[Dict[str, str]]
+    ) -> None:
         tracer = self.server.service.tracer
         request_id = params.get("request_id", [None])[0]
         if request_id:
@@ -215,9 +309,14 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                     "trace_not_found",
                     f"no retained trace for request {request_id!r} "
                     "(evicted from the ring buffer, or never sampled)",
+                    headers=headers,
                 )
                 return
-            self._respond(200, {"traces": [found], "stats": tracer.stats()})
+            self._respond(
+                200,
+                {"traces": [found], "stats": tracer.stats()},
+                headers=headers,
+            )
             return
         limit_raw = params.get("limit", [None])[0]
         limit: Optional[int] = None
@@ -226,39 +325,48 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                 limit = int(limit_raw)
             except ValueError:
                 self._respond_error(
-                    400, "bad_request", "'limit' must be an integer"
+                    400,
+                    "bad_request",
+                    "'limit' must be an integer",
+                    headers=headers,
                 )
                 return
         self._respond(
-            200, {"traces": tracer.traces(limit=limit), "stats": tracer.stats()}
+            200,
+            {"traces": tracer.traces(limit=limit), "stats": tracer.stats()},
+            headers=headers,
         )
 
     # -- POST ---------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path != "/link":
+        path, _, legacy = self._route()
+        if path != "/link":
             self._respond_error(404, "not_found", f"no route for {self.path}")
             return
         # The request ID exists whether or not this trace is sampled:
         # it is echoed in the response (header + body), stamped on the
         # JSON logs, and — when sampled — keys the span tree in /traces.
-        request_id = (
-            self.headers.get("X-Request-ID") or ""
-        ).strip() or trace.new_request_id()
+        request_id = self._request_id()
         root = self.server.service.tracer.start_trace(
             "http.link", request_id=request_id
         )
         with root:
-            status, payload = self._handle_link(root)
+            status, payload = self._handle_link(root, request_id)
             root.set_tag("status", status)
         payload["request_id"] = request_id
-        self._respond(status, payload, headers={"X-Request-ID": request_id})
+        headers = {"X-Request-ID": request_id}
+        if legacy:
+            headers.update(self._deprecation_headers("/link"))
+        self._respond(status, payload, headers=headers)
 
-    def _handle_link(self, root: Any) -> Tuple[int, Dict[str, Any]]:
+    def _handle_link(
+        self, root: Any, request_id: str
+    ) -> Tuple[int, Dict[str, Any]]:
         """Run one /link request under ``root``; returns (status, body)."""
 
-        def error_body(kind: str, message: str) -> Dict[str, Any]:
-            return {"error": {"type": kind, "message": message}}
+        def error_body(code: str, message: str) -> Dict[str, Any]:
+            return error_envelope(code, message, request_id)
 
         try:
             payload = self._read_json()

@@ -289,4 +289,9 @@ class LinkingService:
         report["pipeline"] = dict(
             getattr(self.linker, "pipeline_metadata", None) or {}
         )
+        # Sharded-engine counters (shard sizes, scatter-gather failure
+        # counts) when the linker serves from a compiled artifact.
+        engine = getattr(self.linker, "engine", None)
+        if engine is not None:
+            report["engine"] = engine.stats()
         return report

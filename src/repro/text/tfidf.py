@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.utils.errors import NotFittedError
 
@@ -29,6 +29,36 @@ class TfIdfMatch:
 
     key: Hashable
     score: float
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Document frequencies of a whole corpus, detached from any index.
+
+    A sharded deployment partitions the concept documents across
+    several :class:`TfIdfIndex` instances but must keep every shard's
+    scores on the *global* scale — IDF computed over a shard's slice
+    would weight terms differently per shard and break scatter-gather
+    merging.  ``CorpusStats`` carries the global ``df`` / ``doc_count``
+    so each shard can be fitted with :meth:`TfIdfIndex.fit` s
+    ``stats=`` override and produce cosines bit-identical to one
+    monolithic index over the full corpus.
+    """
+
+    doc_count: int
+    df: Mapping[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by the compiled concept artifact)."""
+        return {"doc_count": self.doc_count, "df": dict(self.df)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CorpusStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            doc_count=int(payload["doc_count"]),
+            df={str(term): int(count) for term, count in dict(payload["df"]).items()},
+        )
 
 
 class TfIdfIndex:
@@ -51,15 +81,31 @@ class TfIdfIndex:
 
     # -- construction -------------------------------------------------
 
-    def fit(self, documents: Iterable[Tuple[Hashable, Sequence[str]]]) -> "TfIdfIndex":
-        """Index ``(key, tokens)`` documents. Replaces any prior state."""
+    def fit(
+        self,
+        documents: Iterable[Tuple[Hashable, Sequence[str]]],
+        stats: Optional[CorpusStats] = None,
+    ) -> "TfIdfIndex":
+        """Index ``(key, tokens)`` documents. Replaces any prior state.
+
+        ``stats`` substitutes external corpus statistics for the ones
+        derived from ``documents``: IDF weights (document *and* query
+        side) are then computed from the supplied global ``df`` /
+        ``doc_count`` instead of the indexed slice.  This is how a
+        shard over a subset of the concept documents produces cosines
+        identical to a monolithic index over all of them.
+        """
         staged: List[Tuple[Hashable, Counter]] = []
         self._df = Counter()
         for key, tokens in documents:
             term_freq = Counter(tokens)
             staged.append((key, term_freq))
             self._df.update(term_freq.keys())
-        self._doc_count = len(staged)
+        if stats is not None:
+            self._df = Counter(stats.df)
+            self._doc_count = stats.doc_count
+        else:
+            self._doc_count = len(staged)
         self._keys = []
         self._norms = []
         self._postings = {}
@@ -97,11 +143,18 @@ class TfIdfIndex:
             raise NotFittedError("TfIdfIndex.search called before fit")
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        # Terms are admitted by *corpus* document frequency, not by
+        # membership in this index's postings: under external stats a
+        # term can exist in the corpus but have no postings in this
+        # shard, and it must still contribute to the query norm or the
+        # shard's cosines would leave the global scale.  Without
+        # external stats df > 0 iff the term has postings, so the
+        # behaviour is unchanged.
         query_freq = Counter(tokens)
         query_weights = {
             term: self._tf_weight(count) * self._idf(term)
             for term, count in query_freq.items()
-            if term in self._postings
+            if self._df.get(term, 0) > 0
         }
         if not query_weights:
             return []
@@ -110,7 +163,7 @@ class TfIdfIndex:
         )
         scores: Dict[int, float] = {}
         for term, query_weight in query_weights.items():
-            for doc_id, doc_weight in self._postings[term]:
+            for doc_id, doc_weight in self._postings.get(term, ()):
                 scores[doc_id] = scores.get(doc_id, 0.0) + query_weight * doc_weight
         # Sort by the exact cosine that is reported: dividing by the
         # query norm inside the sort key keeps ties and near-ties in
@@ -141,8 +194,16 @@ class TfIdfIndex:
 
     # -- introspection --------------------------------------------------
 
+    def stats(self) -> CorpusStats:
+        """This index's corpus statistics, reusable as a ``fit`` override."""
+        if not self._fitted:
+            raise NotFittedError("TfIdfIndex.stats called before fit")
+        return CorpusStats(doc_count=self._doc_count, df=dict(self._df))
+
     def __len__(self) -> int:
-        return self._doc_count
+        # Locally indexed documents — under external stats this differs
+        # from the (global) ``doc_count`` driving the IDF weights.
+        return len(self._keys)
 
     @property
     def vocabulary(self) -> Tuple[str, ...]:

@@ -1,0 +1,52 @@
+"""Engine-test fixtures: one trained model and one compiled artifact.
+
+Training and compilation are the expensive parts, so both are
+package-scoped; tests that need to mutate an artifact copy it first.
+"""
+
+import pytest
+
+from repro.core.config import ComAidConfig, TrainingConfig
+from repro.core.trainer import ComAidTrainer
+from repro.engine.compile import compile_artifact, load_artifact
+
+from tests.serving.conftest import build_figure1_ontology, build_figure3_kb
+
+#: Query mix covering exact aliases, shared-word families, and typos.
+ENGINE_QUERIES = [
+    "ckd stage 5",
+    "anemia blood loss",
+    "vitamin c deficiency anemia",
+    "protein deficiency anemia",
+    "acute abdomen pain",
+    "chronic kidney disease",
+    "scorbutic anemia",
+    "end stage renal disease",
+    "anemia",
+    "qqqqq zzzzz",
+]
+
+
+@pytest.fixture(scope="package")
+def engine_stack(tmp_path_factory):
+    """``(ontology, kb, model, artifact_dir)`` shared by the engine tests."""
+    ontology = build_figure1_ontology()
+    kb = build_figure3_kb(ontology)
+    trainer = ComAidTrainer(
+        ComAidConfig(dim=10, beta=2),
+        TrainingConfig(
+            epochs=8, batch_size=4, optimizer="adagrad", learning_rate=0.2
+        ),
+        rng=7,
+    )
+    model = trainer.fit(kb)
+    artifact_dir = tmp_path_factory.mktemp("engine") / "artifact"
+    compile_artifact(artifact_dir, model, ontology, kb=kb)
+    return ontology, kb, model, artifact_dir
+
+
+@pytest.fixture(scope="package")
+def artifact(engine_stack):
+    """The compiled artifact, loaded once with the model check on."""
+    _, _, model, artifact_dir = engine_stack
+    return load_artifact(artifact_dir, model=model)

@@ -71,7 +71,8 @@ class TestHealthAndReadiness:
         base, _ = running_server
         status, payload = _get(base, "/healthz")
         assert status == 200
-        assert payload == {"status": "ok"}
+        assert payload["status"] == "ok"
+        assert payload["api_version"] == "1.0"
 
     def test_readyz_ok_after_warmup(self, running_server):
         base, _ = running_server
@@ -96,11 +97,11 @@ class TestHealthAndReadiness:
             assert gate.entered.wait(10.0)
             status, payload = _get(base, "/readyz")
             assert status == 503
-            assert payload["error"]["type"] == "not_ready"
+            assert payload["error"]["code"] == "not_ready"
             # /link is rejected with the same structured 503.
             status, payload = _post(base, "/link", {"query": "ckd stage 5"})
             assert status == 503
-            assert payload["error"]["type"] == "not_ready"
+            assert payload["error"]["code"] == "not_ready"
             # Liveness is independent of readiness.
             assert _get(base, "/healthz")[0] == 200
             gate.release.set()
@@ -233,7 +234,7 @@ class TestErrorHandling:
         base, _ = running_server
         status, payload = _get(base, "/nope")
         assert status == 404
-        assert payload["error"]["type"] == "not_found"
+        assert payload["error"]["code"] == "not_found"
         assert _post(base, "/nope", {})[0] == 404
 
     def test_invalid_json_400(self, running_server):
@@ -247,7 +248,7 @@ class TestErrorHandling:
             urllib.request.urlopen(request, timeout=30.0)
         assert excinfo.value.code == 400
         payload = json.load(excinfo.value)
-        assert payload["error"]["type"] == "bad_request"
+        assert payload["error"]["code"] == "bad_request"
 
     @pytest.mark.parametrize(
         "body",
@@ -268,7 +269,7 @@ class TestErrorHandling:
         base, _ = running_server
         status, payload = _post(base, "/link", body)
         assert status == 400
-        assert payload["error"]["type"] == "bad_request"
+        assert payload["error"]["code"] == "bad_request"
         assert payload["error"]["message"]
 
     def test_empty_body_400(self, running_server):

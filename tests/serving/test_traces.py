@@ -159,7 +159,7 @@ class TestTraceTree:
 
         status, body = _get_json(base, "/traces?request_id=req-nope")
         assert status == 404
-        assert body["error"]["type"] == "trace_not_found"
+        assert body["error"]["code"] == "trace_not_found"
 
         status, body = _get_json(base, "/traces?limit=abc")
         assert status == 400

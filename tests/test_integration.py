@@ -7,7 +7,7 @@ review via Timon artifacts → incremental retrain → re-link.
 
 import pytest
 
-from repro import (
+from repro.api import (
     ComAidConfig,
     ComAidTrainer,
     FeedbackController,

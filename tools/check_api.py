@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Diff the public API surface (``repro.api``) against its snapshot.
+
+The facade is versioned (``API_VERSION``), so its surface must only
+change deliberately: this tool describes every exported name — kind,
+call signature, dataclass fields — and compares the result against the
+committed snapshot at ``tools/api_surface.json``.  Any drift (a name
+added, removed, or re-signatured) fails the tier-1 gate with a diff;
+an intentional change is recorded by re-running with ``--update`` and
+committing the new snapshot alongside the code.
+
+Usage (from the repo root)::
+
+    python tools/check_api.py            # verify against the snapshot
+    python tools/check_api.py --update   # regenerate the snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import inspect
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "tools" / "api_surface.json"
+
+
+def describe(name: str, obj: Any) -> Dict[str, Any]:
+    """A JSON-ready structural description of one exported name."""
+    entry: Dict[str, Any] = {}
+    if inspect.isclass(obj):
+        entry["kind"] = "class"
+        if dataclasses.is_dataclass(obj):
+            entry["fields"] = [
+                field.name for field in dataclasses.fields(obj)
+            ]
+        else:
+            try:
+                entry["signature"] = str(inspect.signature(obj))
+            except (TypeError, ValueError):
+                entry["signature"] = None
+    elif inspect.isfunction(obj):
+        entry["kind"] = "function"
+        entry["signature"] = str(inspect.signature(obj))
+    elif isinstance(obj, (str, int, float, bool)):
+        entry["kind"] = "constant"
+        entry["value"] = obj
+    elif isinstance(obj, dict):
+        entry["kind"] = "constant"
+        entry["value"] = obj
+    else:
+        entry["kind"] = type(obj).__name__
+    return entry
+
+
+def current_surface() -> Dict[str, Any]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro.api as api
+
+    return {
+        "api_version": api.API_VERSION,
+        "exports": {
+            name: describe(name, getattr(api, name))
+            for name in sorted(api.__all__)
+        },
+    }
+
+
+def diff(snapshot: Dict[str, Any], current: Dict[str, Any]) -> list:
+    problems = []
+    if snapshot.get("api_version") != current["api_version"]:
+        problems.append(
+            f"API_VERSION changed: {snapshot.get('api_version')!r} -> "
+            f"{current['api_version']!r}"
+        )
+    old = snapshot.get("exports", {})
+    new = current["exports"]
+    for name in sorted(set(old) - set(new)):
+        problems.append(f"removed: {name}")
+    for name in sorted(set(new) - set(old)):
+        problems.append(f"added: {name}")
+    for name in sorted(set(old) & set(new)):
+        if old[name] != new[name]:
+            problems.append(
+                f"changed: {name}: {json.dumps(old[name], sort_keys=True)} "
+                f"-> {json.dumps(new[name], sort_keys=True)}"
+            )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite tools/api_surface.json from the live surface",
+    )
+    args = parser.parse_args()
+    current = current_surface()
+    if args.update:
+        SNAPSHOT.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote {SNAPSHOT.relative_to(REPO_ROOT)}: "
+            f"{len(current['exports'])} exports, "
+            f"API {current['api_version']}"
+        )
+        return 0
+    if not SNAPSHOT.exists():
+        print(
+            f"missing snapshot {SNAPSHOT.relative_to(REPO_ROOT)}; run "
+            "`python tools/check_api.py --update` and commit it",
+            file=sys.stderr,
+        )
+        return 1
+    snapshot = json.loads(SNAPSHOT.read_text(encoding="utf-8"))
+    problems = diff(snapshot, current)
+    if not problems:
+        print(
+            f"API surface OK: {len(current['exports'])} exports, "
+            f"API {current['api_version']}"
+        )
+        return 0
+    print(
+        f"{len(problems)} API surface change(s) vs "
+        f"{SNAPSHOT.relative_to(REPO_ROOT)} (intentional? re-run with "
+        "--update and commit the snapshot):",
+        file=sys.stderr,
+    )
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,15 +5,17 @@
 # pyproject.toml) and the opt-in benchmarks (each refreshes its BENCH
 # json at the repo root).
 #
-#   tools/run_tier1.sh                 # lint + fast suite only
+#   tools/run_tier1.sh                 # lints + fast suite only
 #   tools/run_tier1.sh --faults        # ... + fault drills
 #   tools/run_tier1.sh --bench-phase2  # ... + batching benchmark
 #   tools/run_tier1.sh --bench-obs     # ... + tracing-overhead benchmark
+#   tools/run_tier1.sh --bench-shard   # ... + shard-engine benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
 python tools/check_no_print.py
+python tools/check_api.py
 python -m pytest -x -q
 
 for arg in "$@"; do
@@ -30,8 +32,12 @@ for arg in "$@"; do
             echo "== tracing overhead benchmark (writes BENCH_obs.json) =="
             python -m pytest -q benchmarks/test_obs_overhead.py
             ;;
+        --bench-shard)
+            echo "== shard engine benchmark (writes BENCH_shard.json) =="
+            python -m pytest -q benchmarks/test_shard_engine.py
+            ;;
         *)
-            echo "unknown flag: $arg (expected --faults, --bench-phase2 and/or --bench-obs)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs and/or --bench-shard)" >&2
             exit 2
             ;;
     esac

@@ -1,0 +1,53 @@
+"""Retrieval-at-scale benchmark — the 100k-concept gate.
+
+Runs the four retrieval modes (exact scan, inverted sparse, IVF dense,
+hybrid fusion) over the ``large-scale-like`` 100k fine-grained
+ontology, writes ``BENCH_retrieval.json`` at the repo root, and asserts
+the acceptance gates: the hybrid mode at its shipped defaults (rrf,
+w=0.95, nprobe=8) must cut the exact scan's CR p50 by ≥5× while
+keeping recall@64 ≥ 0.98, and the sparse mode must stay bit-identical
+to the exact scan on every query.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import RetrievalConfig
+from repro.eval.experiments.retrieval_scale import run_retrieval_scale
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_retrieval.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    defaults = RetrievalConfig()  # the gate measures the shipped knobs
+    return run_retrieval_scale(
+        scale="large",
+        seed=2018,
+        k=64,
+        query_count=128,
+        nprobe=defaults.nprobe,
+        fusion_weight=defaults.fusion_weight,
+        fusion_method=defaults.fusion_method,
+    )
+
+
+def test_hybrid_speedup_at_least_5x(once, report):
+    data = once(lambda: report)
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    assert data["concepts"] >= 100_000, data
+    assert data["speedup_p50"]["hybrid"] >= 5.0, data["modes"]
+
+
+def test_hybrid_recall_at_least_098(once, report):
+    once(lambda: None)
+    assert report["modes"]["hybrid"]["recall_at_k"] >= 0.98, report["modes"]
+
+
+def test_sparse_is_bit_identical_and_faster(once, report):
+    once(lambda: None)
+    assert report["sparse_identical"], report
+    assert report["speedup_p50"]["sparse"] >= 5.0, report["modes"]

@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 #: surface grows compatibly, the major when anything is removed or
 #: changes shape.  ``tools/check_api.py`` pins the exported surface to
 #: this value.
-API_VERSION = "1.0"
+API_VERSION = "1.1"
 
 #: Lazily resolved re-exports: public name → (module, attribute).
 _EXPORTS: Dict[str, Tuple[str, str]] = {
@@ -45,6 +45,7 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "ComAidConfig": ("repro.core.config", "ComAidConfig"),
     "TrainingConfig": ("repro.core.config", "TrainingConfig"),
     "LinkerConfig": ("repro.core.config", "LinkerConfig"),
+    "RetrievalConfig": ("repro.core.config", "RetrievalConfig"),
     "ServingConfig": ("repro.core.config", "ServingConfig"),
     "RuntimeConfig": ("repro.core.config", "RuntimeConfig"),
     "PAPER_DEFAULTS": ("repro.core.config", "PAPER_DEFAULTS"),
@@ -85,6 +86,10 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "verify_artifact": ("repro.engine.compile", "verify_artifact"),
     "ShardedConceptEngine": ("repro.engine.shards", "ShardedConceptEngine"),
     "ShardFailure": ("repro.engine.shards", "ShardFailure"),
+    # retrieval subsystem
+    "InvertedIndex": ("repro.retrieval.inverted", "InvertedIndex"),
+    "DenseIndex": ("repro.retrieval.ann", "DenseIndex"),
+    "HybridRetriever": ("repro.retrieval.hybrid", "HybridRetriever"),
     # serving
     "LinkingService": ("repro.serving.service", "LinkingService"),
     "create_server": ("repro.serving.server", "create_server"),
@@ -196,13 +201,19 @@ def compile_artifact(
     kb: Optional["Any"] = None,
     index_aliases: bool = True,
     metadata: Optional[Dict[str, Any]] = None,
+    index: str = "none",
+    index_seed: int = 0,
 ) -> "Any":
     """Compile a concept artifact for the sharded engine.
 
     Encodes every fine-grained concept once (encoder states, structure
     memories, Phase-I index documents + global TF-IDF statistics) into
     a versioned, checksummed directory; see
-    :mod:`repro.engine.compile`.  Returns the artifact path.
+    :mod:`repro.engine.compile`.  ``index`` additionally compiles the
+    sublinear retrieval indexes (``"sparse"``, ``"dense"`` or
+    ``"both"``; the default ``"none"`` keeps the pre-retrieval
+    content) — required for the ``dense``/``hybrid`` modes of
+    :class:`RetrievalConfig`.  Returns the artifact path.
     """
     from repro.engine.compile import compile_artifact as _compile
 
@@ -213,4 +224,6 @@ def compile_artifact(
         kb=kb,
         index_aliases=index_aliases,
         metadata=metadata,
+        index=index,
+        index_seed=index_seed,
     )

@@ -95,6 +95,18 @@ _FLAG_TO_FIELD = {
 }
 
 
+def _shards_value(text: str) -> object:
+    """``--shards`` parser: a positive integer or the literal ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        )
+
+
 def _flag_overrides(
     args: argparse.Namespace, defaults: dict
 ) -> dict:
@@ -123,6 +135,12 @@ def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         linker_overrides["artifact_dir"] = args.artifact_dir
     if getattr(args, "shards", None) is not None:
         linker_overrides["shards"] = args.shards
+    if getattr(args, "retrieval_mode", None) is not None:
+        import dataclasses
+
+        linker_overrides["retrieval"] = dataclasses.replace(
+            runtime.linker.retrieval, mode=args.retrieval_mode
+        )
     if linker_overrides:
         runtime = runtime.replace_section("linker", **linker_overrides)
     if hasattr(args, "host"):  # serve-only flags
@@ -268,12 +286,16 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         kb=kb,
         index_aliases=not args.no_aliases,
         metadata={"pipeline": str(args.model)},
+        index=args.index,
+        index_seed=args.index_seed,
     )
     header = json.loads((target / "artifact.json").read_text(encoding="utf-8"))
+    indexes = sorted(header.get("retrieval", {})) or ["none"]
     print(
         f"compiled {header['concepts']} concepts "
         f"(dim {header['dim']}, beta {header['beta']}, "
-        f"aliases={not args.no_aliases}) to {target}"
+        f"aliases={not args.no_aliases}, "
+        f"indexes={','.join(indexes)}) to {target}"
     )
     return 0
 
@@ -513,6 +535,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="index canonical descriptions only (must match the linker's "
         "index_aliases at serve time)",
     )
+    compile_cmd.add_argument(
+        "--index", choices=["none", "sparse", "dense", "both"],
+        default="both",
+        help="also compile the sublinear retrieval indexes into the "
+        "artifact (default: both; 'none' keeps the pre-retrieval layout)",
+    )
+    compile_cmd.add_argument(
+        "--index-seed", type=int, default=0,
+        help="k-means seed for the dense (IVF) index",
+    )
     compile_cmd.set_defaults(func=_cmd_compile)
 
     link = commands.add_parser("link", help="link queries with a saved pipeline")
@@ -528,8 +560,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from a compiled concept artifact (`repro compile`)",
     )
     link.add_argument(
-        "--shards", type=int, default=None,
-        help="scatter-gather shard count (requires --artifact-dir)",
+        "--shards", type=_shards_value, default=None,
+        help="scatter-gather shard count, or 'auto' to size to the "
+        "machine (requires --artifact-dir)",
+    )
+    link.add_argument(
+        "--retrieval-mode",
+        choices=["exact", "sparse", "dense", "hybrid"], default=None,
+        help="Phase-I retrieval strategy (non-exact modes require "
+        "--artifact-dir; dense/hybrid need `repro compile --index`)",
     )
     link.add_argument("queries", nargs="+", help="query text(s)")
     link.set_defaults(func=_cmd_link)
@@ -591,8 +630,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from a compiled concept artifact (`repro compile`)",
     )
     serve.add_argument(
-        "--shards", type=int, default=None,
-        help="scatter-gather shard count (requires --artifact-dir)",
+        "--shards", type=_shards_value, default=None,
+        help="scatter-gather shard count, or 'auto' to size to the "
+        "machine (requires --artifact-dir)",
+    )
+    serve.add_argument(
+        "--retrieval-mode",
+        choices=["exact", "sparse", "dense", "hybrid"], default=None,
+        help="Phase-I retrieval strategy (non-exact modes require "
+        "--artifact-dir; dense/hybrid need `repro compile --index`)",
     )
     serve.add_argument(
         "--max-batch-size", type=int,

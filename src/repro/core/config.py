@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, ClassVar, Dict, Mapping, Optional, Union
@@ -20,6 +21,85 @@ from repro.utils.errors import ConfigurationError
 
 #: Table 1 defaults (bold entries), for reference and reporting.
 PAPER_DEFAULTS: Dict[str, int] = {"k": 20, "beta": 2, "d": 150}
+
+#: Phase-I retrieval modes (see :mod:`repro.retrieval`).
+RETRIEVAL_MODES = ("exact", "sparse", "dense", "hybrid")
+
+#: Score-fusion methods for hybrid retrieval.
+FUSION_METHODS = ("weighted_sum", "rrf")
+
+#: Ceiling for ``shards="auto"`` — beyond a handful of GIL-sharing
+#: worker threads the scatter overhead outgrows the decode overlap.
+AUTO_SHARDS_MAX = 4
+
+
+@dataclass(frozen=True)
+class RetrievalConfig:
+    """Phase-I retrieval strategy (:mod:`repro.retrieval`).
+
+    Attributes
+    ----------
+    mode:
+        ``exact`` — the per-shard TF-IDF scan (the default and the
+        reference path; rankings identical to every release before the
+        retrieval subsystem existed).  ``sparse`` — the array-backed
+        inverted index (bit-identical hits, sublinear constant
+        factors).  ``dense`` — the IVF ANN probe over precompiled
+        concept encodings.  ``hybrid`` — sparse ∪ dense with score
+        fusion.  Non-exact modes need a compiled artifact
+        (``LinkerConfig.artifact_dir``); dense/hybrid additionally need
+        the artifact compiled with ``repro compile --index``.
+    nprobe:
+        Clusters the dense side probes per query.  More clusters, more
+        of the corpus scanned: recall and cost both rise roughly
+        linearly in ``nprobe``.
+    fusion_weight:
+        ``w ∈ [0, 1]`` blending sparse (w) against dense (1−w) in
+        hybrid mode; 1 ranks purely by TF-IDF cosine, 0 purely by
+        embedding cosine.
+    fusion_method:
+        ``weighted_sum`` fuses the calibrated scores directly;
+        ``rrf`` (the default) fuses reciprocal ranks — robust when the
+        two score distributions are incomparable, and the setting that
+        holds recall@64 >= 0.98 against the exact scan in the 100k
+        benchmark (``BENCH_retrieval.json``).
+    max_postings_per_term:
+        Sparse-mode early termination: scan only this many
+        highest-impact postings per query term (0 = exact, the
+        default).  An approximation knob — it voids the bit-identity
+        guarantee for very common terms.
+    """
+
+    mode: str = "exact"
+    nprobe: int = 8
+    fusion_weight: float = 0.95
+    fusion_method: str = "rrf"
+    max_postings_per_term: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in RETRIEVAL_MODES:
+            raise ConfigurationError(
+                f"retrieval mode must be one of {RETRIEVAL_MODES}, got "
+                f"{self.mode!r}"
+            )
+        if self.nprobe < 1:
+            raise ConfigurationError(
+                f"nprobe must be >= 1, got {self.nprobe}"
+            )
+        if not 0.0 <= self.fusion_weight <= 1.0:
+            raise ConfigurationError(
+                f"fusion_weight must be in [0, 1], got {self.fusion_weight}"
+            )
+        if self.fusion_method not in FUSION_METHODS:
+            raise ConfigurationError(
+                f"fusion_method must be one of {FUSION_METHODS}, got "
+                f"{self.fusion_method!r}"
+            )
+        if self.max_postings_per_term < 0:
+            raise ConfigurationError(
+                "max_postings_per_term must be >= 0 (0 = exact), got "
+                f"{self.max_postings_per_term}"
+            )
 
 
 @dataclass(frozen=True)
@@ -190,7 +270,15 @@ class LinkerConfig:
         Shard count S for the scatter-gather engine.  Requires
         ``artifact_dir``; S=1 (the default) runs the engine inline on
         the calling thread, S>1 runs shards on a persistent worker
-        pool.  Rankings are identical at any S.
+        pool.  Rankings are identical at any S.  ``"auto"`` sizes the
+        pool to the machine at :meth:`resolve_shards` time: 1 worker on
+        boxes with ≤2 CPUs (where the GIL-sharing pool is pure overhead
+        — the BENCH_shard regression), else ``min(4, cpus − 1)``.
+    retrieval:
+        Phase-I retrieval strategy (:class:`RetrievalConfig`).  The
+        default ``mode="exact"`` preserves the pre-subsystem scan
+        bit-for-bit; sparse/dense/hybrid switch to the sublinear
+        indexes (see :mod:`repro.retrieval`).
     """
 
     k: int = 20
@@ -205,20 +293,50 @@ class LinkerConfig:
     degrade_on_error: bool = True
     batch_phase2: bool = True
     artifact_dir: Optional[str] = None
-    shards: int = 1
+    shards: Union[int, str] = 1
+    retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.retrieval, Mapping):
+            try:
+                coerced = RetrievalConfig(**self.retrieval)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"invalid retrieval config: {exc}"
+                ) from exc
+            object.__setattr__(self, "retrieval", coerced)
+        if not isinstance(self.retrieval, RetrievalConfig):
+            raise ConfigurationError(
+                "retrieval must be a RetrievalConfig or a mapping, got "
+                f"{type(self.retrieval).__name__}"
+            )
         if self.k < 1:
             raise ConfigurationError(f"k must be >= 1, got {self.k}")
-        if self.shards < 1:
+        if isinstance(self.shards, str):
+            if self.shards != "auto":
+                raise ConfigurationError(
+                    f"shards must be an integer >= 1 or 'auto', got "
+                    f"{self.shards!r}"
+                )
+        elif self.shards < 1:
             raise ConfigurationError(
                 f"shards must be >= 1, got {self.shards}"
             )
-        if self.shards > 1 and self.artifact_dir is None:
+        if (
+            isinstance(self.shards, int)
+            and self.shards > 1
+            and self.artifact_dir is None
+        ):
             raise ConfigurationError(
                 "shards > 1 requires artifact_dir (the sharded engine "
                 "serves from a compiled concept artifact; run "
                 "`repro compile` first)"
+            )
+        if self.retrieval.mode != "exact" and self.artifact_dir is None:
+            raise ConfigurationError(
+                f"retrieval mode {self.retrieval.mode!r} requires "
+                "artifact_dir (the sublinear indexes serve a compiled "
+                "concept artifact; run `repro compile` first)"
             )
         if self.edit_distance_max < 0:
             raise ConfigurationError(
@@ -239,6 +357,24 @@ class LinkerConfig:
                 "phase2_budget_s must be >= 0 (0 = unlimited), got "
                 f"{self.phase2_budget_s}"
             )
+
+    def resolve_shards(self) -> int:
+        """The effective worker count S for this machine.
+
+        An explicit integer is returned unchanged.  ``"auto"`` resolves
+        to 1 without an artifact (no engine, no pool) or on machines
+        with ≤2 CPUs — a thread pool under those conditions loses to
+        the inline path (the 1-CPU BENCH_shard regression: 653 qps at
+        S=4 vs 722 at S=1) — and to ``min(4, cpus − 1)`` otherwise.
+        """
+        if self.shards != "auto":
+            return int(self.shards)
+        if self.artifact_dir is None:
+            return 1
+        cpus = os.cpu_count() or 1
+        if cpus <= 2:
+            return 1
+        return min(AUTO_SHARDS_MAX, cpus - 1)
 
 
 @dataclass(frozen=True)

@@ -164,7 +164,11 @@ class NeuralConceptLinker:
                     "recompile or align the config"
                 )
             self._engine = ShardedConceptEngine(
-                model, ontology, artifact, shards=self.config.shards
+                model,
+                ontology,
+                artifact,
+                shards=self.config.resolve_shards(),
+                retrieval=self.config.retrieval,
             )
         self._log_priors: Optional[Dict[str, float]] = None
         if priors is not None:

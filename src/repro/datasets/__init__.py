@@ -13,8 +13,11 @@ are prevalent") the paper's introduction motivates.
 from repro.datasets.generator import (
     DatasetBundle,
     LinkedQuery,
+    build_large_scale_ontology,
     generate_dataset,
     hospital_x_like,
+    iter_large_scale_concepts,
+    large_scale_like,
     mimic_iii_like,
 )
 from repro.datasets.noise import (
@@ -47,9 +50,12 @@ __all__ = [
     "SimplificationChannel",
     "SynonymChannel",
     "TypoChannel",
+    "build_large_scale_ontology",
     "generate_dataset",
     "get_dataset_builder",
     "hospital_x_like",
+    "iter_large_scale_concepts",
+    "large_scale_like",
     "make_query_groups",
     "mimic_iii_like",
 ]

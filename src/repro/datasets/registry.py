@@ -8,13 +8,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.datasets.generator import DatasetBundle, hospital_x_like, mimic_iii_like
+from repro.datasets.generator import (
+    DatasetBundle,
+    hospital_x_like,
+    large_scale_like,
+    mimic_iii_like,
+)
 from repro.utils.errors import ConfigurationError
 
 DatasetBuilder = Callable[..., DatasetBundle]
 
 DATASET_REGISTRY: Dict[str, DatasetBuilder] = {
     "hospital-x-like": hospital_x_like,
+    "large-scale-like": large_scale_like,
     "mimic-iii-like": mimic_iii_like,
 }
 

@@ -53,6 +53,8 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.obs import trace
 from repro.ontology.ontology import Ontology
 from repro.ontology.paths import structural_context
+from repro.retrieval.ann import DenseIndex
+from repro.retrieval.inverted import InvertedIndex
 from repro.text.tfidf import CorpusStats, TfIdfIndex
 from repro.utils.errors import DataError
 from repro.utils.faults import probe
@@ -63,15 +65,35 @@ PathLike = Union[str, Path]
 logger = get_logger("engine.compile")
 
 #: Artifact directory format version (bumped on layout changes).
-ARTIFACT_FORMAT = 1
+#: Format 2 added the optional precompiled retrieval indexes
+#: (``index_sparse.npz`` / ``index_dense.npz`` plus the header's
+#: ``retrieval`` section with per-index checksums).
+ARTIFACT_FORMAT = 2
+
+#: Formats this build can load.  Format-1 artifacts (pre-retrieval)
+#: load unchanged — they simply carry no compiled indexes.
+SUPPORTED_FORMATS = (1, 2)
 
 ARTIFACT_FILE = "artifact.json"
 ENCODINGS_FILE = "encodings.npz"
 STRUCTURE_FILE = "structure.npz"
+SPARSE_INDEX_FILE = "index_sparse.npz"
+DENSE_INDEX_FILE = "index_dense.npz"
 
-#: Files a complete artifact must contain (structure.npz is optional —
-#: absent when the model has no structure attention).
+#: What ``compile_artifact(index=...)`` accepts.
+INDEX_CHOICES = ("none", "sparse", "dense", "both")
+
+#: Files a complete artifact must contain (structure.npz and the
+#: retrieval indexes are optional).
 REQUIRED_FILES = (ARTIFACT_FILE, ENCODINGS_FILE)
+
+
+def _sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def model_fingerprint(model: ComAid) -> Dict[str, Any]:
@@ -118,6 +140,13 @@ class ConceptArtifact:
     documents: List[Tuple[str, List[str]]]
     corpus_stats: CorpusStats
     index_aliases: bool
+    #: Precompiled retrieval indexes (format ≥ 2 with ``--index``);
+    #: ``None`` when the artifact was compiled without them.
+    sparse_index: Optional[InvertedIndex] = None
+    dense_index: Optional[DenseIndex] = None
+    #: The header's ``retrieval`` section (per-index checksums and
+    #: training parameters), empty for artifacts without indexes.
+    retrieval_meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._positions = {cid: i for i, cid in enumerate(self.cids)}
@@ -183,6 +212,8 @@ def compile_artifact(
     index_aliases: bool = True,
     restrict_to: Optional[Sequence[str]] = None,
     metadata: Optional[Dict[str, Any]] = None,
+    index: str = "none",
+    index_seed: int = 0,
 ) -> Path:
     """Encode every fine-grained concept once and freeze the results.
 
@@ -192,13 +223,28 @@ def compile_artifact(
     tokenises the Phase-I index documents, and writes everything —
     with global TF-IDF statistics and a model fingerprint — into
     ``directory`` crash-safely.  Returns the artifact path.
+
+    ``index`` additionally compiles the sublinear retrieval indexes
+    (:mod:`repro.retrieval`) into the artifact: ``"sparse"`` freezes
+    the TF-IDF postings into the array-backed inverted index,
+    ``"dense"`` k-means-trains the IVF ANN index over the concept
+    encoder final states (seeded by ``index_seed``), ``"both"`` does
+    both, and ``"none"`` (the default) keeps the format-1 content —
+    non-exact retrieval modes then build/refuse at engine start.  Each
+    compiled index file carries its own sha256 in the header's
+    ``retrieval`` section, verified again at load.
     """
+    if index not in INDEX_CHOICES:
+        raise DataError(
+            f"index must be one of {INDEX_CHOICES}, got {index!r}"
+        )
     documents = concept_documents(
         ontology, kb=kb, index_aliases=index_aliases, restrict_to=restrict_to
     )
     if not documents:
         raise DataError("no fine-grained concepts to compile")
-    stats = TfIdfIndex().fit(documents).stats()
+    fitted = TfIdfIndex().fit(documents)
+    stats = fitted.stats()
     beta = model.config.beta
     use_structure = model.config.use_structure_attention
     dim = model.config.dim
@@ -260,6 +306,35 @@ def compile_artifact(
 
     target = Path(directory)
     with atomic_directory(target) as staging:
+        retrieval_meta: Dict[str, Any] = {}
+        if index in ("sparse", "both"):
+            probe("engine.compile.write.index_sparse.npz")
+            with trace.span("engine.compile.index", kind="sparse"):
+                sparse_arrays = InvertedIndex.from_tfidf(fitted).to_arrays()
+            np.savez_compressed(
+                staging / SPARSE_INDEX_FILE, **sparse_arrays
+            )
+            retrieval_meta["sparse"] = {
+                "file": SPARSE_INDEX_FILE,
+                "sha256": _sha256_of(staging / SPARSE_INDEX_FILE),
+            }
+        if index in ("dense", "both"):
+            probe("engine.compile.write.index_dense.npz")
+            with trace.span("engine.compile.index", kind="dense"):
+                dense = DenseIndex.train(
+                    np.stack(final_h_rows), seed=index_seed
+                )
+            np.savez_compressed(
+                staging / DENSE_INDEX_FILE, **dense.to_arrays()
+            )
+            retrieval_meta["dense"] = {
+                "file": DENSE_INDEX_FILE,
+                "sha256": _sha256_of(staging / DENSE_INDEX_FILE),
+                "n_clusters": dense.n_clusters,
+                "seed": index_seed,
+            }
+        if retrieval_meta:
+            header["retrieval"] = retrieval_meta
         probe("engine.compile.write.artifact.json")
         (staging / ARTIFACT_FILE).write_text(
             json.dumps(header, indent=2, sort_keys=True), encoding="utf-8"
@@ -295,6 +370,45 @@ def compile_artifact(
         target,
     )
     return target
+
+
+def _load_index_arrays(
+    source: Path, entry: Dict[str, Any], verify: bool
+) -> Dict[str, np.ndarray]:
+    """Read one compiled index file, checking its header checksum.
+
+    The ``retrieval`` header entry pins each index file's sha256
+    independently of the manifest, so a swapped or regenerated index
+    can never be served against the artifact it did not come from.
+    """
+    try:
+        name = str(entry["file"])
+        expected = str(entry["sha256"])
+    except (KeyError, TypeError) as exc:
+        raise DataError(
+            f"artifact {source} has a malformed retrieval entry: {exc}"
+        ) from exc
+    path = source / name
+    if not path.exists():
+        raise DataError(
+            f"artifact {source} declares retrieval index {name} but the "
+            "file is missing"
+        )
+    if verify:
+        actual = _sha256_of(path)
+        if actual != expected:
+            raise DataError(
+                f"retrieval index {path} is corrupt: sha256 {actual} != "
+                f"declared {expected}"
+            )
+    try:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as exc:
+        raise DataError(
+            f"retrieval index {path} is corrupt or unreadable: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def verify_artifact(directory: PathLike) -> Dict[str, Any]:
@@ -334,10 +448,10 @@ def load_artifact(
         raise DataError(
             f"artifact file {header_path} is not valid JSON: {exc}"
         ) from exc
-    if header.get("format") != ARTIFACT_FORMAT:
+    if header.get("format") not in SUPPORTED_FORMATS:
         raise DataError(
             f"artifact {source} has format {header.get('format')!r}; this "
-            f"build reads format {ARTIFACT_FORMAT}"
+            f"build reads formats {SUPPORTED_FORMATS}"
         )
     try:
         order = [str(cid) for cid in header["index"]["order"]]
@@ -377,6 +491,17 @@ def load_artifact(
                 f"artifact file {structure_path} is corrupt or unreadable: "
                 f"{type(exc).__name__}: {exc}"
             ) from exc
+    retrieval_meta = dict(header.get("retrieval") or {})
+    sparse_index: Optional[InvertedIndex] = None
+    dense_index: Optional[DenseIndex] = None
+    if "sparse" in retrieval_meta:
+        arrays = _load_index_arrays(source, retrieval_meta["sparse"], verify)
+        sparse_index = InvertedIndex.from_arrays(
+            arrays, keys=list(order), stats=stats
+        )
+    if "dense" in retrieval_meta:
+        arrays = _load_index_arrays(source, retrieval_meta["dense"], verify)
+        dense_index = DenseIndex.from_arrays(arrays, vectors=final_h)
     manifest_metadata: Dict[str, Any] = {}
     from repro.core.persistence import load_manifest
 
@@ -399,6 +524,9 @@ def load_artifact(
         documents=documents,
         corpus_stats=stats,
         index_aliases=index_aliases,
+        sparse_index=sparse_index,
+        dense_index=dense_index,
+        retrieval_meta=retrieval_meta,
     )
     if len(artifact.cids) != final_h.shape[0]:
         raise DataError(

@@ -48,9 +48,12 @@ import numpy as np
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.comaid import ComAid, ConceptEncoding
+from repro.core.config import RetrievalConfig
 from repro.engine.compile import ConceptArtifact
 from repro.obs import trace
 from repro.ontology.ontology import Ontology
+from repro.retrieval.hybrid import HybridRetriever
+from repro.retrieval.inverted import InvertedIndex
 from repro.utils.errors import ConfigurationError, DataError, ReproError
 from repro.utils.faults import probe
 from repro.utils.logging import get_logger
@@ -88,12 +91,25 @@ class ShardedConceptEngine:
         artifact: ConceptArtifact,
         shards: int = 1,
         min_scatter_candidates: int = MIN_SCATTER_CANDIDATES,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> None:
         """Partition the artifact's concepts into ``shards`` shards.
 
         ``min_scatter_candidates`` sets the Phase-II scatter threshold:
         batches smaller than ``shards * min_scatter_candidates`` are
         decoded whole on the calling thread (0 scatters every batch).
+
+        ``retrieval`` selects the Phase-I strategy
+        (:class:`repro.core.config.RetrievalConfig`).  ``exact`` (the
+        default) scatter-gathers per-shard TF-IDF scans; ``sparse``,
+        ``dense`` and ``hybrid`` serve from one *global* sublinear
+        index (:mod:`repro.retrieval`) — the inverted index is already
+        sub-O(N) per query, so sharding it buys nothing; Phase II stays
+        sharded either way.  Sparse serving prefers the artifact's
+        precompiled index and falls back to freezing one at engine
+        start; dense/hybrid require an artifact compiled with
+        ``repro compile --index`` (no fallback — k-means training at
+        startup would hide minutes of latency).
         """
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -130,10 +146,60 @@ class ShardedConceptEngine:
             self._pool = ThreadPoolExecutor(
                 max_workers=shards, thread_name_prefix="repro-shard"
             )
+        self._retrieval = (
+            retrieval if retrieval is not None else RetrievalConfig()
+        )
+        self._hybrid: Optional[HybridRetriever] = None
+        if self._retrieval.mode != "exact":
+            self._hybrid = self._build_retriever(self._retrieval)
         self._lock = threading.Lock()
         self._retrieve_failures = 0
         self._retrievals = 0
         self._score_batches = 0
+        self._mode_retrievals: Dict[str, int] = {
+            mode: 0 for mode in ("exact", "sparse", "dense", "hybrid")
+        }
+
+    def _build_retriever(self, config: RetrievalConfig) -> HybridRetriever:
+        """The global sublinear retriever for non-exact modes."""
+        artifact = self._artifact
+        sparse = artifact.sparse_index
+        if sparse is None:
+            # No precompiled sparse index (format-1 artifact, or
+            # compiled with --index none/dense): freezing one from the
+            # frozen documents is cheap relative to engine start and
+            # yields the identical index.
+            logger.info(
+                "artifact has no precompiled sparse index; freezing one "
+                "from %d documents at engine start",
+                len(artifact.documents),
+            )
+            sparse = InvertedIndex.build(
+                artifact.documents, stats=artifact.corpus_stats
+            )
+        dense = artifact.dense_index
+        if config.mode in ("dense", "hybrid") and dense is None:
+            raise ConfigurationError(
+                f"retrieval mode {config.mode!r} needs a compiled dense "
+                "index but the artifact has none; re-run `repro compile "
+                "--index dense` (or --index both)"
+            )
+        model = self._model
+
+        def encode_query(tokens: Sequence[str]) -> Optional[np.ndarray]:
+            if not tokens:
+                return None
+            ids = model.words_to_ids(list(tokens))
+            return model.encode_concept(ids, keep_caches=False).final_h
+
+        return HybridRetriever(
+            sparse,
+            dense,
+            encode_query,
+            nprobe=config.nprobe,
+            fusion_weight=config.fusion_weight,
+            fusion_method=config.fusion_method,
+        )
 
     # -- introspection ------------------------------------------------------
 
@@ -141,6 +207,16 @@ class ShardedConceptEngine:
     def shards(self) -> int:
         """The shard count S."""
         return self._shards
+
+    @property
+    def retrieval_mode(self) -> str:
+        """The active Phase-I retrieval mode."""
+        return self._retrieval.mode
+
+    @property
+    def retriever(self) -> Optional["HybridRetriever"]:
+        """The global sublinear retriever (None in exact mode)."""
+        return self._hybrid
 
     @property
     def artifact(self) -> ConceptArtifact:
@@ -183,6 +259,8 @@ class ShardedConceptEngine:
                 "retrievals": self._retrievals,
                 "retrieve_shard_failures": self._retrieve_failures,
                 "score_batches": self._score_batches,
+                "retrieval_mode": self._retrieval.mode,
+                "retrievals_by_mode": dict(self._mode_retrievals),
             }
 
     # -- precomputed encodings ----------------------------------------------
@@ -216,9 +294,33 @@ class ShardedConceptEngine:
         unsharded ranking.  A shard that raises is skipped (its
         concepts simply cannot be retrieved this query); if every shard
         raises, :class:`ShardFailure` is raised with the last cause.
+
+        Non-exact modes (``sparse``/``dense``/``hybrid``) answer from
+        the global sublinear retriever instead — one index, no
+        scatter — under the same Fig-11 CR span taxonomy with the mode
+        tagged on the span.
         """
+        mode = self._retrieval.mode
         with self._lock:
             self._retrievals += 1
+            self._mode_retrievals[mode] += 1
+        if self._hybrid is not None:
+            with trace.span(
+                "engine.retrieve", phase="CR", mode=mode, k=k
+            ) as span:
+                probe("engine.retrieve")
+                if mode == "sparse":
+                    matches = self._hybrid.sparse.search(
+                        tokens,
+                        k,
+                        max_postings_per_term=(
+                            self._retrieval.max_postings_per_term
+                        ),
+                    )
+                else:
+                    matches = self._hybrid.search(tokens, k, mode=mode)
+                span.set_tag("candidates", len(matches))
+                return [(match.key, match.score) for match in matches]
         context = trace.current_span()
 
         def scatter(shard: int) -> List[Tuple[str, float]]:

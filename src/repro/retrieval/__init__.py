@@ -1,0 +1,43 @@
+"""Sublinear Phase-I retrieval over a compiled concept artifact.
+
+The original Phase-I path (:class:`repro.text.tfidf.TfIdfIndex`) scores
+every document sharing a term with the query inside a Python dict loop
+— O(matching documents) of interpreter work per query, which dominates
+CR time once the ontology passes ~10⁴ concepts and is hopeless at the
+ROADMAP's million-concept north star.  This package is the retrieval
+layer that replaces that scan with sublinear (or at least
+constant-factor-collapsed) structures while keeping the exact scan as
+the always-available reference path:
+
+* :mod:`repro.retrieval.inverted` — an array-backed inverted index
+  with precomputed TF-IDF postings and document norms.  Scoring is
+  vectorised NumPy over impact-ordered posting lists; the cosines (and
+  tie order) of returned hits are **bit-identical** to
+  ``TfIdfIndex.search``, so it can stand in for the exact scan without
+  perturbing a single ranking.  Impact-ordered early termination is
+  available as an opt-in approximation knob.
+* :mod:`repro.retrieval.ann` — a pure-NumPy IVF (inverted-file)
+  approximate nearest-neighbour index over the artifact's L2-normalised
+  concept encoder final states: k-means centroids trained offline at
+  ``repro compile`` time, ``nprobe`` nearest clusters probed per query.
+* :mod:`repro.retrieval.hybrid` — the fusion layer: sparse and dense
+  candidate sets are unioned and re-scored with *both* signals
+  (weighted-sum or reciprocal-rank fusion), the flair
+  ``BiomedicalEntityLinker`` sparse+dense recipe in miniature.
+
+Mode selection, ``nprobe``, and fusion knobs travel through
+:class:`repro.core.config.RetrievalConfig`;
+:class:`repro.engine.shards.ShardedConceptEngine` dispatches Phase I
+on it (``exact`` remains the default and the correctness oracle).
+"""
+
+from repro.retrieval.ann import DenseIndex
+from repro.retrieval.hybrid import HybridRetriever, fuse_candidates
+from repro.retrieval.inverted import InvertedIndex
+
+__all__ = [
+    "DenseIndex",
+    "HybridRetriever",
+    "InvertedIndex",
+    "fuse_candidates",
+]

@@ -1,0 +1,226 @@
+"""Sparse + dense fusion: one Phase-I candidate list from two signals.
+
+The flair ``BiomedicalEntityLinker`` recipe in miniature: run the
+sparse (TF-IDF inverted-index) and dense (IVF ANN) retrievers over the
+same query, union their candidate pools, and re-score the union with
+*both* signals before ranking.  The symmetric re-scoring matters — a
+candidate only the dense side surfaced still gets its **exact** sparse
+cosine (the sparse query already accumulated raw scores for every
+touched document, and untouched documents truly score 0), and a
+candidate only the sparse side surfaced gets its exact dense cosine
+via one gathered dot product.  Naively scoring missing sides as 0
+would let pool membership, not evidence, decide the ranking.
+
+Two fusion methods:
+
+* ``weighted_sum`` — ``w·cos_sparse + (1−w)·(cos_dense+1)/2``; both
+  signals on a [0, 1] scale, ``w`` (``fusion_weight``) sliding between
+  dense-only (0) and sparse-only (1).
+* ``rrf`` — reciprocal-rank fusion ``w/(60+r_s) + (1−w)/(60+r_d)``
+  with ranks computed over the union by each signal; robust when the
+  two score distributions are incomparable.
+
+Ties always break on document position, so every mode is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.retrieval.ann import DenseIndex
+from repro.retrieval.inverted import InvertedIndex
+from repro.text.tfidf import TfIdfMatch
+from repro.utils.errors import ConfigurationError
+
+#: Fusion methods ``fuse_candidates`` understands.
+FUSION_METHODS = ("weighted_sum", "rrf")
+
+#: The RRF dampening constant (the literature-standard 60).
+RRF_K = 60
+
+#: How many candidates each side contributes to the union, as a
+#: multiple of the requested k — slack so documents near the cut line
+#: of one signal can be rescued by the other.
+POOL_MULTIPLIER = 2
+
+
+def _ranks(positions: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """0-based ranks of each union member under ``(-score, position)``."""
+    order = np.lexsort((positions, -scores))
+    ranks = np.empty(len(order), dtype=np.int64)
+    ranks[order] = np.arange(len(order))
+    return ranks
+
+
+def fuse_candidates(
+    positions: np.ndarray,
+    sparse_scores: np.ndarray,
+    dense_scores: np.ndarray,
+    fusion_weight: float = 0.5,
+    method: str = "weighted_sum",
+) -> np.ndarray:
+    """Fused scores for union candidates scored by both signals.
+
+    ``positions`` are the union's document positions; ``sparse_scores``
+    are exact TF-IDF cosines in [0, 1]; ``dense_scores`` are exact
+    embedding cosines in [−1, 1].  Returns one fused score per
+    candidate (higher is better); the caller ranks on
+    ``(-fused, position)``.
+    """
+    if not 0.0 <= fusion_weight <= 1.0:
+        raise ConfigurationError(
+            f"fusion_weight must be in [0, 1], got {fusion_weight}"
+        )
+    if method == "weighted_sum":
+        return fusion_weight * sparse_scores + (1.0 - fusion_weight) * (
+            (dense_scores + 1.0) / 2.0
+        )
+    if method == "rrf":
+        sparse_ranks = _ranks(positions, sparse_scores)
+        dense_ranks = _ranks(positions, dense_scores)
+        return fusion_weight / (RRF_K + 1 + sparse_ranks) + (
+            1.0 - fusion_weight
+        ) / (RRF_K + 1 + dense_ranks)
+    raise ConfigurationError(
+        f"unknown fusion method {method!r} (expected one of {FUSION_METHODS})"
+    )
+
+
+class HybridRetriever:
+    """Phase-I retrieval over a sparse and a dense index in concert.
+
+    The two indexes must address the same corpus in the same order:
+    sparse document position ``p`` and dense vector row ``p`` are the
+    same concept (both follow the compiled artifact's concept order).
+    ``encode_query`` maps query tokens to a dense query vector — the
+    same encoder the concept vectors came from — and may return ``None``
+    when a query cannot be encoded, in which case dense and hybrid
+    searches degrade to the sparse answer.
+    """
+
+    def __init__(
+        self,
+        sparse: InvertedIndex,
+        dense: Optional[DenseIndex],
+        encode_query: Optional[
+            Callable[[Sequence[str]], Optional[np.ndarray]]
+        ] = None,
+        nprobe: int = 8,
+        fusion_weight: float = 0.5,
+        fusion_method: str = "weighted_sum",
+    ) -> None:
+        if dense is not None and len(dense) != len(sparse):
+            raise ConfigurationError(
+                f"sparse index has {len(sparse)} documents but dense index "
+                f"has {len(dense)} vectors — they must cover the same corpus"
+            )
+        if fusion_method not in FUSION_METHODS:
+            raise ConfigurationError(
+                f"unknown fusion method {fusion_method!r} "
+                f"(expected one of {FUSION_METHODS})"
+            )
+        if not 0.0 <= fusion_weight <= 1.0:
+            raise ConfigurationError(
+                f"fusion_weight must be in [0, 1], got {fusion_weight}"
+            )
+        if nprobe < 1:
+            raise ConfigurationError(f"nprobe must be >= 1, got {nprobe}")
+        self._sparse = sparse
+        self._dense = dense
+        self._encode_query = encode_query
+        self._nprobe = nprobe
+        self._fusion_weight = fusion_weight
+        self._fusion_method = fusion_method
+        self._keys = sparse.keys
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def sparse(self) -> InvertedIndex:
+        """The sparse (inverted TF-IDF) side."""
+        return self._sparse
+
+    @property
+    def dense(self) -> Optional[DenseIndex]:
+        """The dense (IVF ANN) side, when compiled."""
+        return self._dense
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- retrieval ------------------------------------------------------
+
+    def search(
+        self, tokens: Sequence[str], k: int, mode: str = "hybrid"
+    ) -> List[TfIdfMatch]:
+        """Top-``k`` candidates under ``mode`` (sparse|dense|hybrid)."""
+        if mode == "sparse":
+            return self.search_sparse(tokens, k)
+        if mode == "dense":
+            return self.search_dense(tokens, k)
+        if mode == "hybrid":
+            return self.search_hybrid(tokens, k)
+        raise ConfigurationError(
+            f"unknown retrieval mode {mode!r} "
+            "(expected 'sparse', 'dense' or 'hybrid')"
+        )
+
+    def search_sparse(self, tokens: Sequence[str], k: int) -> List[TfIdfMatch]:
+        """Sparse-only top-``k`` (bit-identical to the exact scan)."""
+        return self._sparse.search(tokens, k)
+
+    def search_dense(self, tokens: Sequence[str], k: int) -> List[TfIdfMatch]:
+        """Dense-only top-``k`` (IVF cluster probe), sparse fallback.
+
+        Scores are embedding cosines in [−1, 1] — a different scale
+        from sparse TF-IDF cosines, comparable within a ranking but
+        not across modes.
+        """
+        query = self._query_vector(tokens)
+        if query is None:
+            return self._sparse.search(tokens, k)
+        return [
+            TfIdfMatch(key=self._keys[position], score=sim)
+            for position, sim in self._dense.search(
+                query, k, nprobe=self._nprobe
+            )
+        ]
+
+    def search_hybrid(self, tokens: Sequence[str], k: int) -> List[TfIdfMatch]:
+        """Fused top-``k``: union both pools, re-score with both signals."""
+        query = self._query_vector(tokens)
+        if query is None:
+            return self._sparse.search(tokens, k)
+        pool = max(k, POOL_MULTIPLIER * k)
+        sparse_result = self._sparse.search_scored(tokens, pool)
+        dense_pairs = self._dense.search(query, pool, nprobe=self._nprobe)
+        dense_positions = np.asarray(
+            [position for position, _ in dense_pairs], dtype=np.int64
+        )
+        union = np.union1d(sparse_result.positions, dense_positions)
+        if len(union) == 0:
+            return []
+        sparse_scores = sparse_result.cosine_of(union)
+        dense_scores = self._dense.similarities_of(query, union)
+        fused = fuse_candidates(
+            union,
+            sparse_scores,
+            dense_scores,
+            fusion_weight=self._fusion_weight,
+            method=self._fusion_method,
+        )
+        order = np.lexsort((union, -fused))[:k]
+        return [
+            TfIdfMatch(
+                key=self._keys[int(union[rank])], score=float(fused[rank])
+            )
+            for rank in order
+        ]
+
+    def _query_vector(self, tokens: Sequence[str]) -> Optional[np.ndarray]:
+        if self._dense is None or self._encode_query is None:
+            return None
+        return self._encode_query(tokens)

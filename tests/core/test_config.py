@@ -3,9 +3,11 @@
 import pytest
 
 from repro.core.config import (
+    AUTO_SHARDS_MAX,
     PAPER_DEFAULTS,
     ComAidConfig,
     LinkerConfig,
+    RetrievalConfig,
     TrainingConfig,
 )
 from repro.utils.errors import ConfigurationError
@@ -75,3 +77,91 @@ class TestLinkerConfig:
     def test_invalid(self, kwargs):
         with pytest.raises(ConfigurationError):
             LinkerConfig(**kwargs)
+
+
+class TestRetrievalConfig:
+    def test_exact_is_the_default(self):
+        config = RetrievalConfig()
+        assert config.mode == "exact"
+        assert LinkerConfig().retrieval == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="fuzzy"),
+            dict(nprobe=0),
+            dict(fusion_weight=1.5),
+            dict(fusion_weight=-0.1),
+            dict(fusion_method="borda"),
+            dict(max_postings_per_term=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetrievalConfig(**kwargs)
+
+    def test_mapping_coerces_in_linker_config(self):
+        config = LinkerConfig(
+            artifact_dir="a/", retrieval={"mode": "hybrid", "nprobe": 4}
+        )
+        assert isinstance(config.retrieval, RetrievalConfig)
+        assert config.retrieval.mode == "hybrid"
+        assert config.retrieval.nprobe == 4
+
+    def test_unknown_mapping_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="retrieval"):
+            LinkerConfig(artifact_dir="a/", retrieval={"knob": 1})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkerConfig(retrieval="hybrid")
+
+    def test_non_exact_requires_artifact_dir(self):
+        with pytest.raises(ConfigurationError, match="artifact_dir"):
+            LinkerConfig(retrieval={"mode": "sparse"})
+        LinkerConfig(artifact_dir="a/", retrieval={"mode": "sparse"})  # fine
+
+
+class TestShards:
+    def test_explicit_int_passes_through(self):
+        config = LinkerConfig(artifact_dir="a/", shards=3)
+        assert config.resolve_shards() == 3
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            LinkerConfig(artifact_dir="a/", shards=0)
+        with pytest.raises(ConfigurationError):
+            LinkerConfig(artifact_dir="a/", shards="many")
+        with pytest.raises(ConfigurationError, match="artifact_dir"):
+            LinkerConfig(shards=2)
+
+    def test_auto_without_artifact_is_one(self):
+        assert LinkerConfig(shards="auto").resolve_shards() == 1
+
+    def test_auto_on_small_box_is_one(self, monkeypatch):
+        """The BENCH_shard regression: a GIL-sharing pool on <= 2 CPUs
+        is pure overhead, so auto must fall back to the inline path."""
+        import repro.core.config as config_module
+
+        config = LinkerConfig(artifact_dir="a/", shards="auto")
+        for cpus in (1, 2):
+            monkeypatch.setattr(
+                config_module.os, "cpu_count", lambda n=cpus: n
+            )
+            assert config.resolve_shards() == 1
+
+    def test_auto_on_big_box_is_capped(self, monkeypatch):
+        import repro.core.config as config_module
+
+        config = LinkerConfig(artifact_dir="a/", shards="auto")
+        monkeypatch.setattr(config_module.os, "cpu_count", lambda: 4)
+        assert config.resolve_shards() == 3
+        monkeypatch.setattr(config_module.os, "cpu_count", lambda: 64)
+        assert config.resolve_shards() == AUTO_SHARDS_MAX
+
+    def test_auto_when_cpu_count_unknown(self, monkeypatch):
+        import repro.core.config as config_module
+
+        config = LinkerConfig(artifact_dir="a/", shards="auto")
+        monkeypatch.setattr(config_module.os, "cpu_count", lambda: None)
+        assert config.resolve_shards() == 1

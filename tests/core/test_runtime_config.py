@@ -45,6 +45,22 @@ class TestRoundTrip:
         runtime = RuntimeConfig.from_dict({"linker": linker})
         assert runtime.linker is linker
 
+    def test_nested_retrieval_round_trips(self):
+        runtime = RuntimeConfig(
+            linker=LinkerConfig(
+                artifact_dir="a/",
+                shards="auto",
+                retrieval={"mode": "hybrid", "fusion_method": "rrf"},
+            )
+        )
+        payload = runtime.to_dict()
+        assert payload["linker"]["retrieval"]["mode"] == "hybrid"
+        assert payload["linker"]["shards"] == "auto"
+        json.dumps(payload)
+        restored = RuntimeConfig.from_dict(payload)
+        assert restored == runtime
+        assert restored.linker.retrieval.fusion_method == "rrf"
+
 
 class TestRejection:
     def test_unknown_section_is_rejected(self):

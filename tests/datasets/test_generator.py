@@ -136,3 +136,78 @@ class TestPresets:
         # Training data and evaluation queries come from different noise
         # registers; coincidental identical strings must be rare.
         assert len(overlap) <= len(bundle.queries) * 0.05
+
+
+class TestLargeScale:
+    def test_stream_is_lazy(self):
+        from itertools import islice
+
+        from repro.datasets.generator import iter_large_scale_concepts
+
+        stream = iter_large_scale_concepts("large", rng=5)
+        first = list(islice(stream, 3))
+        assert first[0][2] is None  # a family block arrives first
+        assert first[1][2] == first[0][0]  # then its first category
+        assert first[2][2] == first[1][0]  # then that category's leaf
+
+    def test_seed_stable(self):
+        from repro.datasets.generator import iter_large_scale_concepts
+
+        first = list(iter_large_scale_concepts("small", rng=5))
+        second = list(iter_large_scale_concepts("small", rng=5))
+        assert first == second
+        other = list(iter_large_scale_concepts("small", rng=6))
+        assert first != other
+
+    def test_scales_nest(self):
+        """Every leaf at a smaller scale appears identically at a larger
+        one — benchmarks across scales rank the same concepts."""
+        from repro.datasets.generator import iter_large_scale_concepts
+
+        small = list(iter_large_scale_concepts("small", rng=5))
+        medium = {entry[0]: entry for entry in iter_large_scale_concepts("medium", rng=5)}
+        assert all(medium[entry[0]] == entry for entry in small)
+
+    def test_counts_and_uniqueness(self):
+        from repro.datasets.generator import build_large_scale_ontology
+
+        ontology = build_large_scale_ontology("medium", rng=5)
+        described = ontology.describe()
+        assert described["fine_grained"] == 10_000
+        assert described["max_depth"] == 3
+        leaves = ontology.fine_grained()
+        descriptions = {leaf.description for leaf in leaves}
+        # Qualifier crossing keeps siblings textually distinct; only
+        # cross-category collisions (same condition in two families)
+        # could repeat, and the category prefix rules those out here.
+        assert len(descriptions) == len(leaves)
+
+    def test_explicit_leaf_count(self):
+        from repro.datasets.generator import build_large_scale_ontology
+
+        ontology = build_large_scale_ontology(500, rng=5)
+        assert ontology.describe()["fine_grained"] == 500
+
+    def test_invalid_scale_rejected(self):
+        from repro.datasets.generator import iter_large_scale_concepts
+
+        with pytest.raises(ConfigurationError):
+            next(iter_large_scale_concepts("huge", rng=5))
+        with pytest.raises(ConfigurationError):
+            next(iter_large_scale_concepts(0, rng=5))
+        with pytest.raises(ConfigurationError):
+            # Beyond the qualifier pools' combinatorial capacity.
+            next(iter_large_scale_concepts(1_000_000, rng=5))
+
+    def test_bundle_is_lean_and_registered(self):
+        from repro.datasets.generator import large_scale_like
+        from repro.datasets.registry import get_dataset_builder
+
+        assert get_dataset_builder("large-scale-like") is large_scale_like
+        bundle = large_scale_like(rng=5, scale=600, query_count=20)
+        summary = bundle.summary()
+        assert summary["fine_grained"] == 600
+        assert summary["aliases"] == 0
+        assert summary["queries"] == 20
+        for query in bundle.queries:
+            assert bundle.ontology.is_fine_grained(query.cid)

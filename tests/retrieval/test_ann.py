@@ -1,0 +1,153 @@
+"""DenseIndex: IVF recall, determinism, and persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.ann import DenseIndex
+from repro.utils.errors import DataError, NotFittedError
+
+
+def blob_vectors(n_blobs=40, per_blob=40, dim=16, seed=3):
+    """Clustered unit-ish vectors — the regime IVF is designed for."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_blobs, dim))
+    points = np.concatenate(
+        [
+            center + 0.12 * rng.normal(size=(per_blob, dim))
+            for center in centers
+        ]
+    )
+    return points
+
+
+def recall_at(index, queries, k, nprobe):
+    hits = 0
+    for query in queries:
+        truth = {position for position, _ in index.exhaustive(query, k)}
+        found = {position for position, _ in index.search(query, k, nprobe=nprobe)}
+        hits += len(truth & found)
+    return hits / (len(queries) * k)
+
+
+class TestRecall:
+    def test_recall_at_10_above_095_on_clustered_data(self):
+        vectors = blob_vectors()
+        index = DenseIndex.train(vectors, seed=0)
+        rng = np.random.default_rng(11)
+        queries = vectors[rng.choice(len(vectors), size=50, replace=False)]
+        assert recall_at(index, queries, k=10, nprobe=8) >= 0.95
+
+    def test_full_probe_equals_exhaustive(self):
+        vectors = blob_vectors(n_blobs=10, per_blob=20)
+        index = DenseIndex.train(vectors, seed=1)
+        rng = np.random.default_rng(5)
+        for query in rng.normal(size=(10, vectors.shape[1])):
+            assert index.search(query, 15, nprobe=index.n_clusters) == (
+                index.exhaustive(query, 15)
+            )
+
+    def test_recall_grows_with_nprobe(self):
+        vectors = blob_vectors(seed=9)
+        index = DenseIndex.train(vectors, seed=0)
+        rng = np.random.default_rng(13)
+        queries = vectors[rng.choice(len(vectors), size=40, replace=False)]
+        low = recall_at(index, queries, k=10, nprobe=1)
+        high = recall_at(index, queries, k=10, nprobe=index.n_clusters)
+        assert high == 1.0
+        assert low <= high
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        vectors = blob_vectors(n_blobs=12, per_blob=25)
+        first = DenseIndex.train(vectors, seed=42)
+        second = DenseIndex.train(vectors, seed=42)
+        query = vectors[7]
+        assert first.search(query, 10) == second.search(query, 10)
+        assert np.array_equal(
+            first.to_arrays()["centroids"], second.to_arrays()["centroids"]
+        )
+
+    def test_repeat_search_is_stable(self):
+        vectors = blob_vectors(n_blobs=8, per_blob=20)
+        index = DenseIndex.train(vectors, seed=2)
+        query = vectors[3]
+        assert index.search(query, 12) == index.search(query, 12)
+
+
+class TestGeometry:
+    def test_scores_are_cosines(self):
+        vectors = blob_vectors(n_blobs=6, per_blob=10)
+        index = DenseIndex.train(vectors, seed=0)
+        for _, sim in index.search(vectors[0], 5, nprobe=index.n_clusters):
+            assert -1.0 - 1e-9 <= sim <= 1.0 + 1e-9
+        top_position, top_sim = index.search(
+            vectors[0], 1, nprobe=index.n_clusters
+        )[0]
+        assert top_position == 0
+        assert top_sim == pytest.approx(1.0)
+
+    def test_similarities_of_gathers_exact_cosines(self):
+        vectors = blob_vectors(n_blobs=5, per_blob=8)
+        index = DenseIndex.train(vectors, seed=0)
+        exact = dict(index.exhaustive(vectors[1], len(vectors)))
+        gathered = index.similarities_of(vectors[1], np.asarray([0, 3, 9]))
+        for position, value in zip([0, 3, 9], gathered):
+            assert value == pytest.approx(exact[position])
+
+    def test_vectors_examined_bounds(self):
+        vectors = blob_vectors(n_blobs=10, per_blob=10)
+        index = DenseIndex.train(vectors, seed=0)
+        assert index.vectors_examined(index.n_clusters) == len(index)
+        assert 0 < index.vectors_examined(1) < len(index)
+
+
+class TestRoundTrip:
+    def test_arrays_round_trip_preserves_search(self):
+        vectors = blob_vectors(n_blobs=9, per_blob=15)
+        index = DenseIndex.train(vectors, seed=6)
+        clone = DenseIndex.from_arrays(index.to_arrays(), vectors=vectors)
+        rng = np.random.default_rng(21)
+        for query in rng.normal(size=(8, vectors.shape[1])):
+            assert clone.search(query, 10) == index.search(query, 10)
+
+    def test_from_arrays_rejects_inconsistent_shapes(self):
+        vectors = blob_vectors(n_blobs=4, per_blob=5)
+        index = DenseIndex.train(vectors, seed=0)
+        arrays = index.to_arrays()
+        with pytest.raises(DataError):
+            DenseIndex.from_arrays(arrays, vectors=vectors[:-1])
+        broken = dict(arrays)
+        del broken["centroids"]
+        with pytest.raises(DataError):
+            DenseIndex.from_arrays(broken, vectors=vectors)
+
+
+class TestValidation:
+    def test_zero_vectors_rejected(self):
+        with pytest.raises(DataError):
+            DenseIndex.train(np.zeros((0, 4)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataError):
+            DenseIndex.train(np.zeros(5))
+
+    def test_query_dim_mismatch(self):
+        index = DenseIndex.train(blob_vectors(n_blobs=3, per_blob=4, dim=8))
+        with pytest.raises(DataError):
+            index.search(np.zeros(5), 3)
+
+    def test_invalid_k_and_nprobe(self):
+        index = DenseIndex.train(blob_vectors(n_blobs=3, per_blob=4))
+        with pytest.raises(ValueError):
+            index.search(np.zeros(16), 0)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(16), 3, nprobe=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DenseIndex().search(np.zeros(4), 1)
+        with pytest.raises(NotFittedError):
+            DenseIndex().exhaustive(np.zeros(4), 1)
+        with pytest.raises(NotFittedError):
+            DenseIndex().to_arrays()

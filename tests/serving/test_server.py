@@ -12,6 +12,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.api import API_VERSION
 from repro.core.config import ServingConfig
 from repro.serving.server import create_server, run_server
 from repro.serving.service import LinkingService, ServiceNotReadyError
@@ -72,7 +73,7 @@ class TestHealthAndReadiness:
         status, payload = _get(base, "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
-        assert payload["api_version"] == "1.0"
+        assert payload["api_version"] == API_VERSION
 
     def test_readyz_ok_after_warmup(self, running_server):
         base, _ = running_server

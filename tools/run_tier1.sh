@@ -10,6 +10,7 @@
 #   tools/run_tier1.sh --bench-phase2  # ... + batching benchmark
 #   tools/run_tier1.sh --bench-obs     # ... + tracing-overhead benchmark
 #   tools/run_tier1.sh --bench-shard   # ... + shard-engine benchmark
+#   tools/run_tier1.sh --bench-retrieval  # ... + 100k retrieval benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -36,8 +37,12 @@ for arg in "$@"; do
             echo "== shard engine benchmark (writes BENCH_shard.json) =="
             python -m pytest -q benchmarks/test_shard_engine.py
             ;;
+        --bench-retrieval)
+            echo "== retrieval-at-scale benchmark (writes BENCH_retrieval.json) =="
+            python -m pytest -q benchmarks/test_retrieval.py
+            ;;
         *)
-            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs and/or --bench-shard)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-shard and/or --bench-retrieval)" >&2
             exit 2
             ;;
     esac

@@ -1,102 +1,155 @@
-"""Expert-feedback workflow (the paper's Appendix A "Timon" loop).
+"""Expert-feedback workflow (the paper's Appendix A "Timon" loop),
+run through the zero-downtime model lifecycle subsystem.
 
-Simulates a deployment in which:
+Simulates a live deployment in which:
 
-1. NCL links incoming queries;
-2. uncertain linkages (high loss, or indistinguishable candidates) are
-   pooled for expert review;
+1. a :class:`LinkingService` serves linking traffic from a compiled
+   artifact;
+2. the attached :class:`LifecycleController` taps every served batch
+   and pools uncertain linkages (high loss, or a top-2 log-prob margin
+   too narrow to trust) for expert review;
 3. a simulated expert (the dataset's ground truth) resolves pooled
-   queries;
-4. every few resolutions the controller triggers incremental
-   retraining, and accuracy on the previously-uncertain queries
-   improves.
+   queries — each verdict extends the knowledge base immediately and
+   stages a training pair;
+4. the controller fine-tunes a *clone* of the serving model on the
+   staged pairs, compiles it into a fresh artifact, and stages it as a
+   blue/green candidate: shadow-scored on mirrored traffic, promoted
+   by an atomic engine flip only if the quality gates pass, rolled
+   back automatically otherwise — all while the service keeps
+   answering.
 
 Usage::
 
     python examples/expert_feedback_loop.py
 """
 
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
 from repro.api import (
-    CbowConfig,
     ComAidConfig,
     ComAidTrainer,
-    FeedbackController,
+    LifecycleConfig,
+    LifecycleController,
     LinkerConfig,
+    LinkingService,
     NeuralConceptLinker,
     TrainingConfig,
+    compile_artifact,
     mimic_iii_like,
-    pretrain_word_vectors,
 )
 
 
 def main() -> None:
-    print("=== Setup: train NCL on the mimic-iii-like dataset")
+    print("=== Setup: train NCL and compile the active deployment")
     dataset = mimic_iii_like(rng=7, query_count=260)
-    vectors = pretrain_word_vectors(
-        dataset.corpus,
-        CbowConfig(dim=20, window=4, epochs=12, negatives=8, subsample=3e-3),
-        rng=3,
-    )
     trainer = ComAidTrainer(
         ComAidConfig(dim=20, beta=2),
         TrainingConfig(epochs=6, batch_size=8, optimizer="adagrad",
                        learning_rate=0.1),
         rng=5,
     )
-    model = trainer.fit(dataset.kb, word_vectors=vectors)
-    linker = NeuralConceptLinker(
-        model, dataset.ontology, LinkerConfig(k=15),
-        kb=dataset.kb, word_vectors=vectors,
-    )
+    model = trainer.fit(dataset.kb)
 
-    def retrain(pairs):
-        print(f"    >> retraining on {len(pairs)} expert feedbacks")
-        trainer.continue_training(pairs, epochs=2)
-        linker.invalidate_cache()
+    with TemporaryDirectory(prefix="lifecycle-example-") as tmp:
+        workdir = Path(tmp)
+        active = workdir / "active"
+        compile_artifact(active, model, dataset.ontology, kb=dataset.kb)
+        linker = NeuralConceptLinker(
+            model,
+            dataset.ontology,
+            LinkerConfig(k=15, artifact_dir=str(active)),
+            kb=dataset.kb,
+        )
+        service = LinkingService(linker)
+        controller = LifecycleController(
+            service,
+            trainer,
+            dataset.kb,
+            config=LifecycleConfig(
+                enabled=True,
+                pool_capacity=64,
+                loss_threshold=8.0,
+                margin_threshold=1.0,
+                retrain_after=8,
+                retrain_epochs=2,
+                min_shadow_samples=8,
+                min_agreement=0.5,
+                max_log_prob_drop=10.0,
+                max_latency_ratio=50.0,
+            ),
+            workdir=workdir,
+            active_dir=active,
+            seed=7,
+        )
+        service.attach_lifecycle(controller)
+        service.start(wait=True)
+        try:
+            run_loop(service, controller, dataset)
+        finally:
+            service.stop()
 
-    controller = FeedbackController(
-        dataset.kb,
-        loss_threshold=12.0,
-        std_threshold=0.3,
-        retrain_after=5,
-        retrain_hook=retrain,
-    )
 
-    print("\n=== Pass 1: link queries, pooling uncertain ones")
-    stream = dataset.queries[:120]
-    pooled = []
-    wrong_before = []
-    for query in stream:
-        result = linker.link(query.text)
-        if controller.submit(result):
-            pooled.append(query)
+def run_loop(service, controller, dataset) -> None:
+    gold = {query.text: query.cid for query in dataset.queries}
+    stream = [query.text for query in dataset.queries[:120]]
+
+    print("\n=== Pass 1: serve traffic; the tap pools uncertain queries")
+    wrong_before = 0
+    for result in service.link_many(stream):
         top = result.top
-        if top is None or top.cid != query.cid:
-            wrong_before.append(query)
-    print(f"    pooled {len(pooled)} uncertain queries "
-          f"({len(wrong_before)} of {len(stream)} linked wrong)")
+        if top is None or top.cid != gold[result.query]:
+            wrong_before += 1
+    pool_stats = controller.pool.stats()
+    print(f"    served {pool_stats['observed']} queries, "
+          f"pooled {pool_stats['size']} uncertain ones "
+          f"({wrong_before} linked wrong)")
 
-    print("\n=== Expert resolves pooled queries (simulated by ground truth)")
-    for query in pooled:
-        controller.resolve(query.text, query.cid)
-        # retrain_hook fires automatically every `retrain_after` items
-    flushed = controller.flush()
-    if flushed:
-        print(f"    flushed final {flushed} feedbacks")
+    print("\n=== Expert resolves the pool (simulated by ground truth)")
+    pooled = controller.pool.drain()
+    for item in pooled:
+        controller.resolve(item.query, gold[item.query])
+    print(f"    resolved {len(pooled)} queries "
+          f"({controller.staged_pairs} training pairs staged)")
+
+    print("\n=== Retrain a clone, compile it, stage as the candidate")
+    fingerprint_before = service.linker.model_fingerprint
+    candidate = controller.retrain()
+    candidate_dir = controller.compile_candidate(candidate)
+    controller.stage(model=candidate, artifact_dir=candidate_dir)
+    print(f"    candidate compiled at {candidate_dir.name}, shadow scoring")
+
+    # Mirrored traffic feeds the shadow scorer; the service keeps
+    # serving the old model the whole time.
+    service.link_many(stream[:48])
+
+    print("\n=== Promote: gates → atomic flip (or automatic rollback)")
+    report = controller.promote()
+    shadow = report["shadow"]
+    print(f"    shadow: {shadow['samples']} samples, "
+          f"agreement {shadow['agreement']:.2f}, "
+          f"latency ratio {shadow['latency_ratio']:.1f}x")
+    if not report["promoted"]:
+        print(f"    promotion refused ({report['reason']}); "
+              "the old model keeps serving")
+        return
+    print(f"    promoted: {fingerprint_before[:12]} -> "
+          f"{service.linker.model_fingerprint[:12]}")
 
     print("\n=== Pass 2: re-link the previously-uncertain queries")
-    fixed = 0
-    for query in pooled:
-        result = linker.link(query.text)
-        top = result.top
-        if top is not None and top.cid == query.cid:
-            fixed += 1
+    queries = [item.query for item in pooled]
+    fixed = sum(
+        1
+        for result in service.link_many(queries)
+        if result.top is not None and result.top.cid == gold[result.query]
+    )
     if pooled:
-        print(
-            f"    {fixed}/{len(pooled)} previously-uncertain queries now "
-            f"link correctly ({fixed / len(pooled):.0%})"
-        )
-    print(f"    controller triggered {controller.retrain_count} retrainings")
+        print(f"    {fixed}/{len(pooled)} previously-uncertain queries now "
+              f"link correctly ({fixed / len(pooled):.0%})")
+    status = controller.status()
+    print(f"    lifecycle: {status['retrains']} retrain, "
+          f"{status['swap']['promotions']} promotion, "
+          f"{status['swap']['rollbacks']} rollbacks")
 
 
 if __name__ == "__main__":

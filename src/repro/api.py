@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 #: surface grows compatibly, the major when anything is removed or
 #: changes shape.  ``tools/check_api.py`` pins the exported surface to
 #: this value.
-API_VERSION = "1.1"
+API_VERSION = "1.2"
 
 #: Lazily resolved re-exports: public name → (module, attribute).
 _EXPORTS: Dict[str, Tuple[str, str]] = {
@@ -47,6 +47,7 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "LinkerConfig": ("repro.core.config", "LinkerConfig"),
     "RetrievalConfig": ("repro.core.config", "RetrievalConfig"),
     "ServingConfig": ("repro.core.config", "ServingConfig"),
+    "LifecycleConfig": ("repro.core.config", "LifecycleConfig"),
     "RuntimeConfig": ("repro.core.config", "RuntimeConfig"),
     "PAPER_DEFAULTS": ("repro.core.config", "PAPER_DEFAULTS"),
     # model, trainer, linker, feedback
@@ -94,6 +95,12 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "LinkingService": ("repro.serving.service", "LinkingService"),
     "create_server": ("repro.serving.server", "create_server"),
     "run_server": ("repro.serving.server", "run_server"),
+    # model lifecycle (pool → retrain → compile → blue/green swap)
+    "LifecycleController": ("repro.lifecycle", "LifecycleController"),
+    "ArtifactSwapper": ("repro.lifecycle", "ArtifactSwapper"),
+    "ShadowScorer": ("repro.lifecycle", "ShadowScorer"),
+    "UncertaintyPool": ("repro.lifecycle", "UncertaintyPool"),
+    "LifecycleError": ("repro.lifecycle", "LifecycleError"),
     # errors
     "ReproError": ("repro.utils.errors", "ReproError"),
     "ConfigurationError": ("repro.utils.errors", "ConfigurationError"),

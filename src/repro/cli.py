@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the deployment lifecycle:
+Ten commands cover the deployment lifecycle:
 
 * ``generate`` — synthesise a dataset bundle to a directory
   (ontology.json, kb.json, queries.jsonl);
@@ -20,8 +20,14 @@ Nine commands cover the deployment lifecycle:
   linking service (micro-batching, bounded caches, metrics, traces);
 * ``runs`` — list training-run telemetry directories, or diff two
   runs epoch by epoch;
-* ``verify-pipeline`` — check a saved pipeline's manifest and
-  per-file checksums without loading the model.
+* ``verify-pipeline`` — check a saved pipeline's (and/or a compiled
+  artifact's, via ``--artifact``) manifest and per-file checksums
+  without loading the model;
+* ``lifecycle`` — run the closed-loop model-lifecycle drill: pool
+  uncertain queries off live traffic, resolve them against ground
+  truth, retrain, recompile, and blue/green hot-swap under client
+  load, printing a JSON report (exit 1 if the swap failed or dropped
+  requests).
 
 ``link`` and ``serve`` accept ``--config FILE``: a JSON file shaped
 like :meth:`repro.core.config.RuntimeConfig.to_dict` output.  Flags
@@ -261,17 +267,64 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify_pipeline(args: argparse.Namespace) -> int:
-    manifest = verify_pipeline(args.model)
-    files = manifest.get("files", {})
-    total = sum(int(entry.get("bytes", 0)) for entry in files.values())
-    print(
-        f"pipeline {args.model} OK: {len(files)} files, "
-        f"{total} bytes, all checksums match"
-    )
-    metadata = manifest.get("metadata") or {}
-    if metadata:
-        print(f"  metadata: {json.dumps(metadata, sort_keys=True)}")
+    if not args.model and not args.artifact:
+        print(
+            "error: provide --model and/or --artifact to verify",
+            file=sys.stderr,
+        )
+        return 2
+    if args.model:
+        manifest = verify_pipeline(args.model)
+        files = manifest.get("files", {})
+        total = sum(int(entry.get("bytes", 0)) for entry in files.values())
+        print(
+            f"pipeline {args.model} OK: {len(files)} files, "
+            f"{total} bytes, all checksums match"
+        )
+        metadata = manifest.get("metadata") or {}
+        if metadata:
+            print(f"  metadata: {json.dumps(metadata, sort_keys=True)}")
+    if args.artifact:
+        from repro.engine.compile import verify_artifact
+
+        manifest = verify_artifact(args.artifact)
+        files = manifest.get("files", {})
+        total = sum(int(entry.get("bytes", 0)) for entry in files.values())
+        header = json.loads(
+            (Path(args.artifact) / "artifact.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        indexes = sorted(header.get("retrieval") or {}) or ["none"]
+        print(
+            f"artifact {args.artifact} OK: {len(files)} files, "
+            f"{total} bytes, manifest + per-index checksums match "
+            f"(indexes={','.join(indexes)})"
+        )
     return 0
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Closed-loop lifecycle drill: pool → retrain → recompile → swap."""
+    from repro.eval.experiments.lifecycle_drill import run_lifecycle_drill
+
+    workdir = Path(args.workdir) if args.workdir else None
+    report = run_lifecycle_drill(
+        scale=args.scale,
+        seed=args.seed,
+        workdir=workdir,
+        clients=args.clients,
+        retrain_epochs=args.retrain_epochs,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    swap_window = report["swap_window"]
+    ok = (
+        report["promoted"]
+        and report["fingerprint_changed"]
+        and swap_window["failures"] == 0
+        and swap_window["degraded"] == 0
+    )
+    return 0 if ok else 1
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -678,10 +731,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = commands.add_parser(
         "verify-pipeline",
-        help="check a saved pipeline's manifest and per-file checksums",
+        help="check a saved pipeline's (and/or compiled artifact's) "
+        "manifest and checksums",
     )
-    verify.add_argument("--model", required=True, help="saved pipeline dir")
+    verify.add_argument(
+        "--model", default=None, help="saved pipeline dir"
+    )
+    verify.add_argument(
+        "--artifact", default=None,
+        help="compiled artifact dir; additionally re-hashes each "
+        "compiled retrieval index against the artifact header",
+    )
     verify.set_defaults(func=_cmd_verify_pipeline)
+
+    lifecycle = commands.add_parser(
+        "lifecycle",
+        help="run the closed-loop model-lifecycle drill (pool -> retrain "
+        "-> recompile -> blue/green hot swap under load)",
+    )
+    lifecycle.add_argument(
+        "--scale", choices=["tiny", "small", "default"], default="tiny"
+    )
+    lifecycle.add_argument("--seed", type=int, default=7)
+    lifecycle.add_argument(
+        "--workdir", default=None,
+        help="directory for the active deployment and candidate "
+        "artifacts (default: a temporary directory)",
+    )
+    lifecycle.add_argument(
+        "--clients", type=int, default=2,
+        help="closed-loop client threads hammering the swap window",
+    )
+    lifecycle.add_argument("--retrain-epochs", type=int, default=2)
+    lifecycle.set_defaults(func=_cmd_lifecycle)
     return parser
 
 

@@ -465,8 +465,121 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class LifecycleConfig:
+    """Model-lifecycle configuration (the blue/green feedback loop).
+
+    Governs the production Appendix-A loop in :mod:`repro.lifecycle`:
+    which live results the uncertainty pool captures, how much expert
+    feedback triggers a retrain, how mirrored traffic is shadow-scored
+    against a staged candidate, and the quality gates a candidate must
+    clear before the atomic engine-pointer flip promotes it.
+
+    Attributes
+    ----------
+    enabled:
+        Whether ``repro serve`` wires a lifecycle controller (and the
+        ``/v1/admin`` endpoints) around the service.
+    pool_capacity:
+        Bounded-reservoir size of the uncertainty pool.  When full, new
+        uncertain queries displace a uniformly random pooled one
+        (reservoir sampling), so the pool stays an unbiased sample of
+        the uncertain stream instead of its prefix.
+    loss_threshold:
+        Pool a result whose top candidate's ``Loss = -log p(q|c)``
+        exceeds this (Appendix A's high-loss criterion).
+    margin_threshold:
+        Pool a result whose top-2 log-prob margin (``log p`` of rank 1
+        minus rank 2) falls below this — candidates the model cannot
+        tell apart.
+    retrain_after:
+        Expert resolutions to accumulate before a retrain is due.
+    retrain_epochs:
+        Incremental epochs per retrain (``ComAidTrainer.continue_training``).
+    shadow_sample_every:
+        Mirror every N-th live query to the staged candidate (1 =
+        mirror everything).  Deterministic, like trace sampling.
+    shadow_queue_capacity:
+        Bounded queue between the request path and the shadow-scoring
+        thread; a full queue drops the mirror (counted), never blocks
+        the live request.
+    min_shadow_samples:
+        Promotion gate: shadow evaluations required before a candidate
+        may be promoted.
+    min_agreement:
+        Promotion gate: fraction of shadow evaluations whose top-1
+        concept matches the live engine's.
+    max_log_prob_drop:
+        Promotion gate: maximum tolerated mean drop in top-1 log-prob
+        (candidate vs live) across paired shadow evaluations.
+    max_latency_ratio:
+        Promotion gate: maximum candidate/live mean per-query latency
+        ratio observed during shadowing.
+    compile_index:
+        ``index`` argument for candidate-artifact compilation
+        (``none``/``sparse``/``dense``/``both``).
+    """
+
+    enabled: bool = False
+    pool_capacity: int = 256
+    loss_threshold: float = 10.0
+    margin_threshold: float = 0.5
+    retrain_after: int = 8
+    retrain_epochs: int = 2
+    shadow_sample_every: int = 1
+    shadow_queue_capacity: int = 128
+    min_shadow_samples: int = 16
+    min_agreement: float = 0.9
+    max_log_prob_drop: float = 1.0
+    max_latency_ratio: float = 5.0
+    compile_index: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.pool_capacity < 1:
+            raise ConfigurationError(
+                f"pool_capacity must be >= 1, got {self.pool_capacity}"
+            )
+        if self.retrain_after < 1:
+            raise ConfigurationError(
+                f"retrain_after must be >= 1, got {self.retrain_after}"
+            )
+        if self.retrain_epochs < 1:
+            raise ConfigurationError(
+                f"retrain_epochs must be >= 1, got {self.retrain_epochs}"
+            )
+        if self.shadow_sample_every < 1:
+            raise ConfigurationError(
+                "shadow_sample_every must be >= 1 (1 = mirror everything), "
+                f"got {self.shadow_sample_every}"
+            )
+        if self.shadow_queue_capacity < 1:
+            raise ConfigurationError(
+                f"shadow_queue_capacity must be >= 1, got "
+                f"{self.shadow_queue_capacity}"
+            )
+        if self.min_shadow_samples < 1:
+            raise ConfigurationError(
+                f"min_shadow_samples must be >= 1, got "
+                f"{self.min_shadow_samples}"
+            )
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ConfigurationError(
+                f"min_agreement must be in [0, 1], got {self.min_agreement}"
+            )
+        if self.max_latency_ratio <= 0:
+            raise ConfigurationError(
+                f"max_latency_ratio must be positive, got "
+                f"{self.max_latency_ratio}"
+            )
+        if self.compile_index not in ("none", "sparse", "dense", "both"):
+            raise ConfigurationError(
+                "compile_index must be none/sparse/dense/both, got "
+                f"{self.compile_index!r}"
+            )
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
-    """The four configuration sections behind one typed envelope.
+    """The five configuration sections behind one typed envelope.
 
     Every entry point (CLI flags, serving, config files, tests) builds
     its configs through this class, so there is exactly one place where
@@ -482,6 +595,7 @@ class RuntimeConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     linker: LinkerConfig = field(default_factory=LinkerConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
 
     #: Section name → dataclass, the single source of truth for the
     #: envelope shape (from_dict validation and to_dict ordering).
@@ -490,6 +604,7 @@ class RuntimeConfig:
         "training": TrainingConfig,
         "linker": LinkerConfig,
         "serving": ServingConfig,
+        "lifecycle": LifecycleConfig,
     }
 
     @classmethod

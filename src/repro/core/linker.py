@@ -143,6 +143,11 @@ class NeuralConceptLinker:
         self.model = model
         self.ontology = ontology
         self.config = config if config is not None else LinkerConfig()
+        # Retained so swap_engine can rebuild the rewriter and scoring
+        # vocabulary over the new model's frozen documents.
+        self._kb = kb
+        self._word_vectors = word_vectors
+        self._restrict_to = restrict_to
         self._engine = engine
         if self._engine is None and self.config.artifact_dir is not None:
             if restrict_to is not None:
@@ -234,6 +239,95 @@ class NeuralConceptLinker:
     def engine(self) -> Optional[object]:
         """The active sharded engine, or None (runtime-encoding path)."""
         return self._engine
+
+    @property
+    def model_fingerprint(self) -> str:
+        """SHA-256 identity of the weights currently serving.
+
+        From the compiled artifact when an engine is active (free),
+        otherwise computed over the live parameters.
+        """
+        if self._engine is not None:
+            value = self._engine.artifact.fingerprint.get("params_sha256")
+            if value:
+                return str(value)
+        # Function-local: repro.engine.compile imports the persistence
+        # layer, which imports this module.
+        from repro.engine.compile import model_fingerprint
+
+        return str(model_fingerprint(self.model)["params_sha256"])
+
+    def swap_engine(
+        self,
+        model: ComAid,
+        engine: Optional[object],
+        artifact_dir: Optional[str] = None,
+    ) -> Tuple[ComAid, Optional[object]]:
+        """Blue/green flip: adopt new weights and their compiled engine.
+
+        Replaces the model and engine pointers and rebuilds everything
+        derived from them — Phase-I candidates (from the new artifact's
+        frozen documents), the OOV rewriter, the scoring vocabulary —
+        then *replaces* (not clears) the encoding caches: an in-flight
+        ``get_or_create`` computed against the old model can only land
+        in the orphaned cache object, so a stale encoding can never
+        score under the new fingerprint.  Returns the previous
+        ``(model, engine)`` so the caller can roll back by swapping
+        them straight back in.
+
+        The flip itself is plain attribute assignment; the serving
+        layer guarantees atomicity by performing it under the same lock
+        that serialises batch scoring (``LinkingService.exclusive``),
+        so in-flight requests complete on the old engine and queued
+        ones start on the new.
+        """
+        if engine is not None:
+            # Never flip to an engine whose artifact was compiled from
+            # other weights — the same stale-artifact guard load-time
+            # enforcement gives, re-checked at the swap boundary.
+            engine.artifact.check_model(model)
+            if engine.artifact.index_aliases != self.config.index_aliases:
+                raise ConfigurationError(
+                    "candidate artifact was compiled with index_aliases="
+                    f"{engine.artifact.index_aliases} but the linker is "
+                    f"configured with {self.config.index_aliases}"
+                )
+        previous = (self.model, self._engine)
+        self.model = model
+        self._engine = engine
+        if engine is not None:
+            self.candidates = CandidateGenerator.from_documents(
+                self.ontology, engine.artifact.documents
+            )
+        else:
+            self.candidates = CandidateGenerator(
+                self.ontology,
+                kb=self._kb,
+                index_aliases=self.config.index_aliases,
+                restrict_to=self._restrict_to,
+            )
+        if self.config.rewrite_queries:
+            self.rewriter = QueryRewriter(
+                self.candidates.omega,
+                word_vectors=self._word_vectors,
+                edit_distance_max=self.config.edit_distance_max,
+                min_similarity=self.config.rewrite_min_similarity,
+            )
+        self._omega = self.candidates.omega
+        self._scoring_vocabulary = set(self._omega)
+        if self._kb is not None:
+            for _, alias in self._kb.labeled_snippets():
+                self._scoring_vocabulary.update(tokenize(alias))
+        capacity = self.config.encoding_cache_size or None
+        self._encoding_cache = LRUCache(capacity, name="encodings")
+        self._ancestor_cache = LRUCache(capacity, name="ancestors")
+        if artifact_dir is not None:
+            import dataclasses
+
+            self.config = dataclasses.replace(
+                self.config, artifact_dir=str(artifact_dir)
+            )
+        return previous
 
     # -- encoding cache -----------------------------------------------------
 

@@ -299,19 +299,55 @@ class ComAidTrainer:
             )
         return state
 
+    def adopt(self, model: ComAid, ontology: Ontology) -> None:
+        """Attach an externally built model for incremental training.
+
+        The lifecycle controller retrains a *clone* of the serving
+        model (the live weights must not shift under traffic), and the
+        CLI retrains models loaded from a saved pipeline — neither came
+        out of this trainer's :meth:`fit`.  Adopting one makes
+        :meth:`continue_training` legal on it; the per-concept ancestor
+        cache is reset because the adopted model's id space may differ.
+        """
+        if model.config != self.model_config:
+            raise ConfigurationError(
+                "adopted model's architecture config does not match the "
+                f"trainer's: {model.config} != {self.model_config}"
+            )
+        self.model = model
+        self._ontology = ontology
+        self._ancestor_ids = {}
+
     def continue_training(
-        self, extra_pairs: Sequence[TrainingPair], epochs: int = 1
+        self,
+        extra_pairs: Sequence[TrainingPair],
+        epochs: int = 1,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
     ) -> None:
         """Incrementally train the fitted model on ``extra_pairs``.
 
         This is the feedback-controller retraining hook (Appendix A):
         parameters are *not* re-initialised, so representation shifts
-        can be observed between snapshots (Figure 10).
+        can be observed between snapshots (Figure 10).  With
+        ``checkpoint_dir``/``checkpoint_every`` the incremental epochs
+        checkpoint atomically exactly like :meth:`fit` — the lifecycle
+        controller's background retrain survives a crash the same way a
+        fresh training run does.
         """
         if self.model is None or self._ontology is None:
             raise NotFittedError("continue_training requires a fitted model")
+        if checkpoint_every > 0 and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every > 0 requires a checkpoint_dir"
+            )
         examples = self._encode_pairs(self.model, self._ontology, extra_pairs)
-        self._run_epochs(examples, epochs)
+        self._run_epochs(
+            examples,
+            epochs,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
 
     def _seed_embeddings(self, model: ComAid, vectors: WordVectors) -> None:
         words = [word for word in model.vocab.words if word in vectors]

@@ -415,12 +415,49 @@ def verify_artifact(directory: PathLike) -> Dict[str, Any]:
     """Prove an artifact directory is complete and uncorrupted.
 
     Manifest-driven byte-size and SHA-256 checks over every listed
-    file; returns the parsed manifest, raises :class:`DataError` naming
-    the first offending file otherwise.
+    file, then — for format-2 artifacts with compiled retrieval
+    indexes — each index file is re-hashed against the *header's*
+    per-index sha256.  The header pins the indexes independently of
+    the manifest, so even a consistently regenerated manifest cannot
+    smuggle a swapped index past verification.  Returns the parsed
+    manifest, raises :class:`DataError` naming the first offending
+    file otherwise.
     """
     from repro.core.persistence import verify_manifest_dir
 
-    return verify_manifest_dir(directory, REQUIRED_FILES, kind="artifact")
+    source = Path(directory)
+    manifest = verify_manifest_dir(source, REQUIRED_FILES, kind="artifact")
+    header_path = source / ARTIFACT_FILE
+    try:
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError(
+            f"artifact file {header_path} is unreadable or not valid JSON: "
+            f"{exc}"
+        ) from exc
+    for kind in sorted(header.get("retrieval") or {}):
+        entry = header["retrieval"][kind]
+        try:
+            name = str(entry["file"])
+            expected = str(entry["sha256"])
+        except (KeyError, TypeError) as exc:
+            raise DataError(
+                f"artifact {source} has a malformed retrieval entry for "
+                f"{kind!r}: {exc}"
+            ) from exc
+        path = source / name
+        if not path.exists():
+            raise DataError(
+                f"artifact {source} declares retrieval index {name} but "
+                "the file is missing"
+            )
+        actual = _sha256_of(path)
+        if actual != expected:
+            raise DataError(
+                f"retrieval index {path} is corrupt: sha256 {actual} != "
+                f"declared {expected}"
+            )
+    return manifest
 
 
 def load_artifact(
@@ -494,13 +531,15 @@ def load_artifact(
     retrieval_meta = dict(header.get("retrieval") or {})
     sparse_index: Optional[InvertedIndex] = None
     dense_index: Optional[DenseIndex] = None
+    # When verify=True the per-index checksums were already proven by
+    # verify_artifact() above; skip re-hashing the same bytes here.
     if "sparse" in retrieval_meta:
-        arrays = _load_index_arrays(source, retrieval_meta["sparse"], verify)
+        arrays = _load_index_arrays(source, retrieval_meta["sparse"], False)
         sparse_index = InvertedIndex.from_arrays(
             arrays, keys=list(order), stats=stats
         )
     if "dense" in retrieval_meta:
-        arrays = _load_index_arrays(source, retrieval_meta["dense"], verify)
+        arrays = _load_index_arrays(source, retrieval_meta["dense"], False)
         dense_index = DenseIndex.from_arrays(arrays, vectors=final_h)
     manifest_metadata: Dict[str, Any] = {}
     from repro.core.persistence import load_manifest

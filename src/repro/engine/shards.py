@@ -224,6 +224,16 @@ class ShardedConceptEngine:
         return self._artifact
 
     @property
+    def fingerprint(self) -> str:
+        """The artifact's model-weight SHA-256 (deployment identity).
+
+        The blue/green swapper reports this before/after a flip, and
+        ``/v1/metrics`` surfaces it so an operator can always tell
+        *which* weights a live instance is serving.
+        """
+        return str(self._artifact.fingerprint.get("params_sha256", ""))
+
+    @property
     def indexed_cids(self) -> Tuple[str, ...]:
         """All indexed concept ids in global (artifact) order."""
         return self._artifact.cids
@@ -251,6 +261,7 @@ class ShardedConceptEngine:
         with self._lock:
             return {
                 "shards": self._shards,
+                "fingerprint": self.fingerprint,
                 "concepts": len(self._artifact),
                 "shard_sizes": [
                     len(generator.indexed_cids)

@@ -99,4 +99,25 @@ def snapshot_gauges(snapshot: Dict[str, Any]) -> Dict[str, float]:
     for key, value in (snapshot.get("traces") or {}).items():
         if isinstance(value, (int, float)):
             gauges[f"traces.{key}"] = float(value)
+    # Lifecycle status nests (pool stats, swap state, shadow report);
+    # every numeric leaf becomes a dotted gauge.  Strings (state names,
+    # fingerprints, reason codes) stay JSON-only — Prometheus gauges
+    # are numbers, and encoding enums here would invent a contract.
+    lifecycle = snapshot.get("lifecycle")
+    if isinstance(lifecycle, Mapping):
+        _flatten_numeric(lifecycle, "lifecycle", gauges)
     return gauges
+
+
+def _flatten_numeric(
+    tree: Mapping[str, Any], prefix: str, gauges: Dict[str, float]
+) -> None:
+    """Recursively hoist numeric (and bool) leaves into dotted gauges."""
+    for key, value in tree.items():
+        name = f"{prefix}.{key}"
+        if isinstance(value, bool):
+            gauges[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            gauges[name] = float(value)
+        elif isinstance(value, Mapping):
+            _flatten_numeric(value, name, gauges)

@@ -22,6 +22,14 @@ The API is versioned under ``/v1`` (JSON unless noted):
 * ``GET /v1/traces`` — recent sampled span traces from the ring
   buffer (``?limit=N`` bounds the reply, ``?request_id=...`` fetches
   one).
+* ``GET /v1/admin/lifecycle`` — model-lifecycle status (uncertainty
+  pool fill, swap state, shadow report, rollback reason codes); 404
+  ``lifecycle_disabled`` when no controller is attached.
+* ``POST /v1/admin/swap`` — body ``{"action": "promote"}`` (optional
+  ``"force": true``) or ``{"action": "rollback"}``; drives the
+  blue/green swapper.  Promotion blocked by a quality gate answers 409
+  ``swap_blocked`` with the shadow report; rollback with nothing to
+  roll back answers 409 ``no_candidate``.  v1-only (no legacy alias).
 
 The pre-versioning routes (``/link``, ``/metrics``, ``/traces``)
 remain as aliases that answer identically but carry a
@@ -293,6 +301,16 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                 self._respond(200, snapshot, headers=extra)
         elif path == "/traces":
             self._respond_traces(params, extra)
+        elif path == "/admin/lifecycle" and not legacy:
+            lifecycle = getattr(service, "lifecycle", None)
+            if lifecycle is None:
+                self._respond_error(
+                    404,
+                    "lifecycle_disabled",
+                    "no lifecycle controller is attached to this service",
+                )
+            else:
+                self._respond(200, {"lifecycle": lifecycle.status()})
         else:
             self._respond_error(404, "not_found", f"no route for {self.path}")
 
@@ -341,6 +359,9 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path, _, legacy = self._route()
+        if path == "/admin/swap" and not legacy:
+            self._handle_swap()
+            return
         if path != "/link":
             self._respond_error(404, "not_found", f"no route for {self.path}")
             return
@@ -398,6 +419,77 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                 for result in results
             ]
         }
+
+    def _handle_swap(self) -> None:
+        """``POST /v1/admin/swap``: drive the blue/green swapper."""
+        from repro.lifecycle.swap import LifecycleError
+
+        request_id = self._request_id()
+        lifecycle = getattr(self.server.service, "lifecycle", None)
+        if lifecycle is None:
+            self._respond_error(
+                404,
+                "lifecycle_disabled",
+                "no lifecycle controller is attached to this service",
+                request_id=request_id,
+            )
+            return
+        try:
+            payload = self._read_json()
+        except BadRequestError as error:
+            self._respond_error(
+                400, "bad_request", str(error), request_id=request_id
+            )
+            return
+        action = payload.get("action") if isinstance(payload, dict) else None
+        if action not in ("promote", "rollback"):
+            self._respond_error(
+                400,
+                "bad_request",
+                "'action' must be 'promote' or 'rollback'",
+                request_id=request_id,
+            )
+            return
+        headers = {"X-Request-ID": request_id}
+        try:
+            if action == "promote":
+                force = bool(payload.get("force", False))
+                report = lifecycle.promote(force=force)
+                if report.get("promoted"):
+                    self._respond(
+                        200,
+                        {"swap": report, "request_id": request_id},
+                        headers=headers,
+                    )
+                else:
+                    body = error_envelope(
+                        "swap_blocked",
+                        f"promotion blocked: {report.get('reason')}",
+                        request_id,
+                    )
+                    body["swap"] = report
+                    self._respond(409, body, headers=headers)
+            else:
+                reason = str(payload.get("reason") or "manual")
+                report = lifecycle.rollback(reason)
+                self._respond(
+                    200,
+                    {"swap": report, "request_id": request_id},
+                    headers=headers,
+                )
+        except LifecycleError as error:
+            self._respond_error(
+                409, "no_candidate", str(error), request_id=request_id
+            )
+        except ReproError as error:
+            self._respond_error(
+                400, type(error).__name__, str(error), request_id=request_id
+            )
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            LOGGER.error("internal error serving /admin/swap: %s", error)
+            self._respond_error(
+                500, "internal", "internal server error", request_id=request_id
+            )
 
     def _read_json(self) -> Any:
         length_header = self.headers.get("Content-Length")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -71,9 +72,17 @@ class LinkingService:
         )
         self._ready = threading.Event()
         self._stopped = threading.Event()
+        self._stop_lock = threading.Lock()
         self._warm_error: Optional[Exception] = None
         self._warm_thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
+        # Serialises model access between the batcher worker and a
+        # blue/green engine flip: _handle_batch holds it around every
+        # link_batch call, exclusive() hands it to the swapper, so a
+        # batch either completes entirely on the old engine or starts
+        # entirely on the new one.
+        self._model_lock = threading.Lock()
+        self._lifecycle: Optional[object] = None
         self._batcher: MicroBatcher[_LinkRequest, LinkResult] = MicroBatcher(
             self._handle_batch,
             max_batch_size=self.config.max_batch_size,
@@ -85,6 +94,10 @@ class LinkingService:
 
     def start(self, wait: bool = False) -> "LinkingService":
         """Begin warm-up; with ``wait`` block until the service is ready."""
+        if self._stopped.is_set():
+            raise RuntimeError(
+                "service was stopped; build a new LinkingService to restart"
+            )
         if self._started_at is not None:
             raise RuntimeError("service already started")
         self._started_at = time.monotonic()
@@ -145,11 +158,25 @@ class LinkingService:
             self._ready.set()
 
     def stop(self) -> None:
-        """Drain in-flight requests and stop the batcher."""
-        if self._stopped.is_set():
-            return
-        self._stopped.set()
+        """Drain in-flight requests and stop the batcher.
+
+        Idempotent and safe from any state: before ``start`` (nothing
+        to drain), after it (drains), concurrently from several threads
+        (one winner does the teardown), and repeatedly (no-ops).  A
+        stopped service cannot be restarted.
+        """
+        with self._stop_lock:
+            if self._stopped.is_set():
+                return
+            self._stopped.set()
+        lifecycle = self._lifecycle
+        if lifecycle is not None:
+            close = getattr(lifecycle, "close", None)
+            if callable(close):
+                close()
         self._batcher.close()
+        if self._warm_thread is not None:
+            self._warm_thread.join(timeout=5.0)
 
     @property
     def healthy(self) -> bool:
@@ -254,11 +281,46 @@ class LinkingService:
         self.metrics.histogram(
             "batch_size", bounds=[1, 2, 4, 8, 16, 32, 64, 128]
         ).observe(len(requests))
-        return self.linker.link_batch(
-            [request.query for request in requests],
-            k=[request.k for request in requests],
-            trace_contexts=[request.ctx for request in requests],
-        )
+        with self._model_lock:
+            results = self.linker.link_batch(
+                [request.query for request in requests],
+                k=[request.k for request in requests],
+                trace_contexts=[request.ctx for request in requests],
+            )
+        lifecycle = self._lifecycle
+        if lifecycle is not None:
+            # The observer taps uncertain queries and mirrors traffic
+            # onto a shadowing candidate; it must never fail a request.
+            try:
+                lifecycle.observe_results(results)
+            except Exception as error:  # noqa: BLE001 - tap is best-effort
+                self.metrics.counter("lifecycle_observer_errors").inc()
+                LOGGER.warning("lifecycle observer failed: %s", error)
+        return results
+
+    # -- model lifecycle ----------------------------------------------------
+
+    @contextmanager
+    def exclusive(self):
+        """Exclusive model access: no batch runs while the block does.
+
+        The blue/green swapper flips the linker's engine pointer inside
+        this context; in-flight batches complete first (the batcher
+        worker holds the same lock around ``link_batch``).
+        """
+        with self._model_lock:
+            yield
+
+    def attach_lifecycle(self, controller: object) -> None:
+        """Install the lifecycle controller tapping this service's traffic."""
+        if self._lifecycle is not None:
+            raise RuntimeError("a lifecycle controller is already attached")
+        self._lifecycle = controller
+
+    @property
+    def lifecycle(self) -> Optional[object]:
+        """The attached lifecycle controller, or None."""
+        return self._lifecycle
 
     # -- introspection ------------------------------------------------------
 
@@ -294,4 +356,11 @@ class LinkingService:
         engine = getattr(self.linker, "engine", None)
         if engine is not None:
             report["engine"] = engine.stats()
+        # Lifecycle state (pool fill, swap state, rollback reason
+        # codes) when a controller is attached — the operator's view of
+        # an in-progress blue/green swap.
+        if self._lifecycle is not None:
+            status = getattr(self._lifecycle, "status", None)
+            if callable(status):
+                report["lifecycle"] = status()
         return report

@@ -16,6 +16,14 @@ Site names are plain dotted strings; a spec can be armed to fire only
 from the ``after``-th hit onward (``after=2`` skips two hits) and for a
 limited number of ``times``, so a test can let epoch 1 and 2 succeed
 and kill epoch 3 exactly once.
+
+The model-lifecycle subsystem exposes three sites for swap drills:
+``lifecycle.shadow`` (inside the shadow-scoring worker — a ``delay``
+spec here inflates the candidate's latency ratio past the promotion
+gate), ``lifecycle.promote`` (hit once at promotion entry and once
+inside the staging copy of the candidate artifact, so ``after=1``
+simulates a crash mid-publish), and ``lifecycle.rollback`` (after the
+previous engine pointer is restored).
 """
 
 from __future__ import annotations
@@ -107,6 +115,12 @@ class FaultPlan:
         with self._lock:
             spec = self._specs.get(site)
             return spec.hits if spec is not None else 0
+
+    def fired(self, site: str) -> int:
+        """Times the spec for ``site`` actually fired (0 if unarmed)."""
+        with self._lock:
+            spec = self._specs.get(site)
+            return spec.fired if spec is not None else 0
 
 
 _ACTIVE_LOCK = threading.Lock()

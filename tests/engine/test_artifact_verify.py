@@ -1,0 +1,138 @@
+"""verify_artifact per-index checksum coverage (beyond the manifest).
+
+The manifest checks catch ordinary corruption; these tests prove the
+*header* checks catch the attack the manifest cannot: a swapped index
+file whose manifest entry was consistently regenerated.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import _sha256_of, write_manifest
+from repro.engine.compile import (
+    ARTIFACT_FILE,
+    SPARSE_INDEX_FILE,
+    compile_artifact,
+    load_artifact,
+    verify_artifact,
+)
+from repro.utils.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def indexed_artifact(engine_stack, tmp_path_factory):
+    """A format-2 artifact with both retrieval indexes compiled."""
+    ontology, kb, model, _ = engine_stack
+    directory = tmp_path_factory.mktemp("verify") / "artifact"
+    compile_artifact(
+        directory, model, ontology, kb=kb, index="both", index_seed=3
+    )
+    return directory
+
+
+def _restamp_manifest(directory):
+    """Regenerate manifest.json so its checksums match the tampered files.
+
+    This is exactly what a consistent-but-wrong artifact looks like:
+    the manifest passes, only the header's per-index pins can object.
+    """
+    manifest = json.loads(
+        (directory / "manifest.json").read_text(encoding="utf-8")
+    )
+    (directory / "manifest.json").unlink()
+    write_manifest(directory, manifest["format"], manifest.get("metadata"))
+
+
+def _corrupt_copy(source, tmp_path):
+    target = tmp_path / "tampered"
+    shutil.copytree(source, target)
+    return target
+
+
+class TestIndexChecksums:
+    def test_clean_artifact_verifies(self, indexed_artifact):
+        manifest = verify_artifact(indexed_artifact)
+        assert SPARSE_INDEX_FILE in manifest["files"]
+
+    def test_swapped_index_with_consistent_manifest_is_caught(
+        self, indexed_artifact, tmp_path
+    ):
+        tampered = _corrupt_copy(indexed_artifact, tmp_path)
+        path = tampered / SPARSE_INDEX_FILE
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        first = sorted(arrays)[0]
+        flat = arrays[first].reshape(-1)
+        if flat.size:
+            flat[0] = flat[0] + 1
+        np.savez(path, **arrays)
+        _restamp_manifest(tampered)
+        # The manifest itself is now internally consistent...
+        from repro.core.persistence import verify_manifest_dir
+        from repro.engine.compile import REQUIRED_FILES
+
+        verify_manifest_dir(tampered, REQUIRED_FILES, kind="artifact")
+        # ...but the header's per-index pin is not.
+        with pytest.raises(DataError, match="sha256"):
+            verify_artifact(tampered)
+        with pytest.raises(DataError, match="sha256"):
+            load_artifact(tampered)
+
+    def test_malformed_retrieval_entry_is_rejected(
+        self, indexed_artifact, tmp_path
+    ):
+        tampered = _corrupt_copy(indexed_artifact, tmp_path)
+        header_path = tampered / ARTIFACT_FILE
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+        del header["retrieval"]["sparse"]["sha256"]
+        header_path.write_text(json.dumps(header), encoding="utf-8")
+        _restamp_manifest(tampered)
+        with pytest.raises(DataError, match="malformed retrieval entry"):
+            verify_artifact(tampered)
+
+    def test_header_declared_index_must_exist(
+        self, indexed_artifact, tmp_path
+    ):
+        tampered = _corrupt_copy(indexed_artifact, tmp_path)
+        header_path = tampered / ARTIFACT_FILE
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+        header["retrieval"]["sparse"]["file"] = "index_ghost.npz"
+        header_path.write_text(json.dumps(header), encoding="utf-8")
+        _restamp_manifest(tampered)
+        with pytest.raises(DataError, match="missing"):
+            verify_artifact(tampered)
+
+    def test_verify_false_still_loads_tampered_index(
+        self, indexed_artifact, tmp_path, engine_stack
+    ):
+        """verify=False is the explicit escape hatch and stays one."""
+        _, _, model, _ = engine_stack
+        tampered = _corrupt_copy(indexed_artifact, tmp_path)
+        path = tampered / SPARSE_INDEX_FILE
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        first = sorted(arrays)[0]
+        flat = arrays[first].reshape(-1)
+        if flat.size:
+            flat[0] = flat[0] + 1
+        np.savez(path, **arrays)
+        _restamp_manifest(tampered)
+        artifact = load_artifact(tampered, verify=False)
+        assert artifact.sparse_index is not None
+
+    def test_cli_verify_artifact(self, indexed_artifact, capsys):
+        from repro.cli import main
+
+        assert main(["verify-pipeline", "--artifact", str(indexed_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "per-index checksums match" in out
+        assert "sparse" in out
+
+    def test_cli_verify_requires_a_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify-pipeline"]) == 2
+        assert "provide --model and/or --artifact" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""Lifecycle-test fixtures: a served pipeline plus candidate builders.
+
+Training is package-scoped (the expensive part); each test gets its own
+*copies* of the compiled artifacts and its own service/controller, so a
+promoted or corrupted deployment never leaks between tests.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.comaid import ComAid
+from repro.core.config import (
+    ComAidConfig,
+    LifecycleConfig,
+    LinkerConfig,
+    ServingConfig,
+    TrainingConfig,
+)
+from repro.core.linker import NeuralConceptLinker
+from repro.core.trainer import ComAidTrainer
+from repro.engine.compile import compile_artifact
+from repro.lifecycle import LifecycleController
+from repro.serving.service import LinkingService
+
+from tests.serving.conftest import (  # noqa: F401 - re-exported fixtures
+    SERVING_QUERIES,
+    build_figure1_ontology,
+    build_figure3_kb,
+)
+
+#: Gates relaxed for a fine-tuned candidate: it legitimately diverges
+#: on the queries it was corrected on, and single-query shadow batches
+#: cost more than coalesced primary batches.
+PERMISSIVE = LifecycleConfig(
+    enabled=True,
+    pool_capacity=32,
+    loss_threshold=1.0,
+    margin_threshold=5.0,
+    retrain_after=4,
+    retrain_epochs=2,
+    min_shadow_samples=4,
+    min_agreement=0.25,
+    max_log_prob_drop=20.0,
+    max_latency_ratio=200.0,
+)
+
+
+def train_model(kb, rng=7, epochs=8):
+    trainer = ComAidTrainer(
+        ComAidConfig(dim=10, beta=2),
+        TrainingConfig(
+            epochs=epochs, batch_size=4, optimizer="adagrad", learning_rate=0.2
+        ),
+        rng=rng,
+    )
+    model = trainer.fit(kb)
+    return trainer, model
+
+
+@pytest.fixture(scope="package")
+def lifecycle_base(tmp_path_factory):
+    """``(ontology, kb, model, trainer, pristine_active_dir)`` trained once."""
+    ontology = build_figure1_ontology()
+    kb = build_figure3_kb(ontology)
+    trainer, model = train_model(kb)
+    active = tmp_path_factory.mktemp("lifecycle") / "active"
+    compile_artifact(
+        active, model, ontology, kb=kb, metadata={"generation": "seed"}
+    )
+    return ontology, kb, model, trainer, active
+
+
+@pytest.fixture
+def stack(lifecycle_base, tmp_path):
+    """A fresh started service + controller over private artifact copies.
+
+    Yields ``(service, controller, active_dir)``; the service is
+    stopped afterwards even if the test fails mid-swap.
+    """
+    ontology, kb, model, trainer, pristine = lifecycle_base
+    active = tmp_path / "active"
+    shutil.copytree(pristine, active)
+    linker = NeuralConceptLinker(
+        model,
+        ontology,
+        LinkerConfig(k=5, artifact_dir=str(active)),
+        kb=kb,
+    )
+    service = LinkingService(linker, ServingConfig(warm_on_start=False))
+    controller = LifecycleController(
+        service,
+        trainer,
+        kb,
+        config=PERMISSIVE,
+        workdir=tmp_path,
+        active_dir=active,
+        seed=3,
+    )
+    service.attach_lifecycle(controller)
+    service.start(wait=True)
+    yield service, controller, active
+    service.stop()
+
+
+@pytest.fixture
+def candidate_factory(lifecycle_base, tmp_path):
+    """Compile a candidate artifact from any model into a private dir."""
+    ontology, kb, _, _, _ = lifecycle_base
+    counter = {"n": 0}
+
+    def factory(model, name=None):
+        counter["n"] += 1
+        target = tmp_path / (name or f"candidate-{counter['n']}")
+        compile_artifact(target, model, ontology, kb=kb)
+        return target
+
+    return factory
+
+
+@pytest.fixture
+def degraded_model(lifecycle_base):
+    """An *untrained* model with the served architecture and vocabulary.
+
+    Random weights: it disagrees with the incumbent almost everywhere,
+    which is exactly what the shadow gate must block.
+    """
+    _, _, model, _, _ = lifecycle_base
+    return ComAid(model.config, model.vocab, rng=99)
+
+
+@pytest.fixture
+def retrained_model(lifecycle_base):
+    """A genuine fine-tune of the serving model (a promotable candidate)."""
+    _, kb, model, trainer, _ = lifecycle_base
+    clone = ComAid(model.config, model.vocab, rng=0)
+    clone.load_state_dict(model.state_dict())
+    trainer.adopt(clone, kb.ontology)
+    trainer.continue_training(kb.training_pairs()[:6], epochs=1)
+    return clone

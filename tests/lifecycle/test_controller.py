@@ -1,0 +1,208 @@
+"""LifecycleController: resolve → retrain → compile, plus the admin API."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving.server import create_server, run_server
+from repro.utils.errors import DataError
+
+from tests.lifecycle.conftest import SERVING_QUERIES
+
+
+def _post(base, path, payload, timeout=30.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _get(base, path, timeout=30.0):
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+@pytest.fixture
+def http(stack):
+    """The lifecycle stack behind a real ephemeral-port HTTP server."""
+    service, controller, _ = stack
+    server = create_server(service, port=0)
+    thread = threading.Thread(
+        target=run_server,
+        args=(server,),
+        kwargs={"install_signal_handlers": False},
+        daemon=True,
+    )
+    thread.start()
+    base = f"http://127.0.0.1:{server.port}"
+    yield base, service, controller
+    server.shutdown()
+    thread.join(5.0)
+
+
+class TestClosedLoop:
+    def test_traffic_fills_pool_via_service(self, stack):
+        service, controller, _ = stack
+        for query in SERVING_QUERIES:
+            service.link(query)
+        # PERMISSIVE thresholds (loss 1.0 / margin 5.0) classify most of
+        # the canned traffic as uncertain on the tiny model.
+        assert controller.status()["pool"]["observed"] == len(SERVING_QUERIES)
+        assert len(controller.pool) > 0
+
+    def test_resolve_stages_pairs_and_extends_kb(self, stack):
+        _, controller, _ = stack
+        before = controller.kb.alias_count()
+        controller.resolve("swollen ankles after surgery", "N18.9")
+        assert controller.staged_pairs == 1
+        assert controller.kb.alias_count() == before + 1
+        with pytest.raises(DataError):
+            controller.resolve("   ", "N18.9")
+
+    def test_retrain_produces_promotable_candidate(self, stack):
+        service, controller, active = stack
+        for query in SERVING_QUERIES:
+            service.link(query)
+        for item in controller.pool.drain():
+            top = item.top_cid
+            controller.resolve(item.query, top)
+        if not controller.retrain_due:
+            for i in range(controller.config.retrain_after):
+                controller.resolve(f"synthetic uncertain phrase {i}", "R10.9")
+        assert controller.retrain_due
+        model = controller.retrain()
+        assert model is not service.linker.model
+        artifact_dir = controller.compile_candidate()
+        assert (artifact_dir / "manifest.json").exists()
+        controller.stage(model=model, artifact_dir=artifact_dir)
+        for query in SERVING_QUERIES:
+            service.link(query)
+        report = controller.promote()
+        assert report["promoted"], report
+        assert controller.status()["retrains"] == 1
+        assert controller.status()["compiles"] == 1
+
+    def test_retrain_without_pairs_is_rejected(self, stack):
+        _, controller, _ = stack
+        with pytest.raises(DataError):
+            controller.retrain()
+
+    def test_status_shape(self, stack):
+        _, controller, _ = stack
+        status = controller.status()
+        assert status["state"] == "idle"
+        assert status["staged_pairs"] == 0
+        assert not status["retrain_due"]
+        assert status["swap"]["promotions"] == 0
+        assert status["config"]["retrain_after"] == 4
+
+
+class TestAdminEndpoints:
+    def test_lifecycle_status_endpoint(self, http):
+        base, service, _ = http
+        for query in SERVING_QUERIES[:4]:
+            service.link(query)
+        status, payload = _get(base, "/v1/admin/lifecycle")
+        assert status == 200
+        body = payload["lifecycle"]
+        assert body["state"] == "idle"
+        assert body["pool"]["observed"] == 4
+
+    def test_swap_promote_without_candidate_conflicts(self, http):
+        base, _, _ = http
+        status, payload = _post(base, "/v1/admin/swap", {"action": "promote"})
+        assert status == 409
+        assert payload["error"]["code"] == "no_candidate"
+
+    def test_swap_rejects_unknown_action(self, http):
+        base, _, _ = http
+        status, payload = _post(base, "/v1/admin/swap", {"action": "explode"})
+        assert status == 400
+
+    def test_swap_promote_blocked_by_gate_returns_409(
+        self, http, candidate_factory, degraded_model
+    ):
+        import dataclasses
+
+        base, service, controller = http
+        controller.swapper.config = dataclasses.replace(
+            controller.swapper.config, min_agreement=0.9
+        )
+        controller.stage(
+            model=degraded_model,
+            artifact_dir=candidate_factory(degraded_model),
+        )
+        for query in SERVING_QUERIES:
+            service.link(query)
+        status, payload = _post(base, "/v1/admin/swap", {"action": "promote"})
+        assert status == 409
+        assert payload["error"]["code"] == "swap_blocked"
+        assert payload["swap"]["reason"].startswith("gate:")
+
+    def test_swap_promote_and_rollback_over_http(
+        self, http, candidate_factory, retrained_model
+    ):
+        base, service, controller = http
+        before = service.linker.model_fingerprint
+        controller.stage(
+            model=retrained_model,
+            artifact_dir=candidate_factory(retrained_model),
+        )
+        for query in SERVING_QUERIES:
+            service.link(query)
+        status, payload = _post(base, "/v1/admin/swap", {"action": "promote"})
+        assert status == 200
+        assert payload["swap"]["promoted"]
+        assert service.linker.model_fingerprint != before
+        status, payload = _post(
+            base, "/v1/admin/swap", {"action": "rollback", "reason": "drill"}
+        )
+        assert status == 200
+        assert payload["swap"]["restored"]
+        assert service.linker.model_fingerprint == before
+        # The reason code lands in the metrics payload.
+        status, payload = _get(base, "/v1/metrics")
+        assert status == 200
+        assert payload["lifecycle"]["swap"]["rollback_reasons"]["drill"] == 1
+
+    def test_lifecycle_endpoint_404_when_disabled(self, lifecycle_base):
+        from repro.core.config import LinkerConfig, ServingConfig
+        from repro.core.linker import NeuralConceptLinker
+        from repro.serving.service import LinkingService
+
+        ontology, kb, model, _, _ = lifecycle_base
+        linker = NeuralConceptLinker(model, ontology, LinkerConfig(k=5), kb=kb)
+        service = LinkingService(linker, ServingConfig(warm_on_start=False))
+        service.start(wait=True)
+        server = create_server(service, port=0)
+        thread = threading.Thread(
+            target=run_server,
+            args=(server,),
+            kwargs={"install_signal_handlers": False},
+            daemon=True,
+        )
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            status, payload = _get(base, "/v1/admin/lifecycle")
+            assert status == 404
+            assert payload["error"]["code"] == "lifecycle_disabled"
+            status, payload = _post(
+                base, "/v1/admin/swap", {"action": "promote"}
+            )
+            assert status == 404
+        finally:
+            server.shutdown()
+            thread.join(5.0)
+            service.stop()

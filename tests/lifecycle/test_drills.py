@@ -1,0 +1,81 @@
+"""Opt-in lifecycle drills (``-m faults``): the full closed loop under
+load, plus delay/crash fault campaigns at the lifecycle probe sites.
+
+Excluded from the default run by the ``-m 'not faults'`` addopts; CI
+runs them via ``tools/run_tier1.sh --faults``.
+"""
+
+import pytest
+
+from repro.eval.experiments.lifecycle_drill import run_lifecycle_drill
+from repro.utils.faults import FaultSpec, fault_injection
+
+pytestmark = pytest.mark.faults
+
+
+def test_closed_loop_drill_promotes_with_full_availability(tmp_path):
+    report = run_lifecycle_drill(
+        scale="tiny", seed=7, workdir=tmp_path, clients=2
+    )
+    assert report["promoted"], report["promotion"]
+    assert report["fingerprint_changed"]
+    window = report["swap_window"]
+    assert window["requests"] > 0
+    assert window["failures"] == 0
+    assert window["degraded"] == 0
+    assert window["availability"] == 1.0
+    assert report["status"]["swap"]["rollbacks"] == 0
+
+
+def test_shadow_delay_drill_trips_the_latency_gate(tmp_path):
+    """Budget drill: a 400 ms stall injected at every ``lifecycle.shadow``
+    execution pushes the latency ratio decisively past the drill's gate
+    (50× of a ~2 ms primary: sleep dominates, so the ratio lands around
+    200× regardless of machine load), so promotion is refused — and the
+    swap window still drops nothing.  Enough samples score within the
+    shadow drain window to clear the sample-count gate, but the thinned
+    sample may legitimately trip the agreement gate first, so the
+    latency verdict is asserted on ``gate_failures`` membership."""
+    with fault_injection(
+        {
+            "lifecycle.shadow": FaultSpec(
+                action="delay", delay_s=0.4, times=-1
+            )
+        }
+    ) as plan:
+        report = run_lifecycle_drill(
+            scale="tiny", seed=7, workdir=tmp_path, clients=1
+        )
+        assert plan.fired("lifecycle.shadow") > 0
+    assert not report["promoted"]
+    promotion = report["promotion"]
+    assert promotion["reason"].startswith("gate:")
+    assert "gate:latency" in promotion["gate_failures"]
+    assert promotion["shadow"]["latency_ratio"] > 50.0
+    assert not report["fingerprint_changed"]
+    assert report["swap_window"]["failures"] == 0
+    assert report["swap_window"]["degraded"] == 0
+    assert (
+        report["status"]["swap"]["rollback_reasons"][promotion["reason"]] == 1
+    )
+
+
+def test_crash_at_promote_rolls_back_and_keeps_serving(tmp_path):
+    """Crash mid-publish (second ``lifecycle.promote`` hit): the drill
+    must auto-roll-back and finish with the pre-swap model serving."""
+    with fault_injection(
+        {"lifecycle.promote": FaultSpec(action="raise", after=1)}
+    ) as plan:
+        report = run_lifecycle_drill(
+            scale="tiny", seed=7, workdir=tmp_path, clients=1
+        )
+        assert plan.fired("lifecycle.promote") == 1
+    assert not report["promoted"]
+    assert report["promotion"]["reason"] == "fault:InjectedFault"
+    assert not report["fingerprint_changed"]
+    assert report["fingerprint_after"] == report["fingerprint_before"]
+    assert report["swap_window"]["failures"] == 0
+    assert (
+        report["status"]["swap"]["rollback_reasons"]["fault:InjectedFault"]
+        == 1
+    )

@@ -1,0 +1,145 @@
+"""UncertaintyPool: criteria, dedup, reservoir bounds, determinism."""
+
+import pytest
+
+from repro.core.linker import LinkResult, RankedConcept
+from repro.lifecycle.pool import UncertaintyPool
+from repro.utils.errors import ConfigurationError
+
+
+def result(query, ranked, degraded=False):
+    return LinkResult(
+        query=query,
+        tokens=tuple(query.split()),
+        rewritten_tokens=tuple(query.split()),
+        rewrites=(),
+        ranked=tuple(ranked),
+        degraded=degraded,
+        degraded_reason="error: boom" if degraded else None,
+    )
+
+
+def confident(query="easy", log_prob=-0.5):
+    """Top loss below threshold, wide margin: never pooled."""
+    return result(
+        query,
+        [
+            RankedConcept("C1", log_prob, 1.0),
+            RankedConcept("C2", log_prob - 10.0, 0.5),
+        ],
+    )
+
+
+def lossy(query="hard", loss=15.0):
+    return result(
+        query,
+        [
+            RankedConcept("C1", -loss, 1.0),
+            RankedConcept("C2", -loss - 10.0, 0.5),
+        ],
+    )
+
+
+def tied(query="tied"):
+    return result(
+        query,
+        [RankedConcept("C1", -1.0, 1.0), RankedConcept("C2", -1.1, 0.9)],
+    )
+
+
+class TestCriteria:
+    def test_high_loss_pools_with_loss_reason(self):
+        pool = UncertaintyPool(loss_threshold=10.0)
+        assert pool.observe(lossy()) == "loss"
+        [item] = pool.items()
+        assert item.reason == "loss"
+        assert item.top_cid == "C1"
+        assert item.top_loss == pytest.approx(15.0)
+
+    def test_narrow_margin_pools_with_margin_reason(self):
+        pool = UncertaintyPool(loss_threshold=10.0, margin_threshold=0.5)
+        assert pool.observe(tied()) == "margin"
+        [item] = pool.items()
+        assert item.reason == "margin"
+        assert item.margin == pytest.approx(0.1)
+
+    def test_confident_result_is_not_pooled(self):
+        pool = UncertaintyPool(loss_threshold=10.0, margin_threshold=0.5)
+        assert pool.observe(confident()) is None
+        assert len(pool) == 0
+
+    def test_degraded_results_never_pool(self):
+        pool = UncertaintyPool(loss_threshold=0.0, margin_threshold=100.0)
+        assert pool.observe(result("q", [], degraded=True)) is None
+        degraded_but_ranked = result(
+            "q2", [RankedConcept("C1", float("-inf"), 1.0)], degraded=True
+        )
+        assert pool.observe(degraded_but_ranked) is None
+        assert len(pool) == 0
+
+    def test_empty_ranking_is_not_pooled(self):
+        pool = UncertaintyPool(loss_threshold=0.0)
+        assert pool.observe(result("nothing", [])) is None
+
+    def test_single_candidate_has_infinite_margin(self):
+        pool = UncertaintyPool(loss_threshold=10.0, margin_threshold=0.5)
+        only = result("solo", [RankedConcept("C1", -1.0, 1.0)])
+        assert pool.observe(only) is None
+
+
+class TestDedupAndDrain:
+    def test_duplicate_query_increments_hits(self):
+        pool = UncertaintyPool(loss_threshold=10.0)
+        pool.observe(lossy("repeat"))
+        pool.observe(lossy("repeat"))
+        pool.observe(lossy("repeat"))
+        [item] = pool.items()
+        assert item.hits == 3
+        assert len(pool) == 1
+        assert pool.stats()["duplicates"] == 2
+
+    def test_drain_empties_and_restarts_reservoir(self):
+        pool = UncertaintyPool(capacity=4, loss_threshold=10.0)
+        for i in range(4):
+            pool.observe(lossy(f"q{i}"))
+        drained = pool.drain()
+        assert {item.query for item in drained} == {"q0", "q1", "q2", "q3"}
+        assert len(pool) == 0
+        # Post-drain admissions start a fresh reservoir epoch.
+        pool.observe(lossy("fresh"))
+        assert len(pool) == 1
+
+
+class TestReservoir:
+    def test_capacity_is_a_hard_bound(self):
+        pool = UncertaintyPool(capacity=4, loss_threshold=10.0, seed=1)
+        for i in range(50):
+            pool.observe(lossy(f"q{i}"))
+        assert len(pool) == 4
+        stats = pool.stats()
+        assert stats["observed"] == 50
+        # 4 initial admissions; each later arrival either replaces an
+        # incumbent (one eviction) or is rejected — 46 drops either way.
+        assert stats["dropped"] == 46
+
+    def test_reservoir_is_seed_deterministic(self):
+        def fill(seed):
+            pool = UncertaintyPool(capacity=4, loss_threshold=10.0, seed=seed)
+            for i in range(40):
+                pool.observe(lossy(f"q{i}"))
+            return sorted(item.query for item in pool.items())
+
+        assert fill(5) == fill(5)
+
+    def test_late_items_can_still_enter(self):
+        pool = UncertaintyPool(capacity=8, loss_threshold=10.0, seed=2)
+        for i in range(200):
+            pool.observe(lossy(f"q{i}"))
+        survivors = {item.query for item in pool.items()}
+        # Uniform sampling over 200 items: overwhelmingly unlikely the
+        # pool is exactly the first 8.
+        assert survivors != {f"q{i}" for i in range(8)}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UncertaintyPool(capacity=0)

@@ -1,0 +1,135 @@
+"""ShadowScorer: agreement, latency, error isolation, queue bounds."""
+
+import pytest
+
+from repro.core.config import LinkerConfig
+from repro.core.linker import NeuralConceptLinker
+from repro.lifecycle.shadow import ShadowScorer
+from repro.utils.faults import FaultSpec, fault_injection
+
+from tests.lifecycle.conftest import SERVING_QUERIES
+
+
+@pytest.fixture
+def primary_linker(lifecycle_base):
+    ontology, kb, model, _, _ = lifecycle_base
+    return NeuralConceptLinker(model, ontology, LinkerConfig(k=5), kb=kb)
+
+
+def mirror_all(scorer, linker, queries):
+    """Score ``queries`` on the primary and mirror each onto ``scorer``."""
+    for query in queries:
+        result = linker.link(query)
+        top = result.ranked[0] if result.ranked else None
+        scorer.submit(
+            query=query,
+            k=5,
+            primary_top_cid=top.cid if top else None,
+            primary_log_prob=top.log_prob if top else float("-inf"),
+            primary_seconds=max(result.timing.total(), 1e-6),
+        )
+
+
+class TestAgreement:
+    def test_identical_model_agrees_everywhere(self, primary_linker):
+        scorer = ShadowScorer(primary_linker)
+        try:
+            mirror_all(scorer, primary_linker, SERVING_QUERIES)
+            scorer.drain()
+            report = scorer.report()
+        finally:
+            scorer.close()
+        assert report["samples"] == len(SERVING_QUERIES)
+        assert report["agreement"] == 1.0
+        assert report["mean_log_prob_delta"] == pytest.approx(0.0, abs=1e-9)
+        assert report["errors"] == 0
+
+    def test_degraded_candidate_disagrees(
+        self, lifecycle_base, primary_linker, degraded_model
+    ):
+        ontology, kb, _, _, _ = lifecycle_base
+        candidate = NeuralConceptLinker(
+            degraded_model, ontology, LinkerConfig(k=5), kb=kb
+        )
+        scorer = ShadowScorer(candidate)
+        try:
+            mirror_all(scorer, primary_linker, SERVING_QUERIES)
+            scorer.drain()
+            report = scorer.report()
+        finally:
+            scorer.close()
+        assert report["samples"] == len(SERVING_QUERIES)
+        # Random weights cannot reproduce the trained ranking.
+        assert report["agreement"] < 1.0
+
+
+class TestIsolation:
+    def test_injected_fault_counts_as_shadow_error(self, primary_linker):
+        scorer = ShadowScorer(primary_linker)
+        try:
+            with fault_injection(
+                {"lifecycle.shadow": FaultSpec(action="raise", times=2)}
+            ):
+                mirror_all(scorer, primary_linker, SERVING_QUERIES[:4])
+                scorer.drain()
+            report = scorer.report()
+        finally:
+            scorer.close()
+        assert report["errors"] == 2
+        assert report["samples"] == 2
+
+    def test_delay_fault_inflates_latency_ratio(self, primary_linker):
+        scorer = ShadowScorer(primary_linker)
+        try:
+            with fault_injection(
+                {
+                    "lifecycle.shadow": FaultSpec(
+                        action="delay", delay_s=0.05, times=-1
+                    )
+                }
+            ) as plan:
+                mirror_all(scorer, primary_linker, SERVING_QUERIES[:4])
+                scorer.drain()
+                assert plan.fired("lifecycle.shadow") == 4
+            report = scorer.report()
+        finally:
+            scorer.close()
+        # 50 ms of injected stall per shadow execution dwarfs the
+        # millisecond-scale primary latency on this tiny model.
+        assert report["latency_ratio"] > 5.0
+
+    def test_sample_every_thins_the_mirror(self, primary_linker):
+        scorer = ShadowScorer(primary_linker, sample_every=2)
+        try:
+            mirror_all(scorer, primary_linker, SERVING_QUERIES)
+            scorer.drain()
+            report = scorer.report()
+        finally:
+            scorer.close()
+        assert report["seen"] == len(SERVING_QUERIES)
+        assert report["samples"] == len(SERVING_QUERIES) // 2
+
+    def test_full_queue_drops_instead_of_blocking(self, primary_linker):
+        scorer = ShadowScorer(primary_linker, queue_capacity=1)
+        try:
+            # Stall the worker on its first item so the queue backs up.
+            with fault_injection(
+                {
+                    "lifecycle.shadow": FaultSpec(
+                        action="delay", delay_s=0.3, times=1
+                    )
+                }
+            ):
+                mirror_all(scorer, primary_linker, SERVING_QUERIES)
+                scorer.drain(timeout=10.0)
+            report = scorer.report()
+        finally:
+            scorer.close()
+        assert report["dropped"] >= 1
+        assert report["samples"] + report["dropped"] == report["seen"]
+
+    def test_submit_after_close_is_refused(self, primary_linker):
+        scorer = ShadowScorer(primary_linker)
+        scorer.close()
+        assert not scorer.submit("q", 5, "C1", -1.0, 0.001)
+        scorer.close()  # idempotent

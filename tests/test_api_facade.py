@@ -10,9 +10,10 @@ import repro.api as api
 
 class TestSurface:
     def test_api_version(self):
-        # Minor bumps on compatible additions (1.1 added retrieval);
+        # Minor bumps on compatible additions (1.1 added retrieval,
+        # 1.2 the model lifecycle);
         # the major component is the /v1 route contract.
-        assert api.API_VERSION == "1.1"
+        assert api.API_VERSION == "1.2"
         assert api.API_VERSION.split(".")[0] == "1"
 
     def test_every_exported_name_resolves(self):

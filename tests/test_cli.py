@@ -321,9 +321,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["runs"])
 
-    def test_verify_pipeline_requires_model(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["verify-pipeline"])
+    def test_verify_pipeline_requires_a_target(self, capsys):
+        # --model became optional when --artifact was added; a bare
+        # invocation is rejected at runtime instead of by argparse.
+        args = build_parser().parse_args(["verify-pipeline"])
+        assert args.model is None and args.artifact is None
+        assert main(["verify-pipeline"]) == 2
+        assert "--model" in capsys.readouterr().err
 
     def test_unknown_dataset_is_clean_error(self, tmp_path, capsys):
         exit_code = main(

@@ -11,6 +11,7 @@
 #   tools/run_tier1.sh --bench-obs     # ... + tracing-overhead benchmark
 #   tools/run_tier1.sh --bench-shard   # ... + shard-engine benchmark
 #   tools/run_tier1.sh --bench-retrieval  # ... + 100k retrieval benchmark
+#   tools/run_tier1.sh --bench-lifecycle  # ... + hot-swap lifecycle benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -41,8 +42,12 @@ for arg in "$@"; do
             echo "== retrieval-at-scale benchmark (writes BENCH_retrieval.json) =="
             python -m pytest -q benchmarks/test_retrieval.py
             ;;
+        --bench-lifecycle)
+            echo "== lifecycle hot-swap benchmark (writes BENCH_lifecycle.json) =="
+            python -m pytest -q benchmarks/test_lifecycle.py
+            ;;
         *)
-            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-shard and/or --bench-retrieval)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-shard, --bench-retrieval and/or --bench-lifecycle)" >&2
             exit 2
             ;;
     esac

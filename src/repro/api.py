@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 #: surface grows compatibly, the major when anything is removed or
 #: changes shape.  ``tools/check_api.py`` pins the exported surface to
 #: this value.
-API_VERSION = "1.2"
+API_VERSION = "1.3"
 
 #: Lazily resolved re-exports: public name → (module, attribute).
 _EXPORTS: Dict[str, Tuple[str, str]] = {
@@ -95,6 +95,14 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "LinkingService": ("repro.serving.service", "LinkingService"),
     "create_server": ("repro.serving.server", "create_server"),
     "run_server": ("repro.serving.server", "run_server"),
+    # multi-process serving (forked workers over an mmap'd artifact)
+    "ProcPoolLinkingService": (
+        "repro.serving.service", "ProcPoolLinkingService"
+    ),
+    "ProcessPool": ("repro.serving.procpool", "ProcessPool"),
+    "AsyncFrontend": ("repro.serving.frontend", "AsyncFrontend"),
+    "AdmissionQueue": ("repro.serving.frontend", "AdmissionQueue"),
+    "ShedError": ("repro.serving.frontend", "ShedError"),
     # model lifecycle (pool → retrain → compile → blue/green swap)
     "LifecycleController": ("repro.lifecycle", "LifecycleController"),
     "ArtifactSwapper": ("repro.lifecycle", "ArtifactSwapper"),

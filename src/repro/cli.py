@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import (
+    SHED_POLICIES,
     ComAidConfig,
     LinkerConfig,
     RuntimeConfig,
@@ -91,6 +92,10 @@ _SERVING_FLAG_DEFAULTS = {
     "request_timeout": 30.0,
     "trace_sample": 1.0,
     "trace_buffer": 64,
+    "workers": 0,
+    "admission_queue": 256,
+    "deadline_ms": 0.0,
+    "shed_policy": "reject_new",
 }
 
 #: argparse dest → config dataclass field, where the two differ.
@@ -499,16 +504,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         configure_json_logging()
     runtime = _runtime_config(args)
-    _, _, _, _, linker = load_pipeline(args.model, runtime.linker)
     config = runtime.serving
-    service = LinkingService(linker, config)
+    if config.workers > 0:
+        import dataclasses
+
+        from repro.serving.service import ProcPoolLinkingService
+
+        # Workers mount the compiled artifact read-only via mmap (when
+        # one is configured) so N processes share one set of page-cache
+        # pages, and fuse Phase-II decodes across the requests of each
+        # dispatched job.  The pipeline loads once here, pre-fork; the
+        # closure's captures reach the children copy-on-write.
+        worker_config = dataclasses.replace(
+            runtime.linker,
+            mmap_artifact=runtime.linker.artifact_dir is not None,
+            fuse_phase2=True,
+        )
+        _, ontology, _, _, linker = load_pipeline(args.model, worker_config)
+        service = ProcPoolLinkingService(lambda: linker, ontology, config)
+    else:
+        _, _, _, _, linker = load_pipeline(args.model, runtime.linker)
+        service = LinkingService(linker, config)
     server = create_server(service, host=config.host, port=config.port)
     service.start()
     # One parseable line before blocking, so wrappers (and the smoke
     # test) can discover an ephemeral port and start polling /readyz.
     print(
         f"serving on http://{config.host}:{server.port} "
-        f"(model={args.model}, warm={config.warm_on_start})",
+        f"(model={args.model}, warm={config.warm_on_start}, "
+        f"workers={config.workers})",
         flush=True,
     )
     run_server(server)
@@ -726,6 +750,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--log-json", action="store_true",
         help="emit structured JSON logs (request-ID correlated) on stderr",
+    )
+    serve.add_argument(
+        "--workers", type=int,
+        default=_SERVING_FLAG_DEFAULTS["workers"],
+        help="forked worker processes (0 = in-process threaded tier; "
+        ">= 1 enables the GIL-free multi-process tier)",
+    )
+    serve.add_argument(
+        "--admission-queue", type=int,
+        default=_SERVING_FLAG_DEFAULTS["admission_queue"],
+        help="bound on queued requests before shedding (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float,
+        default=_SERVING_FLAG_DEFAULTS["deadline_ms"],
+        help="per-request queueing budget in milliseconds; requests "
+        "still queued past it are shed instead of served late "
+        "(0 = no deadline)",
+    )
+    serve.add_argument(
+        "--shed-policy", choices=list(SHED_POLICIES),
+        default=_SERVING_FLAG_DEFAULTS["shed_policy"],
+        help="what to do when the admission queue is full: reject the "
+        "new request, or drop the oldest queued one",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -32,6 +32,9 @@ FUSION_METHODS = ("weighted_sum", "rrf")
 #: worker threads the scatter overhead outgrows the decode overlap.
 AUTO_SHARDS_MAX = 4
 
+#: Admission-queue overload policies for the multi-process front-end.
+SHED_POLICIES = ("reject_new", "drop_oldest")
+
 
 @dataclass(frozen=True)
 class RetrievalConfig:
@@ -279,6 +282,26 @@ class LinkerConfig:
         default ``mode="exact"`` preserves the pre-subsystem scan
         bit-for-bit; sparse/dense/hybrid switch to the sublinear
         indexes (see :mod:`repro.retrieval`).
+    mmap_artifact:
+        Map the compiled artifact's slab read-only (``load_artifact(...,
+        mmap=True)``) instead of copying it into anonymous memory.  N
+        worker processes mapping the same artifact then share one
+        physical copy through the page cache — the zero-copy property
+        ``tests/serving/test_zero_copy.py`` measures.  Requires a
+        format-3 artifact for the zero-copy win (older formats fall
+        back to copying with an info log).
+    fuse_phase2:
+        Fuse Phase-II decodes **across queries** of one
+        ``link_batch`` call: all surviving candidates from every query
+        in the batch are scored by a single lock-step ``score_batch``
+        (one GEMM per decode step over the union).  Because
+        ``score_batch`` rows are batch-composition independent (the
+        ``batch_phase2`` invariant), rankings and log-probs are
+        identical to the per-query path to ≤1e-9 — proven by
+        ``tests/core/test_phase2_batching.py`` and the cross-process
+        equivalence suite.  ``False`` (the default) keeps the per-query
+        reference path; the multi-process serving tier turns this on so
+        cross-request micro-batches become one GEMM.
     """
 
     k: int = 20
@@ -295,6 +318,8 @@ class LinkerConfig:
     artifact_dir: Optional[str] = None
     shards: Union[int, str] = 1
     retrieval: RetrievalConfig = field(default_factory=RetrievalConfig)
+    mmap_artifact: bool = False
+    fuse_phase2: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.retrieval, Mapping):
@@ -330,6 +355,12 @@ class LinkerConfig:
             raise ConfigurationError(
                 "shards > 1 requires artifact_dir (the sharded engine "
                 "serves from a compiled concept artifact; run "
+                "`repro compile` first)"
+            )
+        if self.mmap_artifact and self.artifact_dir is None:
+            raise ConfigurationError(
+                "mmap_artifact requires artifact_dir (only a compiled "
+                "concept artifact has an mmap-able slab; run "
                 "`repro compile` first)"
             )
         if self.retrieval.mode != "exact" and self.artifact_dir is None:
@@ -415,6 +446,31 @@ class ServingConfig:
     trace_buffer:
         Ring-buffer capacity for finished traces; the oldest trace is
         evicted when a new one lands in a full buffer.
+    workers:
+        Worker *processes* for the multi-process serving tier.  0 (the
+        default) keeps the single-process threaded service; N >= 1
+        forks N workers that each mmap the compiled artifact (zero
+        copy) and serve Phase I/II outside the parent's GIL, behind the
+        async front-end's admission queue.  Requires
+        ``LinkerConfig.artifact_dir``.
+    admission_queue:
+        Bound on requests waiting in the front-end's admission queue.
+        Arrivals beyond the bound are **shed** (HTTP 503, error code
+        ``shed``) per ``shed_policy`` instead of queuing unboundedly.
+        0 disables admission control (unbounded queue — the
+        pre-front-end behaviour).
+    deadline_ms:
+        Per-request queueing deadline: a request still waiting for a
+        worker this many milliseconds after admission is shed rather
+        than dispatched (its caller has likely timed out already —
+        serving it would be pure goodput loss).  0 disables deadline
+        shedding.
+    shed_policy:
+        Which request loses when the admission queue is full:
+        ``reject_new`` (the default) sheds the arriving request —
+        honest backpressure, FIFO fairness; ``drop_oldest`` sheds the
+        queue head to admit the arrival — freshest-first, for callers
+        that retry aggressively and only value recent answers.
     """
 
     host: str = "127.0.0.1"
@@ -427,6 +483,10 @@ class ServingConfig:
     warm_backoff_s: float = 0.5
     trace_sample_rate: float = 1.0
     trace_buffer: int = 64
+    workers: int = 0
+    admission_queue: int = 256
+    deadline_ms: float = 0.0
+    shed_policy: str = "reject_new"
 
     def __post_init__(self) -> None:
         if self.warm_retries < 0:
@@ -461,6 +521,26 @@ class ServingConfig:
         if self.trace_buffer < 1:
             raise ConfigurationError(
                 f"trace_buffer must be >= 1, got {self.trace_buffer}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                "workers must be >= 0 (0 = single-process threaded tier), "
+                f"got {self.workers}"
+            )
+        if self.admission_queue < 0:
+            raise ConfigurationError(
+                "admission_queue must be >= 0 (0 = unbounded), got "
+                f"{self.admission_queue}"
+            )
+        if self.deadline_ms < 0:
+            raise ConfigurationError(
+                "deadline_ms must be >= 0 (0 = no queueing deadline), got "
+                f"{self.deadline_ms}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"shed_policy must be one of {SHED_POLICIES}, got "
+                f"{self.shed_policy!r}"
             )
 
 

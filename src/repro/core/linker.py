@@ -160,7 +160,11 @@ class NeuralConceptLinker:
             from repro.engine.compile import load_artifact
             from repro.engine.shards import ShardedConceptEngine
 
-            artifact = load_artifact(self.config.artifact_dir, model=model)
+            artifact = load_artifact(
+                self.config.artifact_dir,
+                model=model,
+                mmap=self.config.mmap_artifact,
+            )
             if artifact.index_aliases != self.config.index_aliases:
                 raise ConfigurationError(
                     f"artifact was compiled with index_aliases="
@@ -439,6 +443,12 @@ class NeuralConceptLinker:
         for query, top_k, context in zip(queries, top_ks, contexts):
             with trace.attach(context):
                 prepared.append(self._phase_one(query, top_k))
+        if (
+            self.config.fuse_phase2
+            and self.config.batch_phase2
+            and len(prepared) > 1
+        ):
+            return self._phase_two_fused(prepared, contexts)
         results = []
         for item, context in zip(prepared, contexts):
             with trace.attach(context):
@@ -536,6 +546,13 @@ class NeuralConceptLinker:
                 ed_span.set_tag("degraded_reason", degraded_reason)
         if degraded_reason is not None:
             return self._degraded_result(prepared, degraded_reason)
+        return self._ranked_result(prepared, scored)
+
+    def _ranked_result(
+        self, prepared: "_PreparedQuery", scored: List[RankedConcept]
+    ) -> LinkResult:
+        """Phase RT: sort scored candidates (MAP-aware) into a result."""
+        timer = prepared.timer
         with timer.phase("RT"), trace.span(
             "linker.rerank", phase="RT", results=len(scored)
         ):
@@ -664,6 +681,164 @@ class NeuralConceptLinker:
             for index, (cid, keyword_score) in enumerate(hits)
         ]
         return scored, None
+
+    def _phase_two_fused(
+        self,
+        prepared_list: List["_PreparedQuery"],
+        contexts: Sequence[object],
+    ) -> List[LinkResult]:
+        """Cross-query ED fusion: one lock-step decode for a whole batch.
+
+        Every query's surviving candidates are concatenated into a
+        single ``score_batch`` call — one GEMM per decoder timestep over
+        the union of in-flight candidates instead of one per query.
+        ``score_batch`` rows are batch-composition independent (the
+        ``batch_phase2`` invariant), so each query's scores are
+        identical (≤1e-9, observed 0) to the per-query path; assembly
+        probes, per-query budget deadlines, and the degraded-mode guard
+        run per query exactly as in :meth:`_phase_two_batched`.  The
+        shared decode's wall time is attributed to the first fused
+        query's ED phase — splitting it would fabricate per-query
+        latencies for work that was done once.
+        """
+        config = self.config
+        budget = config.phase2_budget_s
+        deadlines: List[Optional[float]] = [None] * len(prepared_list)
+        degraded: List[Optional[str]] = [None] * len(prepared_list)
+        log_probs: List[List[Optional[float]]] = []
+        pending_ids: List[List[int]] = []
+        pending_owner: List[Tuple[int, int]] = []
+        for qi, prepared in enumerate(prepared_list):
+            hits = prepared.keyword_hits
+            log_probs.append([None] * len(hits))
+            start = len(pending_owner)
+            with trace.attach(contexts[qi]):
+                deadline = (time.monotonic() + budget) if budget > 0 else None
+                deadlines[qi] = deadline
+                with prepared.timer.phase("ED"), trace.span(
+                    "linker.phase2",
+                    phase="ED",
+                    candidates=len(hits),
+                    mode="fused",
+                ) as ed_span:
+                    try:
+                        for index, (cid, _) in enumerate(hits):
+                            probe("linker.phase2")
+                            if (
+                                deadline is not None
+                                and time.monotonic() > deadline
+                            ):
+                                degraded[qi] = (
+                                    f"budget: phase2 exceeded {budget:.3f}s "
+                                    f"after {index}/{len(hits)} candidates"
+                                )
+                                break
+                            effective = self._effective_tokens(
+                                cid, prepared.rewritten
+                            )
+                            if effective is None:
+                                log_probs[qi][index] = 0.0
+                            else:
+                                pending_owner.append((qi, index))
+                                pending_ids.append(
+                                    self.model.words_to_ids(effective)
+                                )
+                    except Exception as error:  # noqa: BLE001 - degraded-mode guard
+                        if not config.degrade_on_error:
+                            raise
+                        degraded[qi] = (
+                            f"error: {type(error).__name__}: {error}"
+                        )
+                        logger.warning(
+                            "phase2 failed for %r; serving keyword "
+                            "ranking: %s",
+                            prepared.query,
+                            error,
+                        )
+                    if degraded[qi] is not None:
+                        # A degraded query serves its keyword ranking;
+                        # its queued candidates must not ride along in
+                        # the fused decode.
+                        del pending_owner[start:]
+                        del pending_ids[start:]
+                        ed_span.set_tag("degraded_reason", degraded[qi])
+        if pending_ids:
+            first_qi = pending_owner[0][0]
+            cids = [
+                prepared_list[qi].keyword_hits[index][0]
+                for qi, index in pending_owner
+            ]
+            try:
+                with trace.attach(contexts[first_qi]):
+                    probe("linker.phase2.batch")
+                    with prepared_list[first_qi].timer.phase(
+                        "ED"
+                    ), trace.span(
+                        "linker.phase2.decode",
+                        phase="ED",
+                        batch=len(pending_ids),
+                        fused_queries=len({qi for qi, _ in pending_owner}),
+                    ) as span:
+                        if self._engine is not None:
+                            span.set_tag("precompiled", True)
+                            scores = self._engine.score_batch(
+                                pending_ids, cids
+                            )
+                        else:
+                            batch = [
+                                (
+                                    self._concept_encoding(cid),
+                                    self._ancestor_encodings(cid),
+                                )
+                                for cid in cids
+                            ]
+                            scores = self.model.score_batch(
+                                pending_ids, batch
+                            )
+            except Exception as error:  # noqa: BLE001 - degraded-mode guard
+                if not config.degrade_on_error:
+                    raise
+                reason = f"error: {type(error).__name__}: {error}"
+                logger.warning(
+                    "fused phase2 decode failed; serving keyword "
+                    "rankings: %s",
+                    error,
+                )
+                for qi in {owner for owner, _ in pending_owner}:
+                    if degraded[qi] is None:
+                        degraded[qi] = reason
+            else:
+                for (qi, index), score in zip(pending_owner, scores):
+                    log_probs[qi][index] = float(score)
+        results: List[LinkResult] = []
+        for qi, prepared in enumerate(prepared_list):
+            with trace.attach(contexts[qi]):
+                if (
+                    degraded[qi] is None
+                    and deadlines[qi] is not None
+                    and time.monotonic() > deadlines[qi]
+                ):
+                    degraded[qi] = (
+                        f"budget: phase2 exceeded {budget:.3f}s scoring "
+                        "the fused batch"
+                    )
+                if degraded[qi] is not None:
+                    results.append(
+                        self._degraded_result(prepared, degraded[qi])
+                    )
+                    continue
+                scored = [
+                    RankedConcept(
+                        cid=cid,
+                        log_prob=log_probs[qi][index],
+                        keyword_score=keyword_score,
+                    )
+                    for index, (cid, keyword_score) in enumerate(
+                        prepared.keyword_hits
+                    )
+                ]
+                results.append(self._ranked_result(prepared, scored))
+        return results
 
     def _degraded_result(
         self, prepared: "_PreparedQuery", reason: str

@@ -11,13 +11,23 @@ offline, and freezes the results into a versioned, checksummed
 
     <dir>/
       artifact.json     format, model fingerprint, Phase-I documents +
-                        global TF-IDF statistics, concept order
-      encodings.npz     final_h (N,d), final_c (N,d), concatenated
-                        per-word encoder states + offsets, word ids
-      structure.npz     Def.-4.1 structure memories (N, beta, d)
+                        global TF-IDF statistics, concept order, and
+                        the slab directory (per-array dtype/shape/offset)
+      slab.bin          one contiguous, 64-byte-aligned binary slab:
+                        final_h (N,d), final_c (N,d), concatenated
+                        per-word encoder states + offsets, word ids,
+                        and the Def.-4.1 structure memories (N, beta, d)
                         (absent for the COM-AID⁻c/⁻wc ablations)
       manifest.json     per-file sha256/byte sizes (atomic-persistence
                         format shared with the pipeline manifest)
+
+The slab layout (format 3) exists for the multi-process serving tier:
+``load_artifact(..., mmap=True)`` maps ``slab.bin`` read-only with
+``np.memmap`` after verifying its checksum, so N forked worker
+processes mapping the same artifact share one copy of the encodings
+through the page cache — zero copies, no pickling of model state.
+Formats 1 and 2 (the pre-slab ``encodings.npz``/``structure.npz``
+layout) still load through the copy path.
 
 The artifact is written through :func:`repro.core.persistence.atomic_directory`,
 so a crash mid-compile never corrupts an existing artifact, and
@@ -67,25 +77,37 @@ logger = get_logger("engine.compile")
 #: Artifact directory format version (bumped on layout changes).
 #: Format 2 added the optional precompiled retrieval indexes
 #: (``index_sparse.npz`` / ``index_dense.npz`` plus the header's
-#: ``retrieval`` section with per-index checksums).
-ARTIFACT_FORMAT = 2
+#: ``retrieval`` section with per-index checksums).  Format 3 replaced
+#: the compressed ``encodings.npz``/``structure.npz`` pair with one
+#: contiguous aligned raw slab (``slab.bin``) so the artifact can be
+#: memory-mapped read-only and shared zero-copy across processes.
+ARTIFACT_FORMAT = 3
 
 #: Formats this build can load.  Format-1 artifacts (pre-retrieval)
-#: load unchanged — they simply carry no compiled indexes.
-SUPPORTED_FORMATS = (1, 2)
+#: load unchanged — they simply carry no compiled indexes; format-2
+#: artifacts load through the npz copy path (no mmap).
+SUPPORTED_FORMATS = (1, 2, 3)
 
 ARTIFACT_FILE = "artifact.json"
 ENCODINGS_FILE = "encodings.npz"
 STRUCTURE_FILE = "structure.npz"
+SLAB_FILE = "slab.bin"
 SPARSE_INDEX_FILE = "index_sparse.npz"
 DENSE_INDEX_FILE = "index_dense.npz"
+
+#: Byte alignment for every array in the format-3 slab.  64 covers the
+#: widest vector registers (AVX-512) and cache lines, so mapped arrays
+#: behave exactly like freshly allocated ones for BLAS kernels.
+SLAB_ALIGN = 64
 
 #: What ``compile_artifact(index=...)`` accepts.
 INDEX_CHOICES = ("none", "sparse", "dense", "both")
 
-#: Files a complete artifact must contain (structure.npz and the
-#: retrieval indexes are optional).
-REQUIRED_FILES = (ARTIFACT_FILE, ENCODINGS_FILE)
+#: Files a complete artifact must contain (the structure memories and
+#: retrieval indexes are optional).  Formats ≤ 2 require the npz pair's
+#: first element instead of the slab.
+REQUIRED_FILES = (ARTIFACT_FILE, SLAB_FILE)
+LEGACY_REQUIRED_FILES = (ARTIFACT_FILE, ENCODINGS_FILE)
 
 
 def _sha256_of(path: Path) -> str:
@@ -94,6 +116,108 @@ def _sha256_of(path: Path) -> str:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+def _write_slab(path: Path, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """Write ``arrays`` as one contiguous aligned binary slab.
+
+    Each array is laid out C-contiguous at a :data:`SLAB_ALIGN`-aligned
+    offset (zero padding between arrays).  Returns the header's
+    ``slab`` section: file name, total bytes, alignment, per-array
+    ``{dtype, shape, offset}`` directory, and the slab's sha256 — the
+    checksum a memory-mapping loader re-verifies at map time.
+    """
+    entries: Dict[str, Dict[str, Any]] = {}
+    offset = 0
+    with path.open("wb") as handle:
+        for name, array in arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            padding = (-offset) % SLAB_ALIGN
+            if padding:
+                handle.write(b"\0" * padding)
+                offset += padding
+            entries[name] = {
+                "dtype": contiguous.dtype.str,
+                "shape": [int(extent) for extent in contiguous.shape],
+                "offset": offset,
+            }
+            data = contiguous.tobytes()
+            handle.write(data)
+            offset += len(data)
+    return {
+        "file": SLAB_FILE,
+        "nbytes": offset,
+        "align": SLAB_ALIGN,
+        "arrays": entries,
+        "sha256": _sha256_of(path),
+    }
+
+
+def _load_slab(
+    source: Path, slab_meta: Dict[str, Any], mmap: bool, check: bool
+) -> Dict[str, np.ndarray]:
+    """Materialise the format-3 slab's arrays.
+
+    With ``mmap`` the file is mapped read-only (``np.memmap``) and
+    every array is a zero-copy view into the mapping — N processes
+    mapping the same artifact share one physical copy through the page
+    cache.  Without it, arrays are independent in-memory copies (the
+    behaviour of the old npz loader).  ``check`` re-hashes the file
+    against the header's sha256 first — the map-time verification that
+    turns a truncated or bit-flipped slab into a :class:`DataError`
+    naming the file instead of silently wrong scores.
+    """
+    try:
+        name = str(slab_meta["file"])
+        expected_bytes = int(slab_meta["nbytes"])
+        expected_sha = str(slab_meta["sha256"])
+        directory = dict(slab_meta["arrays"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(
+            f"artifact {source} has a malformed slab header entry: {exc}"
+        ) from exc
+    path = source / name
+    if not path.exists():
+        raise DataError(
+            f"artifact {source} declares slab {name} but the file is missing"
+        )
+    actual_bytes = path.stat().st_size
+    if actual_bytes != expected_bytes:
+        raise DataError(
+            f"artifact slab {path} is truncated or padded: {actual_bytes} "
+            f"bytes on disk, {expected_bytes} declared"
+        )
+    if check:
+        actual_sha = _sha256_of(path)
+        if actual_sha != expected_sha:
+            raise DataError(
+                f"artifact slab {path} is corrupt: sha256 {actual_sha} != "
+                f"declared {expected_sha}"
+            )
+    if mmap:
+        raw: np.ndarray = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        raw = np.frombuffer(path.read_bytes(), dtype=np.uint8)
+    arrays: Dict[str, np.ndarray] = {}
+    for array_name, entry in directory.items():
+        try:
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(extent) for extent in entry["shape"])
+            offset = int(entry["offset"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(
+                f"artifact slab entry {array_name!r} in {source} is "
+                f"malformed: {exc}"
+            ) from exc
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if offset < 0 or offset + nbytes > expected_bytes:
+            raise DataError(
+                f"artifact slab entry {array_name!r} in {path} points "
+                f"outside the slab ({offset}+{nbytes} > {expected_bytes})"
+            )
+        view = raw[offset : offset + nbytes].view(dtype).reshape(shape)
+        arrays[array_name] = view if mmap else view.copy()
+    return arrays
 
 
 def model_fingerprint(model: ComAid) -> Dict[str, Any]:
@@ -147,6 +271,10 @@ class ConceptArtifact:
     #: The header's ``retrieval`` section (per-index checksums and
     #: training parameters), empty for artifacts without indexes.
     retrieval_meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Whether the slab arrays are read-only views into an mmap'd file
+    #: (format ≥ 3 loaded with ``mmap=True``) rather than private
+    #: in-memory copies.
+    mmap: bool = False
 
     def __post_init__(self) -> None:
         self._positions = {cid: i for i, cid in enumerate(self.cids)}
@@ -335,33 +463,29 @@ def compile_artifact(
             }
         if retrieval_meta:
             header["retrieval"] = retrieval_meta
-        probe("engine.compile.write.artifact.json")
-        (staging / ARTIFACT_FILE).write_text(
-            json.dumps(header, indent=2, sort_keys=True), encoding="utf-8"
-        )
-        probe("engine.compile.write.encodings.npz")
-        np.savez_compressed(
-            staging / ENCODINGS_FILE,
-            final_h=np.stack(final_h_rows),
-            final_c=np.stack(final_c_rows),
-            states=(
+        probe("engine.compile.write.slab.bin")
+        slab_arrays: Dict[str, np.ndarray] = {
+            "final_h": np.stack(final_h_rows),
+            "final_c": np.stack(final_c_rows),
+            "states": (
                 np.concatenate(state_blocks)
                 if state_blocks
                 else np.zeros((0, dim))
             ),
-            state_offsets=state_offsets,
-            word_ids=np.asarray(
+            "state_offsets": state_offsets,
+            "word_ids": np.asarray(
                 [wid for block in word_blocks for wid in block],
                 dtype=np.int64,
             ),
-            word_offsets=word_offsets,
-        )
+            "word_offsets": word_offsets,
+        }
         if use_structure:
-            probe("engine.compile.write.structure.npz")
-            np.savez_compressed(
-                staging / STRUCTURE_FILE,
-                structure=np.stack(structure_blocks),
-            )
+            slab_arrays["structure"] = np.stack(structure_blocks)
+        header["slab"] = _write_slab(staging / SLAB_FILE, slab_arrays)
+        probe("engine.compile.write.artifact.json")
+        (staging / ARTIFACT_FILE).write_text(
+            json.dumps(header, indent=2, sort_keys=True), encoding="utf-8"
+        )
         write_manifest(staging, ARTIFACT_FORMAT, metadata)
     logger.info(
         "compiled %d concepts (%d encoder states) into %s",
@@ -415,18 +539,17 @@ def verify_artifact(directory: PathLike) -> Dict[str, Any]:
     """Prove an artifact directory is complete and uncorrupted.
 
     Manifest-driven byte-size and SHA-256 checks over every listed
-    file, then — for format-2 artifacts with compiled retrieval
-    indexes — each index file is re-hashed against the *header's*
-    per-index sha256.  The header pins the indexes independently of
-    the manifest, so even a consistently regenerated manifest cannot
-    smuggle a swapped index past verification.  Returns the parsed
-    manifest, raises :class:`DataError` naming the first offending
-    file otherwise.
+    file, then every *header-pinned* payload is re-hashed against the
+    header's own sha256: the format-3 slab and — for artifacts with
+    compiled retrieval indexes — each index file.  The header pins
+    those independently of the manifest, so even a consistently
+    regenerated manifest cannot smuggle a swapped slab or index past
+    verification.  Returns the parsed manifest, raises
+    :class:`DataError` naming the first offending file otherwise.
     """
     from repro.core.persistence import verify_manifest_dir
 
     source = Path(directory)
-    manifest = verify_manifest_dir(source, REQUIRED_FILES, kind="artifact")
     header_path = source / ARTIFACT_FILE
     try:
         header = json.loads(header_path.read_text(encoding="utf-8"))
@@ -435,6 +558,16 @@ def verify_artifact(directory: PathLike) -> Dict[str, Any]:
             f"artifact file {header_path} is unreadable or not valid JSON: "
             f"{exc}"
         ) from exc
+    required = (
+        REQUIRED_FILES
+        if isinstance(header.get("format"), int) and header["format"] >= 3
+        else LEGACY_REQUIRED_FILES
+    )
+    manifest = verify_manifest_dir(source, required, kind="artifact")
+    if "slab" in header:
+        # Re-hash the slab against the header's pin (see docstring);
+        # this is also exactly the map-time check the mmap loader runs.
+        _load_slab(source, header["slab"], mmap=True, check=True)
     for kind in sorted(header.get("retrieval") or {}):
         entry = header["retrieval"][kind]
         try:
@@ -464,6 +597,7 @@ def load_artifact(
     directory: PathLike,
     model: Optional[ComAid] = None,
     verify: bool = True,
+    mmap: bool = False,
 ) -> ConceptArtifact:
     """Load a compiled concept artifact.
 
@@ -472,6 +606,15 @@ def load_artifact(
     raises :class:`DataError` naming the file.  Passing ``model``
     additionally checks the weight fingerprint, refusing to serve an
     artifact compiled from other weights.
+
+    With ``mmap`` a format-3 artifact's slab is mapped read-only
+    instead of copied into anonymous memory: every process mapping the
+    same ``slab.bin`` shares one set of page-cache pages, which is what
+    makes an N-worker process pool cost O(1) artifact memory.  The
+    slab's header checksum is always proven before the map is served —
+    by :func:`verify_artifact` when ``verify`` is on, or by a dedicated
+    map-time re-hash when it is off.  Formats 1–2 predate the slab and
+    fall back to the copying ``.npz`` path.
     """
     source = Path(directory)
     if verify:
@@ -504,30 +647,63 @@ def load_artifact(
         raise DataError(
             f"artifact file {header_path} is missing fields: {exc}"
         ) from exc
-    try:
-        with np.load(source / ENCODINGS_FILE) as archive:
-            final_h = archive["final_h"]
-            final_c = archive["final_c"]
-            states = archive["states"]
-            state_offsets = archive["state_offsets"]
-            word_ids = archive["word_ids"]
-            word_offsets = archive["word_offsets"]
-    except (OSError, KeyError, ValueError) as exc:
-        raise DataError(
-            f"artifact file {source / ENCODINGS_FILE} is corrupt or "
-            f"unreadable: {type(exc).__name__}: {exc}"
-        ) from exc
-    structure: Optional[np.ndarray] = None
-    structure_path = source / STRUCTURE_FILE
-    if structure_path.exists():
+    mapped = False
+    if int(header["format"]) >= 3:
         try:
-            with np.load(structure_path) as archive:
-                structure = archive["structure"]
+            slab_meta = header["slab"]
+        except KeyError as exc:
+            raise DataError(
+                f"artifact file {header_path} is missing fields: {exc}"
+            ) from exc
+        # verify_artifact() above already re-hashed the slab; when the
+        # caller opted out of verification the map-time check below is
+        # the only thing standing between a torn slab and the engine.
+        slab = _load_slab(source, slab_meta, mmap=mmap, check=not verify)
+        try:
+            final_h = slab["final_h"]
+            final_c = slab["final_c"]
+            states = slab["states"]
+            state_offsets = slab["state_offsets"]
+            word_ids = slab["word_ids"]
+            word_offsets = slab["word_offsets"]
+        except KeyError as exc:
+            raise DataError(
+                f"artifact {source} slab is missing array {exc}"
+            ) from exc
+        structure = slab.get("structure")
+        mapped = mmap
+    else:
+        if mmap:
+            logger.info(
+                "artifact %s is format %s (pre-slab); mmap requested but "
+                "falling back to the copying loader",
+                source,
+                header["format"],
+            )
+        try:
+            with np.load(source / ENCODINGS_FILE) as archive:
+                final_h = archive["final_h"]
+                final_c = archive["final_c"]
+                states = archive["states"]
+                state_offsets = archive["state_offsets"]
+                word_ids = archive["word_ids"]
+                word_offsets = archive["word_offsets"]
         except (OSError, KeyError, ValueError) as exc:
             raise DataError(
-                f"artifact file {structure_path} is corrupt or unreadable: "
-                f"{type(exc).__name__}: {exc}"
+                f"artifact file {source / ENCODINGS_FILE} is corrupt or "
+                f"unreadable: {type(exc).__name__}: {exc}"
             ) from exc
+        structure = None
+        structure_path = source / STRUCTURE_FILE
+        if structure_path.exists():
+            try:
+                with np.load(structure_path) as archive:
+                    structure = archive["structure"]
+            except (OSError, KeyError, ValueError) as exc:
+                raise DataError(
+                    f"artifact file {structure_path} is corrupt or "
+                    f"unreadable: {type(exc).__name__}: {exc}"
+                ) from exc
     retrieval_meta = dict(header.get("retrieval") or {})
     sparse_index: Optional[InvertedIndex] = None
     dense_index: Optional[DenseIndex] = None
@@ -566,6 +742,7 @@ def load_artifact(
         sparse_index=sparse_index,
         dense_index=dense_index,
         retrieval_meta=retrieval_meta,
+        mmap=mapped,
     )
     if len(artifact.cids) != final_h.shape[0]:
         raise DataError(

@@ -272,6 +272,7 @@ class ShardedConceptEngine:
                 "score_batches": self._score_batches,
                 "retrieval_mode": self._retrieval.mode,
                 "retrievals_by_mode": dict(self._mode_retrievals),
+                "mmap": bool(getattr(self._artifact, "mmap", False)),
             }
 
     # -- precomputed encodings ----------------------------------------------

@@ -12,7 +12,7 @@ expert-feedback loop around one live :class:`LinkingService`:
    :meth:`retrain` fine-tunes a *clone* of the serving model on the
    staged pairs (the live weights never shift under traffic).
 4. **Compile** — :meth:`compile_candidate` freezes the clone into a
-   fresh format-2 artifact in the controller's work directory.
+   fresh format-3 artifact in the controller's work directory.
 5. **Swap** — :meth:`stage` / :meth:`promote` hand the candidate to the
    :class:`~repro.lifecycle.swap.ArtifactSwapper`: shadow scoring on
    mirrored traffic, gated promotion, automatic rollback.
@@ -163,7 +163,7 @@ class LifecycleController:
     def compile_candidate(
         self, model: Optional[ComAid] = None
     ) -> Path:
-        """Freeze the candidate model into a fresh format-2 artifact."""
+        """Freeze the candidate model into a fresh format-3 artifact."""
         from repro.engine.compile import compile_artifact
 
         if self.workdir is None:

@@ -106,6 +106,34 @@ def snapshot_gauges(snapshot: Dict[str, Any]) -> Dict[str, float]:
     lifecycle = snapshot.get("lifecycle")
     if isinstance(lifecycle, Mapping):
         _flatten_numeric(lifecycle, "lifecycle", gauges)
+    # Multi-process front-end: queue depth, shed/death counters, and
+    # per-worker job/query/respawn gauges indexed by worker id — the
+    # operator's view of which worker is hot and which keeps dying.
+    frontend = snapshot.get("frontend")
+    if isinstance(frontend, Mapping):
+        scalars = {
+            key: value
+            for key, value in frontend.items()
+            if not isinstance(value, (list, tuple, Mapping, str))
+        }
+        _flatten_numeric(scalars, "frontend", gauges)
+        workers = frontend.get("workers")
+        if isinstance(workers, (list, tuple)):
+            for entry in workers:
+                if not isinstance(entry, Mapping):
+                    continue
+                index = entry.get("worker_id")
+                if index is None:
+                    continue
+                per_worker = {
+                    key: value
+                    for key, value in entry.items()
+                    if key != "worker_id"
+                    and isinstance(value, (bool, int, float))
+                }
+                _flatten_numeric(
+                    per_worker, f"frontend.worker.{index}", gauges
+                )
     return gauges
 
 

@@ -38,6 +38,10 @@ class BatcherClosedError(RuntimeError):
     """Raised by ``submit`` after the batcher has been closed."""
 
 
+class BatcherSaturatedError(RuntimeError):
+    """Raised by ``submit`` when the bounded input queue is full."""
+
+
 class BatchFuture(Generic[R]):
     """A minimal future resolved by the batcher's worker thread."""
 
@@ -78,6 +82,7 @@ class BatcherStats:
     drain_flushes: int = 0
     max_batch: int = 0
     errors: int = 0
+    rejected: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """JSON-ready copy, with the derived mean batch size included."""
@@ -91,6 +96,7 @@ class BatcherStats:
             "max_batch": self.max_batch,
             "mean_batch": mean,
             "errors": self.errors,
+            "rejected": self.rejected,
         }
 
 
@@ -116,6 +122,7 @@ class MicroBatcher(Generic[T, R]):
         max_batch_size: int = 8,
         max_wait_ms: float = 2.0,
         name: str = "batcher",
+        max_queue: int = 0,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError(
@@ -125,10 +132,15 @@ class MicroBatcher(Generic[T, R]):
             raise ConfigurationError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}"
             )
+        if max_queue < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0 (0 = unbounded), got {max_queue}"
+            )
         self.name = name
         self._handler = handler
         self._max_batch_size = max_batch_size
         self._max_wait = max_wait_ms / 1000.0
+        self._max_queue = max_queue
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._closed = threading.Event()
         self._stats = BatcherStats()
@@ -141,12 +153,28 @@ class MicroBatcher(Generic[T, R]):
     # -- submission ---------------------------------------------------------
 
     def submit_nowait(self, item: T) -> "BatchFuture[R]":
-        """Enqueue ``item`` and return its future immediately."""
+        """Enqueue ``item`` and return its future immediately.
+
+        With ``max_queue`` set, a full input queue raises
+        :class:`BatcherSaturatedError` instead of queuing unboundedly —
+        honest backpressure beats a queue that grows until the caller's
+        timeout makes the eventual answer worthless.
+        """
         if self._closed.is_set():
             raise BatcherClosedError(f"{self.name} is closed")
+        if self._max_queue > 0 and self._queue.qsize() >= self._max_queue:
+            with self._stats_lock:
+                self._stats.rejected += 1
+            raise BatcherSaturatedError(
+                f"{self.name} queue is full ({self._max_queue} waiting)"
+            )
         pending: _Pending[T, R] = _Pending(item)
         self._queue.put(pending)
         return pending.future
+
+    def qsize(self) -> int:
+        """Approximate number of items waiting (admission-control input)."""
+        return self._queue.qsize()
 
     def submit(self, item: T, timeout: Optional[float] = None) -> R:
         """Enqueue ``item`` and block until its result is available."""

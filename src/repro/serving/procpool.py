@@ -1,0 +1,196 @@
+"""Forked worker processes serving linker batches over pipes.
+
+The threaded tier tops out at the GIL: ``BENCH_shard.json`` shows 4
+shard threads *losing* to 1 on end-to-end qps, because Phase-II decode
+is pure Python + NumPy on shared bytecode.  This module converts shard
+parallelism into wall-clock throughput the only way CPython allows —
+separate processes:
+
+* workers are **forked** (``multiprocessing.get_context("fork")``), so
+  the model, ontology, and configuration the ``build_linker`` closure
+  captures are inherited copy-on-write — no pickling of model state,
+  no per-worker re-training;
+* each worker builds its *own* linker, loading the compiled artifact
+  with ``mmap=True``: N workers mapping the same ``slab.bin`` share one
+  set of page-cache pages, so per-worker unique RSS is O(caches), not
+  O(artifact) (``tests/serving/test_zero_copy.py`` measures exactly
+  this);
+* the parent speaks a tiny framed protocol over one duplex pipe per
+  worker — ``("ready", pid)`` / ``("init_error", type, msg)`` after
+  construction, then ``(job_id, queries, ks)`` requests answered by
+  ``(job_id, "ok", results)`` or ``(job_id, "error", type, msg)``.
+
+Determinism: every worker runs the same pure function over the same
+frozen artifact, so which worker serves a request cannot change its
+ranking — the property ``tests/serving/test_procpool_equivalence.py``
+proves against the in-process reference linker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("serving.procpool")
+
+#: Sent to a worker to make it exit its loop cleanly.
+_SHUTDOWN = None
+
+
+def _worker_main(
+    conn: Any,
+    build_linker: Callable[[], Any],
+    worker_id: int,
+    warm: bool,
+) -> None:
+    """Worker-process entry point: build one linker, serve jobs forever.
+
+    SIGINT is ignored — a Ctrl-C at the terminal must tear the pool
+    down through the parent's orderly ``stop()`` (which closes pipes),
+    not kill workers mid-batch and strand in-flight futures.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        linker = build_linker()
+        if warm:
+            linker.warm_cache()
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(("init_error", type(error).__name__, str(error)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; nothing left to serve
+        if message is _SHUTDOWN:
+            break
+        job_id, queries, ks = message
+        try:
+            results = linker.link_batch(queries, k=ks)
+        except Exception as error:  # noqa: BLE001 - forwarded to the caller
+            conn.send((job_id, "error", type(error).__name__, str(error)))
+        else:
+            conn.send((job_id, "ok", results))
+    conn.close()
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    worker_id: int
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    pid: int = 0
+    ready: bool = False
+    init_error: Optional[str] = None
+    jobs: int = 0
+    queries: int = 0
+    errors: int = 0
+    respawns: int = 0
+    #: The job currently on this worker's pipe, if any (set by the
+    #: front-end's dispatcher; used to re-dispatch after a crash).
+    inflight: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stats(self) -> dict:
+        """Snapshot of this worker slot for ``/metrics``."""
+        return {
+            "worker_id": self.worker_id,
+            "pid": self.pid,
+            "alive": self.alive,
+            "ready": self.ready,
+            "jobs": self.jobs,
+            "queries": self.queries,
+            "errors": self.errors,
+            "respawns": self.respawns,
+        }
+
+
+class ProcessPool:
+    """Spawns, tracks, respawns, and stops the worker processes."""
+
+    def __init__(
+        self,
+        build_linker: Callable[[], Any],
+        workers: int,
+        warm: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._build_linker = build_linker
+        self._warm = warm
+        # Fork, explicitly: the whole design (closure capture of the
+        # model, copy-on-write inheritance, no spawn-time pickling)
+        # assumes it.  The default start method is platform-dependent.
+        self._ctx = multiprocessing.get_context("fork")
+        self.workers: List[WorkerHandle] = [
+            self._spawn(index) for index in range(workers)
+        ]
+
+    def _spawn(self, worker_id: int) -> WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._build_linker, worker_id, self._warm),
+            name=f"link-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its end
+        return WorkerHandle(
+            worker_id=worker_id, process=process, conn=parent_conn
+        )
+
+    def respawn(self, handle: WorkerHandle) -> WorkerHandle:
+        """Replace a dead worker in place; returns the new handle."""
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+        fresh = self._spawn(handle.worker_id)
+        fresh.respawns = handle.respawns + 1
+        self.workers[handle.worker_id] = fresh
+        LOGGER.warning(
+            "worker %d (pid %s) died; respawned as pid %s",
+            handle.worker_id,
+            handle.pid or "?",
+            fresh.process.pid,
+        )
+        return fresh
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Orderly shutdown: sentinel, join, then terminate stragglers."""
+        for handle in self.workers:
+            try:
+                handle.conn.send(_SHUTDOWN)
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in self.workers:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+
+    def stats(self) -> List[dict]:
+        """Per-worker slot snapshots, in slot order."""
+        return [handle.stats() for handle in self.workers]

@@ -39,7 +39,8 @@ removed in v2.
 
 Errors share one envelope across every endpoint: ``{"error": {"code":
 ..., "message": ..., "request_id": ...}}`` with 400 for bad requests,
-404 for unknown routes/traces, 503 before readiness, 504 on request
+404 for unknown routes/traces, 503 before readiness (code
+``not_ready``) or under load shedding (code ``shed``), 504 on request
 timeout, and 500 for anything unexpected.  One OS thread per
 connection (``ThreadingHTTPServer``) is plenty here because the
 model-bound work is serialised by the batcher anyway; threads only
@@ -60,6 +61,7 @@ from repro.api import API_VERSION
 from repro.core.linker import LinkResult
 from repro.obs import trace
 from repro.obs.prom import render_prometheus, snapshot_gauges
+from repro.serving.frontend import ShedError
 from repro.serving.service import LinkingService, ServiceNotReadyError
 from repro.utils.errors import ReproError
 from repro.utils.logging import get_logger
@@ -106,7 +108,7 @@ def result_to_json(
     ``log_prob``/``loss``: ``-inf`` is not valid strict JSON, and a
     sentinel number would be indistinguishable from a real score.
     """
-    ontology = server.service.linker.ontology
+    ontology = server.service.ontology
     ranked = result.ranked if top is None else result.ranked[:top]
     return {
         "query": result.query,
@@ -400,6 +402,11 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
             return 400, error_body("bad_request", str(error))
         except ServiceNotReadyError:
             return 503, error_body("not_ready", "warm-up has not completed")
+        except ShedError as error:
+            # Load shedding is a 503 like not-ready — the service is
+            # alive but refusing this request; retry against a less
+            # loaded instance (or after backoff).
+            return 503, error_body("shed", str(error))
         except TimeoutError:
             return 504, error_body(
                 "timeout", "request timed out; retry with backoff"

@@ -29,7 +29,9 @@ from repro.core.linker import LinkResult, NeuralConceptLinker
 from repro.obs import trace
 from repro.obs.trace import Tracer
 from repro.serving.batcher import MicroBatcher
+from repro.serving.frontend import AsyncFrontend, ShedError
 from repro.serving.metrics import MetricsRegistry
+from repro.serving.procpool import ProcessPool
 from repro.utils.faults import probe
 from repro.utils.logging import get_logger
 
@@ -211,10 +213,25 @@ class LinkingService:
         k: Optional[int] = None,
         timeout: Optional[float] = None,
     ) -> List[LinkResult]:
-        """Link several queries, submitted to the batcher as one burst."""
+        """Link several queries, submitted to the batcher as one burst.
+
+        Admission control is burst-level: a burst arriving while the
+        batcher's queue already holds ``admission_queue`` or more items
+        is shed whole (:class:`ShedError`, HTTP 503 code ``shed``)
+        rather than split or queued unboundedly.  A burst from an empty
+        queue is always admitted, whatever its size — shedding half a
+        request would break its all-or-nothing contract.
+        """
         if not self.ready:
             self.metrics.counter("requests_rejected").inc()
             raise ServiceNotReadyError("service is not ready")
+        bound = self.config.admission_queue
+        if bound > 0 and self._batcher.qsize() >= bound:
+            self.metrics.counter("requests_shed").inc()
+            raise ShedError(
+                "queue_full",
+                f"admission queue is full ({bound} waiting); request shed",
+            )
         wait = timeout if timeout is not None else self.config.request_timeout_s
         started = time.monotonic()
         # One span per query, captured here (the caller's context, under
@@ -322,6 +339,11 @@ class LinkingService:
         """The attached lifecycle controller, or None."""
         return self._lifecycle
 
+    @property
+    def ontology(self):
+        """The ontology answers are rendered against (for the server)."""
+        return self.linker.ontology
+
     # -- introspection ------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
@@ -335,6 +357,7 @@ class LinkingService:
                 "batch_wait_ms": self.config.batch_wait_ms,
                 "request_timeout_s": self.config.request_timeout_s,
                 "warm_on_start": self.config.warm_on_start,
+                "admission_queue": self.config.admission_queue,
             },
         }
         report.update(self.metrics.snapshot())
@@ -363,4 +386,242 @@ class LinkingService:
             status = getattr(self._lifecycle, "status", None)
             if callable(status):
                 report["lifecycle"] = status()
+        return report
+
+
+class ProcPoolLinkingService:
+    """The GIL-free serving tier: N forked workers behind a front-end.
+
+    Duck-types :class:`LinkingService` for everything the HTTP server
+    touches — ``healthy`` / ``ready`` / ``link_many`` / ``snapshot`` /
+    ``metrics`` / ``tracer`` / ``ontology`` / ``stop`` — but instead of
+    a micro-batcher thread it runs ``config.workers`` forked processes
+    (:mod:`repro.serving.procpool`), each mmap-ing the compiled
+    artifact (zero copy) and decoding outside the parent's GIL, behind
+    an :class:`~repro.serving.frontend.AsyncFrontend` that admits,
+    sheds, fuses, and dispatches (:mod:`repro.serving.frontend`).
+
+    ``build_linker`` is invoked *inside each forked child* — it should
+    construct the worker's linker with ``mmap_artifact=True`` and
+    ``fuse_phase2=True`` (the CLI and test fixtures do).  The parent
+    never builds a linker; it only needs ``ontology`` to render
+    concept descriptions in responses.
+
+    Determinism: every worker runs the same pure function over the
+    same frozen artifact, so rankings are identical to the in-process
+    reference regardless of worker count or request interleaving — the
+    cross-process equivalence suite's guarantee.
+
+    The model lifecycle (blue/green swap) is not wired for this tier:
+    ``lifecycle`` is always None and ``attach_lifecycle`` refuses.
+    """
+
+    def __init__(
+        self,
+        build_linker,
+        ontology,
+        config: Optional[ServingConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config if config is not None else ServingConfig()
+        if self.config.workers < 1:
+            raise ValueError(
+                "ProcPoolLinkingService requires ServingConfig.workers >= 1"
+            )
+        self._build_linker = build_linker
+        self._ontology = ontology
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(
+                sample_rate=self.config.trace_sample_rate,
+                capacity=self.config.trace_buffer,
+            )
+        )
+        self._frontend: Optional[AsyncFrontend] = None
+        self._stopped = threading.Event()
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, wait: bool = False) -> "ProcPoolLinkingService":
+        """Fork the workers; with ``wait`` block until all are ready."""
+        if self._stopped.is_set():
+            raise RuntimeError(
+                "service was stopped; build a new service to restart"
+            )
+        if self._started_at is not None:
+            raise RuntimeError("service already started")
+        self._started_at = time.monotonic()
+        pool = ProcessPool(
+            self._build_linker,
+            self.config.workers,
+            warm=self.config.warm_on_start,
+        )
+        self._frontend = AsyncFrontend(
+            pool,
+            admission_bound=self.config.admission_queue,
+            deadline_ms=self.config.deadline_ms,
+            shed_policy=self.config.shed_policy,
+            max_batch_size=self.config.max_batch_size,
+        )
+        if wait:
+            self._frontend.all_ready.wait()
+            if self._frontend.init_error is not None:
+                raise RuntimeError(
+                    f"worker start-up failed: {self._frontend.init_error}"
+                )
+        return self
+
+    def stop(self) -> None:
+        """Stop the front-end and tear the worker pool down (idempotent)."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._frontend is not None:
+            self._frontend.stop()
+
+    @property
+    def healthy(self) -> bool:
+        return not self._stopped.is_set()
+
+    @property
+    def ready(self) -> bool:
+        """All workers handshook ready; a worker init failure (e.g. a
+        corrupt slab at map time) keeps this False forever."""
+        return (
+            not self._stopped.is_set()
+            and self._frontend is not None
+            and self._frontend.ready
+        )
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    @property
+    def lifecycle(self) -> Optional[object]:
+        return None
+
+    def attach_lifecycle(self, controller: object) -> None:
+        """Refused: workers hold forked model copies a swap can't reach."""
+        raise RuntimeError(
+            "the multi-process tier does not support the model lifecycle; "
+            "run workers=0 for blue/green swaps"
+        )
+
+    @property
+    def ontology(self):
+        """The ontology answers are rendered against (for the server)."""
+        return self._ontology
+
+    # -- request path -------------------------------------------------------
+
+    def link(
+        self,
+        query: str,
+        k: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> LinkResult:
+        """Link one query through the worker pool (may shed)."""
+        return self.link_many([query], k=k, timeout=timeout)[0]
+
+    def link_many(
+        self,
+        queries: Sequence[str],
+        k: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[LinkResult]:
+        """Link a burst through the admission queue and worker pool.
+
+        The burst is admitted (or shed) atomically, dispatched to one
+        worker — possibly fused with other in-flight bursts — and its
+        results come back in submission order.  Raises
+        :class:`~repro.serving.frontend.ShedError` under overload,
+        ``TimeoutError`` past the request budget, and
+        :class:`ServiceNotReadyError` before the workers are up.
+        """
+        if not self.ready:
+            self.metrics.counter("requests_rejected").inc()
+            raise ServiceNotReadyError("service is not ready")
+        assert self._frontend is not None
+        wait = timeout if timeout is not None else self.config.request_timeout_s
+        started = time.monotonic()
+        spans = [
+            trace.start_span("service.request", query=query)
+            for query in queries
+        ]
+        try:
+            try:
+                future = self._frontend.submit(
+                    list(queries), [k] * len(queries)
+                )
+            except ShedError:
+                self.metrics.counter("requests_shed").inc()
+                raise
+            try:
+                results: List[LinkResult] = future.result(wait)
+            except ShedError:
+                self.metrics.counter("requests_shed").inc()
+                raise
+            except TimeoutError:
+                self.metrics.counter("requests_timeout").inc()
+                raise
+            except Exception:
+                self.metrics.counter("requests_failed").inc()
+                raise
+            for span, result in zip(spans, results):
+                span.set_tag("results", len(result.ranked))
+                if result.degraded:
+                    span.set_tag("degraded", True)
+                    span.set_tag("degraded_reason", result.degraded_reason)
+        except BaseException as error:
+            for span in spans:
+                if span.is_recording:
+                    span.set_tag("error", type(error).__name__)
+            raise
+        finally:
+            for span in spans:
+                span.end()
+        elapsed = time.monotonic() - started
+        for result in results:
+            self.metrics.counter("requests_total").inc()
+            self.metrics.counter("concepts_returned").inc(len(result.ranked))
+            self.metrics.observe_breakdown(result.timing)
+            if result.degraded:
+                self.metrics.counter("requests_degraded").inc()
+                reason = result.degraded_reason or ""
+                if reason.startswith("error"):
+                    self.metrics.counter("phase2_failures").inc()
+                elif reason.startswith("budget"):
+                    self.metrics.counter("phase2_budget_exceeded").inc()
+        self.metrics.histogram("request_seconds").observe(elapsed)
+        return results
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready report: metrics + front-end + per-worker stats."""
+        report: Dict[str, Any] = {
+            "ready": self.ready,
+            "healthy": self.healthy,
+            "uptime_seconds": self.uptime_seconds,
+            "config": {
+                "workers": self.config.workers,
+                "admission_queue": self.config.admission_queue,
+                "deadline_ms": self.config.deadline_ms,
+                "shed_policy": self.config.shed_policy,
+                "max_batch_size": self.config.max_batch_size,
+                "request_timeout_s": self.config.request_timeout_s,
+                "warm_on_start": self.config.warm_on_start,
+            },
+        }
+        report.update(self.metrics.snapshot())
+        report["traces"] = self.tracer.stats()
+        if self._frontend is not None:
+            report["frontend"] = self._frontend.stats()
         return report

@@ -246,7 +246,9 @@ class TestLinkerEquivalence:
             assert left == right
 
 
-def _heterogeneous_linker(batch_phase2: bool) -> NeuralConceptLinker:
+def _heterogeneous_linker(
+    batch_phase2: bool, fuse_phase2: bool = False
+) -> NeuralConceptLinker:
     """A linker whose candidate sets mix ontology depths and description
     lengths: a first-level leaf (Def. 4.1 pads its path by duplicating
     itself), second-level leaves, and a third-level leaf with real
@@ -276,7 +278,7 @@ def _heterogeneous_linker(batch_phase2: bool) -> NeuralConceptLinker:
     return NeuralConceptLinker(
         model,
         ontology,
-        LinkerConfig(k=10, batch_phase2=batch_phase2),
+        LinkerConfig(k=10, batch_phase2=batch_phase2, fuse_phase2=fuse_phase2),
         kb=kb,
     )
 
@@ -317,6 +319,85 @@ class TestHeterogeneousCandidates:
             by_cid["P00"]
             - linker._score_candidate("P00", ("severe", "pain", "syndrome"))
         ) <= TOLERANCE
+
+
+class TestFusedPhase2Equivalence:
+    """``LinkerConfig.fuse_phase2``: cross-request Phase-II fusion.
+
+    ``link_batch`` with fusion on runs ONE ``score_batch`` decode over
+    every surviving candidate of every query in the batch — the
+    serving tier's cross-request GEMM.  ``score_batch`` rows are
+    batch-composition independent (``test_order_invariance``), so the
+    fused results must match the sequential oracle query for query.
+    """
+
+    QUERIES = TestLinkerEquivalence.QUERIES
+
+    def test_link_batch_fused_matches_sequential(self, make_linker):
+        fused = make_linker(batch_phase2=True, fuse_phase2=True)
+        sequential = make_linker(batch_phase2=False)
+        for fused_result, sequential_result in zip(
+            fused.link_batch(self.QUERIES),
+            sequential.link_batch(self.QUERIES),
+        ):
+            _assert_links_equivalent(fused_result, sequential_result)
+
+    def test_single_query_batch_short_circuits_to_reference(
+        self, make_linker
+    ):
+        # A one-query batch has nothing to fuse; it must take the
+        # reference path and still agree with it.
+        fused = make_linker(fuse_phase2=True)
+        reference = make_linker()
+        _assert_links_equivalent(
+            fused.link_batch(["ckd stage 5"])[0],
+            reference.link("ckd stage 5"),
+        )
+
+    def test_fused_heterogeneous_candidates(self):
+        fused = _heterogeneous_linker(batch_phase2=True, fuse_phase2=True)
+        sequential = _heterogeneous_linker(batch_phase2=False)
+        queries = TestHeterogeneousCandidates.QUERIES
+        for fused_result, sequential_result in zip(
+            fused.link_batch(queries), sequential.link_batch(queries)
+        ):
+            _assert_links_equivalent(fused_result, sequential_result)
+
+    def test_fused_decode_is_one_batch_site_hit(self, make_linker):
+        # The whole point: N queries, ONE fused decode.
+        fused = make_linker(fuse_phase2=True)
+        with fault_injection(
+            {"linker.phase2.batch": FaultSpec(action="delay", times=0)}
+        ) as plan:
+            fused.link_batch(self.QUERIES[:4])
+        assert plan.hits("linker.phase2.batch") == 1
+
+    def test_fused_degrades_per_query_not_per_batch(self, make_linker):
+        fused = make_linker(fuse_phase2=True)
+        reference = make_linker()
+        # Fail the first candidate probe: only the query that owns it
+        # degrades; the other rides the fused decode untouched.
+        with fault_injection({"linker.phase2": FaultSpec(times=1)}):
+            results = fused.link_batch(["ckd stage 5", "anemia blood loss"])
+        assert results[0].degraded
+        assert results[0].degraded_reason.startswith("error:")
+        assert not results[1].degraded
+        _assert_links_equivalent(
+            results[1], reference.link("anemia blood loss")
+        )
+
+    def test_fused_tie_order_preserved(self, make_linker):
+        fused = make_linker(fuse_phase2=True)
+        sequential = make_linker(batch_phase2=False)
+        left = [
+            [(c.cid, c.keyword_score) for c in result.ranked]
+            for result in fused.link_batch(self.QUERIES)
+        ]
+        right = [
+            [(c.cid, c.keyword_score) for c in result.ranked]
+            for result in sequential.link_batch(self.QUERIES)
+        ]
+        assert left == right
 
 
 class TestBatchProbeSite:

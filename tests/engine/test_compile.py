@@ -88,11 +88,11 @@ class TestIntegrity:
 
     def test_verify_passes_on_pristine_artifact(self, artifact_copy):
         manifest = verify_artifact(artifact_copy)
-        assert "encodings.npz" in manifest["files"]
+        assert "slab.bin" in manifest["files"]
 
     def test_checksum_tamper_is_detected(self, engine_stack, artifact_copy):
         _, _, model, _ = engine_stack
-        target = artifact_copy / "encodings.npz"
+        target = artifact_copy / "slab.bin"
         corrupted = bytearray(target.read_bytes())
         corrupted[len(corrupted) // 2] ^= 0xFF
         target.write_bytes(bytes(corrupted))
@@ -109,7 +109,7 @@ class TestIntegrity:
             load_artifact(artifact_copy, model=model)
 
     def test_missing_file_is_detected(self, artifact_copy):
-        (artifact_copy / "encodings.npz").unlink()
+        (artifact_copy / "slab.bin").unlink()
         with pytest.raises(DataError):
             verify_artifact(artifact_copy)
 

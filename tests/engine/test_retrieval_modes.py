@@ -18,7 +18,7 @@ from repro.engine.shards import ShardedConceptEngine
 from repro.text.tokenize import tokenize
 from repro.utils.errors import ConfigurationError, DataError
 
-from tests.engine.conftest import ENGINE_QUERIES
+from tests.engine.conftest import ENGINE_QUERIES, write_legacy_artifact
 
 
 @pytest.fixture(scope="module")
@@ -44,9 +44,9 @@ def make_engine(stack, mode, **knobs):
 
 
 class TestCompiledIndexes:
-    def test_format_2_header_and_checksums(self, indexed_stack):
+    def test_format_3_header_and_checksums(self, indexed_stack):
         _, _, _, directory, artifact = indexed_stack
-        assert artifact.format == 2
+        assert artifact.format == 3
         assert artifact.sparse_index is not None
         assert artifact.dense_index is not None
         assert set(artifact.retrieval_meta) == {"sparse", "dense"}
@@ -73,7 +73,7 @@ class TestCompiledIndexes:
         payload = (clone / SPARSE_INDEX_FILE).read_bytes()
         (clone / SPARSE_INDEX_FILE).write_bytes(payload + b"\0")
         (clone / "manifest.json").unlink()  # regenerate, don't self-checksum
-        write_manifest(clone, 2)
+        write_manifest(clone, 3)
         with pytest.raises(DataError, match="sha256"):
             load_artifact(clone, model=model)
 
@@ -108,7 +108,7 @@ class TestEngineModes:
     def test_sparse_falls_back_without_compiled_index(
         self, engine_stack, artifact
     ):
-        """A format-2 artifact compiled with --index none still serves
+        """A format-3 artifact compiled with --index none still serves
         sparse mode (the engine freezes the index at start)."""
         ontology, _, model, _ = engine_stack
         exact = ShardedConceptEngine(model, ontology, artifact)
@@ -139,19 +139,9 @@ class TestFormat1BackCompat:
     def format1_dir(self, engine_stack, tmp_path):
         """A pre-retrieval (format-1) artifact, as an old build wrote it."""
         _, _, _, artifact_dir = engine_stack
-        clone = tmp_path / "format1"
-        shutil.copytree(artifact_dir, clone)
-        header_path = clone / ARTIFACT_FILE
-        header = json.loads(header_path.read_text(encoding="utf-8"))
-        header["format"] = 1
-        header.pop("retrieval", None)
-        header_path.write_text(
-            json.dumps(header, indent=2, sort_keys=True), encoding="utf-8"
-        )
+        clone = write_legacy_artifact(artifact_dir, tmp_path / "format1", 1)
         assert not (clone / SPARSE_INDEX_FILE).exists()
         assert not (clone / DENSE_INDEX_FILE).exists()
-        (clone / "manifest.json").unlink()
-        write_manifest(clone, 1)
         return clone
 
     def test_format_1_artifact_loads_verified(self, engine_stack, format1_dir):

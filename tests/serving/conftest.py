@@ -9,12 +9,19 @@ import threading
 
 import pytest
 
-from repro.core.config import ComAidConfig, LinkerConfig, TrainingConfig
+from repro.core.config import (
+    ComAidConfig,
+    LinkerConfig,
+    ServingConfig,
+    TrainingConfig,
+)
 from repro.core.linker import NeuralConceptLinker
 from repro.core.trainer import ComAidTrainer
+from repro.engine.compile import compile_artifact
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.ontology.concept import Concept
 from repro.ontology.ontology import Ontology
+from repro.serving.service import ProcPoolLinkingService
 
 
 def build_figure1_ontology() -> Ontology:
@@ -96,6 +103,65 @@ def make_linker(trained_pipeline):
         )
 
     return factory
+
+
+@pytest.fixture(scope="module")
+def compiled_artifact(trained_pipeline, tmp_path_factory):
+    """One compiled format-3 artifact over the shared trained model."""
+    ontology, kb, model = trained_pipeline
+    directory = tmp_path_factory.mktemp("procpool") / "artifact"
+    compile_artifact(directory, model, ontology, kb=kb)
+    return directory
+
+
+@pytest.fixture
+def make_worker_linker(trained_pipeline, compiled_artifact):
+    """Factory for worker-shaped linkers: mmap'd artifact, fused Phase II.
+
+    This is the exact configuration ``repro serve --workers N`` hands
+    its forked children; tests override any knob per call.
+    """
+    ontology, kb, model = trained_pipeline
+
+    def factory(**config_kwargs) -> NeuralConceptLinker:
+        config_kwargs.setdefault("k", 5)
+        config_kwargs.setdefault("artifact_dir", str(compiled_artifact))
+        config_kwargs.setdefault("mmap_artifact", True)
+        config_kwargs.setdefault("fuse_phase2", True)
+        return NeuralConceptLinker(
+            model, ontology, LinkerConfig(**config_kwargs), kb=kb
+        )
+
+    return factory
+
+
+@pytest.fixture
+def make_procpool_service(trained_pipeline, make_worker_linker):
+    """Factory for multi-process services; all built services are
+    stopped (pools torn down) at test exit, passing or not."""
+    ontology, _, _ = trained_pipeline
+    created = []
+
+    def factory(
+        workers: int = 2,
+        linker_kwargs: dict | None = None,
+        build_linker=None,
+        **serving_kwargs,
+    ) -> ProcPoolLinkingService:
+        if build_linker is None:
+            linker = make_worker_linker(**(linker_kwargs or {}))
+
+            def build_linker():
+                return linker
+
+        config = ServingConfig(workers=workers, **serving_kwargs)
+        service = ProcPoolLinkingService(build_linker, ontology, config)
+        created.append(service)
+        return service
+
+    yield factory
+    for service in created:
+        service.stop()
 
 
 class GatedWarmup:

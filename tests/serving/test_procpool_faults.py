@@ -1,0 +1,152 @@
+"""Fault drills for the multi-process tier (opt in with ``-m faults``).
+
+Two failure classes the tier must contain:
+
+* **Worker death under load** — SIGKILL (the OOM-killer's signature)
+  mid-traffic: the dispatcher detects the EOF'd pipe, respawns the
+  worker, re-dispatches the in-flight job, and every request still
+  resolves.  Zero hung clients, zero dropped requests.
+* **Torn slab at map time** — a truncated or bit-flipped ``slab.bin``
+  is detected when the worker maps it; the error names the file, and a
+  service with any poisoned worker refuses readiness (better a refused
+  rollout than N-1 workers hiding a corrupt map).
+"""
+
+import os
+import shutil
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.serving.service import ServiceNotReadyError
+
+from tests.serving.conftest import SERVING_QUERIES
+
+pytestmark = pytest.mark.faults
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestWorkerDeathUnderLoad:
+    def test_sigkill_mid_load_drops_nothing(self, make_procpool_service):
+        service = make_procpool_service(
+            workers=2, warm_on_start=False
+        ).start(wait=True)
+        requests_per_client = 16
+        clients = 4
+        served = []
+        failures = []
+        midpoint = threading.Event()
+
+        def client(index: int) -> None:
+            for round_trip in range(requests_per_client):
+                if round_trip == requests_per_client // 2:
+                    midpoint.set()
+                query = SERVING_QUERIES[
+                    (index + round_trip) % len(SERVING_QUERIES)
+                ]
+                try:
+                    results = service.link_many([query], timeout=30.0)
+                    served.append(len(results))
+                except Exception as error:  # noqa: BLE001 - collected
+                    failures.append((query, error))
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        # Kill a worker while traffic is in full flight.
+        assert midpoint.wait(30.0)
+        victim = service._frontend.pool.workers[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        for thread in threads:
+            thread.join(timeout=60.0)
+        # No hung client threads, no dropped or failed requests: every
+        # one of the 64 calls resolved with a result.
+        assert not any(thread.is_alive() for thread in threads)
+        assert not failures
+        assert len(served) == clients * requests_per_client
+        stats = service.snapshot()["frontend"]
+        assert stats["worker_deaths"] >= 1, stats
+        # Readiness never flapped: a respawning slot shrinks capacity,
+        # it does not reject traffic.
+        assert service.ready
+        # The pool healed: the replacement handshakes and the service
+        # serves from a full complement again.
+        assert _wait_until(
+            lambda: all(h.ready for h in service._frontend.pool.workers)
+        ), service.snapshot()
+        assert len(service.link_many(["ckd stage 5"])) == 1
+        respawned = service._frontend.pool.workers[0]
+        assert respawned.pid != victim.pid
+        assert respawned.respawns >= 1
+
+    def test_repeated_kills_still_heal(self, make_procpool_service):
+        # Kill the same slot twice in a row (between requests): each
+        # death is detected on the next dispatch attempt, the job is
+        # re-dispatched, and the caller never sees either crash.
+        service = make_procpool_service(
+            workers=1, warm_on_start=False
+        ).start(wait=True)
+        for _ in range(2):
+            worker = service._frontend.pool.workers[0]
+            # Wait out the handshake so the handle's pid is the live one.
+            assert _wait_until(lambda: worker.ready and worker.pid > 0)
+            os.kill(worker.pid, signal.SIGKILL)
+            results = service.link_many(["anemia blood loss"], timeout=30.0)
+            assert len(results) == 1 and results[0].ranked
+        stats = service.snapshot()["frontend"]
+        assert stats["worker_deaths"] >= 2, stats
+
+
+class TestTornSlabAtMapTime:
+    def _corrupt_copy(self, compiled_artifact, tmp_path, mode: str):
+        clone = tmp_path / f"torn-{mode}"
+        shutil.copytree(compiled_artifact, clone)
+        slab = clone / "slab.bin"
+        if mode == "truncate":
+            with open(slab, "r+b") as handle:
+                handle.truncate(slab.stat().st_size - 64)
+        else:  # bit flip in the middle of the mapped region
+            data = bytearray(slab.read_bytes())
+            data[len(data) // 2] ^= 0x40
+            slab.write_bytes(bytes(data))
+        return clone
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corrupt_slab_refuses_readiness(
+        self,
+        mode,
+        compiled_artifact,
+        tmp_path,
+        make_procpool_service,
+        make_worker_linker,
+    ):
+        clone = self._corrupt_copy(compiled_artifact, tmp_path, mode)
+        # Deferred: the linker is built (and the slab mapped) inside
+        # each forked child, which is where the corruption is detected.
+        service = make_procpool_service(
+            workers=2,
+            warm_on_start=False,
+            build_linker=lambda: make_worker_linker(artifact_dir=str(clone)),
+        )
+        # The worker's map-time verification rejects the slab; start
+        # surfaces the child's error, naming the corrupt file.
+        with pytest.raises(RuntimeError, match="slab.bin"):
+            service.start(wait=True)
+        assert not service.ready
+        with pytest.raises(ServiceNotReadyError):
+            service.link("ckd stage 5")
+        # Readiness stays poisoned — no amount of waiting flips it.
+        assert not _wait_until(lambda: service.ready, timeout=0.5)

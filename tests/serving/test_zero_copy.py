@@ -1,0 +1,112 @@
+"""Zero-copy proof: workers share one slab mapping via the page cache.
+
+The artifact slab is loaded with ``np.memmap`` in ``ACCESS_READ`` mode
+— a ``MAP_SHARED`` + ``PROT_READ`` file mapping — so every process
+mapping ``slab.bin`` reads the same physical page-cache pages.  This
+suite reads ``/proc/<pid>/smaps`` for the parent and each forked
+worker and asserts what zero copy means at the VM level:
+
+* every worker's address space contains the ``slab.bin`` mapping;
+* the mapping is shared (``s`` flag) and read-only — it *cannot* be
+  privately dirtied, so per-worker unique RSS stays O(caches), not
+  O(artifact);
+* ``Private_Dirty`` for the mapping is 0 kB in every process even
+  after serving traffic through it.
+
+Skipped off-Linux (no ``/proc`` smaps).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine.compile import load_artifact
+
+from tests.serving.conftest import SERVING_QUERIES
+
+pytestmark = pytest.mark.skipif(
+    not Path("/proc/self/smaps").exists(),
+    reason="requires Linux /proc/<pid>/smaps",
+)
+
+
+def _slab_mappings(pid: int, slab_path: Path):
+    """Parse /proc/<pid>/smaps entries whose pathname is the slab."""
+    try:
+        text = Path(f"/proc/{pid}/smaps").read_text(encoding="utf-8")
+    except OSError:
+        return []
+    entries = []
+    current = None
+    for line in text.splitlines():
+        if not line[:1].isdigit() and current is None:
+            continue
+        if "-" in line.split(" ", 1)[0] and not line.startswith(" "):
+            # Header: "addr-addr perms offset dev inode pathname"
+            parts = line.split()
+            pathname = parts[5] if len(parts) >= 6 else ""
+            if pathname == str(slab_path):
+                current = {"perms": parts[1], "fields": {}}
+                entries.append(current)
+            else:
+                current = None
+        elif current is not None and ":" in line:
+            key, _, value = line.partition(":")
+            value = value.strip()
+            if value.endswith("kB"):
+                current["fields"][key.strip()] = int(value.split()[0])
+    return entries
+
+
+def test_in_process_mmap_is_read_only_views(compiled_artifact):
+    artifact = load_artifact(compiled_artifact, mmap=True)
+    assert artifact.mmap
+    for name in ("final_h", "final_c", "states", "word_ids"):
+        array = getattr(artifact, name)
+        assert not array.flags.writeable
+    # The copy path stays the default and is writable/private.
+    copied = load_artifact(compiled_artifact, mmap=False)
+    assert not copied.mmap
+    assert copied.final_h.flags.writeable
+
+
+def test_workers_map_one_shared_slab(
+    make_procpool_service, compiled_artifact
+):
+    slab = (Path(compiled_artifact) / "slab.bin").resolve()
+    service = make_procpool_service(workers=2, warm_on_start=False).start(
+        wait=True
+    )
+    # Serve traffic so the mapping is actually touched in every worker
+    # before we inspect it.
+    for query in SERVING_QUERIES:
+        service.link(query)
+    pids = [
+        handle.pid for handle in service._frontend.pool.workers
+    ]
+    assert all(pid > 0 for pid in pids)
+    # The parent built the linker pre-fork, so it maps the slab too;
+    # the children inherited (and kept) the same shared mapping.
+    for pid in [os.getpid(), *pids]:
+        mappings = _slab_mappings(pid, slab)
+        assert mappings, f"pid {pid} has no mapping of {slab}"
+        for entry in mappings:
+            perms = entry["perms"]
+            assert perms.startswith("r-"), (pid, perms)  # read, no write
+            assert perms.endswith("s"), (pid, perms)  # MAP_SHARED
+            # Zero copied bytes: a read-only shared file mapping can
+            # never hold privately dirtied pages.
+            assert entry["fields"].get("Private_Dirty", 0) == 0, (pid, entry)
+    # Resident slab pages are clean, file-backed page-cache pages — no
+    # anonymous (copied-on-write) memory, nothing dirtied, nothing
+    # swapped.  (A clean page counts as Private_Clean when only one
+    # process has it faulted in; it is still the single page-cache
+    # copy, so Private_Clean is allowed — Anonymous/Dirty are not.)
+    for pid in pids:
+        for entry in _slab_mappings(pid, slab):
+            fields = entry["fields"]
+            assert fields.get("Anonymous", 0) == 0, (pid, fields)
+            assert fields.get("Private_Dirty", 0) == 0, (pid, fields)
+            assert fields.get("Shared_Dirty", 0) == 0, (pid, fields)
+            assert fields.get("Swap", 0) == 0, (pid, fields)

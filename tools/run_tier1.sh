@@ -12,6 +12,7 @@
 #   tools/run_tier1.sh --bench-shard   # ... + shard-engine benchmark
 #   tools/run_tier1.sh --bench-retrieval  # ... + 100k retrieval benchmark
 #   tools/run_tier1.sh --bench-lifecycle  # ... + hot-swap lifecycle benchmark
+#   tools/run_tier1.sh --bench-mp      # ... + multi-process serving benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -46,8 +47,12 @@ for arg in "$@"; do
             echo "== lifecycle hot-swap benchmark (writes BENCH_lifecycle.json) =="
             python -m pytest -q benchmarks/test_lifecycle.py
             ;;
+        --bench-mp)
+            echo "== multi-process serving benchmark (writes BENCH_mp.json) =="
+            python -m pytest -q benchmarks/test_mp_serving.py
+            ;;
         *)
-            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-shard, --bench-retrieval and/or --bench-lifecycle)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-shard, --bench-retrieval, --bench-lifecycle and/or --bench-mp)" >&2
             exit 2
             ;;
     esac

@@ -1,0 +1,53 @@
+"""Cross-process tracing-overhead benchmark — sampling off stays free.
+
+Same paired-difference design as ``test_obs_overhead.py`` but each
+timed unit is a full request through the multi-process tier
+(:class:`~repro.serving.service.ProcPoolLinkingService`): admission
+queue, dispatch over a worker pipe, Phase-II decode in a forked
+worker.  With sampling off the dispatcher must send ``trace_ids=None``
+and workers must never build a tracer, so the pipe carries no trace
+payload — the gate asserts that path is within 1% of the untraced p50.
+
+The report merges into ``BENCH_obs.json`` under the ``"mp"`` key,
+preserving the single-process numbers already written there.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import SMALL
+from repro.eval.experiments.obs_overhead import run_obs_overhead_mp
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_obs.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_obs_overhead_mp(
+        scale=SMALL, seed=2018, k=10, queries_per_trial=30, trials=4,
+        workers=2,
+    )
+
+
+def test_mp_tracing_off_overhead_within_1_percent(once, report):
+    data = once(lambda: report)
+    merged = {}
+    if BENCH_PATH.exists():
+        try:
+            merged = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged["mp"] = data
+    BENCH_PATH.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    )
+    assert data["overhead_off_pct"] <= 1.0, data
+
+
+def test_mp_tracing_on_stitches_traces(once, report):
+    # Registered with pytest-benchmark so --benchmark-only keeps it.
+    once(lambda: None)
+    assert report["traces_recorded"] > 0, report

@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 #: surface grows compatibly, the major when anything is removed or
 #: changes shape.  ``tools/check_api.py`` pins the exported surface to
 #: this value.
-API_VERSION = "1.3"
+API_VERSION = "1.4"
 
 #: Lazily resolved re-exports: public name → (module, attribute).
 _EXPORTS: Dict[str, Tuple[str, str]] = {
@@ -109,6 +109,15 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "ShadowScorer": ("repro.lifecycle", "ShadowScorer"),
     "UncertaintyPool": ("repro.lifecycle", "UncertaintyPool"),
     "LifecycleError": ("repro.lifecycle", "LifecycleError"),
+    # observability (cross-process traces, Prometheus exposition, SLOs)
+    "Tracer": ("repro.obs.trace", "Tracer"),
+    "format_trace": ("repro.obs.trace", "format_trace"),
+    "export_trace": ("repro.obs.trace", "export_trace"),
+    "graft": ("repro.obs.trace", "graft"),
+    "SloTracker": ("repro.obs.slo", "SloTracker"),
+    "render_prometheus": ("repro.obs.prom", "render_prometheus"),
+    "worker_series": ("repro.obs.prom", "worker_series"),
+    "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),
     # errors
     "ReproError": ("repro.utils.errors", "ReproError"),
     "ConfigurationError": ("repro.utils.errors", "ConfigurationError"),

@@ -13,7 +13,13 @@ Ten commands cover the deployment lifecycle:
   with ``--shards``);
 * ``link`` — load a saved pipeline and link one or more queries;
 * ``trace`` — link queries with tracing forced on and print each
-  request's span tree (the offline twin of ``GET /traces``);
+  request's span tree (the offline twin of ``GET /traces``); with
+  ``--file`` it renders traces captured from a running server instead,
+  including stitched multi-process trees (worker ``[pid N]`` spans,
+  queue-wait/fusion/dispatch);
+* ``top`` — one ``top``-style snapshot of a running serving tier:
+  rolling SLO window (availability, burn rate, p99 vs deadline),
+  admission-queue and shed counters, and the per-worker slot table;
 * ``evaluate`` — load a saved pipeline and score it against a
   generated dataset's ground-truth queries;
 * ``serve`` — load a saved pipeline and run the long-lived HTTP
@@ -96,6 +102,8 @@ _SERVING_FLAG_DEFAULTS = {
     "admission_queue": 256,
     "deadline_ms": 0.0,
     "shed_policy": "reject_new",
+    "slo_window": 60.0,
+    "slo_availability": 0.999,
 }
 
 #: argparse dest → config dataclass field, where the two differ.
@@ -103,6 +111,7 @@ _FLAG_TO_FIELD = {
     "cache_size": "encoding_cache_size",
     "request_timeout": "request_timeout_s",
     "trace_sample": "trace_sample_rate",
+    "slo_window": "slo_window_s",
 }
 
 
@@ -384,6 +393,15 @@ def _cmd_link(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.trace import Tracer, format_trace
 
+    if args.file:
+        return _print_trace_file(Path(args.file), format_trace)
+    if not args.model or not args.queries:
+        print(
+            "error: provide --model and queries, or --file to render "
+            "captured traces",
+            file=sys.stderr,
+        )
+        return 2
     _, ontology, _, _, linker = load_pipeline(
         args.model, LinkerConfig(k=args.k)
     )
@@ -407,6 +425,129 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print("  -> (no candidates)")
         print()
     return 0
+
+
+def _print_trace_file(path: Path, format_trace) -> int:
+    """Render traces captured from ``GET /v1/traces`` (or one trace dict).
+
+    This is how multi-process traces reach the offline printer: scrape
+    the serving tier's ring buffer to a file, render it here.  The
+    stitched trees print as one tree per request — worker-side spans
+    show their ``[pid N]`` origin, queue-wait/fusion/dispatch spans
+    appear in place.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 1
+    if isinstance(payload, dict) and "spans" in payload:
+        traces = [payload]
+    elif isinstance(payload, dict):
+        traces = payload.get("traces") or []
+    elif isinstance(payload, list):
+        traces = payload
+    else:
+        traces = []
+    if not traces:
+        print(f"no traces in {path}", file=sys.stderr)
+        return 1
+    for trace_dict in traces:
+        print(format_trace(trace_dict))
+        print()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """One ``top``-style snapshot of a running serving tier."""
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    try:
+        with urllib.request.urlopen(
+            base + "/v1/metrics", timeout=args.timeout
+        ) as response:
+            snapshot = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot fetch {base}/v1/metrics: {error}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+        return 0
+    for line in format_top(snapshot, base):
+        print(line)
+    return 0
+
+
+def format_top(snapshot: dict, origin: str = "") -> List[str]:
+    """The ``repro top`` lines for one ``/v1/metrics`` snapshot.
+
+    Pure formatting (testable offline): SLO window, request counters,
+    admission-queue state, and the per-worker slot table when the
+    multi-process front-end is present.
+    """
+    lines: List[str] = []
+    state = "ready" if snapshot.get("ready") else "NOT READY"
+    lines.append(
+        f"repro top — {origin or 'snapshot'} "
+        f"(uptime {snapshot.get('uptime_seconds', 0.0):.0f}s, {state})"
+    )
+    slo = snapshot.get("slo") or {}
+    if slo:
+        availability = slo.get("availability", 1.0) * 100.0
+        objective = slo.get("availability_objective", 0.0) * 100.0
+        burn = slo.get("error_budget_burn_rate", 0.0)
+        p99_ms = slo.get("p99_s", 0.0) * 1e3
+        slo_line = (
+            f"SLO {slo.get('window_s', 0):.0f}s window: "
+            f"availability {availability:.2f}% "
+            f"(objective {objective:.2f}%, burn {burn:.2f}x)  "
+            f"p99 {p99_ms:.1f}ms"
+        )
+        deadline_ms = slo.get("deadline_ms") or 0.0
+        if deadline_ms:
+            hit = slo.get("deadline_hit_ratio", 0.0) * 100.0
+            slo_line += f"  deadline {deadline_ms:.0f}ms (late {hit:.1f}%)"
+        lines.append(slo_line)
+        lines.append(
+            f"window requests: {slo.get('ok', 0)} ok / "
+            f"{slo.get('shed', 0)} shed / {slo.get('errors', 0)} errors"
+        )
+    frontend = snapshot.get("frontend") or {}
+    if frontend:
+        lines.append(
+            f"queue depth {frontend.get('queue_depth', 0)}/"
+            f"{frontend.get('queue_bound', 0)} "
+            f"({frontend.get('shed_policy', '?')})  "
+            f"inflight {frontend.get('inflight_jobs', 0)}  "
+            f"sheds: reject_new={frontend.get('shed_queue_full', 0)} "
+            f"drop_oldest={frontend.get('shed_dropped_oldest', 0)} "
+            f"deadline={frontend.get('shed_deadline', 0)}  "
+            f"deaths={frontend.get('worker_deaths', 0)} "
+            f"redispatches={frontend.get('redispatches', 0)}"
+        )
+        workers = frontend.get("workers") or []
+        if workers:
+            lines.append(
+                f"{'worker':<7}{'pid':<8}{'ready':<6}{'jobs':>6}"
+                f"{'queries':>9}{'errors':>8}{'degraded':>10}"
+                f"{'respawns':>10}{'busy_s':>9}"
+            )
+            for entry in workers:
+                lines.append(
+                    f"{entry.get('worker_id', '?'):<7}"
+                    f"{entry.get('pid', 0):<8}"
+                    f"{'yes' if entry.get('ready') else 'no':<6}"
+                    f"{entry.get('jobs', 0):>6}"
+                    f"{entry.get('queries', 0):>9}"
+                    f"{entry.get('errors', 0):>8}"
+                    f"{entry.get('degraded', 0):>10}"
+                    f"{entry.get('respawns', 0):>10}"
+                    f"{entry.get('busy_s', 0.0):>9.2f}"
+                )
+    return lines
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -654,10 +795,32 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="link queries with tracing forced on and print span trees",
     )
-    trace.add_argument("--model", required=True, help="saved pipeline dir")
+    trace.add_argument("--model", default=None, help="saved pipeline dir")
     trace.add_argument("--k", type=int, default=20)
-    trace.add_argument("queries", nargs="+", help="query text(s)")
+    trace.add_argument(
+        "--file", default=None,
+        help="render traces captured from GET /v1/traces (JSON file) "
+        "instead of linking — stitched multi-process trees print with "
+        "their worker [pid N] and queue-wait spans",
+    )
+    trace.add_argument("queries", nargs="*", help="query text(s)")
     trace.set_defaults(func=_cmd_trace)
+
+    top = commands.add_parser(
+        "top",
+        help="one top-style snapshot of a running serving tier "
+        "(SLO window, admission queue, per-worker table)",
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the serving instance",
+    )
+    top.add_argument("--timeout", type=float, default=5.0)
+    top.add_argument(
+        "--json", action="store_true",
+        help="print the raw /v1/metrics snapshot instead of the table",
+    )
+    top.set_defaults(func=_cmd_top)
 
     runs = commands.add_parser(
         "runs", help="list or diff training-run telemetry directories"
@@ -774,6 +937,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=_SERVING_FLAG_DEFAULTS["shed_policy"],
         help="what to do when the admission queue is full: reject the "
         "new request, or drop the oldest queued one",
+    )
+    serve.add_argument(
+        "--slo-window", type=float,
+        default=_SERVING_FLAG_DEFAULTS["slo_window"],
+        help="rolling SLO window in seconds (availability / p99 vs "
+        "deadline, reported by /v1/metrics and `repro top`)",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float,
+        default=_SERVING_FLAG_DEFAULTS["slo_availability"],
+        help="availability objective the error-budget burn rate is "
+        "computed against (e.g. 0.999)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -471,6 +471,15 @@ class ServingConfig:
         honest backpressure, FIFO fairness; ``drop_oldest`` sheds the
         queue head to admit the arrival — freshest-first, for callers
         that retry aggressively and only value recent answers.
+    slo_window_s:
+        Width of the rolling SLO window (seconds of per-second outcome
+        buckets) the availability / p99-vs-deadline report in
+        ``/metrics`` and ``repro top`` is computed over.
+    slo_availability:
+        The availability objective the error-budget burn rate is judged
+        against: with 0.999, a window serving 99.8% reads as burn 2.0.
+        The latency half of the SLO reuses ``deadline_ms`` (0 disables
+        deadline accounting).
     """
 
     host: str = "127.0.0.1"
@@ -487,6 +496,8 @@ class ServingConfig:
     admission_queue: int = 256
     deadline_ms: float = 0.0
     shed_policy: str = "reject_new"
+    slo_window_s: float = 60.0
+    slo_availability: float = 0.999
 
     def __post_init__(self) -> None:
         if self.warm_retries < 0:
@@ -541,6 +552,15 @@ class ServingConfig:
             raise ConfigurationError(
                 f"shed_policy must be one of {SHED_POLICIES}, got "
                 f"{self.shed_policy!r}"
+            )
+        if self.slo_window_s < 1.0:
+            raise ConfigurationError(
+                f"slo_window_s must be >= 1, got {self.slo_window_s}"
+            )
+        if not 0.0 < self.slo_availability <= 1.0:
+            raise ConfigurationError(
+                "slo_availability must be in (0, 1], got "
+                f"{self.slo_availability}"
             )
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.serving.metrics import MetricsRegistry
 
@@ -43,12 +43,16 @@ def render_prometheus(
     metrics: MetricsRegistry,
     namespace: str = "repro",
     gauges: Optional[Mapping[str, float]] = None,
+    labeled: Optional[Sequence[Mapping[str, Any]]] = None,
 ) -> str:
     """The registry's current state in Prometheus text format.
 
     ``gauges`` carries point-in-time values that are not registry
     counters (readiness, uptime, cache sizes); they render with
-    ``# TYPE ... gauge``.
+    ``# TYPE ... gauge``.  ``labeled`` carries metric families with
+    label sets (one ``{"name", "type", "samples": [(labels, value)]}``
+    mapping per family) — the per-worker series use a ``worker`` label
+    instead of minting one metric name per worker id.
     """
     counters, histograms = metrics.collect()
     lines: List[str] = []
@@ -62,6 +66,19 @@ def render_prometheus(
         metric = f"{namespace}_{sanitize_metric_name(name)}"
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(float(value))}")
+    for family in labeled or ():
+        kind = family.get("type", "gauge")
+        metric = f"{namespace}_{sanitize_metric_name(family['name'])}"
+        if kind == "counter" and not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in family["samples"]:
+            rendered = ",".join(
+                f'{key}="{labels[key]}"' for key in sorted(labels)
+            )
+            lines.append(
+                f"{metric}{{{rendered}}} {_format_value(float(value))}"
+            )
     for name in sorted(histograms):
         histogram = histograms[name]
         metric = f"{namespace}_{sanitize_metric_name(name)}"
@@ -106,9 +123,15 @@ def snapshot_gauges(snapshot: Dict[str, Any]) -> Dict[str, float]:
     lifecycle = snapshot.get("lifecycle")
     if isinstance(lifecycle, Mapping):
         _flatten_numeric(lifecycle, "lifecycle", gauges)
-    # Multi-process front-end: queue depth, shed/death counters, and
-    # per-worker job/query/respawn gauges indexed by worker id — the
-    # operator's view of which worker is hot and which keeps dying.
+    # Rolling SLO window: availability, burn rate, p99 vs deadline.
+    # None leaves (p99_vs_deadline with no deadline) are non-numeric
+    # and stay JSON-only.
+    slo = snapshot.get("slo")
+    if isinstance(slo, Mapping):
+        _flatten_numeric(slo, "slo", gauges)
+    # Multi-process front-end: queue depth, shed/death/redispatch
+    # counters, and sticky-readiness flags.  Per-worker numbers render
+    # as labeled series instead (:func:`worker_series`).
     frontend = snapshot.get("frontend")
     if isinstance(frontend, Mapping):
         scalars = {
@@ -117,24 +140,65 @@ def snapshot_gauges(snapshot: Dict[str, Any]) -> Dict[str, float]:
             if not isinstance(value, (list, tuple, Mapping, str))
         }
         _flatten_numeric(scalars, "frontend", gauges)
-        workers = frontend.get("workers")
-        if isinstance(workers, (list, tuple)):
-            for entry in workers:
-                if not isinstance(entry, Mapping):
-                    continue
-                index = entry.get("worker_id")
-                if index is None:
-                    continue
-                per_worker = {
-                    key: value
-                    for key, value in entry.items()
-                    if key != "worker_id"
-                    and isinstance(value, (bool, int, float))
-                }
-                _flatten_numeric(
-                    per_worker, f"frontend.worker.{index}", gauges
-                )
     return gauges
+
+
+#: Cumulative per-worker counts → ``repro_worker_<name>_total{worker=}``.
+_WORKER_COUNTERS = ("jobs", "queries", "errors", "respawns", "degraded")
+
+#: Point-in-time per-worker state → ``repro_worker_<name>{worker=}``.
+_WORKER_GAUGES = (("alive", "alive"), ("ready", "ready"),
+                  ("busy_s", "busy_seconds"))
+
+
+def worker_series(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-worker labeled metric families from a service snapshot.
+
+    One family per exported field, each with a ``worker`` label per
+    slot, so dashboards can aggregate or fan out (``sum by (worker)``)
+    without name-mangled per-worker metric names.  Empty when the
+    snapshot has no multi-process front-end.
+    """
+    frontend = snapshot.get("frontend")
+    workers = (
+        frontend.get("workers") if isinstance(frontend, Mapping) else None
+    )
+    if not isinstance(workers, (list, tuple)):
+        return []
+    entries = [
+        entry
+        for entry in workers
+        if isinstance(entry, Mapping) and entry.get("worker_id") is not None
+    ]
+    if not entries:
+        return []
+
+    def samples(key):
+        return [
+            (
+                {"worker": str(entry["worker_id"])},
+                float(entry.get(key, 0) or 0),
+            )
+            for entry in entries
+        ]
+
+    families: List[Dict[str, Any]] = [
+        {
+            "name": f"worker_{key}",
+            "type": "counter",
+            "samples": samples(key),
+        }
+        for key in _WORKER_COUNTERS
+    ]
+    families.extend(
+        {
+            "name": f"worker_{rename}",
+            "type": "gauge",
+            "samples": samples(key),
+        }
+        for key, rename in _WORKER_GAUGES
+    )
+    return families
 
 
 def _flatten_numeric(

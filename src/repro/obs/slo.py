@@ -1,0 +1,208 @@
+"""SLO tracking: rolling availability and p99-vs-deadline burn rate.
+
+Counters and histograms (:mod:`repro.serving.metrics`) are cumulative
+since process start — useful for rates over a scrape interval, useless
+for the question an operator actually asks during an incident: *how is
+the service doing right now, against what we promised?*  This module
+keeps a rolling window of request outcomes and answers exactly that:
+
+* **availability** — the served fraction of requests in the window
+  (sheds, timeouts, and errors all count against it), compared to the
+  configured objective as an error-budget **burn rate**: burn 1.0
+  means the deployment is spending its budget exactly as fast as the
+  objective allows, burn 10 means a page;
+* **latency vs deadline** — the window's p99 latency next to the
+  serving deadline, plus the fraction of served requests that came
+  back later than the deadline (late answers are goodput loss even
+  when technically "served").
+
+Implementation: a ring of per-second buckets, each holding outcome
+counts and a small log-spaced latency histogram.  Recording is O(1)
+and lock-cheap; a snapshot merges the live buckets.  The clock is
+injectable (``now=``) so every edge is deterministic under test.
+Stdlib-only, no imports from ``repro`` — same layering rule as
+:mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Latency bucket bounds: 100 µs .. ~105 s, two buckets per octave —
+#: the same resolution the serving histograms use, enough for a p99
+#: estimate against a millisecond-scale deadline.
+def _latency_bounds() -> List[float]:
+    bounds = []
+    value = 100e-6
+    while value < 120.0:
+        bounds.append(value)
+        value *= math.sqrt(2.0)
+    return bounds
+
+
+class _SecondBucket:
+    """Outcome and latency counts for one wall-clock second."""
+
+    __slots__ = ("epoch", "ok", "errors", "shed", "over_deadline", "latency")
+
+    def __init__(self, n_bounds: int) -> None:
+        self.epoch = -1
+        self.ok = 0
+        self.errors = 0
+        self.shed = 0
+        self.over_deadline = 0
+        self.latency = [0] * (n_bounds + 1)
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.ok = 0
+        self.errors = 0
+        self.shed = 0
+        self.over_deadline = 0
+        for index in range(len(self.latency)):
+            self.latency[index] = 0
+
+
+class SloTracker:
+    """Rolling-window availability and latency-SLO accounting.
+
+    Parameters
+    ----------
+    window_s:
+        How many seconds of history the rolling window holds (one
+        bucket per second).
+    availability_objective:
+        The availability SLO, e.g. ``0.999``; the burn rate is the
+        window's failure fraction divided by the objective's allowance
+        ``1 - objective``.
+    deadline_ms:
+        The serving latency deadline the p99 is judged against; 0
+        disables deadline accounting (``deadline_hit_ratio`` stays 0
+        and ``p99_vs_deadline`` is reported as ``None``).
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        availability_objective: float = 0.999,
+        deadline_ms: float = 0.0,
+    ) -> None:
+        if window_s < 1.0:
+            raise ValueError(f"window_s must be >= 1, got {window_s}")
+        if not 0.0 < availability_objective <= 1.0:
+            raise ValueError(
+                "availability_objective must be in (0, 1], got "
+                f"{availability_objective}"
+            )
+        if deadline_ms < 0.0:
+            raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
+        self.window_s = float(window_s)
+        self.availability_objective = availability_objective
+        self.deadline_ms = deadline_ms
+        self._bounds = _latency_bounds()
+        self._n = int(math.ceil(window_s))
+        self._buckets = [_SecondBucket(len(self._bounds)) for _ in range(self._n)]
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def _bucket(self, now: float) -> _SecondBucket:
+        epoch = int(now)
+        bucket = self._buckets[epoch % self._n]
+        if bucket.epoch != epoch:
+            bucket.reset(epoch)
+        return bucket
+
+    def _latency_index(self, seconds: float) -> int:
+        low, high = 0, len(self._bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if seconds <= self._bounds[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    def record(
+        self,
+        latency_s: float,
+        outcome: str = "ok",
+        now: Optional[float] = None,
+    ) -> None:
+        """Book one request: ``outcome`` is ``ok``, ``shed``, or ``error``.
+
+        Only served (``ok``) requests contribute latency samples —
+        shed and failed requests have no meaningful service time, and
+        folding their (short) latencies in would *flatter* the p99.
+        """
+        clock = now if now is not None else time.monotonic()
+        with self._lock:
+            bucket = self._bucket(clock)
+            if outcome == "ok":
+                bucket.ok += 1
+                bucket.latency[self._latency_index(latency_s)] += 1
+                if self.deadline_ms > 0 and latency_s * 1000.0 > self.deadline_ms:
+                    bucket.over_deadline += 1
+            elif outcome == "shed":
+                bucket.shed += 1
+            else:
+                bucket.errors += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def _live(self, now: float) -> List[_SecondBucket]:
+        floor = int(now) - self._n + 1
+        return [b for b in self._buckets if b.epoch >= floor]
+
+    def _p99(self, counts: List[int], total: int) -> float:
+        if total == 0:
+            return 0.0
+        rank = 0.99 * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index >= len(self._bounds):
+                    return self._bounds[-1]
+                return self._bounds[index]
+        return self._bounds[-1]
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """JSON-ready window report (all numbers, prom-flattenable)."""
+        clock = now if now is not None else time.monotonic()
+        with self._lock:
+            live = self._live(clock)
+            ok = sum(b.ok for b in live)
+            errors = sum(b.errors for b in live)
+            shed = sum(b.shed for b in live)
+            over = sum(b.over_deadline for b in live)
+            merged = [0] * (len(self._bounds) + 1)
+            for bucket in live:
+                for index, count in enumerate(bucket.latency):
+                    merged[index] += count
+        total = ok + errors + shed
+        availability = ok / total if total else 1.0
+        allowance = 1.0 - self.availability_objective
+        burn = ((1.0 - availability) / allowance) if allowance > 0 else 0.0
+        p99 = self._p99(merged, ok)
+        report: Dict[str, Any] = {
+            "window_s": self.window_s,
+            "availability_objective": self.availability_objective,
+            "requests": total,
+            "ok": ok,
+            "errors": errors,
+            "shed": shed,
+            "availability": availability,
+            "error_budget_burn_rate": burn,
+            "p99_s": p99,
+            "deadline_ms": self.deadline_ms,
+            "over_deadline": over,
+            "deadline_hit_ratio": (over / ok) if (ok and self.deadline_ms) else 0.0,
+            "p99_vs_deadline": (
+                p99 * 1000.0 / self.deadline_ms if self.deadline_ms else None
+            ),
+        }
+        return report

@@ -70,6 +70,9 @@ class _NoopSpan:
     def add_event(self, name: str, **attrs: Any) -> "_NoopSpan":
         return self
 
+    def child(self, name: str, **tags: Any) -> "_NoopSpan":
+        return self
+
     def end(self) -> None:
         return None
 
@@ -115,12 +118,13 @@ class _TraceRecord:
             self.next_span_id += 1
             return f"s{self.next_span_id}"
 
-    def append(self, span_dict: Dict[str, Any]) -> None:
+    def append(self, span_dict: Dict[str, Any]) -> bool:
         with self.lock:
             if len(self.spans) >= MAX_SPANS_PER_TRACE:
                 self.dropped_spans += 1
-                return
+                return False
             self.spans.append(span_dict)
+            return True
 
     def as_dict(self) -> Dict[str, Any]:
         with self.lock:
@@ -211,6 +215,15 @@ class Span:
                 event["attrs"] = attrs
             self.events.append(event)
         return self
+
+    def child(self, name: str, **tags: Any) -> "Span":
+        """A manual-lifetime child span (not installed as current).
+
+        The front-end's dispatcher uses this to hang queue-wait and
+        dispatch spans under a request span it holds by reference but
+        whose context it never entered.
+        """
+        return self.tracer._child(self, name, tags or None)
 
     def end(self) -> None:
         """Finish the span (idempotent); roots finalise their trace."""
@@ -435,6 +448,84 @@ def span_event(name: str, **attrs: Any) -> None:
         span_obj.add_event(name, **attrs)
 
 
+# -- cross-process transport -------------------------------------------------
+#
+# A worker process cannot share Span objects with the parent: spans
+# live in a per-process _TraceRecord.  Instead the worker runs its own
+# Tracer, finishes its local trace, ships the plain-dict payload
+# (export_trace) back over the result pipe, and the parent grafts the
+# subtree under the span that dispatched the job (graft).  Clock
+# alignment uses the wall-clock ``started_at`` both records carry —
+# same machine, same clock, so offsets line up to scheduler noise.
+
+
+def export_trace(root_span) -> Optional[Dict[str, Any]]:
+    """Serialise a finished span's whole trace for pipe transport.
+
+    Returns ``None`` for no-op spans, so untraced requests ship no
+    payload at all (the sampling-off fast path stays free).  Call after
+    the root has ended; the payload is the record's JSON-ready dict.
+    """
+    if root_span is None or not getattr(root_span, "is_recording", False):
+        return None
+    return root_span._record.as_dict()
+
+
+def graft(parent_span, payload: Optional[Dict[str, Any]]) -> int:
+    """Splice a foreign (serialised) span tree under ``parent_span``.
+
+    Foreign span IDs are re-allocated from the parent's record (two
+    workers' subtrees can never collide), parent links are remapped,
+    and start offsets / event times are shifted onto the parent
+    record's timebase via the wall-clock delta between the two traces'
+    ``started_at``.  Foreign roots — and any span whose parent did not
+    survive the worker's span cap — attach directly under
+    ``parent_span``, so a truncated subtree degrades to a flatter tree
+    instead of dropping spans.  Returns the number of spans grafted
+    (0 for no-op parents or empty payloads); the trace's span cap still
+    applies, with overflow counted in ``dropped_spans``.
+    """
+    if (
+        parent_span is None
+        or not getattr(parent_span, "is_recording", False)
+        or not payload
+        or not payload.get("spans")
+    ):
+        return 0
+    record = parent_span._record
+    base = float(payload.get("started_at", record.started_at)) - record.started_at
+    id_map = {
+        span_dict["span_id"]: record.allocate_span_id()
+        for span_dict in payload["spans"]
+    }
+    grafted = 0
+    for span_dict in payload["spans"]:
+        events = []
+        for event in span_dict.get("events", ()):
+            shifted = dict(event)
+            shifted["at_s"] = event.get("at_s", 0.0) + base
+            events.append(shifted)
+        if record.append(
+            {
+                "span_id": id_map[span_dict["span_id"]],
+                "parent_id": id_map.get(
+                    span_dict.get("parent_id"), parent_span.span_id
+                ),
+                "name": span_dict["name"],
+                "start_s": span_dict["start_s"] + base,
+                "duration_s": span_dict["duration_s"],
+                "tags": dict(span_dict.get("tags") or {}),
+                "events": events,
+            }
+        ):
+            grafted += 1
+    dropped = payload.get("dropped_spans", 0)
+    if dropped:
+        with record.lock:
+            record.dropped_spans += dropped
+    return grafted
+
+
 # -- rendering --------------------------------------------------------------
 
 
@@ -456,10 +547,25 @@ def _walk(
 
 
 def format_trace(trace_dict: Dict[str, Any]) -> str:
-    """Render one finished trace as an indented span tree."""
+    """Render one finished trace as an indented span tree.
+
+    Stitched multi-process traces render as one tree: spans grafted
+    from a worker process show their origin ``[pid N]`` inline, and a
+    span whose parent is missing from the trace (a foreign subtree
+    whose link was lost) is promoted to the root level and marked
+    ``(orphan)`` instead of being silently dropped.
+    """
+    known_ids = {span_dict["span_id"] for span_dict in trace_dict["spans"]}
     children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    orphans: List[Dict[str, Any]] = []
     for span_dict in trace_dict["spans"]:
-        children.setdefault(span_dict["parent_id"], []).append(span_dict)
+        parent_id = span_dict["parent_id"]
+        if parent_id is not None and parent_id not in known_ids:
+            orphans.append(span_dict)
+            children.setdefault(None, []).append(span_dict)
+        else:
+            children.setdefault(parent_id, []).append(span_dict)
+    orphan_ids = {span_dict["span_id"] for span_dict in orphans}
     for sibling_list in children.values():
         sibling_list.sort(key=lambda s: s["start_s"])
     lines = [
@@ -473,12 +579,19 @@ def format_trace(trace_dict: Dict[str, Any]) -> str:
         )
     ]
     for depth, span_dict in _walk(children, None, 0):
+        tags = dict(span_dict["tags"])
+        origin = ""
+        if "pid" in tags:
+            origin = f" [pid {tags.pop('pid')}]"
+        marker = " (orphan)" if span_dict["span_id"] in orphan_ids else ""
         lines.append(
-            "{indent}{name} {duration:.2f}ms{tags}".format(
+            "{indent}{name} {duration:.2f}ms{origin}{marker}{tags}".format(
                 indent="  " * (depth + 1),
                 name=span_dict["name"],
                 duration=span_dict["duration_s"] * 1e3,
-                tags=_format_tags(span_dict["tags"]),
+                origin=origin,
+                marker=marker,
+                tags=_format_tags(tags),
             )
         )
         for event in span_dict["events"]:

@@ -25,6 +25,17 @@ The dispatcher blocks in :func:`multiprocessing.connection.wait` over
 the worker pipes plus a socketpair wakeup channel, so it consumes zero
 CPU while idle and reacts to both worker completions and new arrivals
 without polling.
+
+Observability: ``submit`` optionally carries one parent span per query.
+The front-end hangs ``frontend.queue`` / ``frontend.fuse`` /
+``frontend.dispatch`` child spans under each, ships the request IDs to
+the worker, and grafts the worker's serialized ``worker.link`` subtree
+back under the dispatch span — one stitched trace per request, spanning
+processes.  Shed requests get a ``frontend.shed`` point event before
+their future is rejected, so overload is visible in traces, not just
+counters.  When a :class:`~repro.serving.metrics.MetricsRegistry` is
+attached, the same events feed shed counters by reason, queue-wait and
+fused-batch-size histograms, and per-worker decode stats.
 """
 
 from __future__ import annotations
@@ -34,11 +45,13 @@ import socket
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from multiprocessing import connection as mp_connection
 
+from repro.obs import trace
 from repro.serving.batcher import BatchFuture
+from repro.serving.metrics import MetricsRegistry
 from repro.serving.procpool import ProcessPool, WorkerHandle
 from repro.utils.logging import get_logger
 
@@ -47,6 +60,22 @@ LOGGER = get_logger("serving.frontend")
 #: How many times a job is re-dispatched after killing a worker before
 #: it is failed back to the caller (1 = one respawn-and-retry).
 MAX_REDISPATCHES = 1
+
+#: Fused-batch-size histogram buckets (queries per worker job, not
+#: seconds — the histogram machinery only needs positive bounds).
+FUSED_BATCH_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+#: Front-end counter → registry counter mirror: the shed counters are
+#: named by admission *reason* in the exposition, per the SLO docs.
+_COUNTER_METRICS = {
+    "shed_queue_full": "frontend.shed.reject_new",
+    "shed_dropped_oldest": "frontend.shed.drop_oldest",
+    "shed_deadline": "frontend.shed.deadline",
+    "worker_deaths": "frontend.worker_deaths",
+    "redispatches": "frontend.redispatches",
+    "jobs_failed": "frontend.jobs_failed",
+    "jobs_ok": "frontend.jobs_ok",
+}
 
 
 class ShedError(RuntimeError):
@@ -65,16 +94,78 @@ class ShedError(RuntimeError):
 class FrontendJob:
     """One ``link_many`` burst waiting for (or on) a worker."""
 
-    __slots__ = ("queries", "ks", "future", "admitted_at", "dispatches")
+    __slots__ = (
+        "queries",
+        "ks",
+        "future",
+        "admitted_at",
+        "dispatches",
+        "spans",
+        "queue_spans",
+        "dispatch_spans",
+    )
 
     def __init__(
-        self, queries: List[str], ks: List[Optional[int]], admitted_at: float
+        self,
+        queries: List[str],
+        ks: List[Optional[int]],
+        admitted_at: float,
+        spans: Optional[Sequence[Any]] = None,
     ) -> None:
         self.queries = queries
         self.ks = ks
         self.future: BatchFuture[List[Any]] = BatchFuture()
         self.admitted_at = admitted_at
         self.dispatches = 0
+        #: One optional parent span per query, handed over by the
+        #: submitting thread; queue/fuse/dispatch children hang under
+        #: it, and the worker's subtree is grafted back beneath them.
+        normalized: List[Any] = list(spans) if spans is not None else []
+        while len(normalized) < len(queries):
+            normalized.append(None)
+        self.spans = normalized[: len(queries)]
+        self.queue_spans: List[Any] = [None] * len(queries)
+        self.dispatch_spans: List[Any] = [None] * len(queries)
+
+    def traced(self) -> bool:
+        """True when any query carries a recording parent span."""
+        return any(s is not None and s.is_recording for s in self.spans)
+
+    def open_queue_spans(self, redispatch: bool = False) -> None:
+        """A ``frontend.queue`` child per traced query (wait visible)."""
+        for index, parent in enumerate(self.spans):
+            if parent is not None and parent.is_recording:
+                child = parent.child("frontend.queue")
+                if redispatch:
+                    child.set_tag("redispatch", True)
+                self.queue_spans[index] = child
+
+    def close_queue_spans(self) -> None:
+        """End the queue-wait spans (the job is leaving the queue)."""
+        for index, queued in enumerate(self.queue_spans):
+            if queued is not None:
+                queued.end()
+                self.queue_spans[index] = None
+
+    def shed(self, reason: str) -> None:
+        """Make the shed visible in the trace before the future rejects."""
+        for parent in self.spans:
+            if parent is not None and parent.is_recording:
+                parent.add_event("frontend.shed", reason=reason)
+        for index, queued in enumerate(self.queue_spans):
+            if queued is not None:
+                queued.set_tag("shed", reason)
+                queued.end()
+                self.queue_spans[index] = None
+
+    def close_dispatch_spans(self, error: Optional[str] = None) -> None:
+        """End the dispatch spans, tagging the worker error if any."""
+        for index, dispatched in enumerate(self.dispatch_spans):
+            if dispatched is not None:
+                if error is not None:
+                    dispatched.set_tag("error", error)
+                dispatched.end()
+                self.dispatch_spans[index] = None
 
 
 class AdmissionQueue:
@@ -166,8 +257,10 @@ class AsyncFrontend:
         deadline_ms: float = 0.0,
         shed_policy: str = "reject_new",
         max_batch_size: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.pool = pool
+        self.metrics = metrics
         self.queue = AdmissionQueue(
             admission_bound, policy=shed_policy, deadline_s=deadline_ms / 1000.0
         )
@@ -201,19 +294,33 @@ class AsyncFrontend:
     # -- submission (HTTP threads) ------------------------------------------
 
     def submit(
-        self, queries: List[str], ks: List[Optional[int]]
+        self,
+        queries: List[str],
+        ks: List[Optional[int]],
+        spans: Optional[Sequence[Any]] = None,
     ) -> "BatchFuture[List[Any]]":
-        """Admit one burst; returns the future for its result list."""
+        """Admit one burst; returns the future for its result list.
+
+        ``spans`` optionally carries one parent span per query; queue,
+        fusion, and dispatch children hang under them and the worker's
+        span subtree is stitched back beneath the dispatch span.
+        """
         if self._stopped.is_set():
             raise ShedError("shutdown", "front-end is stopped")
-        job = FrontendJob(list(queries), list(ks), time.monotonic())
+        job = FrontendJob(list(queries), list(ks), time.monotonic(), spans)
+        # Queue spans open *before* the offer: once the job is in the
+        # queue the dispatcher may take it from another thread, and a
+        # reject_new shed closes them with the shed tag.
+        job.open_queue_spans()
         try:
             dropped = self.queue.offer(job)
         except ShedError:
             self._count("shed_queue_full")
+            job.shed("reject_new")
             raise
         for old in dropped:
             self._count("shed_dropped_oldest")
+            old.shed("drop_oldest")
             old.future._reject(
                 ShedError(
                     "dropped_oldest",
@@ -233,6 +340,17 @@ class AsyncFrontend:
     def _count(self, name: str, amount: int = 1) -> None:
         with self._counters_lock:
             self.counters[name] += amount
+        if self.metrics is not None:
+            self.metrics.counter(_COUNTER_METRICS[name]).inc(amount)
+
+    def _observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name, bounds=bounds).observe(value)
 
     # -- dispatch loop -------------------------------------------------------
 
@@ -298,16 +416,35 @@ class AsyncFrontend:
             return  # stale result from a pre-respawn job already failed
         jobs, sizes = entry
         if message[1] == "ok":
-            results = message[2]
+            results, traces, job_stats = message[2], message[3], message[4]
             self._count("jobs_ok")
+            if job_stats:
+                handle.degraded += job_stats.get("degraded", 0)
+                handle.busy_s += job_stats.get("decode_s", 0.0)
+                self._observe(
+                    "frontend.worker_decode_seconds",
+                    job_stats.get("decode_s", 0.0),
+                )
             offset = 0
             for job, size in zip(jobs, sizes):
+                # Graft each worker subtree under its dispatch span
+                # *before* resolving the future: the caller ends the
+                # root right after, finalising the stitched trace.
+                for index in range(size):
+                    dispatched = job.dispatch_spans[index]
+                    if dispatched is not None:
+                        if traces is not None:
+                            trace.graft(dispatched, traces[offset + index])
+                        dispatched.end()
+                        job.dispatch_spans[index] = None
                 job.future._resolve(results[offset : offset + size])
                 offset += size
         else:
             self._count("jobs_failed")
-            error = RuntimeError(f"worker error: {message[2]}: {message[3]}")
+            detail = f"{message[2]}: {message[3]}"
+            error = RuntimeError(f"worker error: {detail}")
             for job in jobs:
+                job.close_dispatch_spans(error=detail)
                 job.future._reject(error)
 
     def _on_worker_death(self, handle: WorkerHandle) -> None:
@@ -323,10 +460,16 @@ class AsyncFrontend:
             return
         jobs, _ = entry
         for job in jobs:
+            job.close_dispatch_spans(error="worker_died")
             if job.dispatches <= MAX_REDISPATCHES:
                 # Back to the head of the queue: the retried request
-                # keeps its place, so a crash cannot starve it.
+                # keeps its place, so a crash cannot starve it.  The
+                # retry wait is a fresh (tagged) queue span.
                 self._count("redispatches")
+                for parent in job.spans:
+                    if parent is not None and parent.is_recording:
+                        parent.add_event("frontend.redispatch")
+                job.open_queue_spans(redispatch=True)
                 self.queue.requeue_front(job)
             else:
                 job.future._reject(
@@ -348,6 +491,7 @@ class AsyncFrontend:
                 job, expired = self.queue.take()
                 for stale in expired:
                     self._count("shed_deadline")
+                    stale.shed("deadline")
                     stale.future._reject(
                         ShedError(
                             "deadline",
@@ -367,14 +511,45 @@ class AsyncFrontend:
             if not fused:
                 return  # queue drained; later workers have nothing either
             job_id = next(self._job_ids)
+            now = time.monotonic()
             flat_queries = [q for job in fused for q in job.queries]
             flat_ks = [k for job in fused for k in job.ks]
+            trace_ids: List[Optional[str]] = []
+            traced = False
             for job in fused:
                 job.dispatches += 1
+                self._observe(
+                    "frontend.queue_wait_seconds", now - job.admitted_at
+                )
+                job.close_queue_spans()
+                for index, parent in enumerate(job.spans):
+                    if parent is None or not parent.is_recording:
+                        trace_ids.append(None)
+                        continue
+                    traced = True
+                    trace_ids.append(parent.request_id)
+                    parent.child(
+                        "frontend.fuse",
+                        fused_jobs=len(fused),
+                        fused_queries=queries,
+                    ).end()
+                    job.dispatch_spans[index] = parent.child(
+                        "frontend.dispatch",
+                        worker=handle.worker_id,
+                        job=job_id,
+                    )
+            self._observe(
+                "frontend.fused_batch_size",
+                float(queries),
+                bounds=FUSED_BATCH_BOUNDS,
+            )
             self._inflight[job_id] = (fused, [len(j.queries) for j in fused])
             handle.inflight = job_id
             try:
-                handle.conn.send((job_id, flat_queries, flat_ks))
+                handle.conn.send(
+                    (job_id, flat_queries, flat_ks,
+                     trace_ids if traced else None)
+                )
             except (OSError, BrokenPipeError):
                 self._on_worker_death(handle)
                 continue
@@ -384,9 +559,11 @@ class AsyncFrontend:
     def _shutdown_reject(self) -> None:
         error = ShedError("shutdown", "front-end is stopped")
         for job in self.queue.drain():
+            job.shed("shutdown")
             job.future._reject(error)
         for jobs, _ in self._inflight.values():
             for job in jobs:
+                job.close_dispatch_spans(error="shutdown")
                 if not job.future.done():
                     job.future._reject(error)
         self._inflight.clear()
@@ -430,7 +607,13 @@ class AsyncFrontend:
             "queue_bound": self.queue.bound,
             "shed_policy": self.queue.policy,
             "deadline_ms": self.queue.deadline_s * 1000.0,
+            "max_batch_size": self._max_batch_size,
             "inflight_jobs": len(self._inflight),
+            # Sticky readiness, made explicit for the exposition: ready
+            # survives worker deaths; only init errors / stop poison it.
+            "ready": self.ready,
+            "all_ready": self.all_ready.is_set(),
+            "init_failed": self.init_error is not None,
             **counters,
             "workers": self.pool.stats(),
         }
@@ -444,6 +627,7 @@ def build_frontend(
     shed_policy: str = "reject_new",
     max_batch_size: int = 8,
     warm: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AsyncFrontend:
     """Fork ``workers`` processes and wire the dispatcher over them."""
     pool = ProcessPool(build_linker, workers, warm=warm)
@@ -453,4 +637,5 @@ def build_frontend(
         deadline_ms=deadline_ms,
         shed_policy=shed_policy,
         max_batch_size=max_batch_size,
+        metrics=metrics,
     )

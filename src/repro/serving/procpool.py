@@ -17,8 +17,20 @@ separate processes:
   this);
 * the parent speaks a tiny framed protocol over one duplex pipe per
   worker — ``("ready", pid)`` / ``("init_error", type, msg)`` after
-  construction, then ``(job_id, queries, ks)`` requests answered by
-  ``(job_id, "ok", results)`` or ``(job_id, "error", type, msg)``.
+  construction, then ``(job_id, queries, ks, trace_ids)`` requests
+  answered by ``(job_id, "ok", results, traces, stats)`` or
+  ``(job_id, "error", type, msg)``.  ``trace_ids`` carries one
+  optional request ID per query: for each traced query the worker runs
+  its own local :class:`~repro.obs.trace.Tracer` (the parent's span
+  objects cannot cross the fork), tags the local root with its pid and
+  worker id, and ships the finished span subtree back in ``traces``
+  for the front-end to graft under the dispatching span — one stitched
+  tree per request, spanning processes.  With every ``trace_ids``
+  entry ``None`` (sampling off) no tracer is ever built and the reply
+  carries ``None`` placeholders: the no-sampling fast path stays flat.
+  ``stats`` is a small always-on dict (query/degrade counts, per-phase
+  seconds, decode wall time) the parent aggregates into the shared
+  metrics plane.
 
 Determinism: every worker runs the same pure function over the same
 frozen artifact, so which worker serves a request cannot change its
@@ -31,9 +43,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import trace
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("serving.procpool")
@@ -66,6 +80,9 @@ def _worker_main(
             conn.close()
         return
     conn.send(("ready", os.getpid()))
+    # Built on first traced job only: the untraced path must not pay
+    # for a tracer it never uses.
+    tracer: Optional[trace.Tracer] = None
     while True:
         try:
             message = conn.recv()
@@ -73,14 +90,72 @@ def _worker_main(
             break  # parent is gone; nothing left to serve
         if message is _SHUTDOWN:
             break
-        job_id, queries, ks = message
+        job_id, queries, ks, trace_ids = message
+        roots: Optional[List[Any]] = None
+        if trace_ids is not None and any(rid for rid in trace_ids):
+            if tracer is None:
+                tracer = trace.Tracer(sample_rate=1.0, capacity=1)
+            roots = [
+                _start_worker_root(
+                    tracer, request_id, worker_id, len(queries)
+                )
+                if request_id
+                else None
+                for request_id in trace_ids
+            ]
+        started = time.perf_counter()
         try:
-            results = linker.link_batch(queries, k=ks)
+            results = linker.link_batch(queries, k=ks, trace_contexts=roots)
         except Exception as error:  # noqa: BLE001 - forwarded to the caller
+            if roots is not None:
+                for root in roots:
+                    if root is not None:
+                        root.set_tag("error", type(error).__name__)
+                        root.end()
             conn.send((job_id, "error", type(error).__name__, str(error)))
         else:
-            conn.send((job_id, "ok", results))
+            elapsed = time.perf_counter() - started
+            traces: Optional[List[Optional[Dict[str, Any]]]] = None
+            if roots is not None:
+                for root in roots:
+                    if root is not None:
+                        root.end()
+                traces = [trace.export_trace(root) for root in roots]
+            conn.send(
+                (job_id, "ok", results, traces, _job_stats(results, elapsed))
+            )
     conn.close()
+
+
+def _start_worker_root(
+    tracer: "trace.Tracer",
+    request_id: str,
+    worker_id: int,
+    batch_queries: int,
+):
+    """One local root span for a traced query, tagged with its origin."""
+    root = tracer.start_trace("worker.link", request_id=request_id)
+    root.set_tag("pid", os.getpid())
+    root.set_tag("worker_id", worker_id)
+    root.set_tag("batch_queries", batch_queries)
+    return root
+
+
+def _job_stats(results: Sequence[Any], elapsed: float) -> Dict[str, Any]:
+    """The per-reply metrics delta shipped back with every result."""
+    phase_seconds: Dict[str, float] = {}
+    degraded = 0
+    for result in results:
+        if result.degraded:
+            degraded += 1
+        for phase, seconds in result.timing.items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+    return {
+        "queries": len(results),
+        "degraded": degraded,
+        "decode_s": elapsed,
+        "phase_seconds": phase_seconds,
+    }
 
 
 @dataclass
@@ -97,6 +172,11 @@ class WorkerHandle:
     queries: int = 0
     errors: int = 0
     respawns: int = 0
+    degraded: int = 0
+    #: Cumulative seconds this worker spent decoding (from its own
+    #: per-reply stats) — per-worker utilisation and mean job latency
+    #: derive from this without a per-worker histogram.
+    busy_s: float = 0.0
     #: The job currently on this worker's pipe, if any (set by the
     #: front-end's dispatcher; used to re-dispatch after a crash).
     inflight: Optional[object] = field(default=None, repr=False)
@@ -116,6 +196,8 @@ class WorkerHandle:
             "queries": self.queries,
             "errors": self.errors,
             "respawns": self.respawns,
+            "degraded": self.degraded,
+            "busy_s": self.busy_s,
         }
 
 

@@ -25,6 +25,11 @@ The API is versioned under ``/v1`` (JSON unless noted):
 * ``GET /v1/admin/lifecycle`` — model-lifecycle status (uncertainty
   pool fill, swap state, shadow report, rollback reason codes); 404
   ``lifecycle_disabled`` when no controller is attached.
+* ``GET /v1/admin/workers`` — multi-process tier introspection: the
+  per-worker slot table (pid, readiness, job/query/error/respawn/
+  degrade counts, busy seconds), the front-end's queue/shed/fusion
+  counters, and the rolling SLO window; 404 ``workers_disabled`` on
+  the single-process tier.  v1-only.
 * ``POST /v1/admin/swap`` — body ``{"action": "promote"}`` (optional
   ``"force": true``) or ``{"action": "rollback"}``; drives the
   blue/green swapper.  Promotion blocked by a quality gate answers 409
@@ -60,7 +65,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.api import API_VERSION
 from repro.core.linker import LinkResult
 from repro.obs import trace
-from repro.obs.prom import render_prometheus, snapshot_gauges
+from repro.obs.prom import render_prometheus, snapshot_gauges, worker_series
 from repro.serving.frontend import ShedError
 from repro.serving.service import LinkingService, ServiceNotReadyError
 from repro.utils.errors import ReproError
@@ -231,12 +236,15 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
         request_id: Optional[str] = None,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
+        # Every error echoes X-Request-ID, like success responses do:
+        # a shed or init-failure 503 is exactly the response a caller
+        # most needs to correlate with logs and traces.
+        rid = request_id or self._request_id()
+        merged = {"X-Request-ID": rid}
+        if headers:
+            merged.update(headers)
         self._respond(
-            status,
-            error_envelope(
-                code, message, request_id or self._request_id()
-            ),
-            headers=headers,
+            status, error_envelope(code, message, rid), headers=merged
         )
 
     def _route(self) -> Tuple[str, Dict[str, list], bool]:
@@ -295,7 +303,9 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                 self._respond_text(
                     200,
                     render_prometheus(
-                        service.metrics, gauges=snapshot_gauges(snapshot)
+                        service.metrics,
+                        gauges=snapshot_gauges(snapshot),
+                        labeled=worker_series(snapshot),
                     ),
                     headers=extra,
                 )
@@ -303,6 +313,28 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                 self._respond(200, snapshot, headers=extra)
         elif path == "/traces":
             self._respond_traces(params, extra)
+        elif path == "/admin/workers" and not legacy:
+            snapshot = service.snapshot()
+            frontend = snapshot.get("frontend")
+            if frontend is None:
+                self._respond_error(
+                    404,
+                    "workers_disabled",
+                    "this service runs the single-process tier (workers=0)",
+                )
+            else:
+                self._respond(
+                    200,
+                    {
+                        "workers": frontend.get("workers", []),
+                        "frontend": {
+                            key: value
+                            for key, value in frontend.items()
+                            if key != "workers"
+                        },
+                        "slo": snapshot.get("slo"),
+                    },
+                )
         elif path == "/admin/lifecycle" and not legacy:
             lifecycle = getattr(service, "lifecycle", None)
             if lifecycle is None:
@@ -400,8 +432,10 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
             results = self.server.service.link_many(queries, k=k)
         except BadRequestError as error:
             return 400, error_body("bad_request", str(error))
-        except ServiceNotReadyError:
-            return 503, error_body("not_ready", "warm-up has not completed")
+        except ServiceNotReadyError as error:
+            # The exception's own message matters: for the procpool
+            # tier it names a failed worker's init error.
+            return 503, error_body("not_ready", str(error))
         except ShedError as error:
             # Load shedding is a 503 like not-ready — the service is
             # alive but refusing this request; retry against a less

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import ServingConfig
 from repro.core.linker import LinkResult, NeuralConceptLinker
 from repro.obs import trace
+from repro.obs.slo import SloTracker
 from repro.obs.trace import Tracer
 from repro.serving.batcher import MicroBatcher
 from repro.serving.frontend import AsyncFrontend, ShedError
@@ -71,6 +72,11 @@ class LinkingService:
                 sample_rate=self.config.trace_sample_rate,
                 capacity=self.config.trace_buffer,
             )
+        )
+        self.slo = SloTracker(
+            window_s=self.config.slo_window_s,
+            availability_objective=self.config.slo_availability,
+            deadline_ms=self.config.deadline_ms,
         )
         self._ready = threading.Event()
         self._stopped = threading.Event()
@@ -228,6 +234,10 @@ class LinkingService:
         bound = self.config.admission_queue
         if bound > 0 and self._batcher.qsize() >= bound:
             self.metrics.counter("requests_shed").inc()
+            # The shed must be visible in the trace, not only counters.
+            trace.span_event("frontend.shed", reason="queue_full")
+            for _ in queries:
+                self.slo.record(0.0, outcome="shed")
             raise ShedError(
                 "queue_full",
                 f"admission queue is full ({bound} waiting); request shed",
@@ -267,11 +277,15 @@ class LinkingService:
                     span.set_tag("degraded_reason", result.degraded_reason)
         except TimeoutError:
             self.metrics.counter("requests_timeout").inc()
+            for _ in queries:
+                self.slo.record(0.0, outcome="error")
             raise
         except Exception:
             # Exception, not BaseException: KeyboardInterrupt/SystemExit
             # must propagate without being booked as request failures.
             self.metrics.counter("requests_failed").inc()
+            for _ in queries:
+                self.slo.record(0.0, outcome="error")
             raise
         finally:
             for span in spans:
@@ -281,6 +295,7 @@ class LinkingService:
             self.metrics.counter("requests_total").inc()
             self.metrics.counter("concepts_returned").inc(len(result.ranked))
             self.metrics.observe_breakdown(result.timing)
+            self.slo.record(elapsed, outcome="ok")
             if result.degraded:
                 self.metrics.counter("requests_degraded").inc()
                 reason = result.degraded_reason or ""
@@ -363,6 +378,7 @@ class LinkingService:
         report.update(self.metrics.snapshot())
         report["batcher"] = self._batcher.stats.as_dict()
         report["traces"] = self.tracer.stats()
+        report["slo"] = self.slo.snapshot()
         cache_stats = getattr(self.linker, "cache_stats", None)
         if callable(cache_stats):
             report["caches"] = {
@@ -440,6 +456,11 @@ class ProcPoolLinkingService:
                 capacity=self.config.trace_buffer,
             )
         )
+        self.slo = SloTracker(
+            window_s=self.config.slo_window_s,
+            availability_objective=self.config.slo_availability,
+            deadline_ms=self.config.deadline_ms,
+        )
         self._frontend: Optional[AsyncFrontend] = None
         self._stopped = threading.Event()
         self._started_at: Optional[float] = None
@@ -466,6 +487,7 @@ class ProcPoolLinkingService:
             deadline_ms=self.config.deadline_ms,
             shed_policy=self.config.shed_policy,
             max_batch_size=self.config.max_batch_size,
+            metrics=self.metrics,
         )
         if wait:
             self._frontend.all_ready.wait()
@@ -547,7 +569,15 @@ class ProcPoolLinkingService:
         """
         if not self.ready:
             self.metrics.counter("requests_rejected").inc()
-            raise ServiceNotReadyError("service is not ready")
+            detail = ""
+            if self._frontend is not None and self._frontend.init_error:
+                # Surface the poisoned rollout's cause to the caller:
+                # "not ready" with N-1 live workers hiding a corrupt
+                # slab is the outage mode hardest to diagnose blind.
+                detail = (
+                    f": worker start-up failed ({self._frontend.init_error})"
+                )
+            raise ServiceNotReadyError(f"service is not ready{detail}")
         assert self._frontend is not None
         wait = timeout if timeout is not None else self.config.request_timeout_s
         started = time.monotonic()
@@ -558,21 +588,29 @@ class ProcPoolLinkingService:
         try:
             try:
                 future = self._frontend.submit(
-                    list(queries), [k] * len(queries)
+                    list(queries), [k] * len(queries), spans=spans
                 )
             except ShedError:
                 self.metrics.counter("requests_shed").inc()
+                for _ in queries:
+                    self.slo.record(0.0, outcome="shed")
                 raise
             try:
                 results: List[LinkResult] = future.result(wait)
             except ShedError:
                 self.metrics.counter("requests_shed").inc()
+                for _ in queries:
+                    self.slo.record(0.0, outcome="shed")
                 raise
             except TimeoutError:
                 self.metrics.counter("requests_timeout").inc()
+                for _ in queries:
+                    self.slo.record(0.0, outcome="error")
                 raise
             except Exception:
                 self.metrics.counter("requests_failed").inc()
+                for _ in queries:
+                    self.slo.record(0.0, outcome="error")
                 raise
             for span, result in zip(spans, results):
                 span.set_tag("results", len(result.ranked))
@@ -592,6 +630,7 @@ class ProcPoolLinkingService:
             self.metrics.counter("requests_total").inc()
             self.metrics.counter("concepts_returned").inc(len(result.ranked))
             self.metrics.observe_breakdown(result.timing)
+            self.slo.record(elapsed, outcome="ok")
             if result.degraded:
                 self.metrics.counter("requests_degraded").inc()
                 reason = result.degraded_reason or ""
@@ -622,6 +661,7 @@ class ProcPoolLinkingService:
         }
         report.update(self.metrics.snapshot())
         report["traces"] = self.tracer.stats()
+        report["slo"] = self.slo.snapshot()
         if self._frontend is not None:
             report["frontend"] = self._frontend.stats()
         return report

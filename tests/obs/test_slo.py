@@ -1,0 +1,111 @@
+"""Rolling SLO window: availability, burn rate, p99 vs deadline."""
+
+import pytest
+
+from repro.obs.slo import SloTracker
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SloTracker(window_s=0.5)
+        with pytest.raises(ValueError):
+            SloTracker(availability_objective=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(availability_objective=1.5)
+        with pytest.raises(ValueError):
+            SloTracker(deadline_ms=-1.0)
+
+    def test_empty_window_is_fully_available(self):
+        report = SloTracker().snapshot(now=100.0)
+        assert report["requests"] == 0
+        assert report["availability"] == 1.0
+        assert report["error_budget_burn_rate"] == 0.0
+        assert report["p99_s"] == 0.0
+        assert report["p99_vs_deadline"] is None
+
+
+class TestAvailability:
+    def test_outcomes_partition_the_window(self):
+        slo = SloTracker(window_s=60.0)
+        for _ in range(7):
+            slo.record(0.01, outcome="ok", now=100.0)
+        slo.record(0.0, outcome="shed", now=100.0)
+        slo.record(0.0, outcome="error", now=101.0)
+        report = slo.snapshot(now=101.0)
+        assert report["requests"] == 9
+        assert report["ok"] == 7
+        assert report["shed"] == 1
+        assert report["errors"] == 1
+        assert report["availability"] == pytest.approx(7 / 9)
+
+    def test_burn_rate_scales_failure_fraction_by_allowance(self):
+        # 1% failures against a 99.9% objective burns budget at 10x.
+        slo = SloTracker(window_s=60.0, availability_objective=0.999)
+        for _ in range(99):
+            slo.record(0.01, outcome="ok", now=50.0)
+        slo.record(0.0, outcome="error", now=50.0)
+        report = slo.snapshot(now=50.0)
+        assert report["error_budget_burn_rate"] == pytest.approx(10.0)
+
+    def test_old_buckets_age_out_of_the_window(self):
+        slo = SloTracker(window_s=10.0)
+        slo.record(0.0, outcome="error", now=100.0)
+        slo.record(0.01, outcome="ok", now=108.0)
+        # At t=108 both are live; at t=115 only the ok remains.
+        assert slo.snapshot(now=108.0)["requests"] == 2
+        late = slo.snapshot(now=115.0)
+        assert late["requests"] == 1
+        assert late["errors"] == 0
+        assert late["availability"] == 1.0
+
+    def test_bucket_slot_reuse_resets_stale_counts(self):
+        # Same ring slot (epochs 100 and 110 with a 10 s window) must
+        # not accumulate across generations.
+        slo = SloTracker(window_s=10.0)
+        for _ in range(5):
+            slo.record(0.01, outcome="ok", now=100.0)
+        slo.record(0.01, outcome="ok", now=110.0)
+        report = slo.snapshot(now=110.0)
+        assert report["ok"] == 1
+
+
+class TestLatency:
+    def test_p99_tracks_the_slow_tail(self):
+        slo = SloTracker(window_s=60.0)
+        for _ in range(99):
+            slo.record(0.001, outcome="ok", now=10.0)
+        slo.record(1.0, outcome="ok", now=10.0)
+        report = slo.snapshot(now=10.0)
+        # 100 samples: rank 99 lands in the 1 ms region, not the 1 s
+        # outlier; push one more slow sample and the p99 jumps.
+        assert report["p99_s"] < 0.01
+        slo.record(1.0, outcome="ok", now=10.0)
+        assert slo.snapshot(now=10.0)["p99_s"] >= 1.0
+
+    def test_only_ok_requests_contribute_latency(self):
+        slo = SloTracker(window_s=60.0)
+        slo.record(0.0, outcome="shed", now=10.0)
+        slo.record(0.0, outcome="error", now=10.0)
+        slo.record(0.5, outcome="ok", now=10.0)
+        assert slo.snapshot(now=10.0)["p99_s"] >= 0.5
+
+    def test_deadline_accounting(self):
+        slo = SloTracker(window_s=60.0, deadline_ms=100.0)
+        for _ in range(3):
+            slo.record(0.01, outcome="ok", now=10.0)
+        slo.record(0.25, outcome="ok", now=10.0)
+        report = slo.snapshot(now=10.0)
+        assert report["over_deadline"] == 1
+        assert report["deadline_hit_ratio"] == pytest.approx(0.25)
+        assert report["p99_vs_deadline"] == pytest.approx(
+            report["p99_s"] * 1000.0 / 100.0
+        )
+
+    def test_deadline_zero_disables_deadline_fields(self):
+        slo = SloTracker(window_s=60.0, deadline_ms=0.0)
+        slo.record(5.0, outcome="ok", now=10.0)
+        report = slo.snapshot(now=10.0)
+        assert report["over_deadline"] == 0
+        assert report["deadline_hit_ratio"] == 0.0
+        assert report["p99_vs_deadline"] is None

@@ -1,0 +1,158 @@
+"""Cross-process trace transport: export_trace / graft / rendering."""
+
+from repro.obs.trace import (
+    MAX_SPANS_PER_TRACE,
+    NOOP_SPAN,
+    Tracer,
+    export_trace,
+    format_trace,
+    graft,
+    span,
+)
+
+
+def _spans_by_name(trace_dict):
+    return {s["name"]: s for s in trace_dict["spans"]}
+
+
+def _worker_payload(request_id="req-w", pid=4242, extra_spans=0):
+    """A finished worker-side trace payload, as a worker would ship it."""
+    tracer = Tracer(sample_rate=1.0, capacity=1)
+    root = tracer.start_trace("worker.link", request_id=request_id)
+    root.set_tag("pid", pid)
+    with root:
+        with span("linker.rewrite", phase="OR"):
+            pass
+        with span("linker.phase2", phase="ED") as sp:
+            sp.add_event("decode.start")
+        for index in range(extra_spans):
+            span(f"extra.{index}").end()
+    return export_trace(root)
+
+
+class TestExport:
+    def test_noop_and_none_export_nothing(self):
+        assert export_trace(None) is None
+        assert export_trace(NOOP_SPAN) is None
+
+    def test_export_is_a_plain_dict_payload(self):
+        payload = _worker_payload()
+        assert payload["request_id"] == "req-w"
+        assert {s["name"] for s in payload["spans"]} == {
+            "worker.link", "linker.rewrite", "linker.phase2",
+        }
+        assert payload["started_at"] > 0
+
+
+class TestGraft:
+    def test_grafted_subtree_hangs_under_the_parent_span(self):
+        payload = _worker_payload()
+        tracer = Tracer()
+        root = tracer.start_trace("http.link", request_id="req-parent")
+        with root:
+            dispatch = root.child("frontend.dispatch", worker=0)
+            grafted = graft(dispatch, payload)
+            dispatch.end()
+        assert grafted == 3
+        trace_dict = tracer.find("req-parent")
+        by_name = _spans_by_name(trace_dict)
+        worker_root = by_name["worker.link"]
+        assert worker_root["parent_id"] == by_name["frontend.dispatch"]["span_id"]
+        assert by_name["linker.rewrite"]["parent_id"] == worker_root["span_id"]
+        assert by_name["linker.phase2"]["parent_id"] == worker_root["span_id"]
+        # Foreign IDs were re-allocated: no collisions with parent spans.
+        ids = [s["span_id"] for s in trace_dict["spans"]]
+        assert len(ids) == len(set(ids))
+
+    def test_two_worker_payloads_do_not_collide(self):
+        first = _worker_payload(request_id="req-a", pid=1)
+        second = _worker_payload(request_id="req-b", pid=2)
+        tracer = Tracer()
+        root = tracer.start_trace("http.link", request_id="req-fused")
+        with root:
+            left = root.child("frontend.dispatch", worker=0)
+            right = root.child("frontend.dispatch", worker=1)
+            assert graft(left, first) == 3
+            assert graft(right, second) == 3
+            left.end()
+            right.end()
+        trace_dict = tracer.find("req-fused")
+        ids = [s["span_id"] for s in trace_dict["spans"]]
+        assert len(ids) == len(set(ids))
+        roots = [s for s in trace_dict["spans"] if s["name"] == "worker.link"]
+        assert {s["tags"]["pid"] for s in roots} == {1, 2}
+
+    def test_timebase_shift_keeps_offsets_orderable(self):
+        payload = _worker_payload()
+        # Pretend the worker's trace began 1.5 s after the parent's.
+        tracer = Tracer()
+        root = tracer.start_trace("http.link", request_id="req-shift")
+        with root:
+            payload["started_at"] = root._record.started_at + 1.5
+            dispatch = root.child("frontend.dispatch")
+            graft(dispatch, payload)
+            dispatch.end()
+        by_name = _spans_by_name(tracer.find("req-shift"))
+        assert by_name["worker.link"]["start_s"] >= 1.5
+        event = by_name["linker.phase2"]["events"][0]
+        assert event["at_s"] >= 1.5
+
+    def test_noop_parent_and_empty_payload_graft_nothing(self):
+        payload = _worker_payload()
+        assert graft(NOOP_SPAN, payload) == 0
+        assert graft(None, payload) == 0
+        tracer = Tracer()
+        with tracer.start_trace("root", request_id="r") as root:
+            assert graft(root, None) == 0
+            assert graft(root, {"spans": []}) == 0
+
+    def test_span_cap_survives_graft_and_counts_drops(self):
+        payload = _worker_payload(extra_spans=MAX_SPANS_PER_TRACE)
+        tracer = Tracer()
+        root = tracer.start_trace("http.link", request_id="req-cap")
+        with root:
+            dispatch = root.child("frontend.dispatch")
+            grafted = graft(dispatch, payload)
+            dispatch.end()
+        trace_dict = tracer.find("req-cap")
+        assert len(trace_dict["spans"]) == MAX_SPANS_PER_TRACE
+        assert grafted <= MAX_SPANS_PER_TRACE
+        # Worker-side drops carry over; the parent's own spans that no
+        # longer fit add more on top.
+        assert trace_dict["dropped_spans"] > payload["dropped_spans"]
+
+
+class TestStitchedRendering:
+    def test_pid_renders_inline_and_tree_is_one_piece(self):
+        payload = _worker_payload(pid=777)
+        tracer = Tracer()
+        root = tracer.start_trace("http.link", request_id="req-render")
+        with root:
+            dispatch = root.child("frontend.dispatch", worker=0)
+            graft(dispatch, payload)
+            dispatch.end()
+        text = format_trace(tracer.find("req-render"))
+        assert "[pid 777]" in text
+        assert "(orphan)" not in text
+        lines = text.splitlines()
+        dispatch_line = next(l for l in lines if "frontend.dispatch" in l)
+        worker_line = next(l for l in lines if "worker.link" in l)
+        indent = lambda l: len(l) - len(l.lstrip())  # noqa: E731
+        assert indent(worker_line) > indent(dispatch_line)
+
+    def test_orphan_spans_are_promoted_not_dropped(self):
+        trace_dict = {
+            "trace_id": "t", "request_id": "r", "name": "root",
+            "duration_s": 0.001, "dropped_spans": 0,
+            "spans": [
+                {"span_id": "s1", "parent_id": None, "name": "root",
+                 "start_s": 0.0, "duration_s": 0.001, "tags": {},
+                 "events": []},
+                {"span_id": "s2", "parent_id": "missing", "name": "lost",
+                 "start_s": 0.0005, "duration_s": 0.0001, "tags": {},
+                 "events": []},
+            ],
+        }
+        text = format_trace(trace_dict)
+        assert "lost" in text
+        assert "(orphan)" in text

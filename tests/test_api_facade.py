@@ -11,9 +11,10 @@ import repro.api as api
 class TestSurface:
     def test_api_version(self):
         # Minor bumps on compatible additions (1.1 added retrieval,
-        # 1.2 the model lifecycle, 1.3 multi-process serving);
-        # the major component is the /v1 route contract.
-        assert api.API_VERSION == "1.3"
+        # 1.2 the model lifecycle, 1.3 multi-process serving, 1.4
+        # cross-process observability); the major component is the /v1
+        # route contract.
+        assert api.API_VERSION == "1.4"
         assert api.API_VERSION.split(".")[0] == "1"
 
     def test_every_exported_name_resolves(self):

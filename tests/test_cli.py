@@ -317,6 +317,38 @@ class TestParser:
         assert args.k == 20
         assert args.queries == ["ckd 5"]
 
+    def test_trace_file_mode_needs_no_model(self):
+        args = build_parser().parse_args(["trace", "--file", "t.json"])
+        assert args.func.__name__ == "_cmd_trace"
+        assert args.model is None
+        assert args.file == "t.json"
+        assert args.queries == []
+
+    def test_top_defaults_and_overrides(self):
+        args = build_parser().parse_args(["top"])
+        assert args.func.__name__ == "_cmd_top"
+        assert args.url == "http://127.0.0.1:8080"
+        assert args.timeout == 5.0
+        assert args.json is False
+        args = build_parser().parse_args(
+            ["top", "--url", "http://10.0.0.1:9", "--timeout", "1.5",
+             "--json"]
+        )
+        assert args.url == "http://10.0.0.1:9"
+        assert args.timeout == 1.5
+        assert args.json is True
+
+    def test_serve_slo_flags(self):
+        args = build_parser().parse_args(["serve", "--model", "m/"])
+        assert args.slo_window == 60.0
+        assert args.slo_availability == 0.999
+        args = build_parser().parse_args(
+            ["serve", "--model", "m/", "--slo-window", "30",
+             "--slo-availability", "0.99"]
+        )
+        assert args.slo_window == 30.0
+        assert args.slo_availability == 0.99
+
     def test_runs_requires_dir(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["runs"])
@@ -335,3 +367,129 @@ class TestParser:
         )
         assert exit_code == 1
         assert "unknown dataset" in capsys.readouterr().err
+
+
+def _stitched_trace_dict(request_id="req-off"):
+    """A captured stitched trace (the /v1/traces payload shape)."""
+    return {
+        "trace_id": "abc123", "request_id": request_id, "name": "http.link",
+        "duration_s": 0.012, "dropped_spans": 0,
+        "spans": [
+            {"span_id": "s1", "parent_id": None, "name": "http.link",
+             "start_s": 0.0, "duration_s": 0.012, "tags": {"status": 200},
+             "events": []},
+            {"span_id": "s2", "parent_id": "s1", "name": "service.request",
+             "start_s": 0.001, "duration_s": 0.010,
+             "tags": {"query": "ckd stage 5"}, "events": []},
+            {"span_id": "s3", "parent_id": "s2", "name": "frontend.queue",
+             "start_s": 0.001, "duration_s": 0.002, "tags": {},
+             "events": []},
+            {"span_id": "s4", "parent_id": "s2", "name": "frontend.dispatch",
+             "start_s": 0.003, "duration_s": 0.008, "tags": {"worker": 0},
+             "events": []},
+            {"span_id": "s5", "parent_id": "s4", "name": "worker.link",
+             "start_s": 0.004, "duration_s": 0.006,
+             "tags": {"pid": 777, "worker_id": 0}, "events": []},
+        ],
+    }
+
+
+class TestTraceFilePrinter:
+    def test_renders_captured_stitched_traces(self, tmp_path, capsys):
+        capture = tmp_path / "traces.json"
+        capture.write_text(json.dumps({"traces": [_stitched_trace_dict()]}))
+        assert main(["trace", "--file", str(capture)]) == 0
+        out = capsys.readouterr().out
+        # One tree spanning processes: queue wait in place, worker
+        # subtree showing its process of origin.
+        assert "request=req-off" in out
+        assert "frontend.queue" in out
+        assert "[pid 777]" in out
+        assert "worker.link" in out
+
+    def test_accepts_a_single_trace_dict(self, tmp_path, capsys):
+        capture = tmp_path / "one.json"
+        capture.write_text(json.dumps(_stitched_trace_dict("req-single")))
+        assert main(["trace", "--file", str(capture)]) == 0
+        assert "request=req-single" in capsys.readouterr().out
+
+    def test_missing_file_is_exit_1(self, tmp_path, capsys):
+        assert main(["trace", "--file", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_capture_is_exit_1(self, tmp_path, capsys):
+        capture = tmp_path / "empty.json"
+        capture.write_text(json.dumps({"traces": []}))
+        assert main(["trace", "--file", str(capture)]) == 1
+        assert "no traces" in capsys.readouterr().err
+
+    def test_trace_without_model_or_file_is_exit_2(self, capsys):
+        assert main(["trace"]) == 2
+        assert "--file" in capsys.readouterr().err
+
+
+class TestTopCli:
+    SNAPSHOT = {
+        "ready": True,
+        "uptime_seconds": 125.0,
+        "slo": {
+            "window_s": 60.0, "availability": 0.985,
+            "availability_objective": 0.999,
+            "error_budget_burn_rate": 15.0, "p99_s": 0.042,
+            "ok": 197, "shed": 2, "errors": 1,
+            "deadline_ms": 100.0, "deadline_hit_ratio": 0.05,
+        },
+        "frontend": {
+            "queue_depth": 3, "queue_bound": 256,
+            "shed_policy": "reject_new", "inflight_jobs": 2,
+            "shed_queue_full": 2, "shed_dropped_oldest": 0,
+            "shed_deadline": 0, "worker_deaths": 1, "redispatches": 1,
+            "workers": [
+                {"worker_id": 0, "pid": 101, "ready": True, "jobs": 40,
+                 "queries": 90, "errors": 0, "degraded": 2,
+                 "respawns": 0, "busy_s": 1.5},
+                {"worker_id": 1, "pid": 102, "ready": False, "jobs": 38,
+                 "queries": 80, "errors": 1, "degraded": 0,
+                 "respawns": 1, "busy_s": 1.25},
+            ],
+        },
+    }
+
+    def test_format_top_renders_slo_queue_and_worker_table(self):
+        from repro.cli import format_top
+
+        lines = format_top(self.SNAPSHOT, "http://127.0.0.1:8080")
+        text = "\n".join(lines)
+        assert "uptime 125s, ready" in text
+        assert "availability 98.50%" in text
+        assert "objective 99.90%" in text
+        assert "burn 15.00x" in text
+        assert "p99 42.0ms" in text
+        assert "deadline 100ms (late 5.0%)" in text
+        assert "197 ok / 2 shed / 1 errors" in text
+        assert "queue depth 3/256 (reject_new)" in text
+        assert "deaths=1 redispatches=1" in text
+        # One row per worker slot, respawns and readiness visible.
+        worker_rows = [l for l in lines if l.startswith(("0", "1"))]
+        assert len(worker_rows) == 2
+        assert "yes" in worker_rows[0] and "101" in worker_rows[0]
+        assert "no" in worker_rows[1] and "102" in worker_rows[1]
+
+    def test_format_top_without_frontend_is_slo_only(self):
+        from repro.cli import format_top
+
+        snapshot = {"ready": True, "uptime_seconds": 5.0,
+                    "slo": {"window_s": 60.0, "availability": 1.0,
+                            "availability_objective": 0.999,
+                            "error_budget_burn_rate": 0.0, "p99_s": 0.001,
+                            "ok": 3, "shed": 0, "errors": 0,
+                            "deadline_ms": 0.0}}
+        lines = format_top(snapshot)
+        assert not any("queue depth" in line for line in lines)
+        assert any("availability 100.00%" in line for line in lines)
+
+    def test_unreachable_server_is_exit_1(self, capsys):
+        assert main(
+            ["top", "--url", "http://127.0.0.1:1", "--timeout", "0.2"]
+        ) == 1
+        assert "cannot fetch" in capsys.readouterr().err

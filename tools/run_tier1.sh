@@ -9,6 +9,7 @@
 #   tools/run_tier1.sh --faults        # ... + fault drills
 #   tools/run_tier1.sh --bench-phase2  # ... + batching benchmark
 #   tools/run_tier1.sh --bench-obs     # ... + tracing-overhead benchmark
+#   tools/run_tier1.sh --bench-obs-mp  # ... + cross-process tracing overhead
 #   tools/run_tier1.sh --bench-shard   # ... + shard-engine benchmark
 #   tools/run_tier1.sh --bench-retrieval  # ... + 100k retrieval benchmark
 #   tools/run_tier1.sh --bench-lifecycle  # ... + hot-swap lifecycle benchmark
@@ -35,6 +36,10 @@ for arg in "$@"; do
             echo "== tracing overhead benchmark (writes BENCH_obs.json) =="
             python -m pytest -q benchmarks/test_obs_overhead.py
             ;;
+        --bench-obs-mp)
+            echo "== cross-process tracing overhead (merges into BENCH_obs.json) =="
+            python -m pytest -q benchmarks/test_obs_mp_overhead.py
+            ;;
         --bench-shard)
             echo "== shard engine benchmark (writes BENCH_shard.json) =="
             python -m pytest -q benchmarks/test_shard_engine.py
@@ -52,7 +57,7 @@ for arg in "$@"; do
             python -m pytest -q benchmarks/test_mp_serving.py
             ;;
         *)
-            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-shard, --bench-retrieval, --bench-lifecycle and/or --bench-mp)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-obs-mp, --bench-shard, --bench-retrieval, --bench-lifecycle and/or --bench-mp)" >&2
             exit 2
             ;;
     esac

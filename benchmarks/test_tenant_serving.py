@@ -1,0 +1,69 @@
+"""Multi-tenant serving benchmark — isolation and routing overhead.
+
+Drives two tenants (hospital-x-like and snomed-like pipelines) behind
+one :class:`MultiTenantLinkingService` under closed-loop mixed load,
+paired against dedicated per-tenant services in the same process, and
+writes ``BENCH_tenant.json`` at the repo root.  Gates:
+
+* per-tenant availability 1.0 — every request on every tenant was
+  served or explicitly refused (gated unconditionally);
+* p50 routing overhead ≤ 10% — the tenant layer (resolution, quota,
+  LRU bookkeeping, metric partitions) must be nearly free next to the
+  linking work itself.  The estimate is a median over paired passes,
+  which shrugs off one-off scheduler stalls.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import SMALL
+from repro.eval.experiments.tenant_load import run_tenant_load
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_tenant.json"
+
+MAX_P50_OVERHEAD_PCT = 10.0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_tenant_load(
+        scale=SMALL,
+        seed=2018,
+        k=10,
+        clients_per_tenant=4,
+        duration_s=1.5,
+        passes=3,
+    )
+
+
+def test_per_tenant_availability_is_total(once, report):
+    data = once(lambda: report)
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    assert data["availability"] == 1.0, data["modes"]["multi_tenant"]
+    for tenant, stats in data["modes"]["multi_tenant"].items():
+        assert stats["failed"] == 0, (tenant, stats)
+        assert stats["issued"] > 0, (tenant, stats)
+
+
+def test_routing_overhead_is_within_ten_percent(once, report):
+    once(lambda: None)
+    assert report["overhead_p50_pct"] <= MAX_P50_OVERHEAD_PCT, {
+        "overhead_p50_pct": report["overhead_p50_pct"],
+        "per_pass": report["per_pass_overhead_p50_pct"],
+    }
+
+
+def test_both_tenants_served_comparable_volumes(once, report):
+    once(lambda: None)
+    served = [
+        stats["served"]
+        for stats in report["modes"]["multi_tenant"].values()
+    ]
+    # Mixed load must not starve one tenant behind the other: both
+    # closed-loop halves make progress within the same order of
+    # magnitude.
+    assert min(served) > 0
+    assert max(served) <= 20 * min(served), report["modes"]["multi_tenant"]

@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 #: surface grows compatibly, the major when anything is removed or
 #: changes shape.  ``tools/check_api.py`` pins the exported surface to
 #: this value.
-API_VERSION = "1.4"
+API_VERSION = "1.5"
 
 #: Lazily resolved re-exports: public name → (module, attribute).
 _EXPORTS: Dict[str, Tuple[str, str]] = {
@@ -64,6 +64,7 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "SnippetCorpus": ("repro.kb.corpus", "SnippetCorpus"),
     "hospital_x_like": ("repro.datasets", "hospital_x_like"),
     "mimic_iii_like": ("repro.datasets", "mimic_iii_like"),
+    "snomed_like": ("repro.datasets", "snomed_like"),
     "CbowConfig": ("repro.embeddings", "CbowConfig"),
     "pretrain_word_vectors": ("repro.embeddings", "pretrain_word_vectors"),
     # baselines
@@ -118,8 +119,20 @@ _EXPORTS: Dict[str, Tuple[str, str]] = {
     "render_prometheus": ("repro.obs.prom", "render_prometheus"),
     "worker_series": ("repro.obs.prom", "worker_series"),
     "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),
+    # multi-tenant serving (tenant registry, routing, cross-ontology map)
+    "TenantConfig": ("repro.core.config", "TenantConfig"),
+    "TenancyConfig": ("repro.core.config", "TenancyConfig"),
+    "TenantRegistry": ("repro.tenancy", "TenantRegistry"),
+    "MultiTenantLinkingService": ("repro.tenancy", "MultiTenantLinkingService"),
+    "ConceptMapper": ("repro.tenancy", "ConceptMapper"),
+    "ConceptMapping": ("repro.tenancy", "ConceptMapping"),
+    "pipeline_loader": ("repro.tenancy", "pipeline_loader"),
+    "tenant_series": ("repro.obs.prom", "tenant_series"),
     # errors
     "ReproError": ("repro.utils.errors", "ReproError"),
+    "TenantError": ("repro.tenancy", "TenantError"),
+    "UnknownTenantError": ("repro.tenancy", "UnknownTenantError"),
+    "QuotaExceededError": ("repro.tenancy", "QuotaExceededError"),
     "ConfigurationError": ("repro.utils.errors", "ConfigurationError"),
     "DataError": ("repro.utils.errors", "DataError"),
 }
@@ -131,6 +144,8 @@ __all__ = sorted(
         "link",
         "link_batch",
         "load_linker",
+        "load_tenants",
+        "map_concept",
         "train",
         *_EXPORTS,
     ]
@@ -206,16 +221,122 @@ def load_linker(
     return linker
 
 
-def link(linker: "Any", query: str, k: Optional[int] = None) -> "Any":
-    """Link one query; returns a :class:`LinkResult`."""
+def link(
+    linker: "Any",
+    query: str,
+    k: Optional[int] = None,
+    tenant: Optional[str] = None,
+) -> "Any":
+    """Link one query; returns a :class:`LinkResult`.
+
+    ``linker`` is a :class:`NeuralConceptLinker` (or anything with a
+    compatible ``link``).  ``tenant`` routes through a multi-tenant
+    service from :func:`load_tenants` instead — naming a tenant on a
+    plain linker raises :class:`UnknownTenantError`.
+    """
+    if tenant is not None:
+        if not getattr(linker, "multi_tenant", False):
+            from repro.tenancy.errors import UnknownTenantError
+
+            raise UnknownTenantError(
+                f"tenant {tenant!r} was named but {type(linker).__name__} "
+                "is single-tenant; build a MultiTenantLinkingService with "
+                "load_tenants()"
+            )
+        return linker.link(query, k=k, tenant=tenant)
     return linker.link(query, k=k)
 
 
 def link_batch(
-    linker: "Any", queries: Sequence[str], k: Optional[int] = None
+    linker: "Any",
+    queries: Sequence[str],
+    k: Optional[int] = None,
+    tenant: Optional[str] = None,
 ) -> List["Any"]:
-    """Link several queries, amortising concept encodings across them."""
+    """Link several queries, amortising concept encodings across them.
+
+    ``tenant`` routes the batch through a multi-tenant service from
+    :func:`load_tenants` (see :func:`link`).
+    """
+    if tenant is not None:
+        if not getattr(linker, "multi_tenant", False):
+            from repro.tenancy.errors import UnknownTenantError
+
+            raise UnknownTenantError(
+                f"tenant {tenant!r} was named but {type(linker).__name__} "
+                "is single-tenant; build a MultiTenantLinkingService with "
+                "load_tenants()"
+            )
+        return linker.link_many(queries, k=k, tenant=tenant)
     return linker.link_batch(queries, k=k)
+
+
+def load_tenants(
+    config: "Any",
+    base_pipeline: Optional[str] = None,
+    loader: Optional["Any"] = None,
+    verify: bool = True,
+) -> "Any":
+    """Build and start a multi-tenant service from a runtime config.
+
+    ``config`` is a :class:`RuntimeConfig` whose ``tenants`` section
+    declares at least one tenant; each tenant is loaded lazily from its
+    ``pipeline`` directory (falling back to ``base_pipeline``) on its
+    first request.  ``loader`` overrides how ``(linker, kb)`` pairs are
+    built — the registry's injection point for in-memory tenants.
+    Returns a started :class:`MultiTenantLinkingService`; callers own
+    ``stop()``.
+    """
+    from repro.core.config import RuntimeConfig
+    from repro.tenancy import (
+        MultiTenantLinkingService,
+        TenantRegistry,
+        pipeline_loader,
+    )
+    from repro.utils.errors import ConfigurationError
+
+    if not isinstance(config, RuntimeConfig):
+        raise ConfigurationError(
+            f"config must be a RuntimeConfig, got {type(config).__name__}"
+        )
+    if not config.tenants.enabled:
+        raise ConfigurationError(
+            "config declares no tenants; add a 'tenants' section (or serve "
+            "single-tenant with load_linker + LinkingService)"
+        )
+    registry = TenantRegistry(
+        config.tenants,
+        serving=config.serving,
+        linker_config=config.linker,
+        loader=(
+            loader
+            if loader is not None
+            else pipeline_loader(base_pipeline, verify=verify)
+        ),
+    )
+    return MultiTenantLinkingService(registry).start()
+
+
+def map_concept(
+    service: "Any",
+    source: Optional[str],
+    target: Optional[str],
+    query: Optional[str] = None,
+    cid: Optional[str] = None,
+    k: Optional[int] = None,
+    limit: int = 5,
+) -> Dict[str, Any]:
+    """Project a concept from one tenant's ontology into another's.
+
+    ``service`` is a :class:`MultiTenantLinkingService` (from
+    :func:`load_tenants`).  Exactly one of ``query`` (linked in the
+    source tenant first) or ``cid`` (an already-linked source concept)
+    must be given; returns the JSON-ready mapping report (the offline
+    twin of ``POST /v1/map``).
+    """
+    return service.map_concept(
+        source, target, query=query, cid=cid, k=k, limit=limit
+    )
 
 
 def compile_artifact(

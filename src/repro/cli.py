@@ -13,7 +13,7 @@ Ten commands cover the deployment lifecycle:
   with ``--shards``);
 * ``link`` — load a saved pipeline and link one or more queries;
 * ``trace`` — link queries with tracing forced on and print each
-  request's span tree (the offline twin of ``GET /traces``); with
+  request's span tree (the offline twin of ``GET /v1/traces``); with
   ``--file`` it renders traces captured from a running server instead,
   including stitched multi-process trees (worker ``[pid N]`` spans,
   queue-wait/fusion/dispatch);
@@ -60,13 +60,14 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import (
     SHED_POLICIES,
     ComAidConfig,
     LinkerConfig,
     RuntimeConfig,
+    TenantConfig,
     TrainingConfig,
 )
 from repro.core.persistence import (
@@ -634,6 +635,82 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_tenant_flags(
+    args: argparse.Namespace, runtime: RuntimeConfig
+) -> Tuple[RuntimeConfig, Optional[str]]:
+    """Fold repeated ``--artifact NAME=DIR`` pairs into the config.
+
+    Returns ``(runtime, error)``; a non-``None`` error names the
+    conflicting flags.  Tenants may come from exactly one place: the
+    config file's ``tenants`` section or the ``--artifact`` pairs —
+    and the multi-tenant tier is threaded-only, so ``--workers`` and
+    the single-tenant ``--artifact-dir`` are refused alongside either.
+    """
+    pairs = getattr(args, "tenant_artifacts", None) or []
+    if pairs and runtime.tenants.enabled:
+        return runtime, (
+            "tenants are declared twice: drop --artifact NAME=DIR or the "
+            "config file's 'tenants' section (--config); use exactly one"
+        )
+    if pairs and getattr(args, "artifact_dir", None) is not None:
+        return runtime, (
+            "--artifact NAME=DIR (multi-tenant) conflicts with "
+            "--artifact-dir DIR (single-tenant); use one or the other"
+        )
+    if pairs:
+        definitions: Dict[str, TenantConfig] = {}
+        for pair in pairs:
+            name, sep, directory = pair.partition("=")
+            if not sep or not name or not directory:
+                return runtime, (
+                    f"--artifact expects NAME=DIR, got {pair!r}"
+                )
+            if name in definitions:
+                return runtime, (
+                    f"tenant {name!r} is declared twice via --artifact"
+                )
+            definitions[name] = TenantConfig(artifact_dir=directory)
+        runtime = runtime.replace_section(
+            "tenants", definitions=definitions, default=next(iter(definitions))
+        )
+    if runtime.tenants.enabled and runtime.serving.workers > 0:
+        return runtime, (
+            "multi-tenant serving runs on the threaded tier; --workers "
+            "(or the config's serving.workers) must be 0 when tenants "
+            "are declared"
+        )
+    return runtime, None
+
+
+def _serve_multi_tenant(args: argparse.Namespace, runtime: RuntimeConfig) -> int:
+    """``repro serve`` with a populated ``tenants`` section."""
+    from repro.serving.server import create_server, run_server
+    from repro.tenancy import (
+        MultiTenantLinkingService,
+        TenantRegistry,
+        pipeline_loader,
+    )
+
+    config = runtime.serving
+    registry = TenantRegistry(
+        runtime.tenants,
+        serving=config,
+        linker_config=runtime.linker,
+        loader=pipeline_loader(args.model),
+    )
+    service = MultiTenantLinkingService(registry)
+    server = create_server(service, host=config.host, port=config.port)
+    service.start()
+    print(
+        f"serving on http://{config.host}:{server.port} "
+        f"(model={args.model}, tenants={registry.names}, "
+        f"default={runtime.tenants.default})",
+        flush=True,
+    )
+    run_server(server)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so the four offline commands never pay for (or
     # depend on) the serving stack.
@@ -645,6 +722,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         configure_json_logging()
     runtime = _runtime_config(args)
+    runtime, tenant_error = _apply_tenant_flags(args, runtime)
+    if tenant_error is not None:
+        print(f"error: {tenant_error}", file=sys.stderr)
+        return 2
+    if runtime.tenants.enabled:
+        return _serve_multi_tenant(args, runtime)
     config = runtime.serving
     if config.workers > 0:
         import dataclasses
@@ -692,7 +775,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument(
         "--dataset", default="hospital-x-like",
-        help="dataset preset (hospital-x-like | mimic-iii-like)",
+        help="dataset preset (hospital-x-like | mimic-iii-like | snomed-like)",
     )
     generate.add_argument("--out", required=True, help="output directory")
     generate.add_argument("--seed", type=int, default=2018)
@@ -870,6 +953,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from a compiled concept artifact (`repro compile`)",
     )
     serve.add_argument(
+        "--artifact", action="append", default=None, metavar="NAME=DIR",
+        dest="tenant_artifacts",
+        help="declare tenant NAME serving compiled artifact DIR over the "
+        "shared --model pipeline (repeatable; enables the multi-tenant "
+        "tier; the first pair is the default tenant)",
+    )
+    serve.add_argument(
         "--shards", type=_shards_value, default=None,
         help="scatter-gather shard count, or 'auto' to size to the "
         "machine (requires --artifact-dir)",
@@ -902,7 +992,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--trace-sample", type=float,
         default=_SERVING_FLAG_DEFAULTS["trace_sample"],
-        help="fraction of requests traced into GET /traces "
+        help="fraction of requests traced into GET /v1/traces "
         "(deterministic; 0 disables tracing)",
     )
     serve.add_argument(

@@ -677,9 +677,201 @@ class LifecycleConfig:
             )
 
 
+#: Valid tenant names: path-safe, header-safe, log-safe.
+_TENANT_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One named tenant of a multi-tenant deployment.
+
+    A tenant is an independently served ontology: its own pipeline (or
+    the deployment's base pipeline), optionally its own compiled
+    artifact, and its own serving knobs — retrieval mode, candidate
+    set size, encoding-cache budget, and request quota.  Declared under
+    the ``tenants`` section of :class:`RuntimeConfig` and served by
+    :class:`repro.tenancy.TenantRegistry`.
+
+    Attributes
+    ----------
+    pipeline:
+        Saved pipeline directory for this tenant's model + ontology.
+        Empty (the default) inherits the deployment's base pipeline —
+        the ``repro serve --artifact NAME=DIR`` shape, where tenants
+        share one model but mount different compiled artifacts.
+    artifact_dir:
+        Compiled concept artifact this tenant serves from (``repro
+        compile``); None keeps the runtime-encoding path.
+    retrieval_mode:
+        Phase-I retrieval strategy for this tenant (see
+        :class:`RetrievalConfig`; non-exact modes require
+        ``artifact_dir``).
+    k:
+        Per-tenant candidate set size; 0 inherits the deployment's
+        ``linker.k``.
+    cache_budget:
+        Capacity of this tenant's encoding/ancestor LRU caches
+        (0 = unbounded) — the per-tenant partition of the memory the
+        single-tenant ``encoding_cache_size`` governs globally.
+    quota_per_minute:
+        Rolling-window request quota; requests beyond it answer HTTP
+        429 ``quota_exceeded``.  0 disables the quota.
+    warm_on_load:
+        Pre-encode the tenant's concepts when it is (lazily) loaded;
+        the default serves cold and fills caches on demand, keeping
+        first-touch latency bounded by one warm-up, not blocking the
+        whole process at start.
+    """
+
+    pipeline: str = ""
+    artifact_dir: Optional[str] = None
+    retrieval_mode: str = "exact"
+    k: int = 0
+    cache_budget: int = 4096
+    quota_per_minute: int = 0
+    warm_on_load: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retrieval_mode not in RETRIEVAL_MODES:
+            raise ConfigurationError(
+                f"tenant retrieval_mode must be one of {RETRIEVAL_MODES}, "
+                f"got {self.retrieval_mode!r}"
+            )
+        if self.retrieval_mode != "exact" and self.artifact_dir is None:
+            raise ConfigurationError(
+                f"tenant retrieval_mode {self.retrieval_mode!r} requires "
+                "artifact_dir (the sublinear indexes serve a compiled "
+                "concept artifact)"
+            )
+        if self.k < 0:
+            raise ConfigurationError(
+                f"tenant k must be >= 0 (0 = inherit linker.k), got {self.k}"
+            )
+        if self.cache_budget < 0:
+            raise ConfigurationError(
+                f"tenant cache_budget must be >= 0 (0 = unbounded), got "
+                f"{self.cache_budget}"
+            )
+        if self.quota_per_minute < 0:
+            raise ConfigurationError(
+                "tenant quota_per_minute must be >= 0 (0 = no quota), got "
+                f"{self.quota_per_minute}"
+            )
+
+    def to_linker_config(self, base: "LinkerConfig") -> "LinkerConfig":
+        """This tenant's :class:`LinkerConfig`, derived from ``base``.
+
+        The deployment-wide linker section supplies everything a tenant
+        does not own (rewriting, Phase-II batching, budgets); the
+        tenant overrides the partitioned knobs: artifact, retrieval
+        mode, cache budget, and (optionally) k.
+        """
+        overrides: Dict[str, Any] = {
+            "artifact_dir": self.artifact_dir,
+            "encoding_cache_size": self.cache_budget,
+            "retrieval": dataclasses.replace(
+                base.retrieval, mode=self.retrieval_mode
+            ),
+            # mmap/shards only make sense over a compiled artifact.
+            "mmap_artifact": base.mmap_artifact and self.artifact_dir is not None,
+            "shards": base.shards if self.artifact_dir is not None else 1,
+        }
+        if self.k > 0:
+            overrides["k"] = self.k
+        return dataclasses.replace(base, **overrides)
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """The ``tenants`` section: named tenants plus registry-level knobs.
+
+    Attributes
+    ----------
+    definitions:
+        ``{tenant name: TenantConfig}``.  Empty (the default) keeps the
+        deployment single-tenant — the pre-tenancy serving path,
+        bit-identical responses included.
+    default:
+        Tenant served when a request names none; empty means requests
+        must name a tenant explicitly (404 ``unknown_tenant``
+        otherwise).
+    max_loaded:
+        LRU bound on concurrently loaded tenants (0 = unlimited); the
+        least recently used loaded tenant is evicted — its service
+        drained and dropped, its metrics retained — when loading
+        another would exceed the bound.
+    memory_budget_mb:
+        Global memory budget over loaded tenants (0 = unlimited),
+        accounted by each tenant's on-disk artifact/pipeline footprint;
+        LRU eviction runs until the loaded set fits.
+    """
+
+    definitions: Mapping[str, TenantConfig] = field(default_factory=dict)
+    default: str = ""
+    max_loaded: int = 0
+    memory_budget_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.definitions, Mapping):
+            raise ConfigurationError(
+                "tenants definitions must be a mapping of name -> tenant "
+                f"config, got {type(self.definitions).__name__}"
+            )
+        coerced: Dict[str, TenantConfig] = {}
+        for name, body in self.definitions.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigurationError(
+                    f"tenant names must be non-empty strings, got {name!r}"
+                )
+            if set(name) - _TENANT_NAME_CHARS:
+                raise ConfigurationError(
+                    f"invalid tenant name {name!r}: use letters, digits, "
+                    "'.', '_' and '-'"
+                )
+            if isinstance(body, TenantConfig):
+                coerced[name] = body
+            elif isinstance(body, Mapping):
+                valid = {f.name for f in dataclasses.fields(TenantConfig)}
+                unknown = sorted(set(body) - valid)
+                if unknown:
+                    raise ConfigurationError(
+                        f"unknown key(s) {unknown} in tenant {name!r}; "
+                        f"valid keys are {sorted(valid)}"
+                    )
+                coerced[name] = TenantConfig(**body)
+            else:
+                raise ConfigurationError(
+                    f"tenant {name!r} must be a mapping or TenantConfig, "
+                    f"got {type(body).__name__}"
+                )
+        object.__setattr__(self, "definitions", coerced)
+        if self.default and self.default not in coerced:
+            raise ConfigurationError(
+                f"default tenant {self.default!r} is not declared; declared "
+                f"tenants: {sorted(coerced)}"
+            )
+        if self.max_loaded < 0:
+            raise ConfigurationError(
+                f"max_loaded must be >= 0 (0 = unlimited), got "
+                f"{self.max_loaded}"
+            )
+        if self.memory_budget_mb < 0:
+            raise ConfigurationError(
+                "memory_budget_mb must be >= 0 (0 = unlimited), got "
+                f"{self.memory_budget_mb}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one tenant is declared."""
+        return bool(self.definitions)
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """The five configuration sections behind one typed envelope.
+    """The six configuration sections behind one typed envelope.
 
     Every entry point (CLI flags, serving, config files, tests) builds
     its configs through this class, so there is exactly one place where
@@ -696,6 +888,7 @@ class RuntimeConfig:
     linker: LinkerConfig = field(default_factory=LinkerConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
+    tenants: TenancyConfig = field(default_factory=TenancyConfig)
 
     #: Section name → dataclass, the single source of truth for the
     #: envelope shape (from_dict validation and to_dict ordering).
@@ -705,6 +898,7 @@ class RuntimeConfig:
         "linker": LinkerConfig,
         "serving": ServingConfig,
         "lifecycle": LifecycleConfig,
+        "tenants": TenancyConfig,
     }
 
     @classmethod

@@ -14,11 +14,13 @@ from repro.datasets.generator import (
     DatasetBundle,
     LinkedQuery,
     build_large_scale_ontology,
+    build_snomed_like_ontology,
     generate_dataset,
     hospital_x_like,
     iter_large_scale_concepts,
     large_scale_like,
     mimic_iii_like,
+    snomed_like,
 )
 from repro.datasets.noise import (
     AbbreviationChannel,
@@ -51,6 +53,7 @@ __all__ = [
     "SynonymChannel",
     "TypoChannel",
     "build_large_scale_ontology",
+    "build_snomed_like_ontology",
     "generate_dataset",
     "get_dataset_builder",
     "hospital_x_like",
@@ -58,4 +61,5 @@ __all__ = [
     "large_scale_like",
     "make_query_groups",
     "mimic_iii_like",
+    "snomed_like",
 ]

@@ -13,6 +13,7 @@ from repro.datasets.generator import (
     hospital_x_like,
     large_scale_like,
     mimic_iii_like,
+    snomed_like,
 )
 from repro.utils.errors import ConfigurationError
 
@@ -22,6 +23,7 @@ DATASET_REGISTRY: Dict[str, DatasetBuilder] = {
     "hospital-x-like": hospital_x_like,
     "large-scale-like": large_scale_like,
     "mimic-iii-like": mimic_iii_like,
+    "snomed-like": snomed_like,
 }
 
 

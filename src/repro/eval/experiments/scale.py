@@ -10,6 +10,7 @@ from repro.datasets.generator import (
     DatasetBundle,
     hospital_x_like,
     mimic_iii_like,
+    snomed_like,
 )
 from repro.embeddings.cbow import CbowConfig
 from repro.utils.rng import RngLike
@@ -41,6 +42,7 @@ class ExperimentScale:
         builders = {
             "hospital-x-like": hospital_x_like,
             "mimic-iii-like": mimic_iii_like,
+            "snomed-like": snomed_like,
         }
         try:
             builder = builders[name]

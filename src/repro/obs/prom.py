@@ -201,6 +201,78 @@ def worker_series(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
     return families
 
 
+#: Cumulative per-tenant counts → ``repro_tenant_<name>_total{tenant=}``.
+_TENANT_COUNTERS = ("loads", "evictions", "requests")
+
+
+def tenant_series(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-tenant labeled metric families from a service snapshot.
+
+    Mirrors :func:`worker_series` for the multi-tenant tier: one family
+    per exported field with a ``tenant`` label, covering load/evict
+    churn, request volume, quota pressure, accounted memory, and (for
+    loaded tenants) the rolling SLO availability.  Empty when the
+    snapshot carries no tenant registry.
+    """
+    registry = snapshot.get("tenants")
+    tenants = (
+        registry.get("tenants") if isinstance(registry, Mapping) else None
+    )
+    if not isinstance(tenants, Mapping) or not tenants:
+        return []
+    entries = sorted(
+        (name, entry)
+        for name, entry in tenants.items()
+        if isinstance(entry, Mapping)
+    )
+    if not entries:
+        return []
+
+    def family(name, kind, value_of):
+        samples = []
+        for tenant, entry in entries:
+            value = value_of(entry)
+            if value is None:
+                continue
+            samples.append(({"tenant": tenant}, float(value)))
+        return {"name": name, "type": kind, "samples": samples}
+
+    families: List[Dict[str, Any]] = [
+        family(f"tenant_{key}", "counter", lambda e, k=key: e.get(k, 0) or 0)
+        for key in _TENANT_COUNTERS
+    ]
+    families.append(
+        family("tenant_loaded", "gauge", lambda e: 1 if e.get("loaded") else 0)
+    )
+    families.append(
+        family(
+            "tenant_cost_bytes", "gauge", lambda e: e.get("cost_bytes", 0) or 0
+        )
+    )
+    families.append(
+        family(
+            "tenant_quota_limit",
+            "gauge",
+            lambda e: (e.get("quota") or {}).get("limit", 0),
+        )
+    )
+    families.append(
+        family(
+            "tenant_quota_used",
+            "gauge",
+            lambda e: (e.get("quota") or {}).get("used", 0),
+        )
+    )
+    families.append(
+        family(
+            "tenant_availability",
+            "gauge",
+            lambda e: (e.get("slo") or {}).get("availability"),
+        )
+    )
+    return [fam for fam in families if fam["samples"]]
+
+
 def _flatten_numeric(
     tree: Mapping[str, Any], prefix: str, gauges: Dict[str, float]
 ) -> None:

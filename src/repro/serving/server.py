@@ -1,30 +1,66 @@
 """Stdlib-only threaded HTTP JSON API in front of a LinkingService.
 
-The API is versioned under ``/v1`` (JSON unless noted):
+The API is versioned under ``/v1`` (JSON unless noted).  Consolidated
+route reference:
+
+=======  ======================  ==========================================
+Method   Route                   Purpose
+=======  ======================  ==========================================
+POST     ``/v1/link``            Link queries (optionally tenant-scoped)
+POST     ``/v1/map``             Project a concept across tenant ontologies
+GET      ``/healthz``            Liveness (canonical unversioned)
+GET      ``/readyz``             Readiness (canonical unversioned)
+GET      ``/v1/metrics``         Service snapshot / Prometheus exposition
+GET      ``/v1/traces``          Sampled span traces from the ring buffer
+GET      ``/v1/admin/tenants``   Tenant registry state (multi-tenant only)
+GET      ``/v1/admin/lifecycle`` Model-lifecycle status
+GET      ``/v1/admin/workers``   Multi-process tier introspection
+POST     ``/v1/admin/swap``      Drive the blue/green artifact swapper
+=======  ======================  ==========================================
 
 * ``POST /v1/link`` — body ``{"query": "..."}`` or ``{"queries":
-  [...]}`` with optional ``"k"``; responds ``{"results": [...],
-  "request_id": ..., "api_version": "1.0"}`` where each result carries
-  the ranked concepts, applied rewrites, and the per-query OR/CR/ED/RT
-  timing breakdown (Figure 11's decomposition).  An ``X-Request-ID``
-  request header is honoured (else one is generated); it is echoed as
-  a response header, embedded in the payload, stamped on every
-  correlated JSON log line, and is the key for finding the request's
-  trace.
+  [...]}`` with optional ``"k"``, ``"top"``, and ``"tenant"``;
+  responds ``{"results": [...], "request_id": ..., "api_version":
+  ...}`` where each result carries the ranked concepts, applied
+  rewrites, and the per-query OR/CR/ED/RT timing breakdown (Figure
+  11's decomposition).  An ``X-Request-ID`` request header is
+  honoured (else one is generated); it is echoed as a response
+  header, embedded in the payload, stamped on every correlated JSON
+  log line, and is the key for finding the request's trace.  On a
+  multi-tenant deployment the tenant is named by the body ``tenant``
+  field and/or the ``X-Tenant`` header (they must agree; naming none
+  routes to the configured default tenant), and the response carries
+  the resolved ``"tenant"``.  Single-tenant deployments with no
+  tenant named answer **bit-identically** to the pre-tenancy server.
+* ``POST /v1/map`` — cross-ontology projection: body ``{"query":
+  ..., "source": tenant, "target": tenant}`` links the query in the
+  source tenant's ontology and projects the top concept into the
+  target tenant's via shared-alias anchors (``{"cid": ...}`` instead
+  of ``query`` projects an already-linked concept); optional ``"k"``
+  and ``"limit"``.  404 ``mapping_disabled`` on single-tenant
+  deployments.
 * ``GET /healthz`` (alias ``/v1/healthz``) — liveness; 200 while the
   process can serve.
 * ``GET /readyz`` (alias ``/v1/readyz``) — readiness; 503 until
   warm-up finishes, then 200.
 * ``GET /v1/metrics`` — the service snapshot (counters, latency
   histograms with p50/p95/p99, cache, batcher, and sharded-engine
-  statistics); ``?format=prometheus`` (or an ``Accept: text/plain``
-  header) returns Prometheus text exposition instead.
+  statistics; plus the per-tenant registry view on multi-tenant
+  deployments); ``?format=prometheus`` (or an ``Accept: text/plain``
+  header) returns Prometheus text exposition instead, with
+  ``tenant``-labeled series when tenants are declared.
 * ``GET /v1/traces`` — recent sampled span traces from the ring
   buffer (``?limit=N`` bounds the reply, ``?request_id=...`` fetches
   one).
+* ``GET /v1/admin/tenants`` — the tenant registry: per-tenant
+  load/evict state, accounted bytes, quota windows, request counts,
+  and SLO windows; 404 ``tenants_disabled`` on single-tenant
+  deployments.  v1-only.
 * ``GET /v1/admin/lifecycle`` — model-lifecycle status (uncertainty
   pool fill, swap state, shadow report, rollback reason codes); 404
-  ``lifecycle_disabled`` when no controller is attached.
+  ``lifecycle_disabled`` when no controller is attached.  On
+  multi-tenant deployments ``?tenant=NAME`` targets one tenant's
+  controller.
 * ``GET /v1/admin/workers`` — multi-process tier introspection: the
   per-worker slot table (pid, readiness, job/query/error/respawn/
   degrade counts, busy seconds), the front-end's queue/shed/fusion
@@ -35,21 +71,29 @@ The API is versioned under ``/v1`` (JSON unless noted):
   blue/green swapper.  Promotion blocked by a quality gate answers 409
   ``swap_blocked`` with the shadow report; rollback with nothing to
   roll back answers 409 ``no_candidate``.  v1-only (no legacy alias).
+  On multi-tenant deployments a body ``"tenant"`` targets that
+  tenant's controller.
 
-The pre-versioning routes (``/link``, ``/metrics``, ``/traces``)
-remain as aliases that answer identically but carry a
-``Deprecation: true`` response header plus a ``Link:
-rel="successor-version"`` pointing at the ``/v1`` route; they will be
-removed in v2.
+**Retired routes.**  The pre-versioning routes ``/link``,
+``/metrics``, and ``/traces`` carried ``Deprecation: true`` plus a
+``Link: rel="successor-version"`` header for two releases; they now
+answer **410 Gone** with the standard error envelope (code ``gone``)
+and the same ``Link`` header naming the ``/v1`` successor.  Migration:
+prepend ``/v1`` to the path — request and response bodies are
+unchanged.  ``/healthz`` and ``/readyz`` remain canonical unversioned
+(load-balancer convention).
 
 Errors share one envelope across every endpoint: ``{"error": {"code":
 ..., "message": ..., "request_id": ...}}`` with 400 for bad requests,
-404 for unknown routes/traces, 503 before readiness (code
-``not_ready``) or under load shedding (code ``shed``), 504 on request
-timeout, and 500 for anything unexpected.  One OS thread per
-connection (``ThreadingHTTPServer``) is plenty here because the
-model-bound work is serialised by the batcher anyway; threads only
-overlap on parsing and I/O.
+404 for unknown routes/traces/tenants (code ``unknown_tenant``), 410
+for retired routes (code ``gone``), 429 when a tenant's quota window
+is exhausted (code ``quota_exceeded``, with a ``Retry-After``
+header), 503 before readiness (code ``not_ready``) or under load
+shedding (code ``shed``), 504 on request timeout, and 500 for
+anything unexpected.  One OS thread per connection
+(``ThreadingHTTPServer``) is plenty here because the model-bound work
+is serialised by the batcher anyway; threads only overlap on parsing
+and I/O.
 """
 
 from __future__ import annotations
@@ -65,9 +109,15 @@ from urllib.parse import parse_qs, urlsplit
 from repro.api import API_VERSION
 from repro.core.linker import LinkResult
 from repro.obs import trace
-from repro.obs.prom import render_prometheus, snapshot_gauges, worker_series
+from repro.obs.prom import (
+    render_prometheus,
+    snapshot_gauges,
+    tenant_series,
+    worker_series,
+)
 from repro.serving.frontend import ShedError
 from repro.serving.service import LinkingService, ServiceNotReadyError
+from repro.tenancy.errors import QuotaExceededError, UnknownTenantError
 from repro.utils.errors import ReproError
 from repro.utils.logging import get_logger
 
@@ -105,15 +155,17 @@ def error_envelope(
 
 
 def result_to_json(
-    result: LinkResult, server: "LinkingHTTPServer", top: Optional[int] = None
+    result: LinkResult, ontology: Any, top: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Serialise one LinkResult (descriptions resolved if possible).
+    """Serialise one LinkResult against the ontology that produced it.
 
-    Degraded results (Phase I keyword ranking only) report ``null`` for
+    ``ontology`` is passed explicitly (rather than read off the
+    server's service) because on a multi-tenant deployment each result
+    renders against its own tenant's ontology.  Degraded results
+    (Phase I keyword ranking only) report ``null`` for
     ``log_prob``/``loss``: ``-inf`` is not valid strict JSON, and a
     sentinel number would be indistinguishable from a real score.
     """
-    ontology = server.service.ontology
     ranked = result.ranked if top is None else result.ranked[:top]
     return {
         "query": result.query,
@@ -141,6 +193,16 @@ def result_to_json(
         "degraded": result.degraded,
         "degraded_reason": result.degraded_reason,
     }
+
+
+def _parse_tenant_field(payload: Dict[str, Any]) -> Optional[str]:
+    """The body's optional ``tenant`` field (None when absent)."""
+    tenant = payload.get("tenant")
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant.strip():
+        raise BadRequestError("'tenant' must be a non-empty string")
+    return tenant.strip()
 
 
 def _parse_link_body(payload: Any) -> Tuple[list, Optional[int], Optional[int]]:
@@ -261,13 +323,27 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
             return path[len(V1_PREFIX):] or "/", params, False
         return path, params, True
 
-    @staticmethod
-    def _deprecation_headers(path: str) -> Dict[str, str]:
-        """Headers steering legacy-route clients to the ``/v1`` twin."""
-        return {
-            "Deprecation": "true",
-            "Link": f'<{V1_PREFIX}{path}>; rel="successor-version"',
-        }
+    def _respond_gone(self, path: str) -> None:
+        """410 for a retired pre-versioning route, naming the successor.
+
+        These routes carried ``Deprecation: true`` for two releases;
+        the tombstone keeps the ``Link: rel="successor-version"``
+        header so unmigrated clients still learn the ``/v1`` path from
+        the failure itself.
+        """
+        successor = f"{V1_PREFIX}{path}"
+        self._respond_error(
+            410,
+            "gone",
+            f"{path} was retired; use {successor} (same request and "
+            "response bodies)",
+            headers={"Link": f'<{successor}>; rel="successor-version"'},
+        )
+
+    def _tenant_header(self) -> Optional[str]:
+        """The ``X-Tenant`` request header (None when absent/blank)."""
+        value = (self.headers.get("X-Tenant") or "").strip()
+        return value or None
 
     # -- GET ----------------------------------------------------------------
 
@@ -275,11 +351,12 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
         service = self.server.service
         path, params, legacy = self._route()
         # Health endpoints are canonical unversioned (load-balancer
-        # convention); /metrics and /traces moved under /v1, so their
-        # bare forms answer with deprecation headers.
-        extra: Optional[Dict[str, str]] = None
+        # convention); /metrics and /traces moved under /v1, and their
+        # bare pre-versioning forms are retired (410 Gone).
         if legacy and path in ("/metrics", "/traces"):
-            extra = self._deprecation_headers(path)
+            self._respond_gone(path)
+            return
+        extra: Optional[Dict[str, str]] = None
         if path == "/healthz":
             if service.healthy:
                 self._respond(200, {"status": "ok"})
@@ -305,7 +382,10 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                     render_prometheus(
                         service.metrics,
                         gauges=snapshot_gauges(snapshot),
-                        labeled=worker_series(snapshot),
+                        labeled=[
+                            *worker_series(snapshot),
+                            *tenant_series(snapshot),
+                        ],
                     ),
                     headers=extra,
                 )
@@ -335,8 +415,33 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                         "slo": snapshot.get("slo"),
                     },
                 )
+        elif path == "/admin/tenants" and not legacy:
+            if not getattr(service, "multi_tenant", False):
+                self._respond_error(
+                    404,
+                    "tenants_disabled",
+                    "this deployment is single-tenant (no tenants section)",
+                )
+            else:
+                self._respond(200, service.registry.snapshot())
         elif path == "/admin/lifecycle" and not legacy:
-            lifecycle = getattr(service, "lifecycle", None)
+            tenant_param = params.get("tenant", [None])[0]
+            if getattr(service, "multi_tenant", False):
+                try:
+                    lifecycle = service.lifecycle_for(tenant_param)
+                except UnknownTenantError as error:
+                    self._respond_error(404, "unknown_tenant", str(error))
+                    return
+            elif tenant_param is not None:
+                self._respond_error(
+                    404,
+                    "unknown_tenant",
+                    "this deployment is single-tenant; drop the 'tenant' "
+                    "parameter",
+                )
+                return
+            else:
+                lifecycle = getattr(service, "lifecycle", None)
             if lifecycle is None:
                 self._respond_error(
                     404,
@@ -393,8 +498,19 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path, _, legacy = self._route()
-        if path == "/admin/swap" and not legacy:
+        if legacy:
+            if path == "/link":
+                self._respond_gone(path)
+            else:
+                self._respond_error(
+                    404, "not_found", f"no route for {self.path}"
+                )
+            return
+        if path == "/admin/swap":
             self._handle_swap()
+            return
+        if path == "/map":
+            self._handle_map()
             return
         if path != "/link":
             self._respond_error(404, "not_found", f"no route for {self.path}")
@@ -407,65 +523,227 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
             "http.link", request_id=request_id
         )
         with root:
-            status, payload = self._handle_link(root, request_id)
+            status, payload, extra = self._handle_link(root, request_id)
             root.set_tag("status", status)
         payload["request_id"] = request_id
         headers = {"X-Request-ID": request_id}
-        if legacy:
-            headers.update(self._deprecation_headers("/link"))
+        headers.update(extra)
         self._respond(status, payload, headers=headers)
+
+    def _resolve_tenant(self, payload: Dict[str, Any]) -> Optional[str]:
+        """The request's tenant from body field and/or ``X-Tenant``.
+
+        Both channels exist so curl-style callers can use the body and
+        proxy/gateway deployments can inject a header; when both are
+        present they must agree — silently preferring one would make
+        misrouted requests undebuggable.
+        """
+        body_tenant = _parse_tenant_field(payload)
+        header_tenant = self._tenant_header()
+        if (
+            body_tenant is not None
+            and header_tenant is not None
+            and body_tenant != header_tenant
+        ):
+            raise BadRequestError(
+                f"body tenant {body_tenant!r} and X-Tenant header "
+                f"{header_tenant!r} disagree"
+            )
+        return body_tenant if body_tenant is not None else header_tenant
 
     def _handle_link(
         self, root: Any, request_id: str
-    ) -> Tuple[int, Dict[str, Any]]:
-        """Run one /link request under ``root``; returns (status, body)."""
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Run one /link request under ``root``.
+
+        Returns ``(status, body, extra headers)``.
+        """
 
         def error_body(code: str, message: str) -> Dict[str, Any]:
             return error_envelope(code, message, request_id)
 
+        service = self.server.service
+        multi_tenant = getattr(service, "multi_tenant", False)
+        tenant: Optional[str] = None
         try:
             payload = self._read_json()
             queries, k, top = _parse_link_body(payload)
+            requested = self._resolve_tenant(payload)
             root.set_tag("queries", len(queries))
             if k is not None:
                 root.set_tag("k", k)
-            results = self.server.service.link_many(queries, k=k)
+            if multi_tenant:
+                tenant = service.resolve_name(requested)
+                root.set_tag("tenant", tenant)
+                results = service.link_many(queries, k=k, tenant=tenant)
+                ontology = service.ontology_for(tenant)
+            else:
+                if requested is not None:
+                    raise UnknownTenantError(
+                        f"tenant {requested!r} was named but this "
+                        "deployment is single-tenant"
+                    )
+                results = service.link_many(queries, k=k)
+                ontology = service.ontology
         except BadRequestError as error:
-            return 400, error_body("bad_request", str(error))
+            return 400, error_body("bad_request", str(error)), {}
+        except UnknownTenantError as error:
+            return 404, error_body("unknown_tenant", str(error)), {}
+        except QuotaExceededError as error:
+            # Retry-After is the seconds until the oldest request in
+            # the tenant's rolling window expires, rounded up.
+            retry_after = max(1, math.ceil(error.retry_after_s))
+            return (
+                429,
+                error_body("quota_exceeded", str(error)),
+                {"Retry-After": str(retry_after)},
+            )
         except ServiceNotReadyError as error:
             # The exception's own message matters: for the procpool
             # tier it names a failed worker's init error.
-            return 503, error_body("not_ready", str(error))
+            return 503, error_body("not_ready", str(error)), {}
         except ShedError as error:
             # Load shedding is a 503 like not-ready — the service is
             # alive but refusing this request; retry against a less
             # loaded instance (or after backoff).
-            return 503, error_body("shed", str(error))
+            return 503, error_body("shed", str(error)), {}
         except TimeoutError:
-            return 504, error_body(
-                "timeout", "request timed out; retry with backoff"
+            return (
+                504,
+                error_body("timeout", "request timed out; retry with backoff"),
+                {},
             )
         except ReproError as error:
-            return 400, error_body(type(error).__name__, str(error))
+            return 400, error_body(type(error).__name__, str(error)), {}
         except Exception as error:  # noqa: BLE001 - last-resort boundary
             LOGGER.error("internal error serving /link: %s", error)
-            return 500, error_body("internal", "internal server error")
+            return 500, error_body("internal", "internal server error"), {}
         degraded = sum(1 for result in results if result.degraded)
         LOGGER.info(
             "linked %d queries (%d degraded)", len(results), degraded
         )
-        return 200, {
+        body: Dict[str, Any] = {
             "results": [
-                result_to_json(result, self.server, top=top)
+                result_to_json(result, ontology, top=top)
                 for result in results
             ]
         }
+        if multi_tenant:
+            body["tenant"] = tenant
+        return 200, body, {}
+
+    def _handle_map(self) -> None:
+        """``POST /v1/map``: cross-ontology concept projection."""
+        service = self.server.service
+        request_id = self._request_id()
+        if not getattr(service, "multi_tenant", False):
+            self._respond_error(
+                404,
+                "mapping_disabled",
+                "cross-ontology mapping needs a multi-tenant deployment "
+                "(no tenants section is configured)",
+                request_id=request_id,
+            )
+            return
+        headers = {"X-Request-ID": request_id}
+        root = service.tracer.start_trace("http.map", request_id=request_id)
+        try:
+            with root:
+                payload = self._read_json()
+                if not isinstance(payload, dict):
+                    raise BadRequestError("request body must be a JSON object")
+                query = payload.get("query")
+                cid = payload.get("cid")
+                if (query is None) == (cid is None):
+                    raise BadRequestError(
+                        "provide exactly one of 'query' (string) or 'cid' "
+                        "(string)"
+                    )
+                field = "query" if query is not None else "cid"
+                value = query if query is not None else cid
+                if not isinstance(value, str) or not value.strip():
+                    raise BadRequestError(
+                        f"'{field}' must be a non-empty string"
+                    )
+                for name in ("source", "target"):
+                    given = payload.get(name)
+                    if given is not None and (
+                        not isinstance(given, str) or not given.strip()
+                    ):
+                        raise BadRequestError(
+                            f"'{name}' must be a non-empty string"
+                        )
+                k = payload.get("k")
+                if k is not None and (
+                    not isinstance(k, int) or isinstance(k, bool) or k < 1
+                ):
+                    raise BadRequestError("'k' must be a positive integer")
+                limit = payload.get("limit", 5)
+                if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+                    raise BadRequestError("'limit' must be a positive integer")
+                report = service.map_concept(
+                    payload.get("source"),
+                    payload.get("target"),
+                    query=query,
+                    cid=cid,
+                    k=k,
+                    limit=limit,
+                )
+                root.set_tag("source", report["source"])
+                root.set_tag("target", report["target"])
+            report["request_id"] = request_id
+            self._respond(200, report, headers=headers)
+        except BadRequestError as error:
+            self._respond_error(
+                400, "bad_request", str(error), request_id=request_id
+            )
+        except UnknownTenantError as error:
+            self._respond_error(
+                404, "unknown_tenant", str(error), request_id=request_id
+            )
+        except QuotaExceededError as error:
+            self._respond_error(
+                429,
+                "quota_exceeded",
+                str(error),
+                request_id=request_id,
+                headers={"Retry-After": str(max(1, math.ceil(error.retry_after_s)))},
+            )
+        except ServiceNotReadyError as error:
+            self._respond_error(
+                503, "not_ready", str(error), request_id=request_id
+            )
+        except ShedError as error:
+            self._respond_error(503, "shed", str(error), request_id=request_id)
+        except TimeoutError:
+            self._respond_error(
+                504,
+                "timeout",
+                "request timed out; retry with backoff",
+                request_id=request_id,
+            )
+        except ReproError as error:
+            self._respond_error(
+                400, type(error).__name__, str(error), request_id=request_id
+            )
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            LOGGER.error("internal error serving /map: %s", error)
+            self._respond_error(
+                500, "internal", "internal server error", request_id=request_id
+            )
 
     def _handle_swap(self) -> None:
-        """``POST /v1/admin/swap``: drive the blue/green swapper."""
-        from repro.lifecycle.swap import LifecycleError
+        """``POST /v1/admin/swap``: drive the blue/green swapper.
 
+        On a multi-tenant deployment the body's ``"tenant"`` (or the
+        default tenant) names whose controller is driven; the
+        single-tenant path is untouched.
+        """
+        service = self.server.service
         request_id = self._request_id()
+        if getattr(service, "multi_tenant", False):
+            self._handle_swap_multi_tenant(request_id)
+            return
         lifecycle = getattr(self.server.service, "lifecycle", None)
         if lifecycle is None:
             self._respond_error(
@@ -491,6 +769,63 @@ class _LinkRequestHandler(BaseHTTPRequestHandler):
                 request_id=request_id,
             )
             return
+        self._drive_swap(lifecycle, action, payload, request_id)
+
+    def _handle_swap_multi_tenant(self, request_id: str) -> None:
+        """The tenant-targeted swap path (multi-tenant deployments).
+
+        The body is read *first* (unlike the single-tenant path, which
+        checks for an attached controller before parsing) because the
+        target tenant is named in it.
+        """
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, dict):
+                raise BadRequestError("request body must be a JSON object")
+            requested = self._resolve_tenant(payload)
+        except BadRequestError as error:
+            self._respond_error(
+                400, "bad_request", str(error), request_id=request_id
+            )
+            return
+        service = self.server.service
+        try:
+            tenant = service.resolve_name(requested)
+        except UnknownTenantError as error:
+            self._respond_error(
+                404, "unknown_tenant", str(error), request_id=request_id
+            )
+            return
+        lifecycle = service.lifecycle_for(tenant)
+        if lifecycle is None:
+            self._respond_error(
+                404,
+                "lifecycle_disabled",
+                f"no lifecycle controller is attached to tenant {tenant!r}",
+                request_id=request_id,
+            )
+            return
+        action = payload.get("action")
+        if action not in ("promote", "rollback"):
+            self._respond_error(
+                400,
+                "bad_request",
+                "'action' must be 'promote' or 'rollback'",
+                request_id=request_id,
+            )
+            return
+        self._drive_swap(lifecycle, action, payload, request_id)
+
+    def _drive_swap(
+        self,
+        lifecycle: Any,
+        action: str,
+        payload: Dict[str, Any],
+        request_id: str,
+    ) -> None:
+        """Run a validated promote/rollback against one controller."""
+        from repro.lifecycle.swap import LifecycleError
+
         headers = {"X-Request-ID": request_id}
         try:
             if action == "promote":

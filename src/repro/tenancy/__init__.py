@@ -1,0 +1,37 @@
+"""Multi-tenant, multi-ontology serving.
+
+One process, several vocabularies: declared tenants
+(:class:`~repro.core.config.TenantConfig` under the ``tenants``
+section of :class:`~repro.core.config.RuntimeConfig`) are lazily
+loaded into per-tenant :class:`~repro.serving.service.LinkingService`
+instances by the :class:`TenantRegistry` (LRU eviction under a global
+memory budget), routed by :class:`MultiTenantLinkingService`, and
+bridged by :class:`ConceptMapper` for cross-ontology projection.
+"""
+
+from repro.tenancy.errors import (
+    QuotaExceededError,
+    TenantError,
+    UnknownTenantError,
+)
+from repro.tenancy.mapper import ConceptMapper, ConceptMapping
+from repro.tenancy.registry import (
+    QuotaWindow,
+    TenantRegistry,
+    TenantRuntime,
+    pipeline_loader,
+)
+from repro.tenancy.service import MultiTenantLinkingService
+
+__all__ = [
+    "ConceptMapper",
+    "ConceptMapping",
+    "MultiTenantLinkingService",
+    "QuotaExceededError",
+    "QuotaWindow",
+    "TenantError",
+    "TenantRegistry",
+    "TenantRuntime",
+    "UnknownTenantError",
+    "pipeline_loader",
+]

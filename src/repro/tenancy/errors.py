@@ -1,0 +1,37 @@
+"""Errors raised by the multi-tenant serving layer.
+
+Both derive from :class:`~repro.utils.errors.ReproError` so callers
+catching the library base type keep working, but the HTTP layer maps
+them to their own envelope codes (404 ``unknown_tenant`` and 429
+``quota_exceeded``) *before* the generic :class:`ReproError` handler —
+a routing failure must not surface as a 400.
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import ReproError
+
+
+class TenantError(ReproError):
+    """Base class for tenant-routing failures."""
+
+
+class UnknownTenantError(TenantError, LookupError):
+    """The request named a tenant the registry does not know.
+
+    Raised both for undeclared names and for tenant-less requests
+    against a registry with no default tenant.
+    """
+
+
+class QuotaExceededError(TenantError, RuntimeError):
+    """The tenant's rolling request quota is exhausted.
+
+    Carries ``retry_after_s`` — the seconds until the oldest request in
+    the window expires — so the HTTP layer can emit a ``Retry-After``
+    header alongside the 429.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -1,0 +1,332 @@
+"""Cross-ontology concept projection via shared-alias anchors.
+
+Two tenants serve two vocabularies of the same clinical reality
+(ICD-9 vs ICD-10 vs SNOMED-style).  The mapper projects a concept
+linked in a *source* ontology onto the closest concepts of a *target*
+ontology, without any trained alignment model, by combining three
+signals (the MORE recipe from PAPERS.md, adapted to the paper's
+alias-centric knowledge bases):
+
+1. **Anchors** — concepts whose surface forms (canonical description
+   or any KB alias, normalised) appear verbatim on both sides.  Shared
+   aliases are exactly how real crosswalks manifest in alias-rich
+   vocabularies: "end stage renal disease" names N18.5 in one ontology
+   and 46177005-ish codes in another.  A source concept that *is* an
+   anchor projects directly onto its partner.
+2. **Lexical similarity** — TF-IDF cosine between the source concept's
+   description/alias tokens and each target concept's, with the IDF
+   computed over the target's fine-grained concepts (the candidate
+   population being ranked).
+3. **Structural consistency** — anchors vote for target concepts near
+   them: a candidate close (in tree distance) to the partner of an
+   anchor that is close to the source concept is more plausible than a
+   lexically similar concept in an unrelated branch.
+
+Scores are convex-combined and ties broken by cid, so projection is
+deterministic for a given ontology pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.ontology.ontology import Ontology
+from repro.text.tokenize import normalize_text, tokenize
+from repro.utils.errors import DataError
+
+#: Anchors closest to the source concept that get to vote; bounds the
+#: structural pass to O(anchors × candidates) with a small constant.
+MAX_VOTING_ANCHORS = 8
+
+
+@dataclass(frozen=True)
+class ConceptMapping:
+    """One projected concept, with its score decomposition."""
+
+    cid: str
+    description: str
+    score: float
+    anchor_score: float
+    lexical_score: float
+    structural_score: float
+    #: Anchor pairs (source cid, target cid) that supported this
+    #: candidate — empty when the score is purely lexical.
+    anchors: Tuple[Tuple[str, str], ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready form for the HTTP response."""
+        return {
+            "cid": self.cid,
+            "description": self.description,
+            "score": self.score,
+            "anchor_score": self.anchor_score,
+            "lexical_score": self.lexical_score,
+            "structural_score": self.structural_score,
+            "anchors": [list(pair) for pair in self.anchors],
+        }
+
+
+def _surface_forms(ontology: Ontology, kb: Any) -> Dict[str, Set[str]]:
+    """Normalised surface form → cids of fine-grained concepts."""
+    forms: Dict[str, Set[str]] = {}
+    for concept in ontology.fine_grained():
+        texts = [concept.description]
+        if kb is not None:
+            texts.extend(kb.aliases_of(concept.cid))
+        for text in texts:
+            normalized = normalize_text(text)
+            if normalized:
+                forms.setdefault(normalized, set()).add(concept.cid)
+    return forms
+
+
+class ConceptMapper:
+    """Project fine-grained concepts from one ontology into another.
+
+    Built once per (source, target) ontology pair and reused across
+    requests; construction cost is one pass over both vocabularies
+    (anchor discovery) plus one over the target (TF-IDF index).
+    Raises :class:`DataError` when the pair shares no anchors at all —
+    a projection with no crosswalk signal would be pure lexical
+    guesswork, better refused than silently degraded.
+    """
+
+    def __init__(
+        self,
+        source_ontology: Ontology,
+        target_ontology: Ontology,
+        source_kb: Any = None,
+        target_kb: Any = None,
+        anchor_weight: float = 0.5,
+        lexical_weight: float = 0.3,
+        structural_weight: float = 0.2,
+        require_anchors: bool = True,
+    ) -> None:
+        total = anchor_weight + lexical_weight + structural_weight
+        if total <= 0:
+            raise DataError("mapper weights must sum to a positive value")
+        self.anchor_weight = anchor_weight / total
+        self.lexical_weight = lexical_weight / total
+        self.structural_weight = structural_weight / total
+        self.source = source_ontology
+        self.target = target_ontology
+        self._source_kb = source_kb
+        self._target_kb = target_kb
+
+        # -- anchor discovery: surface forms shared by both sides.
+        # Only unambiguous forms (one concept per side) become anchors;
+        # a form naming three concepts on either side identifies none
+        # of them.
+        source_forms = _surface_forms(source_ontology, source_kb)
+        target_forms = _surface_forms(target_ontology, target_kb)
+        self._anchor_partners: Dict[str, str] = {}
+        anchor_pairs: Set[Tuple[str, str]] = set()
+        for form, source_cids in source_forms.items():
+            target_cids = target_forms.get(form)
+            if target_cids is None:
+                continue
+            if len(source_cids) != 1 or len(target_cids) != 1:
+                continue
+            (s_cid,) = source_cids
+            (t_cid,) = target_cids
+            anchor_pairs.add((s_cid, t_cid))
+            self._anchor_partners.setdefault(s_cid, t_cid)
+        self.anchor_pairs: Tuple[Tuple[str, str], ...] = tuple(
+            sorted(anchor_pairs)
+        )
+        if require_anchors and not self.anchor_pairs:
+            raise DataError(
+                "ontologies share no anchor concepts (no common alias or "
+                "description surface form); cross-ontology mapping needs "
+                "at least one"
+            )
+
+        # -- lexical index over the target's fine-grained concepts.
+        self._target_docs: Dict[str, Dict[str, float]] = {}
+        self._inverted: Dict[str, Set[str]] = {}
+        df: Dict[str, int] = {}
+        raw_docs: Dict[str, Dict[str, int]] = {}
+        for concept in target_ontology.fine_grained():
+            texts = [concept.description]
+            if target_kb is not None:
+                texts.extend(target_kb.aliases_of(concept.cid))
+            counts: Dict[str, int] = {}
+            for text in texts:
+                for token in tokenize(text):
+                    counts[token] = counts.get(token, 0) + 1
+            raw_docs[concept.cid] = counts
+            for token in counts:
+                df[token] = df.get(token, 0) + 1
+                self._inverted.setdefault(token, set()).add(concept.cid)
+        doc_count = max(1, len(raw_docs))
+        self._idf: Dict[str, float] = {
+            token: math.log(1.0 + doc_count / count)
+            for token, count in df.items()
+        }
+        for cid, counts in raw_docs.items():
+            weights = {
+                token: count * self._idf[token]
+                for token, count in counts.items()
+            }
+            norm = math.sqrt(sum(w * w for w in weights.values()))
+            if norm > 0:
+                weights = {t: w / norm for t, w in weights.items()}
+            self._target_docs[cid] = weights
+
+        # Depth memo for tree distances (both sides).
+        self._source_depth = {
+            c.cid: source_ontology.depth_of(c.cid) for c in source_ontology
+        }
+        self._target_depth = {
+            c.cid: target_ontology.depth_of(c.cid) for c in target_ontology
+        }
+
+    # -- similarity components ----------------------------------------------
+
+    def _source_tokens(self, cid: str) -> Dict[str, float]:
+        """The source concept's TF vector, weighted by target IDF."""
+        concept = self.source.get(cid)
+        texts = [concept.description]
+        if self._source_kb is not None:
+            texts.extend(self._source_kb.aliases_of(cid))
+        counts: Dict[str, int] = {}
+        for text in texts:
+            for token in tokenize(text):
+                counts[token] = counts.get(token, 0) + 1
+        weights = {
+            token: count * self._idf.get(token, 0.0)
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(w * w for w in weights.values()))
+        if norm > 0:
+            weights = {t: w / norm for t, w in weights.items()}
+        return weights
+
+    @staticmethod
+    def _tree_distance(
+        ontology: Ontology, depth: Dict[str, int], a: str, b: str
+    ) -> int:
+        """Edges between ``a`` and ``b`` through their lowest common
+        ancestor (tree metric; the ontology is a strict tree)."""
+        if a == b:
+            return 0
+        ancestors_a = {c.cid for c in ontology.ancestors_of(a)}
+        ancestors_a.add(a)
+        lca_depth = 0
+        if b in ancestors_a:
+            lca_depth = depth[b]
+        else:
+            for ancestor in ontology.ancestors_of(b):
+                if ancestor.cid in ancestors_a:
+                    lca_depth = depth[ancestor.cid]
+                    break
+        return depth[a] + depth[b] - 2 * lca_depth
+
+    def _relatedness(
+        self, ontology: Ontology, depth: Dict[str, int], a: str, b: str
+    ) -> float:
+        return 1.0 / (1.0 + self._tree_distance(ontology, depth, a, b))
+
+    # -- projection ----------------------------------------------------------
+
+    def project(self, source_cid: str, limit: int = 5) -> List[ConceptMapping]:
+        """The ``limit`` best target concepts for ``source_cid``.
+
+        Raises ``KeyError`` for an unknown source cid and
+        :class:`DataError` when it is not fine-grained (the paper links
+        to leaves; so does the projection).
+        """
+        concept = self.source.get(source_cid)
+        if not self.source.is_fine_grained(source_cid):
+            raise DataError(
+                f"source concept {source_cid!r} is not fine-grained; "
+                "project leaf concepts"
+            )
+        if limit <= 0:
+            raise DataError(f"limit must be positive, got {limit}")
+
+        # Anchors nearest the source concept (deterministic order).
+        voting = sorted(
+            self.anchor_pairs,
+            key=lambda pair: (
+                self._tree_distance(
+                    self.source, self._source_depth, source_cid, pair[0]
+                ),
+                pair,
+            ),
+        )[:MAX_VOTING_ANCHORS]
+
+        # Candidates: lexical matches plus anchor neighbourhoods.
+        query = self._source_tokens(source_cid)
+        candidates: Set[str] = set()
+        for token in query:
+            candidates |= self._inverted.get(token, set())
+        for _, t_anchor in voting:
+            if self.target.is_fine_grained(t_anchor):
+                candidates.add(t_anchor)
+            parent = self.target.parent_of(t_anchor)
+            pool = (
+                self.target.children_of(parent.cid)
+                if parent is not None
+                else self.target.children_of(t_anchor)
+            )
+            candidates.update(
+                c.cid for c in pool if self.target.is_fine_grained(c.cid)
+            )
+
+        direct_partner = self._anchor_partners.get(source_cid)
+        if direct_partner is not None:
+            candidates.add(direct_partner)
+
+        scored: List[ConceptMapping] = []
+        for cid in candidates:
+            doc = self._target_docs.get(cid)
+            if doc is None:
+                continue  # non-leaf neighbour; projection targets leaves
+            lexical = sum(
+                weight * doc.get(token, 0.0)
+                for token, weight in query.items()
+            )
+            structural = 0.0
+            supporters: List[Tuple[str, str]] = []
+            for s_anchor, t_anchor in voting:
+                vote = self._relatedness(
+                    self.source, self._source_depth, source_cid, s_anchor
+                ) * self._relatedness(
+                    self.target, self._target_depth, cid, t_anchor
+                )
+                if vote > structural:
+                    structural = vote
+                if vote >= 0.25:  # within one edge on each side
+                    supporters.append((s_anchor, t_anchor))
+            anchor = 1.0 if cid == direct_partner else 0.0
+            score = (
+                self.anchor_weight * anchor
+                + self.lexical_weight * lexical
+                + self.structural_weight * structural
+            )
+            if score <= 0.0:
+                continue
+            scored.append(
+                ConceptMapping(
+                    cid=cid,
+                    description=self.target.get(cid).description,
+                    score=score,
+                    anchor_score=anchor,
+                    lexical_score=lexical,
+                    structural_score=structural,
+                    anchors=tuple(sorted(supporters)),
+                )
+            )
+        scored.sort(key=lambda m: (-m.score, m.cid))
+        return scored[:limit]
+
+    def stats(self) -> Dict[str, Any]:
+        """Construction-time facts for the admin surface."""
+        return {
+            "anchors": len(self.anchor_pairs),
+            "source_concepts": len(self._source_depth),
+            "target_leaves": len(self._target_docs),
+        }

@@ -145,7 +145,7 @@ class TestShedEnvelopeOverHTTP:
             # handler); request 2 fills the one queue slot.
             for query in ("ckd stage 5", "anemia blood loss"):
                 worker = threading.Thread(
-                    target=_post, args=(base, "/link", {"query": query})
+                    target=_post, args=(base, "/v1/link", {"query": query})
                 )
                 worker.start()
                 background.append(worker)
@@ -161,7 +161,7 @@ class TestShedEnvelopeOverHTTP:
             # Request 3 finds the queue at its bound: shed, not queued.
             status, payload = _post(
                 base,
-                "/link",
+                "/v1/link",
                 {"query": "scorbutic anemia"},
                 headers={"X-Request-ID": "shed-drill-1"},
             )

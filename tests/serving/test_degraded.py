@@ -224,7 +224,7 @@ class TestDegradedOverHTTP:
     def test_link_returns_200_degraded_with_phase1_ranking(self, running_server):
         base, service = running_server
         with fault_injection({"linker.phase2": FaultSpec(times=-1)}):
-            status, payload = _post(base, "/link", {"query": "ckd stage 5"})
+            status, payload = _post(base, "/v1/link", {"query": "ckd stage 5"})
         assert status == 200
         (result,) = payload["results"]
         assert result["degraded"] is True
@@ -242,7 +242,7 @@ class TestDegradedOverHTTP:
 
     def test_healthy_request_not_marked_degraded(self, running_server):
         base, _ = running_server
-        status, payload = _post(base, "/link", {"query": "ckd stage 5"})
+        status, payload = _post(base, "/v1/link", {"query": "ckd stage 5"})
         assert status == 200
         (result,) = payload["results"]
         assert result["degraded"] is False
@@ -252,8 +252,8 @@ class TestDegradedOverHTTP:
     def test_metrics_exposes_pipeline_metadata(self, running_server):
         base, service = running_server
         service.linker.pipeline_metadata = {"seed": 7, "resumed_from": None}
-        status, payload = _post(base, "/link", {"query": "ckd stage 5"})
+        status, payload = _post(base, "/v1/link", {"query": "ckd stage 5"})
         assert status == 200
-        with urllib.request.urlopen(base + "/metrics", timeout=10.0) as response:
+        with urllib.request.urlopen(base + "/v1/metrics", timeout=10.0) as response:
             metrics = json.load(response)
         assert metrics["pipeline"] == {"seed": 7, "resumed_from": None}

@@ -100,7 +100,7 @@ class TestHealthAndReadiness:
             assert status == 503
             assert payload["error"]["code"] == "not_ready"
             # /link is rejected with the same structured 503.
-            status, payload = _post(base, "/link", {"query": "ckd stage 5"})
+            status, payload = _post(base, "/v1/link", {"query": "ckd stage 5"})
             assert status == 503
             assert payload["error"]["code"] == "not_ready"
             # Liveness is independent of readiness.
@@ -112,7 +112,7 @@ class TestHealthAndReadiness:
                     break
                 deadline.wait(0.05)
             assert _get(base, "/readyz")[0] == 200
-            assert _post(base, "/link", {"query": "ckd stage 5"})[0] == 200
+            assert _post(base, "/v1/link", {"query": "ckd stage 5"})[0] == 200
         finally:
             server.shutdown()
             thread.join(5.0)
@@ -132,7 +132,7 @@ class TestHealthAndReadiness:
 class TestLinkEndpoint:
     def test_single_query_shape(self, running_server):
         base, _ = running_server
-        status, payload = _post(base, "/link", {"query": "ckd stage 5"})
+        status, payload = _post(base, "/v1/link", {"query": "ckd stage 5"})
         assert status == 200
         (result,) = payload["results"]
         assert result["query"] == "ckd stage 5"
@@ -145,21 +145,21 @@ class TestLinkEndpoint:
     def test_multi_query_preserves_order(self, running_server):
         base, _ = running_server
         queries = ["ckd stage 5", "scorbutic anemia", "acute abdomen"]
-        status, payload = _post(base, "/link", {"queries": queries})
+        status, payload = _post(base, "/v1/link", {"queries": queries})
         assert status == 200
         assert [r["query"] for r in payload["results"]] == queries
 
     def test_k_and_top_controls(self, running_server):
         base, _ = running_server
         status, payload = _post(
-            base, "/link", {"query": "anemia", "k": 5, "top": 2}
+            base, "/v1/link", {"query": "anemia", "k": 5, "top": 2}
         )
         assert status == 200
         assert len(payload["results"][0]["ranked"]) <= 2
 
     def test_no_match_returns_empty_ranking(self, running_server):
         base, _ = running_server
-        status, payload = _post(base, "/link", {"query": "qqqqq zzzzz"})
+        status, payload = _post(base, "/v1/link", {"query": "qqqqq zzzzz"})
         assert status == 200
         assert payload["results"][0]["ranked"] == []
 
@@ -183,7 +183,7 @@ class TestConcurrencyDeterminism:
         }
 
         def do_request(query):
-            status, payload = _post(base, "/link", {"query": query})
+            status, payload = _post(base, "/v1/link", {"query": query})
             assert status == 200
             return query, payload["results"][0]["ranked"]
 
@@ -196,7 +196,7 @@ class TestConcurrencyDeterminism:
 
     def test_batcher_actually_coalesced_something(self, running_server):
         base, _ = running_server
-        _, payload = _get(base, "/metrics")
+        _, payload = _get(base, "/v1/metrics")
         stats = payload["batcher"]
         assert stats["items"] > stats["batches"] >= 1
         assert stats["max_batch"] > 1
@@ -205,8 +205,8 @@ class TestConcurrencyDeterminism:
 class TestMetricsEndpoint:
     def test_snapshot_sections(self, running_server):
         base, _ = running_server
-        _post(base, "/link", {"query": "ckd stage 5"})
-        status, payload = _get(base, "/metrics")
+        _post(base, "/v1/link", {"query": "ckd stage 5"})
+        status, payload = _get(base, "/v1/metrics")
         assert status == 200
         assert payload["ready"] is True
         assert payload["counters"]["requests_total"] >= 1
@@ -221,8 +221,8 @@ class TestMetricsEndpoint:
     def test_warm_cache_yields_high_hit_rate(self, running_server):
         base, _ = running_server
         for query in SERVING_QUERIES:
-            _post(base, "/link", {"query": query})
-        _, payload = _get(base, "/metrics")
+            _post(base, "/v1/link", {"query": query})
+        _, payload = _get(base, "/v1/metrics")
         encodings = payload["caches"]["encodings"]
         # Warm-up pre-encoded every indexed concept, so live traffic
         # almost only hits (misses all date from warm-up itself).
@@ -241,7 +241,7 @@ class TestErrorHandling:
     def test_invalid_json_400(self, running_server):
         base, _ = running_server
         request = urllib.request.Request(
-            base + "/link",
+            base + "/v1/link",
             data=b"{not json",
             headers={"Content-Type": "application/json"},
         )
@@ -268,14 +268,14 @@ class TestErrorHandling:
     )
     def test_bad_bodies_400(self, running_server, body):
         base, _ = running_server
-        status, payload = _post(base, "/link", body)
+        status, payload = _post(base, "/v1/link", body)
         assert status == 400
         assert payload["error"]["code"] == "bad_request"
         assert payload["error"]["message"]
 
     def test_empty_body_400(self, running_server):
         base, _ = running_server
-        request = urllib.request.Request(base + "/link", data=b"")
+        request = urllib.request.Request(base + "/v1/link", data=b"")
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30.0)
         assert excinfo.value.code == 400

@@ -3,7 +3,7 @@ lifecycle over real HTTP, in a real subprocess.
 
 Trains a tiny pipeline via the CLI, boots ``repro serve`` on an
 ephemeral port, waits for readiness, links the dataset's own queries
-over ``POST /link``, scrapes ``GET /metrics``, and writes
+over ``POST /v1/link``, scrapes ``GET /v1/metrics``, and writes
 ``BENCH_serving.json`` (latency p50/p95, cache hit rate, batch stats)
 at the repo root for the bench trajectory.  Marked slow, like the CLI
 lifecycle test it extends.
@@ -29,7 +29,7 @@ BENCH_PATH = REPO_ROOT / "BENCH_serving.json"
 
 def _post_link(base, queries, timeout=60.0):
     request = urllib.request.Request(
-        base + "/link",
+        base + "/v1/link",
         data=json.dumps({"queries": queries}).encode("utf-8"),
         headers={"Content-Type": "application/json"},
     )
@@ -118,7 +118,7 @@ class TestServingSmoke:
             linked += len(results)
         assert linked == len(queries)
 
-        with urllib.request.urlopen(base + "/metrics", timeout=30.0) as response:
+        with urllib.request.urlopen(base + "/v1/metrics", timeout=30.0) as response:
             metrics = json.load(response)
         assert metrics["ready"] is True
         assert metrics["counters"]["requests_total"] >= linked

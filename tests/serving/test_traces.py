@@ -88,14 +88,14 @@ class TestTraceTree:
     def test_link_trace_retrievable_with_full_span_tree(self, traced_server):
         base, _ = traced_server
         status, headers, payload = _post(
-            base, "/link", {"query": "ckd stage 5"},
+            base, "/v1/link", {"query": "ckd stage 5"},
             headers={"X-Request-ID": "req-tree-1"},
         )
         assert status == 200
         assert headers["X-Request-ID"] == "req-tree-1"
         assert payload["request_id"] == "req-tree-1"
 
-        status, body = _get_json(base, "/traces?request_id=req-tree-1")
+        status, body = _get_json(base, "/v1/traces?request_id=req-tree-1")
         assert status == 200
         (trace_dict,) = body["traces"]
         assert trace_dict["request_id"] == "req-tree-1"
@@ -135,21 +135,21 @@ class TestTraceTree:
 
     def test_request_id_generated_when_header_absent(self, traced_server):
         base, _ = traced_server
-        status, headers, payload = _post(base, "/link", {"query": "anemia"})
+        status, headers, payload = _post(base, "/v1/link", {"query": "anemia"})
         assert status == 200
         request_id = payload["request_id"]
         assert request_id
         assert headers["X-Request-ID"] == request_id
-        status, body = _get_json(base, f"/traces?request_id={request_id}")
+        status, body = _get_json(base, f"/v1/traces?request_id={request_id}")
         assert status == 200
         assert body["traces"][0]["request_id"] == request_id
 
     def test_traces_listing_limit_and_stats(self, traced_server):
         base, _ = traced_server
         for index in range(3):
-            _post(base, "/link", {"query": "ckd stage 5"},
+            _post(base, "/v1/link", {"query": "ckd stage 5"},
                   headers={"X-Request-ID": f"req-list-{index}"})
-        status, body = _get_json(base, "/traces?limit=2")
+        status, body = _get_json(base, "/v1/traces?limit=2")
         assert status == 200
         assert len(body["traces"]) == 2
         # Most recent first.
@@ -157,16 +157,16 @@ class TestTraceTree:
         assert body["stats"]["sample_rate"] == 1.0
         assert body["stats"]["finished"] >= 3
 
-        status, body = _get_json(base, "/traces?request_id=req-nope")
+        status, body = _get_json(base, "/v1/traces?request_id=req-nope")
         assert status == 404
         assert body["error"]["code"] == "trace_not_found"
 
-        status, body = _get_json(base, "/traces?limit=abc")
+        status, body = _get_json(base, "/v1/traces?limit=abc")
         assert status == 400
 
     def test_tracer_stats_in_metrics_snapshot(self, traced_server):
         base, _ = traced_server
-        status, payload = _get_json(base, "/metrics")
+        status, payload = _get_json(base, "/v1/metrics")
         assert status == 200
         assert payload["traces"]["sample_rate"] == 1.0
         assert payload["traces"]["retained"] >= 1
@@ -179,7 +179,7 @@ class TestLogCorrelation:
         handler = configure_json_logging(stream=stream)
         try:
             status, _, _ = _post(
-                base, "/link", {"query": "ckd stage 5"},
+                base, "/v1/link", {"query": "ckd stage 5"},
                 headers={"X-Request-ID": "req-logged"},
             )
             assert status == 200
@@ -213,7 +213,7 @@ class TestCrossThreadPropagation:
         def do_request(item):
             request_id, query = item
             status, _, _ = _post(
-                base, "/link", {"query": query},
+                base, "/v1/link", {"query": query},
                 headers={"X-Request-ID": request_id},
             )
             assert status == 200
@@ -222,7 +222,7 @@ class TestCrossThreadPropagation:
             list(pool.map(do_request, queries.items()))
 
         for request_id, query in queries.items():
-            status, body = _get_json(base, f"/traces?request_id={request_id}")
+            status, body = _get_json(base, f"/v1/traces?request_id={request_id}")
             assert status == 200, request_id
             by_name = _spans_by_name(body["traces"][0])
             assert len(by_name["service.request"]) == 1
@@ -238,7 +238,7 @@ class TestFaultEvents:
         base, _ = traced_server
         with fault_injection({"linker.phase2": FaultSpec()}):
             status, _, payload = _post(
-                base, "/link", {"query": "ckd stage 5"},
+                base, "/v1/link", {"query": "ckd stage 5"},
                 headers={"X-Request-ID": "req-fault"},
             )
         assert status == 200
@@ -246,7 +246,7 @@ class TestFaultEvents:
         assert result["degraded"]
         assert result["degraded_reason"].startswith("error:")
 
-        status, body = _get_json(base, "/traces?request_id=req-fault")
+        status, body = _get_json(base, "/v1/traces?request_id=req-fault")
         assert status == 200
         events = [
             (span["name"], event)

@@ -1,0 +1,207 @@
+"""Shared multi-tenant fixtures: two tiny trained tenants.
+
+Tenant ``icd`` serves the paper's figure-1 ICD-10-like pipeline (the
+same world the serving tests use); tenant ``sct`` serves a SNOMED-ish
+counterpart with numeric identifiers and "(disorder)" descriptions.
+Several ``sct`` aliases repeat ``icd`` surface forms verbatim — the
+shared-alias anchors the cross-ontology mapper keys on.
+
+Training is the expensive part, so both models are module-scoped;
+registries and services are cheap per-test builds over them.
+"""
+
+import pytest
+
+from repro.core.config import (
+    ComAidConfig,
+    LinkerConfig,
+    ServingConfig,
+    TenancyConfig,
+    TenantConfig,
+    TrainingConfig,
+)
+from repro.core.linker import NeuralConceptLinker
+from repro.core.trainer import ComAidTrainer
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.ontology.concept import Concept
+from repro.ontology.ontology import Ontology
+from repro.tenancy import MultiTenantLinkingService, TenantRegistry
+
+from tests.serving.conftest import build_figure1_ontology, build_figure3_kb
+
+
+def build_sct_ontology() -> Ontology:
+    """A SNOMED-shaped counterpart to the figure-1 world."""
+    ontology = Ontology()
+    ontology.add(Concept("105339003", "anemia group (disorder)"))
+    ontology.add(
+        Concept("122452007", "anemia caused by chronic blood loss (disorder)"),
+        parent_cid="105339003",
+    )
+    ontology.add(
+        Concept("371315009", "scurvy related anemia (disorder)"),
+        parent_cid="105339003",
+    )
+    ontology.add(
+        Concept("713533000", "anemia due to low protein intake (disorder)"),
+        parent_cid="105339003",
+    )
+    ontology.add(Concept("90708001", "kidney disease group (disorder)"))
+    ontology.add(
+        Concept("46177005", "end stage renal failure (disorder)"),
+        parent_cid="90708001",
+    )
+    ontology.add(
+        Concept("709044004", "chronic renal impairment (disorder)"),
+        parent_cid="90708001",
+    )
+    ontology.add(Concept("21522001", "abdominal pain group (disorder)"))
+    ontology.add(
+        Concept("9209005", "acute abdominal pain (disorder)"),
+        parent_cid="21522001",
+    )
+    ontology.add(
+        Concept("102614006", "generalized abdominal pain (disorder)"),
+        parent_cid="21522001",
+    )
+    return ontology
+
+
+#: sct leaf -> icd leaf ground truth through the shared aliases below.
+SCT_TO_ICD = {
+    "122452007": "D50.0",
+    "371315009": "D53.2",
+    "713533000": "D53.0",
+    "46177005": "N18.5",
+    "709044004": "N18.9",
+    "9209005": "R10.0",
+}
+
+
+def build_sct_kb(ontology: Ontology) -> KnowledgeBase:
+    """Aliases for the sct world; the marked ones repeat icd forms."""
+    kb = KnowledgeBase(ontology)
+    kb.add_alias("122452007", "hemorrhagic anemia")  # = D50.0 alias
+    kb.add_alias("122452007", "bleeding related anemia")
+    kb.add_alias("371315009", "scorbutic anemia")  # = D53.2 description
+    kb.add_alias("713533000", "protein deficiency anemia")  # = D53.0 descr.
+    kb.add_alias("46177005", "end stage renal disease")  # = N18.5 alias
+    kb.add_alias("46177005", "renal failure terminal")
+    kb.add_alias("709044004", "chronic renal disease")  # = N18.9 alias
+    kb.add_alias("9209005", "acute abdomen")  # = R10.0 description
+    kb.add_alias("102614006", "diffuse abdomen pain")
+    return kb
+
+
+#: Per-tenant query mixes that resolve within each tenant's own KB.
+TENANT_QUERIES = {
+    "icd": [
+        "ckd stage 5",
+        "anemia blood loss",
+        "protein deficiency anemia",
+        "acute abdomen pain",
+    ],
+    "sct": [
+        "end stage renal disease",
+        "hemorrhagic anemia",
+        "scorbutic anemia",
+        "diffuse abdomen pain",
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def tenant_world():
+    """``{name: (ontology, kb, model)}`` for the two tenants."""
+    worlds = {}
+    icd_ontology = build_figure1_ontology()
+    icd_kb = build_figure3_kb(icd_ontology)
+    sct_ontology = build_sct_ontology()
+    sct_kb = build_sct_kb(sct_ontology)
+    for name, ontology, kb, seed in (
+        ("icd", icd_ontology, icd_kb, 7),
+        ("sct", sct_ontology, sct_kb, 11),
+    ):
+        trainer = ComAidTrainer(
+            ComAidConfig(dim=10, beta=2),
+            TrainingConfig(
+                epochs=8, batch_size=4, optimizer="adagrad", learning_rate=0.2
+            ),
+            rng=seed,
+        )
+        worlds[name] = (ontology, kb, trainer.fit(kb))
+    return worlds
+
+
+@pytest.fixture
+def memory_loader(tenant_world):
+    """A registry loader that builds linkers in memory (no disk)."""
+
+    def load(name, tenant, linker_config):
+        ontology, kb, model = tenant_world[name]
+        return NeuralConceptLinker(model, ontology, linker_config, kb=kb), kb
+
+    return load
+
+
+@pytest.fixture
+def make_registry(memory_loader):
+    """Factory for registries over the two in-memory tenants.
+
+    Keyword arguments become :class:`TenancyConfig` fields; per-tenant
+    overrides ride in ``tenant_kwargs={"icd": {...}}``.  Every built
+    registry is stopped at test exit.
+    """
+    created = []
+
+    def factory(
+        tenant_kwargs=None,
+        serving=None,
+        linker_config=None,
+        clock=None,
+        **tenancy_kwargs,
+    ):
+        overrides = tenant_kwargs or {}
+        tenancy_kwargs.setdefault("default", "icd")
+        tenancy = TenancyConfig(
+            definitions={
+                name: TenantConfig(**overrides.get(name, {}))
+                for name in ("icd", "sct")
+            },
+            **tenancy_kwargs,
+        )
+        kwargs = {}
+        if clock is not None:
+            kwargs["clock"] = clock
+        registry = TenantRegistry(
+            tenancy,
+            serving=serving if serving is not None else ServingConfig(),
+            linker_config=(
+                linker_config if linker_config is not None else LinkerConfig(k=5)
+            ),
+            loader=memory_loader,
+            **kwargs,
+        )
+        created.append(registry)
+        return registry
+
+    yield factory
+    for registry in created:
+        registry.stop()
+
+
+@pytest.fixture
+def make_service(make_registry):
+    """Factory for started multi-tenant services; stopped at exit."""
+    created = []
+
+    def factory(registry=None, **registry_kwargs):
+        if registry is None:
+            registry = make_registry(**registry_kwargs)
+        service = MultiTenantLinkingService(registry).start()
+        created.append(service)
+        return service
+
+    yield factory
+    for service in created:
+        service.stop()

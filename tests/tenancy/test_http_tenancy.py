@@ -1,0 +1,356 @@
+"""HTTP-level multi-tenant tests: routing, error envelopes, admin and
+mapping routes, retired-route behaviour, and single-tenant byte
+identity."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import LinkerConfig, ServingConfig
+from repro.core.linker import NeuralConceptLinker
+from repro.serving.server import create_server, run_server
+from repro.serving.service import LinkingService
+
+
+def _request(base, path, payload=None, headers=None, timeout=30.0):
+    data = None
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error), dict(error.headers)
+
+
+def _serve(service):
+    server = create_server(service, port=0)
+    thread = threading.Thread(
+        target=run_server,
+        args=(server,),
+        kwargs={"install_signal_handlers": False},
+        daemon=True,
+    )
+    thread.start()
+    return server, thread, f"http://127.0.0.1:{server.port}"
+
+
+@pytest.fixture(scope="module")
+def tenant_server(tenant_world):
+    """A running multi-tenant server over the two in-memory tenants."""
+    from repro.core.config import TenancyConfig, TenantConfig
+    from repro.tenancy import MultiTenantLinkingService, TenantRegistry
+
+    def loader(name, tenant, linker_config):
+        ontology, kb, model = tenant_world[name]
+        return NeuralConceptLinker(model, ontology, linker_config, kb=kb), kb
+
+    tenancy = TenancyConfig(
+        definitions={
+            "icd": TenantConfig(),
+            "sct": TenantConfig(quota_per_minute=1000),
+        },
+        default="icd",
+    )
+    registry = TenantRegistry(
+        tenancy,
+        serving=ServingConfig(port=0),
+        linker_config=LinkerConfig(k=5),
+        loader=loader,
+    )
+    service = MultiTenantLinkingService(registry).start()
+    server, thread, base = _serve(service)
+    yield base, service
+    server.shutdown()
+    thread.join(5.0)
+    service.stop()
+
+
+class TestTenantRouting:
+    def test_body_field_routes_and_is_echoed(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/link",
+            {"query": "hemorrhagic anemia", "tenant": "sct"},
+        )
+        assert status == 200
+        assert body["tenant"] == "sct"
+        # The candidates come from the sct ontology (numeric cids) —
+        # routing is what's under test, not the tiny model's ranking.
+        assert body["results"][0]["ranked"][0]["cid"].isdigit()
+
+    def test_header_routes_like_the_body_field(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/link", {"query": "scorbutic anemia"},
+            headers={"X-Tenant": "sct"},
+        )
+        assert status == 200
+        assert body["tenant"] == "sct"
+
+    def test_no_tenant_falls_to_the_default(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/link", {"query": "ckd stage 5"}
+        )
+        assert status == 200
+        assert body["tenant"] == "icd"
+        assert body["results"][0]["ranked"][0]["cid"] == "N18.5"
+
+    def test_disagreeing_body_and_header_is_a_400(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/link", {"query": "x", "tenant": "icd"},
+            headers={"X-Tenant": "sct"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "X-Tenant" in body["error"]["message"]
+
+    def test_unknown_tenant_is_a_404_envelope(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/link", {"query": "x", "tenant": "ghost"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_tenant"
+        assert "ghost" in body["error"]["message"]
+
+
+class TestQuotaOverHttp:
+    def test_quota_exhaustion_is_a_429_with_retry_after(
+        self, tenant_world
+    ):
+        from repro.core.config import TenancyConfig, TenantConfig
+        from repro.tenancy import (
+            MultiTenantLinkingService,
+            TenantRegistry,
+        )
+
+        def loader(name, tenant, linker_config):
+            ontology, kb, model = tenant_world[name]
+            return (
+                NeuralConceptLinker(model, ontology, linker_config, kb=kb),
+                kb,
+            )
+
+        registry = TenantRegistry(
+            TenancyConfig(
+                definitions={
+                    "icd": TenantConfig(),
+                    "sct": TenantConfig(quota_per_minute=1),
+                },
+                default="icd",
+            ),
+            serving=ServingConfig(port=0),
+            linker_config=LinkerConfig(k=5),
+            loader=loader,
+        )
+        service = MultiTenantLinkingService(registry).start()
+        server, thread, base = _serve(service)
+        try:
+            status, _, _ = _request(
+                base, "/v1/link",
+                {"query": "hemorrhagic anemia", "tenant": "sct"},
+            )
+            assert status == 200
+            status, body, headers = _request(
+                base, "/v1/link",
+                {"query": "hemorrhagic anemia", "tenant": "sct"},
+            )
+            assert status == 429
+            assert body["error"]["code"] == "quota_exceeded"
+            assert int(headers["Retry-After"]) >= 1
+            # The default tenant still serves.
+            status, _, _ = _request(
+                base, "/v1/link", {"query": "ckd stage 5"}
+            )
+            assert status == 200
+        finally:
+            server.shutdown()
+            thread.join(5.0)
+            service.stop()
+
+
+class TestAdminAndMetrics:
+    def test_admin_tenants_reports_the_registry(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(base, "/v1/admin/tenants")
+        assert status == 200
+        assert body["default"] == "icd"
+        assert set(body["tenants"]) == {"icd", "sct"}
+        assert "quota" in body["tenants"]["sct"]
+
+    def test_metrics_snapshot_carries_tenant_partitions(self, tenant_server):
+        base, _ = tenant_server
+        _request(base, "/v1/link", {"query": "ckd stage 5"})
+        status, body, _ = _request(base, "/v1/metrics")
+        assert status == 200
+        assert body["multi_tenant"] is True
+        assert "icd" in body["tenants"]["tenants"]
+
+    def test_prometheus_rendering_labels_tenants(self, tenant_server):
+        base, _ = tenant_server
+        _request(base, "/v1/link", {"query": "ckd stage 5"})
+        request = urllib.request.Request(
+            base + "/v1/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            text = response.read().decode("utf-8")
+        assert 'tenant="icd"' in text
+        assert "repro_tenant_requests_total" in text
+
+
+class TestMappingRoute:
+    def test_map_by_query(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/map",
+            {"source": "sct", "target": "icd",
+             "query": "end stage renal disease"},
+        )
+        assert status == 200
+        assert body["linked"]["cid"] == "46177005"
+        assert body["mappings"][0]["cid"] == "N18.5"
+        assert body["api_version"]
+
+    def test_map_by_cid(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/map",
+            {"source": "icd", "target": "sct", "cid": "N18.5"},
+        )
+        assert status == 200
+        assert body["mappings"][0]["cid"] == "46177005"
+
+    def test_map_validation_errors(self, tenant_server):
+        base, _ = tenant_server
+        status, body, _ = _request(
+            base, "/v1/map", {"source": "sct", "target": "icd"}
+        )
+        assert status == 400
+        status, body, _ = _request(
+            base, "/v1/map",
+            {"source": "sct", "target": "ghost", "cid": "9209005"},
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_tenant"
+
+
+class TestRetiredRoutes:
+    @pytest.mark.parametrize(
+        "method,path",
+        [("POST", "/link"), ("GET", "/metrics"), ("GET", "/traces")],
+    )
+    def test_legacy_routes_are_410_gone(self, tenant_server, method, path):
+        base, _ = tenant_server
+        payload = {"query": "x"} if method == "POST" else None
+        status, body, headers = _request(base, path, payload)
+        assert status == 410
+        assert body["error"]["code"] == "gone"
+        assert "/v1" + path in body["error"]["message"]
+        assert "successor-version" in headers.get("Link", "")
+
+
+class TestSingleTenantUnchanged:
+    """A deployment with no tenants section keeps today's contract."""
+
+    @pytest.fixture(scope="class")
+    def single_server(self, tenant_world):
+        ontology, kb, model = tenant_world["icd"]
+        service = LinkingService(
+            NeuralConceptLinker(model, ontology, LinkerConfig(k=5), kb=kb),
+            ServingConfig(port=0),
+        )
+        service.start(wait=True)
+        server, thread, base = _serve(service)
+        yield base, service
+        server.shutdown()
+        thread.join(5.0)
+        service.stop()
+
+    def test_link_body_is_byte_identical_to_the_reference(
+        self, single_server
+    ):
+        base, service = single_server
+        request = urllib.request.Request(
+            base + "/v1/link",
+            data=json.dumps({"query": "ckd stage 5"}).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "X-Request-ID": "fixed-id-1",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            raw = response.read()
+
+        from repro.api import API_VERSION
+        from repro.serving.server import result_to_json
+
+        result = service.link("ckd stage 5")
+        reference = json.dumps(
+            {
+                "results": [result_to_json(result, service.ontology)],
+                "request_id": "fixed-id-1",
+                "api_version": API_VERSION,
+            }
+        ).encode("utf-8")
+
+        def masked(payload: bytes) -> bytes:
+            # Per-phase timings are wall-clock and differ run to run;
+            # everything else — content, key order, encoding — must be
+            # byte-identical, so mask timing values and re-serialise
+            # preserving the original key order.
+            def scrub(node):
+                if isinstance(node, dict):
+                    return {
+                        key: (0 if key == "timing" else scrub(value))
+                        for key, value in node.items()
+                    }
+                if isinstance(node, list):
+                    return [scrub(item) for item in node]
+                return node
+
+            return json.dumps(scrub(json.loads(payload))).encode("utf-8")
+
+        assert masked(raw) == masked(reference), (
+            "single-tenant /v1/link body changed"
+        )
+
+    def test_no_tenant_key_in_single_tenant_responses(self, single_server):
+        base, _ = single_server
+        status, body, _ = _request(base, "/v1/link", {"query": "x"})
+        assert status == 200
+        assert "tenant" not in body
+
+    def test_naming_a_tenant_on_single_tenant_is_a_404(self, single_server):
+        base, _ = single_server
+        status, body, _ = _request(
+            base, "/v1/link", {"query": "x", "tenant": "icd"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_tenant"
+
+    def test_map_is_disabled_on_single_tenant(self, single_server):
+        base, _ = single_server
+        status, body, _ = _request(
+            base, "/v1/map", {"source": "a", "target": "b", "cid": "x"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "mapping_disabled"
+
+    def test_admin_tenants_is_disabled_on_single_tenant(self, single_server):
+        base, _ = single_server
+        status, body, _ = _request(base, "/v1/admin/tenants")
+        assert status == 404
+        assert body["error"]["code"] == "tenants_disabled"

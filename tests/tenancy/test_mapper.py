@@ -1,0 +1,125 @@
+"""Cross-ontology mapper tests, including the precision gate on the
+synthetic ``snomed-like`` dataset and its generated crosswalk."""
+
+import pytest
+
+from repro.datasets import snomed_like
+from repro.ontology.icd import build_icd10_like_ontology
+from repro.tenancy import ConceptMapper
+from repro.utils.errors import DataError
+
+from tests.tenancy.conftest import (
+    SCT_TO_ICD,
+    build_figure1_ontology,
+    build_figure3_kb,
+    build_sct_kb,
+    build_sct_ontology,
+)
+
+
+@pytest.fixture(scope="module")
+def figure_mapper():
+    """sct -> icd mapper over the tiny hand-built tenant pair."""
+    icd_ontology = build_figure1_ontology()
+    icd_kb = build_figure3_kb(icd_ontology)
+    sct_ontology = build_sct_ontology()
+    sct_kb = build_sct_kb(sct_ontology)
+    return ConceptMapper(
+        sct_ontology, icd_ontology, source_kb=sct_kb, target_kb=icd_kb
+    )
+
+
+class TestAnchors:
+    def test_shared_aliases_become_anchor_pairs(self, figure_mapper):
+        pairs = dict(figure_mapper.anchor_pairs)
+        for sct_cid, icd_cid in SCT_TO_ICD.items():
+            assert pairs[sct_cid] == icd_cid
+        assert figure_mapper.stats()["anchors"] >= len(SCT_TO_ICD)
+
+    def test_refuses_anchorless_pairs(self):
+        left = build_figure1_ontology()
+        right = build_sct_ontology()  # descriptions share no exact form
+        with pytest.raises(DataError, match="anchor"):
+            ConceptMapper(right, left)  # no KBs -> no shared aliases
+        mapper = ConceptMapper(right, left, require_anchors=False)
+        assert mapper.anchor_pairs == ()
+
+
+class TestProjection:
+    def test_anchor_concepts_project_onto_their_partner(self, figure_mapper):
+        for sct_cid, icd_cid in SCT_TO_ICD.items():
+            mappings = figure_mapper.project(sct_cid, limit=3)
+            assert mappings[0].cid == icd_cid
+            assert mappings[0].anchor_score == 1.0
+
+    def test_non_anchor_concept_lands_in_the_right_branch(self, figure_mapper):
+        # 102614006 "generalized abdominal pain" has no shared alias;
+        # lexical + structural evidence must still put it under R10.
+        mappings = figure_mapper.project("102614006", limit=3)
+        assert mappings, "expected candidates for a lexical match"
+        assert mappings[0].cid.startswith("R10")
+        assert mappings[0].anchor_score == 0.0
+        assert mappings[0].structural_score > 0.0, (
+            "anchors near the source should vote for the R10 branch"
+        )
+
+    def test_projection_is_deterministic(self, figure_mapper):
+        first = figure_mapper.project("122452007", limit=5)
+        second = figure_mapper.project("122452007", limit=5)
+        assert [m.cid for m in first] == [m.cid for m in second]
+        assert [m.score for m in first] == [m.score for m in second]
+
+    def test_rejects_unknown_and_coarse_cids(self, figure_mapper):
+        with pytest.raises(KeyError):
+            figure_mapper.project("999999999")
+        with pytest.raises(DataError, match="fine-grained"):
+            figure_mapper.project("105339003")  # a category, not a leaf
+        with pytest.raises(DataError, match="limit"):
+            figure_mapper.project("122452007", limit=0)
+
+    def test_to_json_is_serialisable(self, figure_mapper):
+        import json
+
+        mapping = figure_mapper.project("46177005", limit=1)[0]
+        payload = mapping.to_json()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["cid"] == "N18.5"
+
+
+class TestPrecisionGate:
+    """Projection precision on the generated snomed-like crosswalk."""
+
+    @pytest.fixture(scope="class")
+    def snomed_world(self):
+        base = build_icd10_like_ontology(
+            rng=2018, categories_per_family=3, leaves_per_category=3
+        )
+        bundle = snomed_like(rng=2018, base=base, query_count=20)
+        return base, bundle
+
+    def test_precision_against_ground_truth_crosswalk(self, snomed_world):
+        base, bundle = snomed_world
+        crosswalk = bundle.metadata["crosswalk"]
+        aliased = set(bundle.metadata["crosswalk_aliases"])
+        mapper = ConceptMapper(
+            bundle.ontology, base, source_kb=bundle.kb
+        )
+        total = correct = 0
+        anchor_total = anchor_correct = 0
+        for sct_cid, base_cid in sorted(crosswalk.items()):
+            mappings = mapper.project(sct_cid, limit=1)
+            hit = bool(mappings) and mappings[0].cid == base_cid
+            total += 1
+            correct += hit
+            if sct_cid in aliased:
+                anchor_total += 1
+                anchor_correct += hit
+        assert anchor_total > 0
+        assert anchor_correct == anchor_total, (
+            "aliased anchors must project exactly onto their partner"
+        )
+        precision = correct / total
+        assert precision >= 0.8, (
+            f"crosswalk precision@1 {precision:.3f} below the 0.8 gate "
+            f"({correct}/{total})"
+        )

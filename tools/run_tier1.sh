@@ -14,6 +14,7 @@
 #   tools/run_tier1.sh --bench-retrieval  # ... + 100k retrieval benchmark
 #   tools/run_tier1.sh --bench-lifecycle  # ... + hot-swap lifecycle benchmark
 #   tools/run_tier1.sh --bench-mp      # ... + multi-process serving benchmark
+#   tools/run_tier1.sh --bench-tenant  # ... + multi-tenant serving benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -56,8 +57,12 @@ for arg in "$@"; do
             echo "== multi-process serving benchmark (writes BENCH_mp.json) =="
             python -m pytest -q benchmarks/test_mp_serving.py
             ;;
+        --bench-tenant)
+            echo "== multi-tenant serving benchmark (writes BENCH_tenant.json) =="
+            python -m pytest -q benchmarks/test_tenant_serving.py
+            ;;
         *)
-            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-obs-mp, --bench-shard, --bench-retrieval, --bench-lifecycle and/or --bench-mp)" >&2
+            echo "unknown flag: $arg (expected --faults, --bench-phase2, --bench-obs, --bench-obs-mp, --bench-shard, --bench-retrieval, --bench-lifecycle, --bench-mp and/or --bench-tenant)" >&2
             exit 2
             ;;
     esac
